@@ -1,0 +1,1 @@
+bench/e01_worked_example.ml: Build Context Cost Exec Infgraph Spec Stats Strategy Table Workload

@@ -1,0 +1,1 @@
+bench/e02_smith_baseline.ml: Bernoulli_model Build Context Core Cost Datalog Format Graph Infgraph Spec Stats Strategy Table Upsilon Workload

@@ -1,0 +1,1 @@
+bench/e03_pib1.ml: Bernoulli_model Build Core Cost Exec Fun Graph Infgraph Int64 List Printf Spec Stats Strategy Table Transform Workload

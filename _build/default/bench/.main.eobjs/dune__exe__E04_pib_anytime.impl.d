@@ -1,0 +1,1 @@
+bench/e04_pib_anytime.ml: Core Cost Format List Spec Stats Strategy Table Upsilon Workload

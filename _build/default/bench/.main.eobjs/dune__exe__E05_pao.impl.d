@@ -1,0 +1,1 @@
+bench/e05_pao.ml: Array Build Core Cost Float Fun Infgraph Int64 List Printf Stats Strategy Table Upsilon Workload

@@ -1,0 +1,1 @@
+bench/e06_pao_adaptive.ml: Array Bernoulli_model Core Cost Costs Graph Infgraph List Printf Stats Strategy Table Upsilon

@@ -1,0 +1,1 @@
+bench/e07_comparison.ml: Array Core Cost Costs Infgraph Int64 List Printf Spec Stats Strategy Table Upsilon Workload

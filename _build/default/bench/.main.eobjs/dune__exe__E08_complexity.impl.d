@@ -1,0 +1,1 @@
+bench/e08_complexity.ml: Analyze Bechamel Benchmark Bernoulli_model Core Exec Graph Hashtbl Infgraph Int64 List Printf Spec Staged Stats Strategy Table Test Time Toolkit Upsilon Workload

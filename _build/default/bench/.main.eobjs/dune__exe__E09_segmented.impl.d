@@ -1,0 +1,1 @@
+bench/e09_segmented.ml: Array Bernoulli_model Core Cost Enumerate Format Graph Infgraph List Spec Stats Strategy Table Workload

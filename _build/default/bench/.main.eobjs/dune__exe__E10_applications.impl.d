@@ -1,0 +1,1 @@
+bench/e10_applications.ml: Core Cost Format List Spec Stats Strategy Table Workload

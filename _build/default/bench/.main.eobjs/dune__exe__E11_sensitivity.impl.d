@@ -1,0 +1,1 @@
+bench/e11_sensitivity.ml: Array Bernoulli_model Cost Costs Float Graph Infgraph Int64 List Printf Stats Strategy Table Upsilon Workload

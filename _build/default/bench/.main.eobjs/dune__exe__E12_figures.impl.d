@@ -1,0 +1,1 @@
+bench/e12_figures.ml: Build Costs Dot Filename Graph Infgraph List Printf Table Unix Workload

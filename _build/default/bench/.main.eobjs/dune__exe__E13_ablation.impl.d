@@ -1,0 +1,1 @@
+bench/e13_ablation.ml: Bernoulli_model Build Core Cost Costs Infgraph Int64 List Moves Printf Spec Stats Strategy Table Upsilon Workload

@@ -1,0 +1,1 @@
+bench/e14_magic.ml: Datalog List Printf Table Unix

@@ -1,0 +1,1 @@
+bench/e15_hypergraph.ml: Float Hypergraph Infgraph List Stats Table

@@ -1,0 +1,1 @@
+bench/e16_genealogy.ml: Array Bernoulli_model Build Context Core Cost Datalog Graph Infgraph List Printf Spec Stats Strategy Table Upsilon Workload

@@ -1,0 +1,1 @@
+bench/e17_live.ml: Array Core Datalog Format List Printf Stats Strategy Table Workload

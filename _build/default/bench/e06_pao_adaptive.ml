@@ -1,0 +1,71 @@
+(* E6 — Theorem 3: aiming for hard-to-reach experiments (Section 4.1).
+
+   The graph has a blockable reduction (the grad(fred) :- admitted(fred)
+   pattern): the deep retrieval is reachable only when its parent
+   experiment succeeds (ρ << 1), so Theorem 2's "sample each retrieval m
+   times" stalls, while Theorem 3 only needs m' aims. *)
+
+open Infgraph
+open Strategy
+
+let fixture () =
+  let b = Graph.Builder.create "instructor(Q)" in
+  let n = Graph.Builder.add_node b "admitted(fred)" in
+  let re =
+    Graph.Builder.add_arc b ~src:(Graph.Builder.root b) ~dst:n ~blockable:true
+      ~label:"R_fred" Graph.Reduction
+  in
+  let de = Graph.Builder.add_retrieval b ~src:n ~label:"D_admitted" () in
+  let d0 = Graph.Builder.add_retrieval b ~src:(Graph.Builder.root b) ~label:"D_prof" () in
+  let g = Graph.Builder.finish b in
+  let p = Array.make (Graph.n_arcs g) 1.0 in
+  p.(re) <- 0.1;  (* only 10% of queries mention fred *)
+  p.(de) <- 0.8;
+  p.(d0) <- 0.4;
+  (g, Bernoulli_model.make g ~p)
+
+let run () =
+  let g, model = fixture () in
+  let epsilon = 0.75 and delta = 0.1 in
+  let eq7 = Core.Pao.sample_targets g ~epsilon ~delta in
+  let eq8 = Core.Pao_adaptive.aim_targets g ~epsilon ~delta in
+  let oracle = Core.Oracle.of_model model (Stats.Rng.create 6L) in
+  let report = Core.Pao_adaptive.run ~epsilon ~delta oracle in
+  let rows =
+    List.map
+      (fun a ->
+        let id = a.Graph.arc_id in
+        [
+          a.Graph.label;
+          Table.f2 (Costs.f_not g id);
+          Table.f3 (Bernoulli_model.rho model id);
+          (if a.Graph.kind = Graph.Retrieval then Table.i eq7.(id) else "n/a");
+          Table.i eq8.(id);
+          Table.i report.Core.Pao_adaptive.aims.(id);
+          Table.i report.Core.Pao_adaptive.reached.(id);
+          Table.f3 report.Core.Pao_adaptive.p_hat.(id);
+          Table.f3 (Bernoulli_model.prob model id);
+        ])
+      (Graph.experiments g)
+  in
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "E6: Theorem 3 aiming (epsilon=%.2f delta=%.2f); rho(D_admitted) = 0.1"
+         epsilon delta)
+    ~header:
+      [ "experiment"; "F_not"; "rho"; "m Eq7"; "m' Eq8"; "aims"; "reached";
+        "p_hat"; "true p" ]
+    rows;
+  let regret =
+    fst (Cost.exact_dfs report.Core.Pao_adaptive.strategy model)
+    -. snd (Upsilon.aot model)
+  in
+  Table.note
+    "Contexts used: %d; sampling cost: %.0f; realized regret %.4f <= \
+     epsilon %.2f: %s.\nLow-rho experiments are reached rarely, but \
+     Lemma 1 says their estimates matter\nproportionally less - the \
+     guarantee survives.\n"
+    report.Core.Pao_adaptive.contexts_used
+    report.Core.Pao_adaptive.sampling_cost regret epsilon
+    (Table.yesno (regret <= epsilon +. 1e-9))

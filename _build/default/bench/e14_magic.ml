@@ -1,0 +1,62 @@
+(* E14 — the deductive-database substrate at work: magic sets vs full
+   bottom-up evaluation ([BR86], cited in the paper's introduction as the
+   classical query-optimization line this work complements).
+
+   On an ancestor chain of length L with the bound query anc(n_{L-5}, Y),
+   plain semi-naive evaluation materializes the entire O(L²) closure while
+   the magic-transformed program derives only what the query reaches. *)
+
+module D = Datalog
+
+let chain n =
+  D.Database.of_list
+    (List.init n (fun i ->
+         D.Atom.make "par"
+           [
+             D.Term.const (Printf.sprintf "n%d" i);
+             D.Term.const (Printf.sprintf "n%d" (i + 1));
+           ]))
+
+let rb () =
+  D.Rulebase.of_list
+    (D.Parser.parse_clauses
+       "anc(X, Y) :- par(X, Y). anc(X, Y) :- par(X, Z), anc(Z, Y).")
+
+let run () =
+  let rows =
+    List.map
+      (fun len ->
+        let rb = rb () in
+        let db = chain len in
+        let query =
+          D.Atom.make "anc"
+            [ D.Term.const (Printf.sprintf "n%d" (len - 5)); D.Term.var "Y" ]
+        in
+        let t0 = Unix.gettimeofday () in
+        let full = D.Seminaive.model rb db in
+        let t_full = Unix.gettimeofday () -. t0 in
+        let full_facts = D.Database.size full - D.Database.size db in
+        let t0 = Unix.gettimeofday () in
+        let magic_answers = D.Magic.answers rb db ~query in
+        let t_magic = Unix.gettimeofday () -. t0 in
+        let magic_facts = D.Magic.derived_size rb db ~query in
+        [
+          Table.i len;
+          Table.i (List.length magic_answers);
+          Table.i full_facts;
+          Table.i magic_facts;
+          Printf.sprintf "%.1fx" (float_of_int full_facts /. float_of_int (max 1 magic_facts));
+          Printf.sprintf "%.1f" (t_full *. 1000.);
+          Printf.sprintf "%.1f" (t_magic *. 1000.);
+        ])
+      [ 40; 80; 160; 320 ]
+  in
+  Table.print
+    ~title:"E14: magic sets vs full semi-naive on anc(n_{L-5}, Y) chains"
+    ~header:
+      [ "chain L"; "answers"; "full facts"; "magic facts"; "fact ratio";
+        "full ms"; "magic ms" ]
+    rows;
+  Table.note
+    "Magic keeps the derivation goal-directed: derived facts stay O(answers)\n\
+     while the full closure grows quadratically in L.\n"

@@ -1,0 +1,35 @@
+(* Minimal fixed-width table printer for the experiment harness. *)
+
+let pad width s =
+  let n = String.length s in
+  if n >= width then s else s ^ String.make (width - n) ' '
+
+(* Unicode-aware enough for our headers: counts bytes, so keep headers
+   ASCII. *)
+let print ~title ~header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let widths =
+    List.init cols (fun c ->
+        List.fold_left
+          (fun acc row ->
+            max acc (String.length (try List.nth row c with _ -> "")))
+          0 all)
+  in
+  let line row =
+    String.concat "  " (List.map2 pad widths row)
+  in
+  Printf.printf "\n== %s ==\n" title;
+  Printf.printf "%s\n" (line header);
+  Printf.printf "%s\n" (String.make (String.length (line header)) '-');
+  List.iter (fun row -> Printf.printf "%s\n" (line row)) rows
+
+let f1 x = Printf.sprintf "%.1f" x
+let f2 x = Printf.sprintf "%.2f" x
+let f3 x = Printf.sprintf "%.3f" x
+let f4 x = Printf.sprintf "%.4f" x
+let i = string_of_int
+let pct x = Printf.sprintf "%.1f%%" (100. *. x)
+let yesno b = if b then "yes" else "no"
+
+let note fmt = Printf.printf fmt

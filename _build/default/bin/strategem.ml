@@ -1,0 +1,409 @@
+(* strategem — command-line front end.
+
+   Subcommands:
+     query    run queries from a Datalog file (SLD or semi-naive engine)
+     graph    build and print the inference graph of a query form
+     optimal  compute the optimal strategy for given success probabilities
+     smith    the [Smi89] fact-count baseline strategy
+     learn    watch a query stream and improve the strategy (PIB/PALO/PAO)
+     demo     the full Figure-1 walkthrough *)
+
+open Cmdliner
+module D = Datalog
+open Infgraph
+open Strategy
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_kb path =
+  let rules, facts, queries = D.Parser.parse_kb (read_file path) in
+  (D.Rulebase.of_list rules, D.Database.of_list facts, queries)
+
+(* ---------- common arguments ---------- *)
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Datalog program (rules, facts, queries).")
+
+let form_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "form"; "f" ] ~docv:"ATOM"
+        ~doc:
+          "Query form as an atom whose constants mark bound positions, e.g. \
+           'instructor(q)'.")
+
+let probs_arg =
+  Arg.(
+    value
+    & opt (list ~sep:',' (pair ~sep:'=' string float)) []
+    & info [ "probs"; "p" ] ~docv:"L=P,..."
+        ~doc:
+          "Success probabilities by arc label, e.g. 'D_prof=0.6,D_grad=0.15' \
+           (unlisted blockable arcs default to 0.5).")
+
+let dot_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dot" ] ~docv:"OUT.dot" ~doc:"Also write a Graphviz rendering.")
+
+(* ---------- query ---------- *)
+
+let run_query file all limit engine =
+  let rulebase, db, queries = load_kb file in
+  if queries = [] then (
+    Fmt.epr "no ?- queries in %s@." file;
+    exit 1);
+  List.iter
+    (fun goal ->
+      Fmt.pr "?- %a.@."
+        (Fmt.list ~sep:(Fmt.any ", ") D.Clause.pp_lit)
+        goal;
+      match engine with
+      | `Seminaive ->
+        List.iter
+          (fun lit ->
+            match lit with
+            | D.Clause.Pos atom ->
+              let answers = D.Seminaive.query rulebase db atom in
+              if answers = [] then Fmt.pr "  no.@."
+              else
+                List.iter (fun a -> Fmt.pr "  %a.@." D.Atom.pp a) answers
+            | D.Clause.Neg _ ->
+              Fmt.epr "  (semi-naive driver takes positive goals only)@.")
+          goal
+      | `Sld ->
+        let cfg = D.Sld.config ~rulebase ~db () in
+        let answers, stats =
+          if all then D.Sld.solve_all ?limit cfg goal
+          else
+            match D.Sld.solve_first cfg goal with
+            | Some s, st -> ([ s ], st)
+            | None, st -> ([], st)
+        in
+        if answers = [] then Fmt.pr "  no.@."
+        else
+          List.iter
+            (fun s ->
+              if D.Subst.is_empty s then Fmt.pr "  yes.@."
+              else Fmt.pr "  %a@." D.Subst.pp s)
+            answers;
+        Fmt.pr "  [%d reductions, %d retrievals (%d hits)%s]@."
+          stats.D.Sld.reductions stats.D.Sld.retrievals
+          stats.D.Sld.retrieval_hits
+          (if stats.D.Sld.truncated then ", depth-truncated" else ""))
+    queries
+
+let query_cmd =
+  let all =
+    Arg.(value & flag & info [ "all"; "a" ] ~doc:"Enumerate all answers.")
+  in
+  let limit =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "limit"; "n" ] ~docv:"N" ~doc:"Stop after N answers.")
+  in
+  let engine =
+    Arg.(
+      value
+      & opt (enum [ ("sld", `Sld); ("seminaive", `Seminaive) ]) `Sld
+      & info [ "engine" ] ~docv:"ENGINE" ~doc:"sld (top-down) or seminaive.")
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Run the ?- queries of a Datalog file.")
+    Term.(const run_query $ file_arg $ all $ limit $ engine)
+
+(* ---------- graph ---------- *)
+
+let build_graph file form =
+  let rulebase, _db, _ = load_kb file in
+  Build.build ~rulebase ~query_form:(D.Parser.parse_atom form) ()
+
+let run_graph file form dot save =
+  let result = build_graph file form in
+  let g = result.Build.graph in
+  Fmt.pr "%a@." Graph.pp g;
+  if result.Build.truncated then
+    Fmt.pr "(recursive rule base: unfolding was depth-bounded)@.";
+  Fmt.pr "tree: %d nodes, %d arcs, %d retrievals, total cost %g@."
+    (Graph.n_nodes g) (Graph.n_arcs g)
+    (List.length (Graph.retrievals g))
+    (Costs.total g);
+  (match dot with
+  | Some path ->
+    Dot.to_file path g;
+    Fmt.pr "wrote %s@." path
+  | None -> ());
+  (match save with
+  | Some path ->
+    Serial.graph_to_file path g;
+    Fmt.pr "saved graph to %s@." path
+  | None -> ())
+
+let save_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save" ] ~docv:"OUT.graph"
+        ~doc:"Save the graph in the strategem text format.")
+
+let graph_cmd =
+  Cmd.v
+    (Cmd.info "graph" ~doc:"Build the inference graph for a query form.")
+    Term.(const run_graph $ file_arg $ form_arg $ dot_arg $ save_arg)
+
+(* ---------- optimal / smith ---------- *)
+
+let model_of_probs g probs = Bernoulli_model.of_alist g probs
+
+let run_optimal file form probs =
+  let result = build_graph file form in
+  let g = result.Build.graph in
+  let model = model_of_probs g probs in
+  let dfs, cost = Upsilon.aot model in
+  Fmt.pr "optimal DFS strategy: %a@." Spec.pp_dfs dfs;
+  Fmt.pr "expected cost: %.4f@." cost;
+  if Graph.simple_disjunctive g then begin
+    let spec, cost = Upsilon.ot_sidney model in
+    Fmt.pr "optimal path order:  %a@." Spec.pp spec;
+    Fmt.pr "expected cost: %.4f@." cost
+  end
+
+let optimal_cmd =
+  Cmd.v
+    (Cmd.info "optimal"
+       ~doc:"Compute the optimal strategy for given success probabilities.")
+    Term.(const run_optimal $ file_arg $ form_arg $ probs_arg)
+
+let run_smith file form =
+  let rulebase, db, _ = load_kb file in
+  let result =
+    Build.build ~rulebase ~query_form:(D.Parser.parse_atom form) ()
+  in
+  let g = result.Build.graph in
+  let model = Core.Smith.probabilities g db in
+  List.iter
+    (fun a ->
+      Fmt.pr "%s: p_hat = %.3f@." a.Graph.label
+        (Bernoulli_model.prob model a.Graph.arc_id))
+    (Graph.retrievals g);
+  Fmt.pr "Smith strategy: %a@." Spec.pp_dfs (Core.Smith.strategy g db)
+
+let smith_cmd =
+  Cmd.v
+    (Cmd.info "smith"
+       ~doc:"The [Smi89] baseline: probabilities from database fact counts.")
+    Term.(const run_smith $ file_arg $ form_arg)
+
+(* ---------- learn ---------- *)
+
+let mix_arg =
+  Arg.(
+    required
+    & opt (some (list ~sep:',' (pair ~sep:'=' string float))) None
+    & info [ "mix"; "m" ] ~docv:"CONST=W,..."
+        ~doc:
+          "Query distribution over the bound argument, e.g. \
+           'russ=0.6,manolis=0.15,fred=0.25'.")
+
+let algo_arg =
+  Arg.(
+    value
+    & opt (enum [ ("pib", `Pib); ("palo", `Palo); ("pao", `Pao) ]) `Pib
+    & info [ "algo" ] ~docv:"ALGO" ~doc:"pib, palo or pao.")
+
+let n_arg =
+  Arg.(
+    value & opt int 10_000
+    & info [ "queries"; "n" ] ~docv:"N" ~doc:"Number of queries to watch.")
+
+let delta_arg =
+  Arg.(
+    value & opt float 0.05
+    & info [ "delta" ] ~docv:"D" ~doc:"Confidence parameter.")
+
+let epsilon_arg =
+  Arg.(
+    value & opt float 0.25
+    & info [ "epsilon" ] ~docv:"E" ~doc:"Approximation parameter (palo/pao).")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+
+let save_strategy_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save-strategy" ] ~docv:"OUT.strategy"
+        ~doc:"Persist the learned strategy (strategem text format).")
+
+let run_learn file form mix algo n delta epsilon seed save_strategy =
+  let rulebase, db, _ = load_kb file in
+  let result =
+    Build.build ~rulebase ~query_form:(D.Parser.parse_atom form) ()
+  in
+  let g = result.Build.graph in
+  let dist =
+    Stats.Distribution.create
+      (List.map
+         (fun (const, w) -> ((Build.query_of_consts result [ const ], db), w))
+         mix)
+  in
+  let rng = Stats.Rng.create (Int64.of_int seed) in
+  let oracle = Core.Oracle.of_queries g dist rng in
+  let start = Spec.default g in
+  Fmt.pr "initial strategy: %a@." Spec.pp_dfs start;
+  let final =
+  (match algo with
+  | `Pib ->
+    let pib =
+      Core.Pib.create ~config:{ Core.Pib.default_config with delta } start
+    in
+    let climbs = Core.Pib.run pib oracle ~n in
+    List.iter
+      (fun cl ->
+        Fmt.pr "climb %d after %d samples: %a@." cl.Core.Pib.step
+          cl.Core.Pib.samples Spec.pp_dfs cl.Core.Pib.to_strategy)
+      climbs;
+    Fmt.pr "final strategy (%d climbs over %d queries): %a@."
+      (List.length climbs) (Core.Pib.samples_total pib) Spec.pp_dfs
+      (Core.Pib.current pib);
+    Core.Pib.current pib
+  | `Palo ->
+    let palo =
+      Core.Palo.create
+        ~config:{ Core.Palo.default_config with delta; epsilon }
+        start
+    in
+    (match Core.Palo.run palo oracle ~max_contexts:n with
+    | Core.Palo.Stopped { total_samples; _ } ->
+      Fmt.pr "PALO stopped after %d samples (%d climbs)@." total_samples
+        (List.length (Core.Palo.climbs palo))
+    | Core.Palo.Running -> Fmt.pr "PALO still running after %d contexts@." n);
+    Fmt.pr "final strategy: %a@." Spec.pp_dfs (Core.Palo.current palo);
+    Core.Palo.current palo
+  | `Pao ->
+    let report =
+      Core.Pao.run ~max_contexts:n ~scale:0.01 ~epsilon ~delta oracle
+    in
+    List.iter
+      (fun a ->
+        Fmt.pr "%s: p_hat = %.3f (%d samples)@." a.Graph.label
+          report.Core.Pao.p_hat.(a.Graph.arc_id)
+          report.Core.Pao.attempts.(a.Graph.arc_id))
+      (Graph.retrievals g);
+    Fmt.pr "PAO strategy (engineering mode, 1%% of Eq 7; %d contexts%s): %a@."
+      report.Core.Pao.contexts_used
+      (if report.Core.Pao.capped then ", capped" else "")
+      Spec.pp_dfs report.Core.Pao.strategy;
+    report.Core.Pao.strategy)
+  in
+  match save_strategy with
+  | Some path ->
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (Persist.dfs_to_string final));
+    Fmt.pr "saved strategy to %s@." path
+  | None -> ()
+
+let learn_cmd =
+  Cmd.v
+    (Cmd.info "learn"
+       ~doc:"Watch a query stream and improve the strategy (PIB/PALO/PAO).")
+    Term.(
+      const run_learn $ file_arg $ form_arg $ mix_arg $ algo_arg $ n_arg
+      $ delta_arg $ epsilon_arg $ seed_arg $ save_strategy_arg)
+
+(* ---------- eval (saved artifacts) ---------- *)
+
+let run_eval graph_file strategy_file probs =
+  let g = Serial.graph_of_file graph_file in
+  let model = Bernoulli_model.of_alist g probs in
+  let spec =
+    match strategy_file with
+    | Some path ->
+      let ic = open_in_bin path in
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      Persist.of_string g text
+    | None -> Spec.Dfs (Spec.default g)
+  in
+  Fmt.pr "strategy: %a@." Spec.pp spec;
+  (match spec with
+  | Spec.Dfs d ->
+    let cost, prob = Cost.exact_dfs d model in
+    Fmt.pr "expected cost: %.4f  success probability: %.4f@." cost prob
+  | Spec.Paths _ ->
+    Fmt.pr "expected cost: %.4f@." (Cost.exact_enum spec model));
+  let opt, c_opt = Upsilon.aot model in
+  Fmt.pr "optimal DFS strategy would be %a at %.4f@." Spec.pp_dfs opt c_opt
+
+let eval_cmd =
+  let graph_file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"GRAPH" ~doc:"A graph saved with 'graph --save'.")
+  in
+  let strategy_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "strategy"; "s" ] ~docv:"FILE"
+          ~doc:"A strategy saved with 'learn --save-strategy' (default: the \
+                graph's construction order).")
+  in
+  Cmd.v
+    (Cmd.info "eval"
+       ~doc:"Evaluate a saved strategy on a saved graph under given \
+             probabilities.")
+    Term.(const run_eval $ graph_file $ strategy_file $ probs_arg)
+
+(* ---------- demo ---------- *)
+
+let run_demo () =
+  let result = Workload.University.build () in
+  let t1 = Workload.University.theta1 result in
+  let t2 = Workload.University.theta2 result in
+  let model = Workload.University.model_section2 result in
+  Fmt.pr "Figure 1 knowledge base:@.%s@." Workload.University.rules_text;
+  Fmt.pr "Theta1 = %a  C = %.2f@." Spec.pp_dfs t1 (fst (Cost.exact_dfs t1 model));
+  Fmt.pr "Theta2 = %a  C = %.2f@." Spec.pp_dfs t2 (fst (Cost.exact_dfs t2 model));
+  let mix, _ = Workload.University.minors_mix result in
+  let oracle =
+    Core.Oracle.of_queries result.Build.graph mix (Stats.Rng.create 1L)
+  in
+  let pib = Core.Pib.create t1 in
+  let climbs = Core.Pib.run pib oracle ~n:3000 in
+  Fmt.pr
+    "under the adversarial 'minors' query mix, PIB switched %d time(s); \
+     final: %a@."
+    (List.length climbs) Spec.pp_dfs (Core.Pib.current pib)
+
+let demo_cmd =
+  Cmd.v
+    (Cmd.info "demo" ~doc:"The Figure-1 walkthrough.")
+    Term.(const run_demo $ const ())
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "strategem" ~version:"1.0.0"
+       ~doc:
+         "Learning efficient query processing strategies (Greiner, PODS \
+          1992).")
+    [ query_cmd; graph_cmd; optimal_cmd; smith_cmd; learn_cmd; eval_cmd; demo_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

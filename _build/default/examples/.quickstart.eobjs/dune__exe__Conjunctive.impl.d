@@ -1,0 +1,1 @@
+examples/conjunctive.ml: Datalog Float Fmt Infgraph List Stats

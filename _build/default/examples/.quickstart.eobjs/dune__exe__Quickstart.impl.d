@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core Cost Datalog Fmt Infgraph List Spec Stats Strategy

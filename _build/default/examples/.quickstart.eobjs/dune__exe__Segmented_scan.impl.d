@@ -1,0 +1,1 @@
+examples/segmented_scan.ml: Array Bernoulli_model Core Cost Enumerate Fmt Graph Infgraph List Spec Stats Strategy Workload

@@ -1,0 +1,1 @@
+examples/segmented_scan.mli:

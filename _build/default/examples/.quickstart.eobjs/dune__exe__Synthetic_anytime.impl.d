@@ -1,0 +1,1 @@
+examples/synthetic_anytime.ml: Core Cost Costs Enumerate Fmt Graph Infgraph List Spec Stats Strategy Upsilon Workload

@@ -1,0 +1,1 @@
+examples/university_learning.ml: Build Context Core Cost Fmt Infgraph List Spec Stats Strategy String Workload

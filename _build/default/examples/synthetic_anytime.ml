@@ -1,0 +1,80 @@
+(* Anytime behaviour at scale:
+
+     dune exec examples/synthetic_anytime.exe
+
+   A random ~30-arc inference tree, run in two regimes:
+
+   - {b failure-heavy} (low success probabilities): the QP explores deeply,
+     so PIB's trace-only under-estimates Δ̃ carry real signal and it climbs
+     step by step — the anytime profile of Theorem 1.
+   - {b success-heavy} (high probabilities): the QP usually succeeds in the
+     first subtree it tries, Θ' is never observed "winning", and the
+     pessimistic Δ̃ stays negative: unobtrusive PIB sits still (soundness
+     without power — the trade the paper accepts), while PALO, which pays
+     for paired executions, still converges and stops. *)
+
+open Strategy
+open Infgraph
+
+let report_regime ~label ~p_min ~p_max g rng =
+  let model = Workload.Synth.random_model ~p_min ~p_max rng g in
+  let start = Spec.default g in
+  let _, c_opt = Upsilon.aot model in
+  Fmt.pr "@.[%s] start cost %.3f; DFS-optimal %.3f@." label
+    (fst (Cost.exact_dfs start model))
+    c_opt;
+  let pib = Core.Pib.create start in
+  let climbs =
+    Core.Pib.run pib (Core.Oracle.of_model model (Stats.Rng.split rng)) ~n:60_000
+  in
+  List.iter
+    (fun cl ->
+      Fmt.pr "  PIB climb %2d (after %5d samples): cost %.3f@." cl.Core.Pib.step
+        cl.Core.Pib.samples
+        (fst (Cost.exact_dfs cl.Core.Pib.to_strategy model)))
+    climbs;
+  Fmt.pr "  PIB final: %.3f (gap %.3f, %d climbs)@."
+    (fst (Cost.exact_dfs (Core.Pib.current pib) model))
+    (fst (Cost.exact_dfs (Core.Pib.current pib) model) -. c_opt)
+    (List.length climbs);
+  let epsilon = 0.05 *. Costs.total g in
+  let palo =
+    Core.Palo.create ~config:{ Core.Palo.default_config with epsilon } start
+  in
+  match
+    Core.Palo.run palo (Core.Oracle.of_model model (Stats.Rng.split rng))
+      ~max_contexts:300_000
+  with
+  | Core.Palo.Stopped { total_samples; _ } ->
+    Fmt.pr "  PALO stopped after %d samples at cost %.3f (gap %.3f, eps %.3f)@."
+      total_samples
+      (fst (Cost.exact_dfs (Core.Palo.current palo) model))
+      (fst (Cost.exact_dfs (Core.Palo.current palo) model) -. c_opt)
+      epsilon
+  | Core.Palo.Running -> Fmt.pr "  PALO still running@."
+
+let () =
+  let rng = Stats.Rng.create 2024L in
+  let params =
+    {
+      Workload.Synth.default_params with
+      depth = 4;
+      branch_min = 2;
+      branch_max = 3;
+      leaf_prob = 0.45;
+    }
+  in
+  (* resample until the tree is interesting (>= 25 arcs) *)
+  let rec shape () =
+    let g = Workload.Synth.random_graph rng params in
+    if Graph.n_arcs g >= 25 then g else shape ()
+  in
+  let g = shape () in
+  Fmt.pr "random tree: %d arcs, %d retrievals, %d DFS strategies@."
+    (Graph.n_arcs g)
+    (List.length (Graph.retrievals g))
+    (Enumerate.count_dfs g);
+  report_regime ~label:"failure-heavy (p in 0.02..0.25)" ~p_min:0.02
+    ~p_max:0.25 g rng;
+  report_regime ~label:"success-heavy (p in 0.5..0.95)" ~p_min:0.5 ~p_max:0.95
+    g rng

@@ -1,0 +1,1 @@
+lib/core/delta.ml: Context Exec Graph Infgraph Spec Strategy

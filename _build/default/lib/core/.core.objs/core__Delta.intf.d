@@ -1,0 +1,1 @@
+lib/core/delta.mli: Context Exec Graph Infgraph Spec Strategy

@@ -1,0 +1,1 @@
+lib/core/live.ml: Array Build Context Datalog Exec Graph Hashtbl Infgraph Int List Pib Queue Spec Strategy

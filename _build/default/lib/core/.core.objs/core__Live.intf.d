@@ -1,0 +1,1 @@
+lib/core/live.mli: Datalog Infgraph Pib Strategy

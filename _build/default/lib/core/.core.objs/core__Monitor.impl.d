@@ -1,0 +1,1 @@
+lib/core/monitor.ml: Context Exec Infgraph List Oracle Palo Pib Spec Strategy

@@ -1,0 +1,1 @@
+lib/core/monitor.mli: Context Exec Infgraph Oracle Palo Pib Spec Strategy

@@ -1,0 +1,1 @@
+lib/core/oracle.ml: Bernoulli_model Context Graph Infgraph Stats

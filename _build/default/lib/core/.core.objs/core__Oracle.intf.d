@@ -1,0 +1,1 @@
+lib/core/oracle.mli: Bernoulli_model Context Datalog Graph Infgraph Stats

@@ -1,0 +1,1 @@
+lib/core/palo.ml: Exec List Logs Moves Oracle Pib Spec Stats Strategy

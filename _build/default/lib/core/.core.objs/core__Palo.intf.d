@@ -1,0 +1,1 @@
+lib/core/palo.mli: Context Exec Infgraph Moves Oracle Pib Spec Strategy

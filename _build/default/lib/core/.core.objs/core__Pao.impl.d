@@ -1,0 +1,1 @@
+lib/core/pao.ml: Array Bernoulli_model Costs Exec Graph Infgraph Int List Oracle Spec Stats Strategy Upsilon

@@ -1,0 +1,1 @@
+lib/core/pao.mli: Graph Infgraph Oracle Spec Strategy

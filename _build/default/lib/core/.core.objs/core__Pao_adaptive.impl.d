@@ -1,0 +1,1 @@
+lib/core/pao_adaptive.ml: Array Bernoulli_model Context Costs Graph Infgraph List Oracle Spec Stats Strategy Upsilon

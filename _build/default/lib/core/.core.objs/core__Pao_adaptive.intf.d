@@ -1,0 +1,1 @@
+lib/core/pao_adaptive.mli: Graph Infgraph Oracle Spec Strategy

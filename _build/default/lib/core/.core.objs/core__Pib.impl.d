@@ -1,0 +1,1 @@
+lib/core/pib.ml: Delta Exec Graph Infgraph List Logs Moves Oracle Spec Stats Strategy

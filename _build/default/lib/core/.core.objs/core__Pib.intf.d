@@ -1,0 +1,1 @@
+lib/core/pib.mli: Context Exec Infgraph Moves Oracle Spec Strategy

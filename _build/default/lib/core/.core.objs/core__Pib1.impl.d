@@ -1,0 +1,1 @@
+lib/core/pib1.ml: Array Costs Exec Graph Infgraph List Spec Stats Strategy Transform

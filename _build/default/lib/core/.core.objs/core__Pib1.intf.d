@@ -1,0 +1,1 @@
+lib/core/pib1.mli: Exec Spec Strategy Transform

@@ -1,0 +1,1 @@
+lib/core/smith.ml: Array Bernoulli_model Datalog Graph Infgraph List Printf Strategy Upsilon

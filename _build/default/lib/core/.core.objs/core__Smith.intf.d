@@ -1,0 +1,1 @@
+lib/core/smith.mli: Bernoulli_model Datalog Graph Infgraph Spec Strategy

@@ -1,0 +1,27 @@
+open Infgraph
+open Strategy
+
+let exact theta theta' ctx =
+  (Exec.run theta ctx).Exec.cost -. (Exec.run theta' ctx).Exec.cost
+
+let sound_for = Graph.simple_disjunctive
+
+let completion_estimate ~k ~complete ~theta ~theta' (outcome : Exec.outcome) =
+  let g = Spec.graph theta in
+  if Spec.graph theta' != g then
+    invalid_arg "Delta: strategies are over different graphs";
+  if not (sound_for g) then
+    invalid_arg
+      "Delta: the trace-based estimates are only sound for simple \
+       disjunctive graphs";
+  let partial = Exec.to_partial g outcome in
+  let completed = complete partial in
+  outcome.Exec.cost -. (Exec.first_k k theta' completed).Exec.cost
+
+let underestimate ?(k = 1) ~theta ~theta' outcome =
+  completion_estimate ~k ~complete:Context.Partial.pessimistic ~theta ~theta'
+    outcome
+
+let overestimate ?(k = 1) ~theta ~theta' outcome =
+  completion_estimate ~k ~complete:Context.Partial.optimistic ~theta ~theta'
+    outcome

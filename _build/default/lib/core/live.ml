@@ -1,0 +1,105 @@
+module D = Datalog
+open Infgraph
+open Strategy
+
+type t = {
+  rulebase : D.Rulebase.t;
+  built : Build.result;
+  pib : Pib.t;
+  mutable order_by_pred : (int, D.Clause.t list) Hashtbl.t;
+  mutable queries : int;
+  mutable reductions : int;
+  mutable retrievals : int;
+}
+
+(* Read the per-predicate rule order off the strategy: breadth-first over
+   the graph, first node wins for its predicate. *)
+let derive_orders built (d : Spec.dfs) =
+  let g = built.Build.graph in
+  let tbl = Hashtbl.create 16 in
+  let queue = Queue.create () in
+  Queue.add (Graph.root g) queue;
+  while not (Queue.is_empty queue) do
+    let node_id = Queue.pop queue in
+    let node = Graph.node g node_id in
+    (match node.Graph.goal with
+    | Some goal ->
+      let pred = D.Symbol.id goal.D.Atom.pred in
+      if not (Hashtbl.mem tbl pred) then begin
+        let clauses =
+          List.filter_map
+            (fun arc_id -> List.assoc_opt arc_id built.Build.rule_arcs)
+            d.Spec.orders.(node_id)
+        in
+        if clauses <> [] then Hashtbl.add tbl pred clauses
+      end
+    | None -> ());
+    List.iter
+      (fun arc_id -> Queue.add (Graph.arc g arc_id).Graph.dst queue)
+      d.Spec.orders.(node_id)
+  done;
+  tbl
+
+let create ?config ~rulebase ~query_form () =
+  let built = Build.build ~rulebase ~query_form () in
+  let start = Spec.default built.Build.graph in
+  let pib = Pib.create ?config start in
+  {
+    rulebase;
+    built;
+    pib;
+    order_by_pred = derive_orders built start;
+    queries = 0;
+    reductions = 0;
+    retrievals = 0;
+  }
+
+let graph t = t.built.Build.graph
+let strategy t = Pib.current t.pib
+let pib t = t.pib
+let queries t = t.queries
+let work t = (t.reductions, t.retrievals)
+
+type answer = {
+  result : D.Subst.t option;
+  stats : D.Sld.stats;
+  switched : bool;
+}
+
+let rule_order t goal rules =
+  match Hashtbl.find_opt t.order_by_pred (D.Symbol.id goal.D.Atom.pred) with
+  | None -> rules
+  | Some preferred ->
+    let position clause =
+      let rec go i = function
+        | [] -> max_int
+        | c :: rest -> if D.Clause.equal c clause then i else go (i + 1) rest
+      in
+      go 0 preferred
+    in
+    List.stable_sort
+      (fun c1 c2 -> Int.compare (position c1) (position c2))
+      rules
+
+let answer t ~db query =
+  let cfg =
+    D.Sld.config
+      ~rule_order:(fun goal rules -> rule_order t goal rules)
+      ~rulebase:t.rulebase ~db ()
+  in
+  let result, stats = D.Sld.solve_first cfg [ D.Clause.Pos query ] in
+  t.queries <- t.queries + 1;
+  t.reductions <- t.reductions + stats.D.Sld.reductions;
+  t.retrievals <- t.retrievals + stats.D.Sld.retrievals;
+  (* Learn: derive the context this query induced and feed PIB with the
+     current strategy's execution of it (which mirrors the SLD run). *)
+  let ctx = Context.of_db (graph t) ~query ~db in
+  let outcome = Exec.run (Spec.Dfs (Pib.current t.pib)) ctx in
+  let switched =
+    match Pib.observe t.pib outcome with
+    | Some _climb ->
+      t.order_by_pred <- derive_orders t.built (Pib.current t.pib);
+      true
+    | None -> false
+  in
+  { result; stats; switched }

@@ -1,0 +1,47 @@
+(** The live learning query processor — the Section 3.1 / Figure 4 system
+    end to end, on the {e real} SLD engine.
+
+    [Live] owns a rule base, builds the inference graph for a query form
+    once, and then answers concrete queries with {!Datalog.Sld}, ordering
+    candidate rules according to its current strategy (the strategy's
+    child order at each goal node becomes the SLD rule order). After each
+    answer it derives the query's context, feeds PIB, and adopts any climb
+    — so later queries really run faster. This is the "smart filter inside
+    the host optimizer" deployment the paper describes for DedGin*-style
+    systems.
+
+    The per-predicate rule order is read off the strategy at the
+    shallowest graph node for that predicate (in a tree-shaped unfolding a
+    predicate can appear at several nodes; they then share one order —
+    documented limitation, irrelevant for non-recursive rule bases whose
+    predicates occur once). *)
+
+type t
+
+val create :
+  ?config:Pib.config ->
+  rulebase:Datalog.Rulebase.t ->
+  query_form:Datalog.Atom.t ->
+  unit ->
+  t
+
+val graph : t -> Infgraph.Graph.t
+val strategy : t -> Strategy.Spec.dfs
+val pib : t -> Pib.t
+
+type answer = {
+  result : Datalog.Subst.t option;  (** first answer, if any *)
+  stats : Datalog.Sld.stats;        (** the SLD engine's work counters *)
+  switched : bool;                  (** did this query trigger a climb? *)
+}
+
+(** Answer one query (an instance of the query form) against a database,
+    with the current learned rule order; learn from it.
+    Raises [Invalid_argument] if the query does not match the form. *)
+val answer : t -> db:Datalog.Database.t -> Datalog.Atom.t -> answer
+
+(** Queries answered so far. *)
+val queries : t -> int
+
+(** Total SLD work so far: (reductions, retrievals). *)
+val work : t -> int * int

@@ -1,0 +1,89 @@
+open Infgraph
+open Strategy
+
+type learner = {
+  observe : Spec.dfs -> Context.t -> Exec.outcome -> unit;
+  propose : unit -> Spec.dfs option;
+  finished : unit -> bool;
+}
+
+let null_learner =
+  {
+    observe = (fun _ _ _ -> ());
+    propose = (fun () -> None);
+    finished = (fun () -> false);
+  }
+
+let of_pib pib =
+  let proposal = ref None in
+  {
+    observe =
+      (fun _theta _ctx outcome ->
+        match Pib.observe pib outcome with
+        | Some climb -> proposal := Some climb.Pib.to_strategy
+        | None -> ());
+    propose =
+      (fun () ->
+        let p = !proposal in
+        proposal := None;
+        p);
+    finished = (fun () -> false);
+  }
+
+let of_palo palo =
+  let proposal = ref None in
+  {
+    observe =
+      (fun _theta ctx outcome ->
+        match Palo.observe palo ctx outcome with
+        | Some climb -> proposal := Some climb.Pib.to_strategy
+        | None -> ());
+    propose =
+      (fun () ->
+        let p = !proposal in
+        proposal := None;
+        p);
+    finished =
+      (fun () ->
+        match Palo.status palo with
+        | Palo.Stopped _ -> true
+        | Palo.Running -> false);
+  }
+
+type t = {
+  learner : learner;
+  mutable theta : Spec.dfs;
+  mutable queries : int;
+  mutable cost : float;
+  mutable switches : (int * Spec.dfs) list; (* newest first *)
+}
+
+let create theta learner = { learner; theta; queries = 0; cost = 0.; switches = [] }
+
+let strategy t = t.theta
+let queries t = t.queries
+let total_cost t = t.cost
+let switches t = List.rev t.switches
+
+let answer t ctx =
+  let outcome = Exec.run (Spec.Dfs t.theta) ctx in
+  t.queries <- t.queries + 1;
+  t.cost <- t.cost +. outcome.Exec.cost;
+  let switched =
+    if t.learner.finished () then false
+    else begin
+      t.learner.observe t.theta ctx outcome;
+      match t.learner.propose () with
+      | Some theta' ->
+        t.theta <- theta';
+        t.switches <- (t.queries, theta') :: t.switches;
+        true
+      | None -> false
+    end
+  in
+  (outcome, switched)
+
+let serve t oracle ~n =
+  for _ = 1 to n do
+    ignore (answer t (Oracle.next oracle))
+  done

@@ -1,0 +1,51 @@
+(** The Figure 4 architecture: an unobtrusive learner wrapped around a
+    query processor.
+
+    The query processor keeps answering queries with its current strategy;
+    a learner watches each execution and occasionally tells the QP to
+    switch strategies. [Monitor] is the glue: it owns the current
+    strategy, routes every answered context to the learner, applies
+    proposals, and keeps a cost log so callers can plot anytime behaviour
+    (experiment E4). *)
+
+open Infgraph
+open Strategy
+
+(** What a pluggable learner must provide. *)
+type learner = {
+  observe : Spec.dfs -> Context.t -> Exec.outcome -> unit;
+      (** called after every query the QP answers, with the context it
+          was answered in *)
+  propose : unit -> Spec.dfs option;
+      (** called after [observe]; [Some θ'] switches the QP *)
+  finished : unit -> bool;
+      (** a finished learner is no longer consulted *)
+}
+
+(** A learner that never proposes anything (pure monitoring). *)
+val null_learner : learner
+
+(** Adapters. *)
+val of_pib : Pib.t -> learner
+val of_palo : Palo.t -> learner
+
+type t
+
+val create : Spec.dfs -> learner -> t
+val strategy : t -> Spec.dfs
+
+(** Answer one context with the current strategy; feed the learner; apply
+    any proposal. Returns the outcome and whether a switch happened. *)
+val answer : t -> Context.t -> Exec.outcome * bool
+
+(** Answer [n] contexts from an oracle. *)
+val serve : t -> Oracle.t -> n:int -> unit
+
+(** Queries answered so far. *)
+val queries : t -> int
+
+(** Cumulative execution cost over all answered queries. *)
+val total_cost : t -> float
+
+(** (query index, strategy) at each switch, oldest first. *)
+val switches : t -> (int * Spec.dfs) list

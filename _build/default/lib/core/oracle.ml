@@ -1,0 +1,25 @@
+open Infgraph
+
+type t = { graph : Graph.t; gen : unit -> Context.t; mutable drawn : int }
+
+let graph t = t.graph
+
+let next t =
+  t.drawn <- t.drawn + 1;
+  t.gen ()
+
+let drawn t = t.drawn
+
+let of_fn graph gen = { graph; gen; drawn = 0 }
+
+let of_model model rng =
+  of_fn (Bernoulli_model.graph model) (fun () ->
+      Bernoulli_model.sample model rng)
+
+let of_distribution graph dist rng =
+  of_fn graph (fun () -> Stats.Distribution.sample dist rng)
+
+let of_queries graph dist rng =
+  of_fn graph (fun () ->
+      let query, db = Stats.Distribution.sample dist rng in
+      Context.of_db graph ~query ~db)

@@ -1,0 +1,36 @@
+(** Context oracles.
+
+    PIB and PAO both consume "an oracle that produces contexts drawn
+    randomly from the distribution" (Section 3.1) — in practice the
+    system's user posing queries. An oracle here is simply a generator of
+    {!Infgraph.Context.t} values for a fixed graph. *)
+
+open Infgraph
+
+type t
+
+val graph : t -> Graph.t
+
+(** Draw the next context. *)
+val next : t -> Context.t
+
+(** Number of contexts drawn so far. *)
+val drawn : t -> int
+
+(** From the independent-arc model (the theorems' setting). *)
+val of_model : Bernoulli_model.t -> Stats.Rng.t -> t
+
+(** From an explicit finite distribution over contexts. *)
+val of_distribution : Graph.t -> Context.t Stats.Distribution.t -> Stats.Rng.t -> t
+
+(** From a distribution over concrete ⟨query, database⟩ pairs, for graphs
+    built from a knowledge base: each draw evaluates the blocked set
+    against the database ({!Infgraph.Context.of_db}). *)
+val of_queries :
+  Graph.t ->
+  (Datalog.Atom.t * Datalog.Database.t) Stats.Distribution.t ->
+  Stats.Rng.t ->
+  t
+
+(** Custom generator. *)
+val of_fn : Graph.t -> (unit -> Context.t) -> t

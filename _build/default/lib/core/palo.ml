@@ -1,0 +1,184 @@
+open Strategy
+
+let log_src = Logs.Src.create "strategem.palo" ~doc:"PALO learner"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type config = {
+  delta : float;
+  epsilon : float;
+  moves : Moves.family;
+  check_every : int;
+  answers_required : int;
+}
+
+let default_config =
+  {
+    delta = 0.05;
+    epsilon = 0.1;
+    moves = Moves.All_swaps;
+    check_every = 1;
+    answers_required = 1;
+  }
+
+type status =
+  | Running
+  | Stopped of { at_samples : int; total_samples : int }
+
+type candidate = {
+  mv : Moves.t;
+  spec' : Spec.dfs;
+  lambda : float;
+  mutable sum : float; (* exact Σ Δ[Θ, Θ', I] over the current sample set *)
+}
+
+type t = {
+  cfg : config;
+  mutable theta : Spec.dfs;
+  mutable cands : candidate list;
+  mutable n : int;
+  mutable total : int;
+  mutable paired : int;
+  mutable since_check : int;
+  seq : Stats.Sequential.t;
+  mutable history : Pib.climb list;
+  mutable status : status;
+}
+
+let make_candidates cfg theta =
+  Moves.neighbors cfg.moves theta
+  |> List.map (fun (mv, spec') ->
+         { mv; spec'; lambda = Moves.lambda theta mv; sum = 0. })
+
+let create ?(config = default_config) theta =
+  if not (config.delta > 0. && config.delta < 1.) then
+    invalid_arg "Palo.create: delta must lie in (0,1)";
+  if config.epsilon <= 0. then
+    invalid_arg "Palo.create: epsilon must be positive";
+  if config.check_every < 1 then
+    invalid_arg "Palo.create: check_every must be at least 1";
+  if config.answers_required < 1 then
+    invalid_arg "Palo.create: answers_required must be at least 1";
+  {
+    cfg = config;
+    theta;
+    cands = make_candidates config theta;
+    n = 0;
+    total = 0;
+    paired = 0;
+    since_check = 0;
+    seq = Stats.Sequential.create ~delta:config.delta;
+    history = [];
+    status = Running;
+  }
+
+let current t = t.theta
+let status t = t.status
+let climbs t = List.rev t.history
+let samples_total t = t.total
+let paired_executions t = t.paired
+
+let check t =
+  if t.cands = [] then begin
+    (* No neighbours at all: trivially locally optimal. *)
+    t.status <- Stopped { at_samples = t.n; total_samples = t.total };
+    None
+  end
+  else begin
+    (* One climb test and one stop test per neighbour. *)
+    let i = Stats.Sequential.advance t.seq ~count:(2 * List.length t.cands) in
+    let threshold_for lambda =
+      Stats.Chernoff.switch_threshold_seq ~n:t.n ~delta:t.cfg.delta
+        ~test_index:i ~range:lambda
+    in
+    let passing =
+      List.filter_map
+        (fun c ->
+          let th = threshold_for c.lambda in
+          if c.sum >= th && c.sum > 0. then Some (c, th) else None)
+        t.cands
+    in
+    match passing with
+    | _ :: _ ->
+      let best, threshold =
+        List.fold_left
+          (fun (bc, bt) (c, th) ->
+            if c.sum -. th > bc.sum -. bt then (c, th) else (bc, bt))
+          (List.hd passing) (List.tl passing)
+      in
+      let climb =
+        {
+          Pib.step = List.length t.history + 1;
+          samples = t.n;
+          tests_charged = i;
+          move = best.mv;
+          from_strategy = t.theta;
+          to_strategy = best.spec';
+          delta_sum = best.sum;
+          threshold;
+        }
+      in
+      t.theta <- best.spec';
+      t.cands <- make_candidates t.cfg t.theta;
+      t.n <- 0;
+      t.history <- climb :: t.history;
+      Some climb
+    | [] ->
+      (* Stop when every neighbour's upper confidence bound on
+         D[Θ,Θ'] = C[Θ] − C[Θ'] lies below ε. *)
+      if t.n > 0 then begin
+        let all_bounded =
+          List.for_all
+            (fun c ->
+              c.sum +. threshold_for c.lambda
+              <= t.cfg.epsilon *. float_of_int t.n)
+            t.cands
+        in
+        if all_bounded then begin
+          t.status <- Stopped { at_samples = t.n; total_samples = t.total };
+          Log.info (fun m ->
+              m "stopped: eps-local optimum after %d samples (%d climbs)"
+                t.total (List.length t.history))
+        end
+      end;
+      None
+  end
+
+let observe t ctx outcome =
+  match t.status with
+  | Stopped _ -> None
+  | Running ->
+  List.iter
+    (fun c ->
+      let outcome' = Exec.first_k t.cfg.answers_required (Spec.Dfs c.spec') ctx in
+      t.paired <- t.paired + 1;
+      c.sum <- c.sum +. (outcome.Exec.cost -. outcome'.Exec.cost))
+    t.cands;
+  t.n <- t.n + 1;
+  t.total <- t.total + 1;
+  t.since_check <- t.since_check + 1;
+  if t.since_check >= t.cfg.check_every then begin
+    t.since_check <- 0;
+    check t
+  end
+  else None
+
+let step t ctx =
+  match t.status with
+  | Stopped _ -> (None, None)
+  | Running ->
+    let outcome = Exec.first_k t.cfg.answers_required (Spec.Dfs t.theta) ctx in
+    let climb = observe t ctx outcome in
+    (Some outcome, climb)
+
+let run t oracle ~max_contexts =
+  let rec loop remaining =
+    if remaining <= 0 then t.status
+    else
+      match t.status with
+      | Stopped _ -> t.status
+      | Running ->
+        ignore (step t (Oracle.next oracle));
+        loop (remaining - 1)
+  in
+  loop max_contexts

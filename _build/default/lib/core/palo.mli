@@ -1,0 +1,66 @@
+(** PALO — probably approximately locally optimal hill-climbing
+    ([CG91], discussed at the end of Section 3.2).
+
+    PALO climbs like {!Pib} but, unlike PIB (which samples forever), it
+    terminates: it stops at a strategy Θ_m that is, with confidence 1−δ,
+    an ε-local optimum —
+
+    ∀ Θ′ ∈ 𝒯(Θ_m).  C[Θ′] ≥ C[Θ_m] − ε.
+
+    Design decision (recorded in DESIGN.md §3): PALO here uses {e paired
+    execution} — each sampled context is solved by the current strategy
+    {e and} by each neighbour, so every Δ[Θ, Θ′, I] is exact (the
+    "a posteriori" comparison of Section 3.1). The unobtrusive trace-only
+    bounds PIB uses cannot drive PALO's stopping rule: the optimistic
+    completion Δ̂ does not converge to the true difference (it forever
+    credits the neighbour with instant success in subtrees the current
+    strategy never explores), so the stop test would never fire. Paired
+    execution costs |𝒯(Θ)| extra executions per sample but terminates with
+    the exact [CG91] guarantee; it also lifts PIB's simple-disjunctive
+    restriction, since no completion argument is needed.
+
+    Tests are budgeted with the same sequential δ_i = 6δ/(π²i²) schedule;
+    a climb fires when Σ Δ ≥ Λ√((n/2)·ln(i²π²/6δ)) (Equation 6 with exact
+    Δ) and the learner stops when every neighbour's upper confidence bound
+    on D[Θ, Θ′] falls below ε. *)
+
+open Infgraph
+open Strategy
+
+type config = {
+  delta : float;
+  epsilon : float;
+  moves : Moves.family;
+  check_every : int;
+  answers_required : int;  (** first-k stopping count (default 1) *)
+}
+
+val default_config : config
+
+type status =
+  | Running
+  | Stopped of { at_samples : int; total_samples : int }
+
+type t
+
+val create : ?config:config -> Spec.dfs -> t
+val current : t -> Spec.dfs
+val status : t -> status
+val climbs : t -> Pib.climb list
+val samples_total : t -> int
+
+(** Executions of neighbour strategies performed so far (the price of
+    paired evaluation). *)
+val paired_executions : t -> int
+
+(** Feed one context already answered by the current strategy (Figure 4:
+    the QP ran, PALO evaluates the neighbours on the same context); no-op
+    once stopped. *)
+val observe : t -> Context.t -> Exec.outcome -> Pib.climb option
+
+(** Process one context (runs Θ and each neighbour on it); no-op once
+    stopped. *)
+val step : t -> Context.t -> Exec.outcome option * Pib.climb option
+
+(** Run until stopped or [max_contexts] exhausted; returns final status. *)
+val run : t -> Oracle.t -> max_contexts:int -> status

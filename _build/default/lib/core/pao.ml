@@ -1,0 +1,106 @@
+open Infgraph
+open Strategy
+
+type report = {
+  strategy : Spec.dfs;
+  p_hat : float array;
+  attempts : int array;
+  successes : int array;
+  targets : int array;
+  contexts_used : int;
+  sampling_cost : float;
+  capped : bool;
+}
+
+let sample_targets g ~epsilon ~delta =
+  let retrievals = Graph.retrievals g in
+  let n = List.length retrievals in
+  let f_not = Costs.f_not_all g in
+  let targets = Array.make (Graph.n_arcs g) 0 in
+  List.iter
+    (fun a ->
+      let id = a.Graph.arc_id in
+      targets.(id) <-
+        Stats.Chernoff.samples_for_retrieval ~n_retrievals:n
+          ~f_not:f_not.(id) ~epsilon ~delta)
+    retrievals;
+  targets
+
+let adaptive_strategy g ~deficits =
+  let paths = Graph.leaf_paths g in
+  let deficit_of path =
+    match List.rev path with
+    | last :: _ -> deficits.(last)
+    | [] -> 0
+  in
+  let order =
+    List.stable_sort
+      (fun p1 p2 -> Int.compare (deficit_of p2) (deficit_of p1))
+      paths
+  in
+  Spec.of_paths g order
+
+let scaled_target scale target =
+  if scale = 1.0 then target
+  else max 1 (int_of_float (ceil (float_of_int target *. scale)))
+
+let run ?(scale = 1.0) ?(max_contexts = 10_000_000) ?(upsilon = `Exact)
+    ~epsilon ~delta oracle =
+  if scale <= 0. then invalid_arg "Pao.run: scale must be positive";
+  let g = Oracle.graph oracle in
+  if not (Graph.simple_disjunctive g) then
+    invalid_arg
+      "Pao.run: requires a simple disjunctive graph (use Pao_adaptive for \
+       experiment graphs)";
+  let n_arcs = Graph.n_arcs g in
+  let targets = sample_targets g ~epsilon ~delta in
+  let targets = Array.map (scaled_target scale) targets in
+  (* Reductions keep target 0. *)
+  List.iter
+    (fun a ->
+      if a.Graph.kind = Graph.Reduction then targets.(a.Graph.arc_id) <- 0)
+    (Graph.arcs g);
+  let attempts = Array.make n_arcs 0 in
+  let successes = Array.make n_arcs 0 in
+  let deficit id = targets.(id) - attempts.(id) in
+  let need_more () =
+    List.exists (fun a -> deficit a.Graph.arc_id > 0) (Graph.retrievals g)
+  in
+  let contexts = ref 0 in
+  let cost = ref 0. in
+  while need_more () && !contexts < max_contexts do
+    let deficits = Array.init n_arcs deficit in
+    let spec = adaptive_strategy g ~deficits in
+    let ctx = Oracle.next oracle in
+    let outcome = Exec.run spec ctx in
+    incr contexts;
+    cost := !cost +. outcome.Exec.cost;
+    List.iter
+      (fun { Exec.arc_id; unblocked } ->
+        attempts.(arc_id) <- attempts.(arc_id) + 1;
+        if unblocked then successes.(arc_id) <- successes.(arc_id) + 1)
+      outcome.Exec.observations
+  done;
+  let p_hat =
+    Array.init n_arcs (fun id ->
+        let a = Graph.arc g id in
+        if not a.Graph.blockable then 1.0
+        else if attempts.(id) = 0 then 0.5
+        else float_of_int successes.(id) /. float_of_int attempts.(id))
+  in
+  let model = Bernoulli_model.make g ~p:p_hat in
+  let strategy =
+    match upsilon with
+    | `Exact -> fst (Upsilon.aot model)
+    | `Approx -> Upsilon.approx model
+  in
+  {
+    strategy;
+    p_hat;
+    attempts;
+    successes;
+    targets;
+    contexts_used = !contexts;
+    sampling_cost = !cost;
+    capped = need_more ();
+  }

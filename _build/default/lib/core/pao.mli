@@ -1,0 +1,55 @@
+(** PAO — probably approximately optimal learning (Section 4, Theorem 2).
+
+    PAO computes, per database retrieval d_i, the Equation 7 sample target
+    m(d_i) = ⌈2 (n·F¬[d_i]/ε)² ln(2n/δ)⌉, then lets the adaptive query
+    processor QPᴬ answer contexts until every retrieval has been attempted
+    that many times. QPᴬ keeps one counter per retrieval and always begins
+    with the retrieval whose remaining deficit is largest (Section 4.1), so
+    no retrieval starves even when earlier ones always succeed. Finally it
+    hands the observed frequencies p̂ to Υ_AOT; Theorem 2 guarantees
+    C[Θ_pao] ≤ C[Θ_opt] + ε with probability ≥ 1−δ.
+
+    Equation 7's PAC targets are astronomically conservative; [scale]
+    multiplies them (documented "engineering mode" — the experiments show
+    the ε-guarantee holds empirically at far smaller samples), and
+    [max_contexts] caps the sampling phase, flagging the report
+    [capped]. *)
+
+open Infgraph
+open Strategy
+
+type report = {
+  strategy : Spec.dfs;             (** Θ_pao = Υ_AOT(G, p̂) *)
+  p_hat : float array;             (** per-arc estimates (1.0 non-blockable) *)
+  attempts : int array;            (** per-arc attempt counts *)
+  successes : int array;           (** per-arc success counts *)
+  targets : int array;             (** per-arc m(d_i); 0 for reductions *)
+  contexts_used : int;
+  sampling_cost : float;           (** total execution cost of the phase *)
+  capped : bool;                   (** sampling stopped by [max_contexts] *)
+}
+
+(** Equation 7 targets per arc id (0 for non-retrieval arcs). *)
+val sample_targets : Graph.t -> epsilon:float -> delta:float -> int array
+
+(** The strategy QPᴬ would use given per-arc deficits: retrieval paths in
+    non-increasing deficit order. Exposed for tests. *)
+val adaptive_strategy : Graph.t -> deficits:int array -> Spec.t
+
+(** Run the sampling phase and return the learned strategy.
+
+    [upsilon] selects the final optimizer: [`Exact] (Υ_AOT, the default)
+    or [`Approx] (the greedy Υ̃ — the paper notes ([GO91] App. B) that
+    polynomial near-optimal Υ̃ functions yield an efficient PAO variant
+    for graph classes where exact Υ is intractable).
+
+    Raises [Invalid_argument] unless the graph is simple disjunctive
+    (blockable reductions need {!Pao_adaptive}). *)
+val run :
+  ?scale:float ->
+  ?max_contexts:int ->
+  ?upsilon:[ `Exact | `Approx ] ->
+  epsilon:float ->
+  delta:float ->
+  Oracle.t ->
+  report

@@ -1,0 +1,112 @@
+open Infgraph
+open Strategy
+
+type report = {
+  strategy : Spec.dfs;
+  p_hat : float array;
+  aims : int array;
+  reached : int array;
+  successes : int array;
+  targets : int array;
+  contexts_used : int;
+  sampling_cost : float;
+  capped : bool;
+}
+
+let aim_targets g ~epsilon ~delta =
+  let experiments = Graph.experiments g in
+  let n = List.length experiments in
+  let f_not = Costs.f_not_all g in
+  let targets = Array.make (Graph.n_arcs g) 0 in
+  List.iter
+    (fun a ->
+      let id = a.Graph.arc_id in
+      targets.(id) <-
+        Stats.Chernoff.aims_for_experiment ~n_experiments:n
+          ~f_not:f_not.(id) ~epsilon ~delta)
+    experiments;
+  targets
+
+let scaled_target scale target =
+  if scale = 1.0 then target
+  else max 1 (int_of_float (ceil (float_of_int target *. scale)))
+
+let run ?(scale = 1.0) ?(max_contexts = 10_000_000) ~epsilon ~delta oracle =
+  if scale <= 0. then invalid_arg "Pao_adaptive.run: scale must be positive";
+  let g = Oracle.graph oracle in
+  let n_arcs = Graph.n_arcs g in
+  let targets = aim_targets g ~epsilon ~delta in
+  let targets = Array.map (scaled_target scale) targets in
+  List.iter
+    (fun a ->
+      if not a.Graph.blockable then targets.(a.Graph.arc_id) <- 0)
+    (Graph.arcs g);
+  let aims = Array.make n_arcs 0 in
+  let reached = Array.make n_arcs 0 in
+  let successes = Array.make n_arcs 0 in
+  let deficit id = targets.(id) - aims.(id) in
+  let neediest () =
+    List.fold_left
+      (fun best a ->
+        let id = a.Graph.arc_id in
+        match best with
+        | Some b when deficit b >= deficit id -> best
+        | _ -> if deficit id > 0 then Some id else best)
+      None (Graph.experiments g)
+  in
+  let contexts = ref 0 in
+  let cost = ref 0. in
+  let aim_at target_arc ctx =
+    (* Follow Π(target) ∪ {target} as far as possible, paying arc costs;
+       every blockable arc on the path is aimed at; the ones before the
+       first block are reached; the unblocked ones among those succeed. *)
+    let path = Graph.path_to g target_arc in
+    let blocked_seen = ref false in
+    List.iter
+      (fun arc_id ->
+        let a = Graph.arc g arc_id in
+        if not !blocked_seen then cost := !cost +. a.Graph.cost;
+        if a.Graph.blockable then begin
+          aims.(arc_id) <- aims.(arc_id) + 1;
+          if not !blocked_seen then begin
+            reached.(arc_id) <- reached.(arc_id) + 1;
+            if Context.unblocked ctx arc_id then
+              successes.(arc_id) <- successes.(arc_id) + 1
+            else blocked_seen := true
+          end
+        end)
+      path
+  in
+  let rec loop () =
+    match neediest () with
+    | None -> ()
+    | Some target ->
+      if !contexts >= max_contexts then ()
+      else begin
+        let ctx = Oracle.next oracle in
+        incr contexts;
+        aim_at target ctx;
+        loop ()
+      end
+  in
+  loop ();
+  let p_hat =
+    Array.init n_arcs (fun id ->
+        let a = Graph.arc g id in
+        if not a.Graph.blockable then 1.0
+        else if reached.(id) = 0 then 0.5
+        else float_of_int successes.(id) /. float_of_int reached.(id))
+  in
+  let model = Bernoulli_model.make g ~p:p_hat in
+  let strategy, _ = Upsilon.aot model in
+  {
+    strategy;
+    p_hat;
+    aims;
+    reached;
+    successes;
+    targets;
+    contexts_used = !contexts;
+    sampling_cost = !cost;
+    capped = neediest () <> None;
+  }

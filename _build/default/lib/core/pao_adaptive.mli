@@ -1,0 +1,42 @@
+(** PAO over general experiment graphs (Section 4.1, Theorem 3).
+
+    When reduction arcs can themselves be blocked (e.g. the rule
+    [grad(fred) :- admitted(fred, X)], applicable only to [fred] queries),
+    some experiments may be unreachable in most contexts, so Theorem 2's
+    "sample each retrieval m(d_i) times" is unobtainable. Theorem 3 fixes
+    this by counting {e aims} instead: QPᴬ "attempts to reach e" by
+    following the root path Π(e) as far as it can. Aiming at e also aims at
+    every experiment on Π(e), and each aim yields either a sample of e (if
+    reached) or evidence that ρ(e) is small — both reduce the error Υ can
+    suffer (Lemma 1 weights errors by ρ(e)·F¬(e)).
+
+    Per experiment, Equation 8's aim target:
+    m'(e_i) = ⌈2 (√(2ε/(n·F¬[e_i]) + 1) − 1)⁻² ln(4n/δ)⌉.
+    Estimates use p̂_i = n(e_i)/k(e_i), or 0.5 when e_i was never reached. *)
+
+open Infgraph
+open Strategy
+
+type report = {
+  strategy : Spec.dfs;
+  p_hat : float array;
+  aims : int array;     (** attempted reaches per arc *)
+  reached : int array;  (** k(e): times the arc's source was reached *)
+  successes : int array;  (** n(e): times the arc was unblocked *)
+  targets : int array;  (** m'(e_i); 0 for non-blockable arcs *)
+  contexts_used : int;
+  sampling_cost : float;
+  capped : bool;
+}
+
+(** Equation 8 targets per arc id (0 for non-blockable arcs). *)
+val aim_targets : Graph.t -> epsilon:float -> delta:float -> int array
+
+(** Run the aiming phase on any tree-shaped experiment graph. *)
+val run :
+  ?scale:float ->
+  ?max_contexts:int ->
+  epsilon:float ->
+  delta:float ->
+  Oracle.t ->
+  report

@@ -1,0 +1,161 @@
+open Infgraph
+open Strategy
+
+let log_src = Logs.Src.create "strategem.pib" ~doc:"PIB hill-climbing learner"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type config = {
+  delta : float;
+  moves : Moves.family;
+  check_every : int;
+  answers_required : int;
+}
+
+let default_config =
+  { delta = 0.05; moves = Moves.All_swaps; check_every = 1; answers_required = 1 }
+
+type climb = {
+  step : int;
+  samples : int;
+  tests_charged : int;
+  move : Moves.t;
+  from_strategy : Spec.dfs;
+  to_strategy : Spec.dfs;
+  delta_sum : float;
+  threshold : float;
+}
+
+type candidate = {
+  mv : Moves.t;
+  spec' : Spec.dfs;
+  lambda : float;
+  mutable sum : float;  (* running Δ̃[Θ_j, Θ', S] *)
+}
+
+type t = {
+  cfg : config;
+  mutable theta : Spec.dfs;
+  mutable cands : candidate list;
+  mutable n : int;           (* |S| for the current strategy *)
+  mutable total : int;
+  mutable since_check : int;
+  seq : Stats.Sequential.t;
+  mutable history : climb list; (* newest first *)
+}
+
+let make_candidates cfg theta =
+  Moves.neighbors cfg.moves theta
+  |> List.map (fun (mv, spec') ->
+         { mv; spec'; lambda = Moves.lambda theta mv; sum = 0. })
+
+let create ?(config = default_config) theta =
+  if not (config.delta > 0. && config.delta < 1.) then
+    invalid_arg "Pib.create: delta must lie in (0,1)";
+  if config.check_every < 1 then
+    invalid_arg "Pib.create: check_every must be at least 1";
+  if config.answers_required < 1 then
+    invalid_arg "Pib.create: answers_required must be at least 1";
+  if not (Graph.simple_disjunctive theta.Spec.graph) then
+    invalid_arg "Pib.create: requires a simple disjunctive graph";
+  {
+    cfg = config;
+    theta;
+    cands = make_candidates config theta;
+    n = 0;
+    total = 0;
+    since_check = 0;
+    seq = Stats.Sequential.create ~delta:config.delta;
+    history = [];
+  }
+
+let current t = t.theta
+let config t = t.cfg
+let climbs t = List.rev t.history
+let samples_current t = t.n
+let samples_total t = t.total
+
+let candidates t = List.map (fun c -> (c.mv, c.sum, c.lambda)) t.cands
+
+let try_climb t =
+  if t.cands = [] then None
+  else begin
+    let i =
+      Stats.Sequential.advance t.seq ~count:(List.length t.cands)
+    in
+    let passing =
+      List.filter_map
+        (fun c ->
+          let threshold =
+            Stats.Chernoff.switch_threshold_seq ~n:t.n ~delta:t.cfg.delta
+              ~test_index:i ~range:c.lambda
+          in
+          if c.sum >= threshold && c.sum > 0. then Some (c, threshold)
+          else None)
+        t.cands
+    in
+    match passing with
+    | [] -> None
+    | _ ->
+      (* Climb to the candidate with the largest margin over its threshold. *)
+      let best, threshold =
+        List.fold_left
+          (fun (bc, bt) (c, th) ->
+            if c.sum -. th > bc.sum -. bt then (c, th) else (bc, bt))
+          (List.hd passing) (List.tl passing)
+      in
+      let climb =
+        {
+          step = List.length t.history + 1;
+          samples = t.n;
+          tests_charged = i;
+          move = best.mv;
+          from_strategy = t.theta;
+          to_strategy = best.spec';
+          delta_sum = best.sum;
+          threshold;
+        }
+      in
+      t.theta <- best.spec';
+      t.cands <- make_candidates t.cfg t.theta;
+      t.n <- 0;
+      t.history <- climb :: t.history;
+      Log.info (fun m ->
+          m "climb %d after %d samples (test %d): delta-sum %.3f >= %.3f"
+            climb.step climb.samples climb.tests_charged climb.delta_sum
+            climb.threshold);
+      Some climb
+  end
+
+let observe t outcome =
+  List.iter
+    (fun c ->
+      c.sum <-
+        c.sum
+        +. Delta.underestimate ~k:t.cfg.answers_required
+             ~theta:(Spec.Dfs t.theta) ~theta':(Spec.Dfs c.spec') outcome)
+    t.cands;
+  t.n <- t.n + 1;
+  t.total <- t.total + 1;
+  t.since_check <- t.since_check + 1;
+  if t.since_check >= t.cfg.check_every then begin
+    t.since_check <- 0;
+    try_climb t
+  end
+  else None
+
+let step t ctx =
+  let outcome = Exec.first_k t.cfg.answers_required (Spec.Dfs t.theta) ctx in
+  let climb = observe t outcome in
+  (outcome, climb)
+
+let run t oracle ~n =
+  if Oracle.graph oracle != t.theta.Spec.graph then
+    invalid_arg "Pib.run: oracle is for a different graph";
+  let acc = ref [] in
+  for _ = 1 to n do
+    match step t (Oracle.next oracle) with
+    | _, Some climb -> acc := climb :: !acc
+    | _, None -> ()
+  done;
+  List.rev !acc

@@ -1,0 +1,62 @@
+open Infgraph
+open Strategy
+
+type t = {
+  theta : Spec.dfs;
+  theta' : Spec.dfs;
+  delta : float;
+  f1 : float;  (* f*(r1) *)
+  f2 : float;  (* f*(r2) *)
+  under_r1 : bool array;  (* arc id -> lies in r1's subtree *)
+  under_r2 : bool array;
+  mutable m : int;
+  mutable k1 : int;
+  mutable k2 : int;
+}
+
+let create theta ~transform ~delta =
+  if not (delta > 0. && delta < 1.) then
+    invalid_arg "Pib1.create: delta must lie in (0,1)";
+  if transform.Transform.pos_j <> transform.Transform.pos_i + 1 then
+    invalid_arg "Pib1.create: the swapped siblings must be adjacent";
+  let g = theta.Spec.graph in
+  if not (Graph.simple_disjunctive g) then
+    invalid_arg "Pib1.create: requires a simple disjunctive graph";
+  let r1, r2 = Transform.arcs theta transform in
+  let stars = Costs.f_star_all g in
+  let mark ids =
+    let a = Array.make (Graph.n_arcs g) false in
+    List.iter (fun id -> a.(id) <- true) ids;
+    a
+  in
+  {
+    theta;
+    theta' = Transform.apply theta transform;
+    delta;
+    f1 = stars.(r1);
+    f2 = stars.(r2);
+    under_r1 = mark (Graph.subtree_arcs g r1);
+    under_r2 = mark (Graph.subtree_arcs g r2);
+    m = 0;
+    k1 = 0;
+    k2 = 0;
+  }
+
+let theta t = t.theta
+let theta' t = t.theta'
+
+let observe t (outcome : Exec.outcome) =
+  t.m <- t.m + 1;
+  match outcome.Exec.success_arc with
+  | Some arc when t.under_r1.(arc) -> t.k1 <- t.k1 + 1
+  | Some arc when t.under_r2.(arc) -> t.k2 <- t.k2 + 1
+  | Some _ | None -> ()
+
+let counts t = (t.m, t.k1, t.k2)
+let delta_sum t = (float_of_int t.k2 *. t.f1) -. (float_of_int t.k1 *. t.f2)
+
+let threshold t =
+  Stats.Chernoff.switch_threshold ~n:t.m ~delta:t.delta ~range:(t.f1 +. t.f2)
+
+let decision t =
+  if t.m > 0 && delta_sum t >= threshold t then `Switch else `Keep

@@ -1,0 +1,50 @@
+(** PIB₁ — the one-shot statistical filter (Section 3.1).
+
+    PIB₁ guards a single proposed modification: interchanging two sibling
+    arcs [r1] (visited earlier) and [r2] (visited immediately after). It
+    keeps the paper's three counters while the query processor runs the
+    current strategy Θ:
+
+    - [m]  — number of contexts observed;
+    - [k1] — contexts whose solution was found under [r1];
+    - [k2] — contexts whose solution was found under [r2] (hence after
+      exhausting [r1]'s subtree without success).
+
+    The swap is approved when Equation 3 holds:
+    [k2·f*(r1) − k1·f*(r2) ≥ (f*(r1)+f*(r2)) · sqrt((m/2)·ln(1/δ))],
+    which certifies, with confidence 1−δ, that the swapped strategy has
+    strictly lower expected cost.
+
+    The two arcs must be {e adjacent} siblings in Θ's order — the setting
+    in which the counter form of Δ̃ is exact; for arbitrary sibling pairs
+    use {!Pib}, which replays traces instead. *)
+
+open Strategy
+
+type t
+
+(** [create theta ~transform ~delta] — [transform] must swap adjacent
+    siblings ([pos_j = pos_i + 1]); raises [Invalid_argument] otherwise,
+    or if the graph is not simple disjunctive. *)
+val create : Spec.dfs -> transform:Transform.t -> delta:float -> t
+
+val theta : t -> Spec.dfs
+
+(** The strategy the filter is contemplating, τ(Θ). *)
+val theta' : t -> Spec.dfs
+
+(** Record one execution of Θ. Raises [Invalid_argument] if the outcome's
+    graph differs. *)
+val observe : t -> Exec.outcome -> unit
+
+(** Counters (m, k1, k2). *)
+val counts : t -> int * int * int
+
+(** Left-hand side of Equation 3: the Δ̃ sum [k2·f*(r1) − k1·f*(r2)]. *)
+val delta_sum : t -> float
+
+(** Right-hand side of Equation 3 at the current sample count. *)
+val threshold : t -> float
+
+(** Equation 3's verdict: [`Switch] approves τ(Θ). *)
+val decision : t -> [ `Switch | `Keep ]

@@ -1,0 +1,35 @@
+open Infgraph
+open Strategy
+
+let probabilities g db =
+  let counts =
+    List.map
+      (fun a ->
+        match a.Graph.pattern with
+        | Some pattern ->
+          ( a.Graph.arc_id,
+            Datalog.Database.count_pred db
+              (Datalog.Symbol.to_string pattern.Datalog.Atom.pred) )
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Smith.probabilities: retrieval %s has no pattern"
+               a.Graph.label))
+      (Graph.retrievals g)
+  in
+  let max_count = List.fold_left (fun m (_, c) -> max m c) 0 counts in
+  let p = Array.make (Graph.n_arcs g) 1.0 in
+  List.iter
+    (fun (id, c) ->
+      p.(id) <-
+        (if max_count = 0 then 0.5
+         else float_of_int c /. float_of_int max_count))
+    counts;
+  (* Blockable reductions: Smith's heuristic has no opinion; use 0.5. *)
+  List.iter
+    (fun a ->
+      if a.Graph.kind = Graph.Reduction && a.Graph.blockable then
+        p.(a.Graph.arc_id) <- 0.5)
+    (Graph.arcs g);
+  Bernoulli_model.make g ~p
+
+let strategy g db = fst (Upsilon.aot (probabilities g db))

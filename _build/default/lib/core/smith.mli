@@ -1,0 +1,27 @@
+(** The [Smi89] baseline the paper argues against (Section 2).
+
+    Smith's approach estimates retrieval success probabilities from the
+    {e distribution of facts in the database}: with 2000 [prof] facts and
+    500 [grad] facts it assumes a [prof] lookup is 4× as likely to succeed
+    as a [grad] lookup — regardless of which queries users actually ask.
+    The paper's point is that nothing ties the query distribution to the
+    fact distribution (the "minors" scenario: if users only ask about
+    people who are in neither relation's majority, the ordering inverts).
+
+    We implement the heuristic faithfully: each retrieval arc's estimated
+    success probability is its predicate's fact count divided by the
+    maximum count over the graph's retrieval predicates (so the best-
+    supported predicate gets p̂ = 1 and ratios between predicates match
+    Smith's likelihood ratios), and the strategy is Υ_AOT on those
+    estimates. Only the ratios matter to the ordering. *)
+
+open Infgraph
+open Strategy
+
+(** Fact-count probability estimates for a graph whose retrieval arcs carry
+    patterns (i.e. built from a knowledge base).
+    Raises [Invalid_argument] if some retrieval has no pattern. *)
+val probabilities : Graph.t -> Datalog.Database.t -> Bernoulli_model.t
+
+(** Υ_AOT over the fact-count estimates. *)
+val strategy : Graph.t -> Datalog.Database.t -> Spec.dfs

@@ -1,0 +1,1 @@
+lib/datalog/adorn.ml: Atom Clause Format List Printf Queue Rulebase String Symbol Term

@@ -1,0 +1,1 @@
+lib/datalog/adorn.mli: Atom Clause Format Rulebase Symbol

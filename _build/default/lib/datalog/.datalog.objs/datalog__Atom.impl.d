@@ -1,0 +1,1 @@
+lib/datalog/atom.ml: Format Hashtbl List String Symbol Term

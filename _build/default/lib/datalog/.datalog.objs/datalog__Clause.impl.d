@@ -1,0 +1,1 @@
+lib/datalog/clause.ml: Atom Format List Subst Term

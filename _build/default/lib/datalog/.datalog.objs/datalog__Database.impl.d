@@ -1,0 +1,1 @@
+lib/datalog/database.ml: Atom Format Hashtbl List Set Subst Symbol Term

@@ -1,0 +1,1 @@
+lib/datalog/magic.ml: Adorn Atom Clause Database Format List Option Rulebase Seminaive Symbol

@@ -1,0 +1,1 @@
+lib/datalog/parser.ml: Atom Clause Format Lexer List Term

@@ -1,0 +1,1 @@
+lib/datalog/rulebase.ml: Atom Clause Format Hashtbl List Option Subst Symbol

@@ -1,0 +1,1 @@
+lib/datalog/rulebase.mli: Atom Clause Format Subst Symbol Term

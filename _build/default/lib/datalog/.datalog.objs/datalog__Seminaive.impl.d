@@ -1,0 +1,1 @@
+lib/datalog/seminaive.ml: Atom Clause Database Format List Rulebase Subst Symbol Term

@@ -1,0 +1,1 @@
+lib/datalog/seminaive.mli: Atom Database Rulebase Symbol

@@ -1,0 +1,1 @@
+lib/datalog/sld.ml: Atom Clause Database Format Hashtbl List Rulebase Seq Subst Symbol Term

@@ -1,0 +1,1 @@
+lib/datalog/sld.mli: Atom Clause Database Rulebase Seq Subst

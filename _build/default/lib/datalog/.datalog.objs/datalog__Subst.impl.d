@@ -1,0 +1,1 @@
+lib/datalog/subst.ml: Atom Format List Symbol Term

@@ -1,0 +1,1 @@
+lib/datalog/term.ml: Format Int Map Set String Symbol

@@ -1,0 +1,143 @@
+type adornment = [ `B | `F ] list
+
+let adornment_to_string a =
+  String.concat "" (List.map (function `B -> "b" | `F -> "f") a)
+
+type apred = { pred : Symbol.t; adornment : adornment }
+
+let apred_equal a b =
+  Symbol.equal a.pred b.pred && a.adornment = b.adornment
+
+let pp_apred ppf a =
+  Format.fprintf ppf "%a^%s" Symbol.pp a.pred
+    (adornment_to_string a.adornment)
+
+let apred_symbol a =
+  Symbol.intern
+    (Printf.sprintf "%s_%s" (Symbol.to_string a.pred)
+       (adornment_to_string a.adornment))
+
+type program = {
+  query : apred;
+  rules : (apred * Clause.t) list;
+  edb : Symbol.t list;
+}
+
+let atom_adornment bound atom =
+  List.map
+    (fun t ->
+      match t with
+      | Term.Const _ -> `B
+      | Term.Var v -> if Term.Var_set.mem v bound then `B else `F)
+    atom.Atom.args
+
+let bound_vars adornment atom =
+  List.fold_left2
+    (fun acc mark t ->
+      match (mark, t) with
+      | `B, Term.Var v -> Term.Var_set.add v acc
+      | _ -> acc)
+    Term.Var_set.empty adornment atom.Atom.args
+
+let adorn rb ~query_form =
+  let is_idb pred = Rulebase.rules_for rb pred <> [] in
+  let query =
+    {
+      pred = query_form.Atom.pred;
+      adornment =
+        List.map
+          (function Term.Const _ -> `B | Term.Var _ -> `F)
+          query_form.Atom.args;
+    }
+  in
+  if not (is_idb query.pred) then
+    invalid_arg "Adorn.adorn: the query predicate has no rules";
+  let processed : apred list ref = ref [] in
+  let rules = ref [] in
+  let edb = ref [] in
+  let note_edb pred =
+    if not (List.exists (Symbol.equal pred) !edb) then edb := pred :: !edb
+  in
+  let queue = Queue.create () in
+  Queue.add query queue;
+  while not (Queue.is_empty queue) do
+    let ap = Queue.pop queue in
+    if not (List.exists (apred_equal ap) !processed) then begin
+      processed := ap :: !processed;
+      List.iter
+        (fun clause ->
+          if List.length clause.Clause.head.Atom.args
+             <> List.length ap.adornment
+          then ()
+          else begin
+            (* Sideways information passing, left to right. *)
+            let bound = ref (bound_vars ap.adornment clause.Clause.head) in
+            let body' =
+              List.map
+                (fun lit ->
+                  let atom = Clause.lit_atom lit in
+                  match lit with
+                  | Clause.Pos atom ->
+                    let result =
+                      if is_idb atom.Atom.pred then begin
+                        let sub =
+                          {
+                            pred = atom.Atom.pred;
+                            adornment = atom_adornment !bound atom;
+                          }
+                        in
+                        Queue.add sub queue;
+                        Clause.Pos
+                          (Atom.make_sym (apred_symbol sub) atom.Atom.args)
+                      end
+                      else begin
+                        note_edb atom.Atom.pred;
+                        Clause.Pos atom
+                      end
+                    in
+                    (* evaluating a positive literal binds its variables *)
+                    bound := Term.Var_set.union !bound (Atom.var_set atom);
+                    result
+                  | Clause.Neg _ ->
+                    if
+                      not
+                        (Term.Var_set.subset (Atom.var_set atom) !bound)
+                    then
+                      invalid_arg
+                        (Format.asprintf
+                           "Adorn.adorn: negative literal %a not bound at \
+                            its position"
+                           Atom.pp atom);
+                    if is_idb atom.Atom.pred then begin
+                      let sub =
+                        {
+                          pred = atom.Atom.pred;
+                          adornment = atom_adornment !bound atom;
+                        }
+                      in
+                      Queue.add sub queue;
+                      Clause.Neg (Atom.make_sym (apred_symbol sub) atom.Atom.args)
+                    end
+                    else begin
+                      note_edb atom.Atom.pred;
+                      Clause.Neg atom
+                    end)
+                clause.Clause.body
+            in
+            let head' =
+              Atom.make_sym (apred_symbol ap) clause.Clause.head.Atom.args
+            in
+            rules := (ap, Clause.make head' body') :: !rules
+          end)
+        (Rulebase.rules_for rb ap.pred)
+    end
+  done;
+  { query; rules = List.rev !rules; edb = List.rev !edb }
+
+let pp_program ppf p =
+  Format.fprintf ppf "@[<v>query: %a@," pp_apred p.query;
+  List.iter
+    (fun (_, clause) -> Format.fprintf ppf "%a@," Clause.pp clause)
+    p.rules;
+  Format.fprintf ppf "edb: %s@]"
+    (String.concat ", " (List.map Symbol.to_string p.edb))

@@ -1,0 +1,44 @@
+(** Program adornment (Ullman [Ull89]; the paper's "query forms").
+
+    An adornment annotates a predicate with one symbol per argument: [`B]
+    (bound at call time) or [`F] (free). Given a query form — e.g.
+    [instructor^(b)] — adornment propagates binding information through
+    the rule bodies with sideways information passing (left-to-right SIP):
+    a body literal's argument is bound if it is a constant or a variable
+    already bound by the head's bound arguments or by an earlier positive
+    body literal.
+
+    The result is the {e adorned program}: one specialized rule version
+    per reachable adorned predicate, the input to the magic-sets
+    transformation ({!Magic}). *)
+
+type adornment = [ `B | `F ] list
+
+(** ["bf"]-style rendering. *)
+val adornment_to_string : adornment -> string
+
+(** Adorned predicate, e.g. [instructor] + [[`B]]. *)
+type apred = { pred : Symbol.t; adornment : adornment }
+
+val apred_equal : apred -> apred -> bool
+val pp_apred : Format.formatter -> apred -> unit
+
+(** Name mangling used in generated programs: [p_bf]. *)
+val apred_symbol : apred -> Symbol.t
+
+type program = {
+  query : apred;              (** the adorned query predicate *)
+  rules : (apred * Clause.t) list;
+      (** each reachable adorned IDB predicate with its specialized rule;
+          head/body predicates of the clause are the mangled symbols for
+          IDB literals and the original symbols for EDB literals *)
+  edb : Symbol.t list;        (** extensional predicates encountered *)
+}
+
+(** [adorn rulebase ~query_form] computes the adorned program for the
+    query form (an atom whose constant arguments mark bound positions).
+    Negative literals require all their variables bound at their position
+    (safety); [Invalid_argument] otherwise. *)
+val adorn : Rulebase.t -> query_form:Atom.t -> program
+
+val pp_program : Format.formatter -> program -> unit

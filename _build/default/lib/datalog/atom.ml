@@ -1,0 +1,68 @@
+type t = { pred : Symbol.t; args : Term.t list }
+
+let make_sym pred args = { pred; args }
+let make name args = { pred = Symbol.intern name; args }
+let arity a = List.length a.args
+let is_ground a = List.for_all Term.is_const a.args
+
+let equal a b =
+  Symbol.equal a.pred b.pred && List.equal Term.equal a.args b.args
+
+let compare a b =
+  match Symbol.compare a.pred b.pred with
+  | 0 -> List.compare Term.compare a.args b.args
+  | c -> c
+
+let hash a =
+  List.fold_left
+    (fun acc t ->
+      let h =
+        match t with
+        | Term.Const s -> Symbol.hash s
+        | Term.Var v -> Hashtbl.hash (v.Term.name, v.Term.gen)
+      in
+      (acc * 31) + h)
+    (Symbol.hash a.pred) a.args
+
+let var_set a =
+  List.fold_left
+    (fun acc t ->
+      match t with Term.Var v -> Term.Var_set.add v acc | Term.Const _ -> acc)
+    Term.Var_set.empty a.args
+
+let vars a =
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun t ->
+      match t with
+      | Term.Const _ -> None
+      | Term.Var v ->
+        let key = (v.Term.name, v.Term.gen) in
+        if Hashtbl.mem seen key then None
+        else begin
+          Hashtbl.add seen key ();
+          Some v
+        end)
+    a.args
+
+let rename gen a = { a with args = List.map (Term.rename gen) a.args }
+
+let adornment a =
+  List.map (function Term.Const _ -> `B | Term.Var _ -> `F) a.args
+
+let pp ppf a =
+  match a.args with
+  | [] -> Symbol.pp ppf a.pred
+  | args ->
+    Format.fprintf ppf "%a(%a)" Symbol.pp a.pred
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         Term.pp)
+      args
+
+let pp_query_form ppf a =
+  let mark = function `B -> "b" | `F -> "f" in
+  Format.fprintf ppf "%a^(%s)" Symbol.pp a.pred
+    (String.concat "," (List.map mark (adornment a)))
+
+let to_string a = Format.asprintf "%a" pp a

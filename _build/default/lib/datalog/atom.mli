@@ -1,0 +1,29 @@
+(** Atomic formulae: a predicate applied to terms. *)
+
+type t = { pred : Symbol.t; args : Term.t list }
+
+val make : string -> Term.t list -> t
+val make_sym : Symbol.t -> Term.t list -> t
+val arity : t -> int
+val is_ground : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+(** Variables occurring in the atom, left to right, without duplicates. *)
+val vars : t -> Term.var list
+
+val var_set : t -> Term.Var_set.t
+
+(** [rename gen a] lifts all variables to generation [gen]. *)
+val rename : int -> t -> t
+
+(** Adornment in the paper's sense (Section 2): for each argument, [`B] if
+    bound (a constant), [`F] if free (a variable). *)
+val adornment : t -> [ `B | `F ] list
+
+(** Render e.g. ["instructor^(b,f)"]. *)
+val pp_query_form : Format.formatter -> t -> unit
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,81 @@
+type lit =
+  | Pos of Atom.t
+  | Neg of Atom.t
+
+type t = { head : Atom.t; body : lit list }
+
+let make head body = { head; body }
+let fact head = { head; body = [] }
+let is_fact c = c.body = []
+
+let lit_atom = function Pos a | Neg a -> a
+let lit_is_positive = function Pos _ -> true | Neg _ -> false
+
+let positive_body c =
+  List.filter_map (function Pos a -> Some a | Neg _ -> None) c.body
+
+let negative_body c =
+  List.filter_map (function Neg a -> Some a | Pos _ -> None) c.body
+
+let vars c =
+  List.fold_left
+    (fun acc lit -> Term.Var_set.union acc (Atom.var_set (lit_atom lit)))
+    (Atom.var_set c.head) c.body
+
+let check_safe c =
+  let positive_vars =
+    List.fold_left
+      (fun acc a -> Term.Var_set.union acc (Atom.var_set a))
+      Term.Var_set.empty (positive_body c)
+  in
+  let must_be_covered =
+    List.fold_left
+      (fun acc a -> Term.Var_set.union acc (Atom.var_set a))
+      (Atom.var_set c.head) (negative_body c)
+  in
+  let uncovered = Term.Var_set.diff must_be_covered positive_vars in
+  if Term.Var_set.is_empty uncovered then Ok ()
+  else Error (Term.Var_set.elements uncovered)
+
+let map_atoms f c =
+  {
+    head = f c.head;
+    body =
+      List.map (function Pos a -> Pos (f a) | Neg a -> Neg (f a)) c.body;
+  }
+
+let rename gen c = map_atoms (Atom.rename gen) c
+let apply s c = map_atoms (Subst.apply_atom s) c
+
+let equal_lit a b =
+  match (a, b) with
+  | Pos x, Pos y | Neg x, Neg y -> Atom.equal x y
+  | Pos _, Neg _ | Neg _, Pos _ -> false
+
+let equal a b = Atom.equal a.head b.head && List.equal equal_lit a.body b.body
+
+let compare_lit a b =
+  match (a, b) with
+  | Pos x, Pos y | Neg x, Neg y -> Atom.compare x y
+  | Pos _, Neg _ -> -1
+  | Neg _, Pos _ -> 1
+
+let compare a b =
+  match Atom.compare a.head b.head with
+  | 0 -> List.compare compare_lit a.body b.body
+  | c -> c
+
+let pp_lit ppf = function
+  | Pos a -> Atom.pp ppf a
+  | Neg a -> Format.fprintf ppf "not %a" Atom.pp a
+
+let pp ppf c =
+  if is_fact c then Format.fprintf ppf "%a." Atom.pp c.head
+  else
+    Format.fprintf ppf "%a :- %a." Atom.pp c.head
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         pp_lit)
+      c.body
+
+let to_string c = Format.asprintf "%a" pp c

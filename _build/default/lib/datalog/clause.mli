@@ -1,0 +1,42 @@
+(** Definite clauses with optional negated body literals.
+
+    [h :- b1, ..., bn.] A clause with an empty body is a fact. Negated
+    literals are interpreted by negation as failure (Section 5.2 of the
+    paper); safety requires every variable of the head and of each negative
+    literal to occur in some positive body literal (range restriction). *)
+
+type lit =
+  | Pos of Atom.t
+  | Neg of Atom.t
+
+type t = { head : Atom.t; body : lit list }
+
+val make : Atom.t -> lit list -> t
+val fact : Atom.t -> t
+val is_fact : t -> bool
+
+val lit_atom : lit -> Atom.t
+val lit_is_positive : lit -> bool
+
+(** Positive body atoms, in order. *)
+val positive_body : t -> Atom.t list
+
+(** Negative body atoms, in order. *)
+val negative_body : t -> Atom.t list
+
+(** All variables of the clause. *)
+val vars : t -> Term.Var_set.t
+
+(** Range-restriction check; returns the offending variables if unsafe. *)
+val check_safe : t -> (unit, Term.var list) result
+
+(** [rename gen c] lifts every variable to generation [gen] (used to
+    standardize apart before resolution). *)
+val rename : int -> t -> t
+
+val apply : Subst.t -> t -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val pp_lit : Format.formatter -> lit -> unit
+val to_string : t -> string

@@ -1,0 +1,150 @@
+module Atom_set = Set.Make (Atom)
+
+(* Key for the (predicate, first constant argument) index. *)
+module First_arg = struct
+  type t = int * int (* symbol ids *)
+
+  let equal (a1, b1) (a2, b2) = a1 = a2 && b1 = b2
+  let hash = Hashtbl.hash
+end
+
+module First_tbl = Hashtbl.Make (First_arg)
+
+type t = {
+  by_pred : (int, Atom_set.t ref) Hashtbl.t;
+  by_first : Atom_set.t ref First_tbl.t;
+  mutable size : int;
+}
+
+let create () =
+  { by_pred = Hashtbl.create 64; by_first = First_tbl.create 256; size = 0 }
+
+let first_key fact =
+  match fact.Atom.args with
+  | Term.Const c :: _ -> Some (Symbol.id fact.Atom.pred, Symbol.id c)
+  | _ -> None
+
+let find_pred db pred_id =
+  match Hashtbl.find_opt db.by_pred pred_id with
+  | Some r -> r
+  | None ->
+    let r = ref Atom_set.empty in
+    Hashtbl.add db.by_pred pred_id r;
+    r
+
+let find_first db key =
+  match First_tbl.find_opt db.by_first key with
+  | Some r -> r
+  | None ->
+    let r = ref Atom_set.empty in
+    First_tbl.add db.by_first key r;
+    r
+
+let add db fact =
+  if not (Atom.is_ground fact) then invalid_arg "Database.add: non-ground fact";
+  let set = find_pred db (Symbol.id fact.Atom.pred) in
+  if Atom_set.mem fact !set then false
+  else begin
+    set := Atom_set.add fact !set;
+    (match first_key fact with
+    | Some key ->
+      let s = find_first db key in
+      s := Atom_set.add fact !s
+    | None -> ());
+    db.size <- db.size + 1;
+    true
+  end
+
+let remove db fact =
+  match Hashtbl.find_opt db.by_pred (Symbol.id fact.Atom.pred) with
+  | None -> false
+  | Some set ->
+    if not (Atom_set.mem fact !set) then false
+    else begin
+      set := Atom_set.remove fact !set;
+      (match first_key fact with
+      | Some key -> (
+        match First_tbl.find_opt db.by_first key with
+        | Some s -> s := Atom_set.remove fact !s
+        | None -> ())
+      | None -> ());
+      db.size <- db.size - 1;
+      true
+    end
+
+let mem db fact =
+  match Hashtbl.find_opt db.by_pred (Symbol.id fact.Atom.pred) with
+  | None -> false
+  | Some set -> Atom_set.mem fact !set
+
+let candidates db pattern =
+  match pattern.Atom.args with
+  | Term.Const c :: _ -> (
+    match
+      First_tbl.find_opt db.by_first
+        (Symbol.id pattern.Atom.pred, Symbol.id c)
+    with
+    | Some s -> !s
+    | None -> Atom_set.empty)
+  | _ -> (
+    match Hashtbl.find_opt db.by_pred (Symbol.id pattern.Atom.pred) with
+    | Some s -> !s
+    | None -> Atom_set.empty)
+
+let matching db pattern =
+  Atom_set.fold
+    (fun fact acc ->
+      match Subst.match_atom ~pattern ~ground:fact Subst.empty with
+      | Some s -> (fact, s) :: acc
+      | None -> acc)
+    (candidates db pattern) []
+
+exception Found of Atom.t * Subst.t
+
+let first_match db pattern =
+  try
+    Atom_set.iter
+      (fun fact ->
+        match Subst.match_atom ~pattern ~ground:fact Subst.empty with
+        | Some s -> raise (Found (fact, s))
+        | None -> ())
+      (candidates db pattern);
+    None
+  with Found (fact, s) -> Some (fact, s)
+
+let count_pred db name =
+  match Hashtbl.find_opt db.by_pred (Symbol.id (Symbol.intern name)) with
+  | Some s -> Atom_set.cardinal !s
+  | None -> 0
+
+let size db = db.size
+
+let iter f db = Hashtbl.iter (fun _ set -> Atom_set.iter f !set) db.by_pred
+
+let fold f db init =
+  Hashtbl.fold (fun _ set acc -> Atom_set.fold f !set acc) db.by_pred init
+
+let to_list db = fold (fun fact acc -> fact :: acc) db []
+
+let of_list facts =
+  let db = create () in
+  List.iter (fun fact -> ignore (add db fact)) facts;
+  db
+
+let copy db = of_list (to_list db)
+
+let predicates db =
+  Hashtbl.fold
+    (fun _ set acc ->
+      match Atom_set.choose_opt !set with
+      | None -> acc
+      | Some fact -> (fact.Atom.pred, Atom_set.cardinal !set) :: acc)
+    db.by_pred []
+  |> List.sort (fun (a, _) (b, _) -> Symbol.compare a b)
+
+let pp ppf db =
+  let facts = List.sort Atom.compare (to_list db) in
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_cut ppf ())
+    (fun ppf a -> Format.fprintf ppf "%a." Atom.pp a)
+    ppf facts

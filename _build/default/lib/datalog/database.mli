@@ -1,0 +1,49 @@
+(** The extensional database: a mutable store of ground atomic facts.
+
+    Facts are indexed by predicate and, secondarily, by (predicate, first
+    constant argument); the second index makes the bound-first-argument
+    retrievals that dominate the paper's query forms (e.g.
+    [prof(manolis)?]) O(1). *)
+
+type t
+
+val create : unit -> t
+
+(** Shallow-copy the database (indexes are rebuilt; facts are shared). *)
+val copy : t -> t
+
+(** [add db fact] inserts a ground atom. Returns [true] if it was new.
+    Raises [Invalid_argument] if the atom is not ground. *)
+val add : t -> Atom.t -> bool
+
+(** [remove db fact] deletes a fact. Returns [true] if it was present. *)
+val remove : t -> Atom.t -> bool
+
+(** Membership of a ground atom. *)
+val mem : t -> Atom.t -> bool
+
+(** [matching db pattern] returns all facts unifiable with [pattern]
+    (which may contain variables) together with the matching substitution.
+    Uses the (pred, first-arg) index when the first argument is bound. *)
+val matching : t -> Atom.t -> (Atom.t * Subst.t) list
+
+(** First matching fact, if any (cheaper than [matching] for satisficing
+    retrieval). *)
+val first_match : t -> Atom.t -> (Atom.t * Subst.t) option
+
+(** Number of facts stored for the given predicate name — the statistic
+    [Smi89]'s heuristic consumes (e.g. 2000 [prof] facts vs 500 [grad]). *)
+val count_pred : t -> string -> int
+
+(** Total number of facts. *)
+val size : t -> int
+
+val of_list : Atom.t list -> t
+val to_list : t -> Atom.t list
+val iter : (Atom.t -> unit) -> t -> unit
+val fold : (Atom.t -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** Predicates present, with their fact counts. *)
+val predicates : t -> (Symbol.t * int) list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,112 @@
+type token =
+  | Ident of string
+  | Variable of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Dot
+  | Turnstile
+  | Query
+  | Not
+  | Eof
+
+type position = { line : int; col : int }
+
+exception Lex_error of string * position
+
+let pp_token ppf = function
+  | Ident s -> Format.fprintf ppf "identifier %S" s
+  | Variable s -> Format.fprintf ppf "variable %S" s
+  | Lparen -> Format.pp_print_string ppf "'('"
+  | Rparen -> Format.pp_print_string ppf "')'"
+  | Comma -> Format.pp_print_string ppf "','"
+  | Dot -> Format.pp_print_string ppf "'.'"
+  | Turnstile -> Format.pp_print_string ppf "':-'"
+  | Query -> Format.pp_print_string ppf "'?-'"
+  | Not -> Format.pp_print_string ppf "'not'"
+  | Eof -> Format.pp_print_string ppf "end of input"
+
+let is_lower c = (c >= 'a' && c <= 'z')
+let is_upper c = (c >= 'A' && c <= 'Z')
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_char c = is_lower c || is_upper c || is_digit c || c = '_'
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let line = ref 1 and col = ref 1 in
+  let i = ref 0 in
+  let pos () = { line = !line; col = !col } in
+  let advance () =
+    if !i < n then begin
+      if input.[!i] = '\n' then begin
+        incr line;
+        col := 1
+      end
+      else incr col;
+      incr i
+    end
+  in
+  let push tok p = tokens := (tok, p) :: !tokens in
+  let read_while pred =
+    let start = !i in
+    while !i < n && pred input.[!i] do
+      advance ()
+    done;
+    String.sub input start (!i - start)
+  in
+  while !i < n do
+    let c = input.[!i] in
+    let p = pos () in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '%' then
+      while !i < n && input.[!i] <> '\n' do
+        advance ()
+      done
+    else if c = '(' then (advance (); push Lparen p)
+    else if c = ')' then (advance (); push Rparen p)
+    else if c = ',' then (advance (); push Comma p)
+    else if c = '.' then (advance (); push Dot p)
+    else if c = ':' then begin
+      advance ();
+      if !i < n && input.[!i] = '-' then (advance (); push Turnstile p)
+      else raise (Lex_error ("expected '-' after ':'", p))
+    end
+    else if c = '?' then begin
+      advance ();
+      if !i < n && input.[!i] = '-' then (advance (); push Query p)
+      else raise (Lex_error ("expected '-' after '?'", p))
+    end
+    else if c = '\\' then begin
+      advance ();
+      if !i < n && input.[!i] = '+' then (advance (); push Not p)
+      else raise (Lex_error ("expected '+' after '\\\\'", p))
+    end
+    else if c = '\'' then begin
+      advance ();
+      let start = !i in
+      while !i < n && input.[!i] <> '\'' do
+        advance ()
+      done;
+      if !i >= n then raise (Lex_error ("unterminated quoted atom", p));
+      let s = String.sub input start (!i - start) in
+      advance ();
+      push (Ident s) p
+    end
+    else if is_lower c then begin
+      let s = read_while is_ident_char in
+      if s = "not" then push Not p else push (Ident s) p
+    end
+    else if is_upper c || c = '_' then begin
+      let s = read_while is_ident_char in
+      push (Variable s) p
+    end
+    else if is_digit c then begin
+      let s = read_while is_digit in
+      push (Ident s) p
+    end
+    else
+      raise (Lex_error (Printf.sprintf "unexpected character %C" c, p))
+  done;
+  push Eof (pos ());
+  List.rev !tokens

@@ -1,0 +1,22 @@
+(** Hand-written lexer for the Datalog surface syntax. *)
+
+type token =
+  | Ident of string      (** lowercase identifier, integer, or quoted atom *)
+  | Variable of string   (** identifier starting with uppercase or [_] *)
+  | Lparen
+  | Rparen
+  | Comma
+  | Dot
+  | Turnstile            (** [:-] *)
+  | Query                (** [?-] *)
+  | Not                  (** [not] or [\+] *)
+  | Eof
+
+type position = { line : int; col : int }
+
+exception Lex_error of string * position
+
+val pp_token : Format.formatter -> token -> unit
+
+(** Tokenize a whole string. [%] starts a comment running to end of line. *)
+val tokenize : string -> (token * position) list

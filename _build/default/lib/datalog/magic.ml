@@ -1,0 +1,83 @@
+type result = {
+  program : Rulebase.t;
+  seed : Atom.t;
+  answer_pred : Symbol.t;
+  adorned : Adorn.program;
+}
+
+let magic_symbol ap =
+  Symbol.intern ("m_" ^ Symbol.to_string (Adorn.apred_symbol ap))
+
+(* The bound-position arguments of an atom under an adornment. *)
+let bound_args adornment atom =
+  List.filteri
+    (fun i _ -> List.nth adornment i = `B)
+    atom.Atom.args
+
+let magic_atom ap atom = Atom.make_sym (magic_symbol ap) (bound_args ap.Adorn.adornment atom)
+
+(* Recover the adorned predicate of a mangled body literal. *)
+let apred_of_mangled rules sym =
+  List.find_opt
+    (fun (ap, _) -> Symbol.equal (Adorn.apred_symbol ap) sym)
+    rules
+  |> Option.map fst
+
+let transform rb ~query =
+  let adorned = Adorn.adorn rb ~query_form:query in
+  let out = ref [] in
+  List.iter
+    (fun (ap, clause) ->
+      let guard = Clause.Pos (magic_atom ap clause.Clause.head) in
+      (* guarded adorned rule *)
+      out := Clause.make clause.Clause.head (guard :: clause.Clause.body) :: !out;
+      (* magic rules for each positive IDB (mangled) body literal *)
+      let rec walk prefix = function
+        | [] -> ()
+        | (Clause.Pos atom as lit) :: rest ->
+          (match apred_of_mangled adorned.Adorn.rules atom.Atom.pred with
+          | Some sub_ap ->
+            let head = magic_atom sub_ap atom in
+            out :=
+              Clause.make head (guard :: List.rev prefix) :: !out
+          | None -> ());
+          walk (lit :: prefix) rest
+        | (Clause.Neg atom as lit) :: rest ->
+          (match apred_of_mangled adorned.Adorn.rules atom.Atom.pred with
+          | Some _ ->
+            invalid_arg
+              (Format.asprintf
+                 "Magic.transform: negative intensional literal %a is not \
+                  supported"
+                 Atom.pp atom)
+          | None -> ());
+          walk (lit :: prefix) rest
+      in
+      walk [] clause.Clause.body)
+    adorned.Adorn.rules;
+  let seed = magic_atom adorned.Adorn.query query in
+  if not (Atom.is_ground seed) then
+    invalid_arg "Magic.transform: the query's bound arguments must be ground";
+  {
+    program = Rulebase.of_list (List.rev !out);
+    seed;
+    answer_pred = Adorn.apred_symbol adorned.Adorn.query;
+    adorned;
+  }
+
+let run rb db ~query =
+  let t = transform rb ~query in
+  let db' = Database.copy db in
+  ignore (Database.add db' t.seed);
+  (t, Seminaive.model t.program db')
+
+let answers rb db ~query =
+  let t, model = run rb db ~query in
+  let pattern = Atom.make_sym t.answer_pred query.Atom.args in
+  Database.matching model pattern
+  |> List.map (fun (fact, _) -> Atom.make_sym query.Atom.pred fact.Atom.args)
+  |> List.sort_uniq Atom.compare
+
+let derived_size rb db ~query =
+  let _, model = run rb db ~query in
+  Database.size model - Database.size db - 1 (* minus base facts and seed *)

@@ -1,0 +1,40 @@
+(** The magic-sets transformation (Bancilhon & Ramakrishnan [BR86] —
+    cited in the paper's introduction as the classical line of query
+    optimization this work complements).
+
+    Magic sets makes bottom-up evaluation goal-directed: the adorned
+    program ({!Adorn}) is rewritten so that each IDB predicate [p^a]
+    only fires for bindings reachable from the query, which a new
+    {e magic predicate} [m_p_a] (holding the bound-argument tuples that
+    top-down evaluation would ask about) collects:
+
+    - every adorned rule [h :- b1, ..., bn] gains the guard
+      [m_h(bound args of h)];
+    - for each positive IDB body literal [bi], a {e magic rule}
+      [m_bi(bound args of bi) :- m_h(...), b1, ..., b(i-1)] propagates
+      bindings sideways;
+    - the query seeds [m_query(constants)].
+
+    Restricted to programs whose negative literals are extensional (the
+    general stratified-magic construction is out of scope);
+    [Invalid_argument] otherwise. *)
+
+type result = {
+  program : Rulebase.t;   (** transformed rules (adorned + magic rules) *)
+  seed : Atom.t;          (** the magic seed fact for the query *)
+  answer_pred : Symbol.t; (** adorned predicate holding the answers *)
+  adorned : Adorn.program;
+}
+
+(** [transform rulebase ~query] for a (partially) bound query atom. *)
+val transform : Rulebase.t -> query:Atom.t -> result
+
+(** [answers rulebase db ~query] — run the transformed program bottom-up
+    (semi-naive) and return the query's answers as atoms of the
+    {e original} predicate, sorted. Must agree with [Sld.solve_all] and
+    with semi-naive evaluation of the original program. *)
+val answers : Rulebase.t -> Database.t -> query:Atom.t -> Atom.t list
+
+(** Facts derived by the transformed program (for measuring how much work
+    magic saves versus evaluating the whole original program). *)
+val derived_size : Rulebase.t -> Database.t -> query:Atom.t -> int

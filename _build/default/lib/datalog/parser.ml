@@ -1,0 +1,160 @@
+type item =
+  | Clause of Clause.t
+  | Query of Clause.lit list
+
+exception Parse_error of string * Lexer.position
+
+type state = { mutable toks : (Lexer.token * Lexer.position) list }
+
+let peek st =
+  match st.toks with
+  | [] -> (Lexer.Eof, { Lexer.line = 0; col = 0 })
+  | t :: _ -> t
+
+let next st =
+  let t = peek st in
+  (match st.toks with [] -> () | _ :: rest -> st.toks <- rest);
+  t
+
+let expect st tok =
+  let got, pos = next st in
+  if got <> tok then
+    raise
+      (Parse_error
+         ( Format.asprintf "expected %a but found %a" Lexer.pp_token tok
+             Lexer.pp_token got,
+           pos ))
+
+let parse_term st =
+  match next st with
+  | Lexer.Ident s, _ -> Term.const s
+  | Lexer.Variable s, _ -> Term.var s
+  | tok, pos ->
+    raise
+      (Parse_error
+         (Format.asprintf "expected a term but found %a" Lexer.pp_token tok, pos))
+
+let parse_atom_st st =
+  match next st with
+  | Lexer.Ident name, _ ->
+    (match peek st with
+    | Lexer.Lparen, _ ->
+      expect st Lexer.Lparen;
+      let rec args acc =
+        let t = parse_term st in
+        match peek st with
+        | Lexer.Comma, _ ->
+          ignore (next st);
+          args (t :: acc)
+        | _ ->
+          expect st Lexer.Rparen;
+          List.rev (t :: acc)
+      in
+      Atom.make name (args [])
+    | _ -> Atom.make name [])
+  | tok, pos ->
+    raise
+      (Parse_error
+         ( Format.asprintf "expected a predicate but found %a" Lexer.pp_token tok,
+           pos ))
+
+let parse_lit st =
+  match peek st with
+  | Lexer.Not, _ ->
+    ignore (next st);
+    Clause.Neg (parse_atom_st st)
+  | _ -> Clause.Pos (parse_atom_st st)
+
+let parse_body st =
+  let rec loop acc =
+    let l = parse_lit st in
+    match peek st with
+    | Lexer.Comma, _ ->
+      ignore (next st);
+      loop (l :: acc)
+    | _ -> List.rev (l :: acc)
+  in
+  loop []
+
+let parse_item st =
+  match peek st with
+  | Lexer.Query, _ ->
+    ignore (next st);
+    let body = parse_body st in
+    expect st Lexer.Dot;
+    Query body
+  | _ ->
+    let head = parse_atom_st st in
+    (match peek st with
+    | Lexer.Turnstile, _ ->
+      ignore (next st);
+      let body = parse_body st in
+      expect st Lexer.Dot;
+      Clause (Clause.make head body)
+    | _ ->
+      expect st Lexer.Dot;
+      Clause (Clause.fact head))
+
+let parse_program input =
+  let st = { toks = Lexer.tokenize input } in
+  let rec loop acc =
+    match peek st with
+    | Lexer.Eof, _ -> List.rev acc
+    | _ -> loop (parse_item st :: acc)
+  in
+  loop []
+
+let only_eof st =
+  match peek st with
+  | Lexer.Eof, _ -> ()
+  | tok, pos ->
+    raise
+      (Parse_error
+         (Format.asprintf "trailing input: %a" Lexer.pp_token tok, pos))
+
+let parse_clause input =
+  let st = { toks = Lexer.tokenize input } in
+  match parse_item st with
+  | Clause c ->
+    only_eof st;
+    c
+  | Query _ ->
+    raise (Parse_error ("expected a clause, found a query", { line = 1; col = 1 }))
+
+let parse_clauses input =
+  List.map
+    (function
+      | Clause c -> c
+      | Query _ ->
+        raise
+          (Parse_error ("unexpected query in clause list", { line = 1; col = 1 })))
+    (parse_program input)
+
+let parse_atom input =
+  let st = { toks = Lexer.tokenize input } in
+  let a = parse_atom_st st in
+  only_eof st;
+  a
+
+let parse_query input =
+  let st = { toks = Lexer.tokenize input } in
+  (match peek st with
+  | Lexer.Query, _ -> ignore (next st)
+  | _ -> ());
+  let body = parse_body st in
+  (match peek st with Lexer.Dot, _ -> ignore (next st) | _ -> ());
+  only_eof st;
+  body
+
+let parse_kb input =
+  let items = parse_program input in
+  let rules, facts, queries =
+    List.fold_left
+      (fun (rules, facts, queries) item ->
+        match item with
+        | Clause c when Clause.is_fact c -> (rules, c.Clause.head :: facts, queries)
+        | Clause c -> (c :: rules, facts, queries)
+        | Query q -> (rules, facts, q :: queries))
+      ([], [], []) items
+  in
+  (List.rev rules, List.rev facts, List.rev queries)

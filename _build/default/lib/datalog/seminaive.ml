@@ -1,0 +1,113 @@
+exception Unstratifiable of Symbol.t list
+
+(* Evaluate a rule body left to right over [total], threading substitutions.
+   When [delta] is given, the positive literal at [delta_pos] is matched
+   against it instead (the semi-naive decomposition). Negative literals test
+   the ground instance against [total]; stratification guarantees their
+   predicates are already complete. *)
+let eval_rule ~total ?delta_at clause =
+  let results = ref [] in
+  let rec go idx pos_idx subst = function
+    | [] -> results := Subst.apply_atom subst clause.Clause.head :: !results
+    | Clause.Pos atom :: rest ->
+      let pattern = Subst.apply_atom subst atom in
+      let source =
+        match delta_at with
+        | Some (j, delta) when pos_idx = j -> delta
+        | _ -> total
+      in
+      List.iter
+        (fun (_fact, s_fact) ->
+          (* s_fact binds pattern variables to constants; merge into subst. *)
+          let merged =
+            List.fold_left
+              (fun acc (v, t) ->
+                match acc with
+                | None -> None
+                | Some s -> Subst.unify (Term.Var v) t s)
+              (Some subst) (Subst.to_alist s_fact)
+          in
+          match merged with
+          | Some s -> go (idx + 1) (pos_idx + 1) s rest
+          | None -> ())
+        (Database.matching source pattern)
+    | Clause.Neg atom :: rest ->
+      let ground = Subst.apply_atom subst atom in
+      if not (Atom.is_ground ground) then
+        invalid_arg
+          (Format.asprintf "Seminaive: unsafe negative literal %a" Atom.pp
+             ground);
+      if not (Database.mem total ground) then go (idx + 1) pos_idx subst rest
+  in
+  (match delta_at with
+  | Some (_, delta) when Database.size delta = 0 -> ()
+  | _ -> go 0 0 Subst.empty clause.Clause.body);
+  !results
+
+let positive_positions clause in_stratum =
+  let rec go pos_idx acc = function
+    | [] -> List.rev acc
+    | Clause.Pos atom :: rest ->
+      let acc = if in_stratum atom.Atom.pred then pos_idx :: acc else acc in
+      go (pos_idx + 1) acc rest
+    | Clause.Neg _ :: rest -> go pos_idx acc rest
+  in
+  go 0 [] clause.Clause.body
+
+let model rulebase db =
+  (match Rulebase.check_safe rulebase with
+  | Ok () -> ()
+  | Error ((c, _) :: _) ->
+    invalid_arg
+      (Format.asprintf "Seminaive: unsafe rule %a" Clause.pp c)
+  | Error [] -> assert false);
+  let strata =
+    match Rulebase.stratify rulebase with
+    | Ok s -> s
+    | Error preds -> raise (Unstratifiable preds)
+  in
+  let total = Database.copy db in
+  List.iter
+    (fun stratum ->
+      let in_stratum p = List.exists (Symbol.equal p) stratum in
+      let rules =
+        List.filter
+          (fun c -> in_stratum c.Clause.head.Atom.pred)
+          (Rulebase.to_list rulebase)
+      in
+      (* First round: naive evaluation over everything known so far. *)
+      let delta = Database.create () in
+      List.iter
+        (fun clause ->
+          List.iter
+            (fun fact ->
+              if Database.add total fact then ignore (Database.add delta fact))
+            (eval_rule ~total clause))
+        rules;
+      (* Subsequent rounds: only join through the last round's delta. *)
+      let current = ref delta in
+      while Database.size !current > 0 do
+        let next = Database.create () in
+        List.iter
+          (fun clause ->
+            List.iter
+              (fun j ->
+                List.iter
+                  (fun fact ->
+                    if Database.add total fact then
+                      ignore (Database.add next fact))
+                  (eval_rule ~total ~delta_at:(j, !current) clause))
+              (positive_positions clause in_stratum))
+          rules;
+        current := next
+      done)
+    strata;
+  total
+
+let query rulebase db pattern =
+  let m = model rulebase db in
+  Database.matching m pattern |> List.map fst |> List.sort_uniq Atom.compare
+
+let holds rulebase db atom =
+  if not (Atom.is_ground atom) then invalid_arg "Seminaive.holds: non-ground";
+  Database.mem (model rulebase db) atom

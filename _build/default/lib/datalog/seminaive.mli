@@ -1,0 +1,21 @@
+(** Bottom-up semi-naive evaluation with stratified negation.
+
+    This is the reference engine: it computes the full minimal model (per
+    stratum), so its answers are ground truth against which the satisficing
+    SLD engine — and therefore every strategy execution — is cross-checked
+    in the test suite. *)
+
+exception Unstratifiable of Symbol.t list
+
+(** [model rulebase db] returns a new database containing [db]'s facts plus
+    every derivable IDB fact. [db] itself is not modified.
+    Raises [Unstratifiable] if negation cannot be stratified, and
+    [Invalid_argument] if some rule is not range-restricted. *)
+val model : Rulebase.t -> Database.t -> Database.t
+
+(** [query rulebase db pattern] — all ground instances of [pattern] in the
+    model, sorted. *)
+val query : Rulebase.t -> Database.t -> Atom.t -> Atom.t list
+
+(** [holds rulebase db atom] — is the ground atom in the model? *)
+val holds : Rulebase.t -> Database.t -> Atom.t -> bool

@@ -1,0 +1,156 @@
+type stats = {
+  mutable reductions : int;
+  mutable retrievals : int;
+  mutable retrieval_hits : int;
+  mutable naf_calls : int;
+  mutable truncated : bool;
+}
+
+let fresh_stats () =
+  {
+    reductions = 0;
+    retrievals = 0;
+    retrieval_hits = 0;
+    naf_calls = 0;
+    truncated = false;
+  }
+
+type config = {
+  rulebase : Rulebase.t;
+  db : Database.t;
+  rule_order : Atom.t -> Clause.t list -> Clause.t list;
+  depth_limit : int;
+}
+
+let config ?(rule_order = fun _ rules -> rules) ?(depth_limit = 512) ~rulebase
+    ~db () =
+  { rulebase; db; rule_order; depth_limit }
+
+exception Floundering of Atom.t
+
+(* Select the first literal that is ready to run: any positive literal, or a
+   negative literal that is ground under [s]. Returns the literal and the
+   remaining goals (order otherwise preserved). *)
+let select s goals =
+  let rec go acc = function
+    | [] -> None
+    | (Clause.Pos _ as l) :: rest -> Some (l, List.rev_append acc rest)
+    | (Clause.Neg a as l) :: rest ->
+      if Atom.is_ground (Subst.apply_atom s a) then
+        Some (l, List.rev_append acc rest)
+      else go (l :: acc) rest
+  in
+  go [] goals
+
+let goal_vars goals =
+  List.fold_left
+    (fun acc l -> Term.Var_set.union acc (Atom.var_set (Clause.lit_atom l)))
+    Term.Var_set.empty goals
+
+(* The solver: returns a lazy sequence of substitutions extending [s] that
+   prove [goals]. [gen] is a mutable fresh-generation counter shared across
+   the whole derivation so standardized-apart clauses never collide. *)
+let rec prove cfg stats gen depth s goals : Subst.t Seq.t =
+  match goals with
+  | [] -> Seq.return s
+  | _ -> (
+    if depth > cfg.depth_limit then begin
+      stats.truncated <- true;
+      Seq.empty
+    end
+    else
+      match select s goals with
+      | None ->
+        (* Only non-ground negative literals remain: floundering. *)
+        let atom =
+          match goals with
+          | Clause.Neg a :: _ -> Subst.apply_atom s a
+          | _ -> assert false
+        in
+        raise (Floundering atom)
+      | Some (Clause.Pos atom, rest) ->
+        let atom = Subst.apply_atom s atom in
+        let has_rules = Rulebase.rules_for cfg.rulebase atom.Atom.pred <> [] in
+        let has_facts =
+          Database.count_pred cfg.db (Symbol.to_string atom.Atom.pred) > 0
+        in
+        let from_facts () =
+          (* Database retrieval: a satisficing engine pays for the attempt
+             whether or not it succeeds (Section 2.1 blocking semantics).
+             A purely intensional predicate (rules, no facts) is not a
+             retrieval at all — skip the probe so cost statistics match the
+             paper's inference-graph model. *)
+          if has_rules && not has_facts then Seq.empty
+          else begin
+          stats.retrievals <- stats.retrievals + 1;
+          let matches = Database.matching cfg.db atom in
+          if matches <> [] then stats.retrieval_hits <- stats.retrieval_hits + 1;
+          List.to_seq matches
+          |> Seq.filter_map (fun (_fact, s_fact) ->
+                 (* Merge the fact bindings into [s]. *)
+                 List.fold_left
+                   (fun acc (v, t) ->
+                     match acc with
+                     | None -> None
+                     | Some s -> Subst.unify (Term.Var v) t s)
+                   (Some s) (Subst.to_alist s_fact))
+          |> Seq.concat_map (fun s' -> prove cfg stats gen depth s' rest)
+          end
+        in
+        let from_rules () =
+          let rules =
+            cfg.rule_order atom (Rulebase.rules_for cfg.rulebase atom.Atom.pred)
+          in
+          List.to_seq rules
+          |> Seq.concat_map (fun clause ->
+                 incr gen;
+                 let clause = Clause.rename !gen clause in
+                 match Subst.unify_atoms clause.Clause.head atom s with
+                 | None -> Seq.empty
+                 | Some s' ->
+                   stats.reductions <- stats.reductions + 1;
+                   prove cfg stats gen (depth + 1) s'
+                     (clause.Clause.body @ rest))
+        in
+        Seq.append (from_facts ()) (from_rules ())
+      | Some (Clause.Neg atom, rest) ->
+        let atom = Subst.apply_atom s atom in
+        stats.naf_calls <- stats.naf_calls + 1;
+        let holds =
+          (* Sub-proof for the NAF test; shares counters and depth budget. *)
+          not
+            (Seq.is_empty
+               (prove cfg stats gen (depth + 1) Subst.empty [ Clause.Pos atom ]))
+        in
+        if holds then Seq.empty else prove cfg stats gen depth s rest)
+
+let solve_seq cfg stats goals =
+  let vars = goal_vars goals in
+  let gen = ref 0 in
+  prove cfg stats gen 0 Subst.empty goals
+  |> Seq.map (fun s -> Subst.restrict vars s)
+
+let solve_first cfg goals =
+  let stats = fresh_stats () in
+  match (solve_seq cfg stats goals) () with
+  | Seq.Nil -> (None, stats)
+  | Seq.Cons (s, _) -> (Some s, stats)
+
+let solve_all ?limit cfg goals =
+  let stats = fresh_stats () in
+  let seen = Hashtbl.create 16 in
+  let seq =
+    solve_seq cfg stats goals
+    |> Seq.filter (fun s ->
+           let key = Format.asprintf "%a" Subst.pp s in
+           if Hashtbl.mem seen key then false
+           else begin
+             Hashtbl.add seen key ();
+             true
+           end)
+  in
+  let seq = match limit with Some n -> Seq.take n seq | None -> seq in
+  (List.of_seq seq, stats)
+
+let provable cfg goals =
+  match solve_first cfg goals with Some _, _ -> true | None, _ -> false

@@ -1,0 +1,56 @@
+(** Top-down SLD(NF) resolution — the paper's query processor substrate.
+
+    The engine performs satisficing search (Simon & Kadane's term, used
+    throughout the paper): [solve_first] stops at the first success node.
+    The order in which rules are considered — the heart of a strategy — is a
+    parameter ([rule_order]), so learned strategies plug in directly.
+
+    Negative literals are evaluated by negation as failure and are delayed
+    until ground; a derivation in which only non-ground negative literals
+    remain flounders and raises [Floundering].
+
+    Recursion is guarded by [depth_limit]; branches cut by the limit mark
+    [stats.truncated], so a failed proof with [truncated = true] is "unknown"
+    rather than "no". *)
+
+type stats = {
+  mutable reductions : int;        (** rule-arc traversals *)
+  mutable retrievals : int;        (** database retrieval attempts *)
+  mutable retrieval_hits : int;    (** successful retrievals *)
+  mutable naf_calls : int;         (** negation-as-failure subproofs *)
+  mutable truncated : bool;        (** some branch hit the depth limit *)
+}
+
+val fresh_stats : unit -> stats
+
+type config = {
+  rulebase : Rulebase.t;
+  db : Database.t;
+  rule_order : Atom.t -> Clause.t list -> Clause.t list;
+      (** Reorders the candidate rules for a goal; [Fun.flip Fun.const]-like
+          identity by default. This is the strategy hook. *)
+  depth_limit : int;  (** maximum resolution depth (default 512) *)
+}
+
+val config :
+  ?rule_order:(Atom.t -> Clause.t list -> Clause.t list) ->
+  ?depth_limit:int ->
+  rulebase:Rulebase.t ->
+  db:Database.t ->
+  unit ->
+  config
+
+exception Floundering of Atom.t
+
+(** Lazy stream of answer substitutions (restricted to the goal's
+    variables). [stats] is filled in as the stream is forced. *)
+val solve_seq : config -> stats -> Clause.lit list -> Subst.t Seq.t
+
+(** First answer, if any — satisficing search. *)
+val solve_first : config -> Clause.lit list -> (Subst.t option * stats)
+
+(** Up to [limit] answers (all, if omitted), de-duplicated. *)
+val solve_all : ?limit:int -> config -> Clause.lit list -> Subst.t list * stats
+
+(** [provable cfg goal] — is the ground/existential goal derivable? *)
+val provable : config -> Clause.lit list -> bool

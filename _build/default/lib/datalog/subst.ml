@@ -1,0 +1,85 @@
+type t = Term.t Term.Var_map.t
+
+let empty = Term.Var_map.empty
+let is_empty = Term.Var_map.is_empty
+let size = Term.Var_map.cardinal
+let find v s = Term.Var_map.find_opt v s
+
+let walk s t =
+  match t with
+  | Term.Const _ -> t
+  | Term.Var v -> ( match find v s with Some t' -> t' | None -> t)
+
+let bind v t s =
+  let t = walk s t in
+  match t with
+  | Term.Var v' when Term.equal_var v v' -> s
+  | _ -> (
+    match find v s with
+    | Some existing when Term.equal existing t -> s
+    | Some _ -> invalid_arg "Subst.bind: variable already bound"
+    | None ->
+      (* Keep the substitution idempotent: rewrite existing bindings that
+         mention [v]. Datalog terms are flat, so one pass suffices. *)
+      let s =
+        Term.Var_map.map
+          (fun bound ->
+            match bound with
+            | Term.Var v' when Term.equal_var v v' -> t
+            | _ -> bound)
+          s
+      in
+      Term.Var_map.add v t s)
+
+let apply s t = walk s t
+let apply_atom s a = { a with Atom.args = List.map (walk s) a.Atom.args }
+
+let unify a b s =
+  let a = walk s a and b = walk s b in
+  match (a, b) with
+  | Term.Const x, Term.Const y -> if Symbol.equal x y then Some s else None
+  | Term.Var v, t | t, Term.Var v ->
+    (* [t] may be the same variable; [bind] handles that. *)
+    Some (bind v t s)
+
+let unify_atoms a b s =
+  if
+    (not (Symbol.equal a.Atom.pred b.Atom.pred))
+    || List.length a.Atom.args <> List.length b.Atom.args
+  then None
+  else
+    List.fold_left2
+      (fun acc ta tb ->
+        match acc with None -> None | Some s -> unify ta tb s)
+      (Some s) a.Atom.args b.Atom.args
+
+let match_atom ~pattern ~ground s =
+  if
+    (not (Symbol.equal pattern.Atom.pred ground.Atom.pred))
+    || List.length pattern.Atom.args <> List.length ground.Atom.args
+  then None
+  else
+    List.fold_left2
+      (fun acc tp tg ->
+        match acc with
+        | None -> None
+        | Some s -> (
+          match (walk s tp, tg) with
+          | Term.Const x, Term.Const y ->
+            if Symbol.equal x y then Some s else None
+          | Term.Var v, (Term.Const _ as t) -> Some (bind v t s)
+          | _, Term.Var _ -> invalid_arg "Subst.match_atom: ground side not ground"))
+      (Some s) pattern.Atom.args ground.Atom.args
+
+let restrict vars s = Term.Var_map.filter (fun v _ -> Term.Var_set.mem v vars) s
+let to_alist s = Term.Var_map.bindings s
+
+let equal a b = Term.Var_map.equal Term.equal a b
+
+let pp ppf s =
+  let pairs = to_alist s in
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf (v, t) -> Format.fprintf ppf "%a=%a" Term.pp_var v Term.pp t))
+    pairs

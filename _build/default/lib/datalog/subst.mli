@@ -1,0 +1,43 @@
+(** Substitutions and unification.
+
+    A substitution maps variables to terms. Bindings are idempotent by
+    construction: [bind] resolves the term fully before storing it, so
+    [apply] never needs to chase chains. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val size : t -> int
+
+(** [find v s] is the binding of [v], if any. *)
+val find : Term.var -> t -> Term.t option
+
+(** Resolve a term through the substitution (single step suffices because
+    bindings are kept fully resolved). *)
+val walk : t -> Term.t -> Term.t
+
+(** [bind v t s] adds the binding [v -> walk s t]. Binding a variable to
+    itself returns [s] unchanged. Raises [Invalid_argument] if [v] is
+    already bound to a different term. *)
+val bind : Term.var -> Term.t -> t -> t
+
+val apply : t -> Term.t -> Term.t
+val apply_atom : t -> Atom.t -> Atom.t
+
+(** [unify a b s] extends [s] to make [a] and [b] equal, if possible. *)
+val unify : Term.t -> Term.t -> t -> t option
+
+val unify_atoms : Atom.t -> Atom.t -> t -> t option
+
+(** [match_atom ~pattern ~ground s] one-way matching: only variables of
+    [pattern] may be bound. Used for database lookup where the fact is
+    ground. *)
+val match_atom : pattern:Atom.t -> ground:Atom.t -> t -> t option
+
+(** [restrict vars s] keeps only the bindings of the given variables. *)
+val restrict : Term.Var_set.t -> t -> t
+
+val to_alist : t -> (Term.var * Term.t) list
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

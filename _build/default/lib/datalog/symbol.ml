@@ -1,0 +1,21 @@
+type t = { id : int; name : string }
+
+let table : (string, t) Hashtbl.t = Hashtbl.create 1024
+let next = ref 0
+
+let intern name =
+  match Hashtbl.find_opt table name with
+  | Some s -> s
+  | None ->
+    let s = { id = !next; name } in
+    incr next;
+    Hashtbl.add table name s;
+    s
+
+let to_string s = s.name
+let id s = s.id
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+let hash s = s.id
+let pp ppf s = Format.pp_print_string ppf s.name
+let count () = !next

@@ -1,0 +1,24 @@
+(** Interned identifiers.
+
+    Predicate names and constants are interned into a global table so that
+    equality and comparison are integer operations; fact stores and rule
+    indexes rely on this. Interning is append-only and thread-unsafe (the
+    whole library is single-threaded, as is the paper's setting). *)
+
+type t
+
+(** Intern a string (idempotent). *)
+val intern : string -> t
+
+val to_string : t -> string
+
+(** Integer identity, stable within a process run. *)
+val id : t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+(** Number of distinct symbols interned so far. *)
+val count : unit -> int

@@ -1,0 +1,54 @@
+type var = { name : string; gen : int }
+
+type t =
+  | Const of Symbol.t
+  | Var of var
+
+let const s = Const (Symbol.intern s)
+let var name = Var { name; gen = 0 }
+
+let is_const = function Const _ -> true | Var _ -> false
+let is_var = function Var _ -> true | Const _ -> false
+
+let equal_var a b = a.gen = b.gen && String.equal a.name b.name
+
+let compare_var a b =
+  match String.compare a.name b.name with
+  | 0 -> Int.compare a.gen b.gen
+  | c -> c
+
+let equal a b =
+  match (a, b) with
+  | Const x, Const y -> Symbol.equal x y
+  | Var x, Var y -> equal_var x y
+  | Const _, Var _ | Var _, Const _ -> false
+
+let compare a b =
+  match (a, b) with
+  | Const x, Const y -> Symbol.compare x y
+  | Var x, Var y -> compare_var x y
+  | Const _, Var _ -> -1
+  | Var _, Const _ -> 1
+
+let rename gen = function
+  | Const _ as t -> t
+  | Var v -> Var { v with gen }
+
+let pp_var ppf v =
+  if v.gen = 0 then Format.pp_print_string ppf v.name
+  else Format.fprintf ppf "%s_%d" v.name v.gen
+
+let pp ppf = function
+  | Const s -> Symbol.pp ppf s
+  | Var v -> pp_var ppf v
+
+let to_string t = Format.asprintf "%a" pp t
+
+module Var_ord = struct
+  type t = var
+
+  let compare = compare_var
+end
+
+module Var_map = Map.Make (Var_ord)
+module Var_set = Set.Make (Var_ord)

@@ -1,0 +1,33 @@
+(** Datalog terms: constants and variables (no function symbols). *)
+
+(** A variable has a source name and a renaming generation: generation 0 is a
+    variable as written in the source program; higher generations are created
+    by [rename] when a rule is used in a resolution step, so distinct rule
+    instances never capture each other's variables. *)
+type var = { name : string; gen : int }
+
+type t =
+  | Const of Symbol.t
+  | Var of var
+
+val const : string -> t
+
+(** A source-program variable (generation 0). *)
+val var : string -> t
+
+val is_const : t -> bool
+val is_var : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val equal_var : var -> var -> bool
+val compare_var : var -> var -> int
+
+(** [rename gen t] lifts every variable in [t] to generation [gen]. *)
+val rename : int -> t -> t
+
+val pp : Format.formatter -> t -> unit
+val pp_var : Format.formatter -> var -> unit
+val to_string : t -> string
+
+module Var_map : Map.S with type key = var
+module Var_set : Set.S with type elt = var

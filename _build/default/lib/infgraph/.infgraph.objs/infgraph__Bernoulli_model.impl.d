@@ -1,0 +1,1 @@
+lib/infgraph/bernoulli_model.ml: Array Context Graph List Printf Stats

@@ -1,0 +1,1 @@
+lib/infgraph/bernoulli_model.mli: Context Graph Stats

@@ -1,0 +1,1 @@
+lib/infgraph/build.ml: Datalog Format Graph Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/infgraph/build.mli: Datalog Graph

@@ -1,0 +1,1 @@
+lib/infgraph/context.ml: Array Datalog Format Graph List Printf String

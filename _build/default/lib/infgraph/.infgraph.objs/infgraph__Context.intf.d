@@ -1,0 +1,1 @@
+lib/infgraph/context.mli: Datalog Format Graph

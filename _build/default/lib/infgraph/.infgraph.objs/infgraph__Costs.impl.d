@@ -1,0 +1,1 @@
+lib/infgraph/costs.ml: Array Graph List

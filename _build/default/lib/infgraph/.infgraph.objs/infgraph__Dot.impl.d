@@ -1,0 +1,1 @@
+lib/infgraph/dot.ml: Buffer Fun Graph List Printf String

@@ -1,0 +1,1 @@
+lib/infgraph/dot.mli: Graph

@@ -1,0 +1,1 @@
+lib/infgraph/graph.ml: Array Datalog Format List Printf String

@@ -1,0 +1,1 @@
+lib/infgraph/graph.mli: Datalog Format

@@ -1,0 +1,1 @@
+lib/infgraph/hypergraph.ml: Datalog Float Format List Stats

@@ -1,0 +1,1 @@
+lib/infgraph/hypergraph.mli: Datalog Format Stats

@@ -1,0 +1,1 @@
+lib/infgraph/serial.ml: Array Bernoulli_model Buffer Datalog Format Fun Graph List Printf Scanf String

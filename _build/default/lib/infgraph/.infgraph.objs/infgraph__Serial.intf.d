@@ -1,0 +1,1 @@
+lib/infgraph/serial.mli: Bernoulli_model Graph

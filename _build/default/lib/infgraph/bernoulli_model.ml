@@ -1,0 +1,105 @@
+type t = { g : Graph.t; p : float array }
+
+let make g ~p =
+  if Array.length p <> Graph.n_arcs g then
+    invalid_arg "Bernoulli_model.make: array size mismatch";
+  let p =
+    Array.mapi
+      (fun id v ->
+        if not (Graph.arc g id).Graph.blockable then 1.0
+        else if v < 0. || v > 1. then
+          invalid_arg "Bernoulli_model.make: probability out of range"
+        else v)
+      p
+  in
+  { g; p }
+
+let uniform g p0 = make g ~p:(Array.make (Graph.n_arcs g) p0)
+
+let of_alist g assoc =
+  let p = Array.make (Graph.n_arcs g) 0.5 in
+  List.iter
+    (fun (label, v) ->
+      let a = Graph.arc_by_label g label in
+      p.(a.Graph.arc_id) <- v)
+    assoc;
+  make g ~p
+
+let graph t = t.g
+let prob t id = t.p.(id)
+let probs t = Array.copy t.p
+
+let set_prob t id v =
+  let p = Array.copy t.p in
+  p.(id) <- v;
+  make t.g ~p
+
+let sample t rng =
+  Context.make t.g
+    ~unblocked:(Array.map (fun p -> Stats.Rng.bernoulli rng p) t.p)
+
+let enumerate ?(max_experiments = 20) t =
+  let exps =
+    List.filter_map
+      (fun a ->
+        if a.Graph.blockable then Some a.Graph.arc_id else None)
+      (Graph.arcs t.g)
+  in
+  let k = List.length exps in
+  if k > max_experiments then
+    invalid_arg
+      (Printf.sprintf
+         "Bernoulli_model.enumerate: %d experiments exceed the limit %d" k
+         max_experiments);
+  let n = Graph.n_arcs t.g in
+  let rec go exps base prob_acc =
+    match exps with
+    | [] -> [ (Context.make t.g ~unblocked:(Array.copy base), prob_acc) ]
+    | e :: rest ->
+      let p = t.p.(e) in
+      let with_unblocked =
+        if p > 0. then begin
+          base.(e) <- true;
+          go rest base (prob_acc *. p)
+        end
+        else []
+      in
+      let with_blocked =
+        if p < 1. then begin
+          base.(e) <- false;
+          let r = go rest base (prob_acc *. (1. -. p)) in
+          base.(e) <- true;
+          r
+        end
+        else begin
+          base.(e) <- true;
+          []
+        end
+      in
+      with_unblocked @ with_blocked
+  in
+  go exps (Array.make n true) 1.0
+
+let rho t id =
+  List.fold_left (fun acc a -> acc *. t.p.(a)) 1.0 (Graph.path_above t.g id)
+
+let rec success_below_rec t id =
+  let a = Graph.arc t.g id in
+  match a.Graph.kind with
+  | Graph.Retrieval -> t.p.(id)
+  | Graph.Reduction ->
+    let below =
+      List.fold_left
+        (fun fail c -> fail *. (1. -. success_below_rec t c))
+        1.0
+        (Graph.children t.g a.Graph.dst)
+    in
+    t.p.(id) *. (1. -. below)
+
+let success_below = success_below_rec
+
+let failure_prob t =
+  List.fold_left
+    (fun fail c -> fail *. (1. -. success_below t c))
+    1.0
+    (Graph.children t.g (Graph.root t.g))

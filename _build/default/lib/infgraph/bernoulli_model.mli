@@ -1,0 +1,51 @@
+(** The theory-side context distribution: independent arc successes.
+
+    The paper's Υ functions and Theorems 2/3 assume the success
+    probabilities of the experiments are independent of one another
+    (footnote 8, footnote 12). This module is that model: each blockable
+    arc [a] is unblocked with probability [p(a)], independently. It can
+    sample contexts, enumerate them exactly (for exact expected costs on
+    small graphs), and report the reachability probabilities ρ(e) of
+    Definition 2. *)
+
+type t
+
+(** [make g ~p] where [p.(arc_id)] is the probability that the arc is
+    unblocked. Entries for non-blockable arcs are forced to 1. Probabilities
+    must lie in [0, 1]. *)
+val make : Graph.t -> p:float array -> t
+
+(** [uniform g p0] gives every blockable arc probability [p0]. *)
+val uniform : Graph.t -> float -> t
+
+(** [of_alist g assoc] builds [p] from [(arc label, probability)] pairs;
+    unlisted blockable arcs get 0.5. *)
+val of_alist : Graph.t -> (string * float) list -> t
+
+val graph : t -> Graph.t
+val prob : t -> int -> float
+val probs : t -> float array
+
+(** Replace one probability (returns a new model). *)
+val set_prob : t -> int -> float -> t
+
+(** Draw a context. *)
+val sample : t -> Stats.Rng.t -> Context.t
+
+(** Exact enumeration of the (context, probability) pairs over the
+    blockable arcs. Raises [Invalid_argument] if there are more than
+    [max_experiments] (default 20) blockable arcs. *)
+val enumerate : ?max_experiments:int -> t -> (Context.t * float) list
+
+(** Definition 2's ρ(e): the probability that the experiment [e] is
+    reachable — i.e. that every arc strictly above it is unblocked (an
+    adaptive strategy can always aim at [e], so the max over strategies is
+    the product of the ancestors' success probabilities). *)
+val rho : t -> int -> float
+
+(** Probability that the whole search fails (no success node reachable). *)
+val failure_prob : t -> float
+
+(** Probability that a solution exists somewhere below the given arc
+    (counting the arc itself). *)
+val success_below : t -> int -> float

@@ -1,0 +1,116 @@
+module D = Datalog
+
+type t = { g : Graph.t; unblocked : bool array }
+
+let make g ~unblocked =
+  if Array.length unblocked <> Graph.n_arcs g then
+    invalid_arg "Context.make: array size mismatch";
+  let a =
+    Array.mapi
+      (fun id u -> (not (Graph.arc g id).Graph.blockable) || u)
+      unblocked
+  in
+  { g; unblocked = a }
+
+let all_blocked g = make g ~unblocked:(Array.make (Graph.n_arcs g) false)
+let all_unblocked g = make g ~unblocked:(Array.make (Graph.n_arcs g) true)
+
+let of_db g ~query ~db =
+  let root_goal =
+    match (Graph.node g (Graph.root g)).Graph.goal with
+    | Some goal -> goal
+    | None -> invalid_arg "Context.of_db: graph has no goal atoms"
+  in
+  let subst =
+    match D.Subst.unify_atoms root_goal query D.Subst.empty with
+    | Some s -> s
+    | None ->
+      invalid_arg
+        (Format.asprintf "Context.of_db: query %a does not match root goal %a"
+           D.Atom.pp query D.Atom.pp root_goal)
+  in
+  let unblocked =
+    Array.init (Graph.n_arcs g) (fun id ->
+        let a = Graph.arc g id in
+        if not a.Graph.blockable then true
+        else
+          match (a.Graph.kind, a.Graph.pattern) with
+          | Graph.Retrieval, Some pattern ->
+            let instance = D.Subst.apply_atom subst pattern in
+            D.Database.first_match db instance <> None
+          | Graph.Reduction, Some head ->
+            let goal =
+              match (Graph.node g a.Graph.src).Graph.goal with
+              | Some goal -> D.Subst.apply_atom subst goal
+              | None -> invalid_arg "Context.of_db: source node has no goal"
+            in
+            D.Subst.unify_atoms head goal D.Subst.empty <> None
+          | _, None ->
+            invalid_arg
+              (Printf.sprintf "Context.of_db: blockable arc %s has no pattern"
+                 a.Graph.label))
+  in
+  make g ~unblocked
+
+let unblocked t id = t.unblocked.(id)
+let blocked t id = not t.unblocked.(id)
+
+let unblocked_set t =
+  let acc = ref [] in
+  for id = Array.length t.unblocked - 1 downto 0 do
+    if t.unblocked.(id) then acc := id :: !acc
+  done;
+  !acc
+
+let equal a b = a.unblocked = b.unblocked
+
+let pp g ppf t =
+  let blocked_labels =
+    List.filter_map
+      (fun a ->
+        if t.unblocked.(a.Graph.arc_id) then None else Some a.Graph.label)
+      (Graph.arcs g)
+  in
+  Format.fprintf ppf "{blocked: %s}" (String.concat ", " blocked_labels)
+
+module Partial = struct
+  type full = t
+
+  type t = { g : Graph.t; state : bool option array }
+
+  let unknown g = { g; state = Array.make (Graph.n_arcs g) None }
+
+  let observe t ~arc_id ~unblocked =
+    match t.state.(arc_id) with
+    | None -> t.state.(arc_id) <- Some unblocked
+    | Some prev ->
+      if prev <> unblocked then
+        invalid_arg "Context.Partial.observe: conflicting observation"
+
+  let known t id = t.state.(id)
+
+  let pessimistic t =
+    make t.g
+      ~unblocked:
+        (Array.mapi
+           (fun id st ->
+             match st with
+             | Some v -> v
+             | None -> not (Graph.arc t.g id).Graph.blockable)
+           t.state)
+
+  let optimistic t =
+    make t.g
+      ~unblocked:
+        (Array.map (fun st -> match st with Some v -> v | None -> true) t.state)
+
+  let consistent t (full : full) =
+    let ok = ref true in
+    Array.iteri
+      (fun id st ->
+        match st with
+        | Some v -> if full.unblocked.(id) <> v then ok := false
+        | None -> ())
+      t.state;
+    !ok
+end

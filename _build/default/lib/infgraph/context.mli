@@ -1,0 +1,63 @@
+(** Query-processing contexts (Section 2.1, Note 2).
+
+    A context I = ⟨q, DB⟩ determines, for each blockable arc, whether it is
+    blocked. Since the cost of running any strategy on a context depends
+    only on that blocked set, contexts are represented as the Note 2
+    equivalence classes: a boolean per arc ([true] = traversable).
+
+    [of_db] derives the blocked set of a concrete ⟨query, database⟩ pair for
+    a graph built from a knowledge base; [Partial] represents the learner's
+    incomplete knowledge after watching one execution, with the pessimistic
+    and optimistic completions used by the Δ̃ / Δ̂ estimates. *)
+
+type t
+
+(** [make g ~unblocked] — [unblocked.(arc_id)] says the arc is traversable.
+    Entries for non-blockable arcs are forced to [true]. *)
+val make : Graph.t -> unblocked:bool array -> t
+
+(** Every blockable arc blocked / unblocked. *)
+val all_blocked : Graph.t -> t
+val all_unblocked : Graph.t -> t
+
+(** [of_db g ~query ~db] instantiates the graph's patterns with the query
+    and tests each blockable arc against the database: a retrieval arc is
+    unblocked iff some fact matches its instantiated pattern; a blockable
+    reduction arc is unblocked iff its [pattern] (the rule-head instance)
+    unifies with the instantiated goal of its source node.
+    Raises [Invalid_argument] if the graph has no goal atom at the root or
+    the query does not unify with it. *)
+val of_db : Graph.t -> query:Datalog.Atom.t -> db:Datalog.Database.t -> t
+
+val unblocked : t -> int -> bool
+val blocked : t -> int -> bool
+
+(** Arcs ids that are unblocked (including non-blockable arcs). *)
+val unblocked_set : t -> int list
+
+val equal : t -> t -> bool
+val pp : Graph.t -> Format.formatter -> t -> unit
+
+(** Partially observed contexts. *)
+module Partial : sig
+  type full := t
+  type t
+
+  (** Nothing observed. *)
+  val unknown : Graph.t -> t
+
+  (** Record an observation for an arc. Conflicting re-observation raises
+      [Invalid_argument] (contexts are fixed within a run). *)
+  val observe : t -> arc_id:int -> unblocked:bool -> unit
+
+  val known : t -> int -> bool option
+
+  (** Pessimistic completion: unobserved blockable arcs are blocked. *)
+  val pessimistic : t -> full
+
+  (** Optimistic completion: unobserved arcs are unblocked. *)
+  val optimistic : t -> full
+
+  (** Is [full] consistent with the observations? *)
+  val consistent : t -> full -> bool
+end

@@ -1,0 +1,63 @@
+let f g a = (Graph.arc g a).Graph.cost
+
+let total g =
+  List.fold_left (fun acc a -> acc +. a.Graph.cost) 0. (Graph.arcs g)
+
+let compute_f_star g =
+  let n = Graph.n_arcs g in
+  let out = Array.make n 0. in
+  let memo = Array.make n None in
+  let rec go id =
+    match memo.(id) with
+    | Some v -> v
+    | None ->
+      let a = Graph.arc g id in
+      let below =
+        List.fold_left (fun acc c -> acc +. go c) 0. (Graph.children g a.dst)
+      in
+      let v = a.Graph.cost +. below in
+      memo.(id) <- Some v;
+      v
+  in
+  for id = 0 to n - 1 do
+    out.(id) <- go id
+  done;
+  out
+
+(* Graphs are immutable after Builder.finish, so the per-graph arrays are
+   memoized (keyed by physical identity; one-slot cache — the learners
+   work one graph at a time). Callers receive a copy so the cache cannot
+   be corrupted. *)
+let f_star_cache : (Graph.t * float array) option ref = ref None
+
+let f_star_all g =
+  let arr =
+    match !f_star_cache with
+    | Some (g', arr) when g' == g -> arr
+    | _ ->
+      let arr = compute_f_star g in
+      f_star_cache := Some (g, arr);
+      arr
+  in
+  Array.copy arr
+
+let f_star g id = (f_star_all g).(id)
+
+let f_not_all g =
+  let tot = total g in
+  let stars = f_star_all g in
+  let n = Graph.n_arcs g in
+  Array.init n (fun id ->
+      let above =
+        List.fold_left (fun acc a -> acc +. f g a) 0. (Graph.path_above g id)
+      in
+      tot -. above -. stars.(id))
+
+let f_not g id = (f_not_all g).(id)
+
+let lambda_swap g r1 r2 =
+  let a1 = Graph.arc g r1 and a2 = Graph.arc g r2 in
+  if a1.Graph.src <> a2.Graph.src then
+    invalid_arg "Costs.lambda_swap: arcs are not siblings";
+  let stars = f_star_all g in
+  stars.(r1) +. stars.(r2)

@@ -1,0 +1,33 @@
+(** Cost functions over inference graphs (Note 5 of the paper).
+
+    - [f] is the arc cost itself;
+    - [f_star a] = sum of the costs of [a] and every arc below it;
+    - [f_not a] ("F¬") = total cost of the arcs on the paths {e other} than
+      the paths on which [a] appears — i.e. everything outside
+      [path_to a ∪ subtree a];
+    - [lambda_swap] = the range Λ of the cost difference between a strategy
+      and its sibling-swap neighbour, [f*(r1) + f*(r2)] (Section 3.2). *)
+
+val f : Graph.t -> int -> float
+
+(** Sum of all arc costs in the graph. *)
+val total : Graph.t -> float
+
+(** [f_star g a] — cost of the subtree hanging from arc [a], including [a].
+    O(1) after the first call (computed once for all arcs). *)
+val f_star : Graph.t -> int -> float
+
+(** [f_not g a] — Note 5's F¬: [total g] minus the costs of the arcs on
+    [path_to a] and in [subtree_arcs a]. *)
+val f_not : Graph.t -> int -> float
+
+(** [lambda_swap g r1 r2] — the range Λ[Θ, Θ'] when Θ' swaps sibling arcs
+    [r1] and [r2]: [f_star r1 +. f_star r2].
+    Raises [Invalid_argument] if the arcs are not siblings. *)
+val lambda_swap : Graph.t -> int -> int -> float
+
+(** All [f*] values, indexed by arc id (fresh array). *)
+val f_star_all : Graph.t -> float array
+
+(** All [F¬] values, indexed by arc id (fresh array). *)
+val f_not_all : Graph.t -> float array

@@ -1,0 +1,42 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      if c = '"' || c = '\\' then Buffer.add_char buf '\\';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_string ?(name = "inference_graph") g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" (escape name));
+  Buffer.add_string buf "  rankdir=TB;\n  node [fontname=\"Helvetica\"];\n";
+  List.iter
+    (fun n ->
+      let shape = if n.Graph.success then "box" else "ellipse" in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\", shape=%s];\n" n.Graph.node_id
+           (escape n.Graph.name) shape))
+    (Graph.nodes g);
+  List.iter
+    (fun a ->
+      let style =
+        match (a.Graph.kind, a.Graph.blockable) with
+        | Graph.Retrieval, _ -> "dashed"
+        | Graph.Reduction, true -> "dotted"
+        | Graph.Reduction, false -> "solid"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -> n%d [label=\"%s (%g)\", style=%s];\n"
+           a.Graph.src a.Graph.dst (escape a.Graph.label) a.Graph.cost style))
+    (Graph.arcs g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let to_channel ?name oc g = output_string oc (to_string ?name g)
+
+let to_file ?name path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> to_channel ?name oc g)

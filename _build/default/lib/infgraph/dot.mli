@@ -1,0 +1,8 @@
+(** Graphviz export — regenerates the paper's Figure 1 / Figure 2 drawings.
+
+    Success nodes are drawn as boxes (as in the paper); retrieval arcs are
+    dashed; blockable reduction arcs ("experiments") are dotted. *)
+
+val to_string : ?name:string -> Graph.t -> string
+val to_channel : ?name:string -> out_channel -> Graph.t -> unit
+val to_file : ?name:string -> string -> Graph.t -> unit

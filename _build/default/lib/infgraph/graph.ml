@@ -1,0 +1,179 @@
+type kind =
+  | Reduction
+  | Retrieval
+
+type arc = {
+  arc_id : int;
+  src : int;
+  dst : int;
+  kind : kind;
+  label : string;
+  cost : float;
+  blockable : bool;
+  pattern : Datalog.Atom.t option;
+}
+
+type node = {
+  node_id : int;
+  name : string;
+  success : bool;
+  goal : Datalog.Atom.t option;
+}
+
+type t = {
+  nodes : node array;
+  arcs : arc array;
+  root : int;
+  children : int list array;
+  parent_arc : int option array;
+}
+
+let root t = t.root
+let node t i = t.nodes.(i)
+let arc t i = t.arcs.(i)
+let n_nodes t = Array.length t.nodes
+let n_arcs t = Array.length t.arcs
+let nodes t = Array.to_list t.nodes
+let arcs t = Array.to_list t.arcs
+let children t i = t.children.(i)
+let parent_arc t i = t.parent_arc.(i)
+
+let path_to t arc_id =
+  let rec up acc id =
+    let a = t.arcs.(id) in
+    let acc = id :: acc in
+    match t.parent_arc.(a.src) with None -> acc | Some p -> up acc p
+  in
+  up [] arc_id
+
+let path_above t arc_id =
+  match path_to t arc_id with
+  | [] -> []
+  | path -> List.filter (fun id -> id <> arc_id) path
+
+let subtree_arcs t arc_id =
+  let rec down acc id =
+    let a = t.arcs.(id) in
+    List.fold_left down (id :: acc) (t.children.(a.dst))
+  in
+  List.rev (down [] arc_id)
+
+let retrievals t =
+  List.filter (fun a -> a.kind = Retrieval) (Array.to_list t.arcs)
+
+let experiments t = List.filter (fun a -> a.blockable) (Array.to_list t.arcs)
+
+let leaf_paths t = List.map (fun a -> path_to t a.arc_id) (retrievals t)
+
+let simple_disjunctive t =
+  Array.for_all (fun a -> a.kind = Retrieval || not a.blockable) t.arcs
+
+let arc_by_label t label =
+  match Array.find_opt (fun a -> String.equal a.label label) t.arcs with
+  | Some a -> a
+  | None -> raise Not_found
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>graph (%d nodes, %d arcs, root=%s)@,"
+    (Array.length t.nodes) (Array.length t.arcs) t.nodes.(t.root).name;
+  Array.iter
+    (fun a ->
+      Format.fprintf ppf "  %s: %s -%s-> %s (cost %g%s)@,"
+        a.label t.nodes.(a.src).name
+        (match a.kind with Reduction -> "R" | Retrieval -> "D")
+        t.nodes.(a.dst).name a.cost
+        (if a.blockable then ", blockable" else ""))
+    t.arcs;
+  Format.fprintf ppf "@]"
+
+module Builder = struct
+  type b = {
+    mutable bnodes : node list; (* reversed *)
+    mutable barcs : arc list; (* reversed *)
+    mutable n_next : int;
+    mutable a_next : int;
+    broot : int;
+  }
+
+  let create ?goal name =
+    let root_node = { node_id = 0; name; success = false; goal } in
+    { bnodes = [ root_node ]; barcs = []; n_next = 1; a_next = 0; broot = 0 }
+
+  let root b = b.broot
+
+  let add_node_gen b ~success ?goal name =
+    let id = b.n_next in
+    b.n_next <- id + 1;
+    b.bnodes <- { node_id = id; name; success; goal } :: b.bnodes;
+    id
+
+  let add_node b ?goal name = add_node_gen b ~success:false ?goal name
+  let add_success b name = add_node_gen b ~success:true name
+
+  let add_arc b ~src ~dst ?(cost = 1.0) ?blockable ?pattern ?label kind =
+    if cost <= 0. then invalid_arg "Graph.Builder.add_arc: cost must be positive";
+    if src < 0 || src >= b.n_next || dst < 0 || dst >= b.n_next then
+      invalid_arg "Graph.Builder.add_arc: unknown node";
+    if dst = b.broot then invalid_arg "Graph.Builder.add_arc: arc into root";
+    if List.exists (fun a -> a.dst = dst) b.barcs then
+      invalid_arg "Graph.Builder.add_arc: node already has an incoming arc";
+    let dst_node = List.find (fun n -> n.node_id = dst) b.bnodes in
+    (match kind with
+    | Retrieval ->
+      if not dst_node.success then
+        invalid_arg "Graph.Builder.add_arc: retrieval must end in a success node"
+    | Reduction ->
+      if dst_node.success then
+        invalid_arg "Graph.Builder.add_arc: reduction into a success node");
+    let blockable =
+      match blockable with
+      | Some v ->
+        if kind = Retrieval && not v then
+          invalid_arg "Graph.Builder.add_arc: retrievals are always blockable"
+        else v
+      | None -> ( match kind with Retrieval -> true | Reduction -> false)
+    in
+    let id = b.a_next in
+    b.a_next <- id + 1;
+    let label =
+      match label with
+      | Some l -> l
+      | None ->
+        Printf.sprintf "%s%d"
+          (match kind with Reduction -> "R" | Retrieval -> "D")
+          id
+    in
+    b.barcs <- { arc_id = id; src; dst; kind; label; cost; blockable; pattern } :: b.barcs;
+    id
+
+  let add_retrieval b ~src ?cost ?pattern ?label () =
+    let name =
+      match label with Some l -> "[" ^ l ^ "]" | None -> "[success]"
+    in
+    let box = add_success b name in
+    add_arc b ~src ~dst:box ?cost ?pattern ?label Retrieval
+
+  let finish b =
+    let nodes = Array.of_list (List.rev b.bnodes) in
+    let arcs = Array.of_list (List.rev b.barcs) in
+    let children = Array.make (Array.length nodes) [] in
+    let parent = Array.make (Array.length nodes) None in
+    Array.iter
+      (fun a ->
+        children.(a.src) <- a.arc_id :: children.(a.src);
+        parent.(a.dst) <- Some a.arc_id)
+      arcs;
+    Array.iteri (fun i l -> children.(i) <- List.rev l) children;
+    (* Reachability and leaf checks. *)
+    Array.iter
+      (fun n ->
+        if n.node_id <> b.broot && parent.(n.node_id) = None then
+          invalid_arg
+            (Printf.sprintf "Graph.Builder.finish: node %S is unreachable" n.name);
+        if (not n.success) && children.(n.node_id) = [] then
+          invalid_arg
+            (Printf.sprintf
+               "Graph.Builder.finish: goal node %S has no outgoing arcs" n.name))
+      nodes;
+    { nodes; arcs; root = b.broot; children; parent_arc = parent }
+end

@@ -1,0 +1,135 @@
+(** Inference graphs (Section 2.1 of the paper).
+
+    An inference graph [G = (N, A, S, f)] has a node per atomic goal, an arc
+    per rule invocation ([Reduction]) or database retrieval ([Retrieval]),
+    a set of success nodes, and a positive cost per arc. This module
+    implements the tree-shaped class 𝒜𝒪𝒯 the paper's algorithms target:
+    every node except the root has exactly one incoming arc (enforced at
+    construction).
+
+    Blocking: an arc may be [blockable] — whether it can be traversed
+    depends on the context. Retrieval arcs are always blockable (the fact
+    may be absent). Reduction arcs are blockable only in "experiment"
+    graphs (Section 4.1, e.g. the [grad(fred) :- admitted(fred, X)] rule,
+    which is blocked unless the query constant is [fred]). Attempting an
+    arc always costs [f(arc)], traversable or not. Reaching a success node
+    ends the search (satisficing). *)
+
+type kind =
+  | Reduction
+  | Retrieval
+
+type arc = {
+  arc_id : int;
+  src : int;
+  dst : int;
+  kind : kind;
+  label : string;
+  cost : float;
+  blockable : bool;
+  pattern : Datalog.Atom.t option;
+      (** for graphs built from a knowledge base: the retrieval pattern
+          (retrievals) or the instantiated rule head (reductions), used to
+          decide blocking against a concrete database *)
+}
+
+type node = {
+  node_id : int;
+  name : string;
+  success : bool;
+  goal : Datalog.Atom.t option;  (** goal atom, for KB-derived graphs *)
+}
+
+type t
+
+(** {1 Accessors} *)
+
+val root : t -> int
+val node : t -> int -> node
+val arc : t -> int -> arc
+val n_nodes : t -> int
+val n_arcs : t -> int
+val nodes : t -> node list
+val arcs : t -> arc list
+
+(** Outgoing arc ids of a node, in canonical (construction) order. *)
+val children : t -> int -> int list
+
+(** The arc entering a node ([None] for the root). *)
+val parent_arc : t -> int -> int option
+
+(** Arc ids on the path from the root down to and including [arc_id]. *)
+val path_to : t -> int -> int list
+
+(** The paper's Π(e): the arcs strictly above [arc_id]. *)
+val path_above : t -> int -> int list
+
+(** Arc ids in the subtree rooted at the destination of [arc_id]. *)
+val subtree_arcs : t -> int -> int list
+
+(** All retrieval arcs, in canonical order. *)
+val retrievals : t -> arc list
+
+(** All blockable arcs ("probabilistic experiments"), canonical order. *)
+val experiments : t -> arc list
+
+(** Leaf-to-root paths: for each retrieval arc, [path_to]. Canonical order. *)
+val leaf_paths : t -> int list list
+
+(** Is every reduction arc non-blockable (the "simple disjunctive" class,
+    for which the Δ̃ underestimate is sound)? *)
+val simple_disjunctive : t -> bool
+
+(** Find an arc by label. Raises [Not_found]. *)
+val arc_by_label : t -> string -> arc
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Construction} *)
+
+module Builder : sig
+  type graph := t
+  type b
+
+  (** [create name] starts a graph whose root node is named [name]. *)
+  val create : ?goal:Datalog.Atom.t -> string -> b
+
+  val root : b -> int
+
+  (** Add an interior (goal) node. *)
+  val add_node : b -> ?goal:Datalog.Atom.t -> string -> int
+
+  (** Add a success (box) node. *)
+  val add_success : b -> string -> int
+
+  (** Add an arc. Child order at each node is the insertion order.
+      Retrieval arcs must end in success nodes; [blockable] defaults to
+      [true] for retrievals and [false] for reductions.
+      Raises [Invalid_argument] on a second incoming arc (non-tree),
+      non-positive cost, or a retrieval into a non-success node. *)
+  val add_arc :
+    b ->
+    src:int ->
+    dst:int ->
+    ?cost:float ->
+    ?blockable:bool ->
+    ?pattern:Datalog.Atom.t ->
+    ?label:string ->
+    kind ->
+    int
+
+  (** Convenience: add a retrieval arc plus its success box under [src]. *)
+  val add_retrieval :
+    b ->
+    src:int ->
+    ?cost:float ->
+    ?pattern:Datalog.Atom.t ->
+    ?label:string ->
+    unit ->
+    int
+
+  (** Validate and freeze. Raises [Invalid_argument] if some non-root node
+      is unreachable, or a non-success leaf exists (a goal with no way to
+      prove it would make every strategy equivalent below it). *)
+  val finish : b -> graph
+end

@@ -1,0 +1,223 @@
+module D = Datalog
+
+type t =
+  | Retrieve of { label : string; cost : float; prob : float }
+  | Goal of { label : string; choices : choice list }
+
+and choice = { hlabel : string; hcost : float; subgoals : t list }
+
+let retrieve ?(label = "retrieve") ~cost ~prob () =
+  if cost <= 0. then invalid_arg "Hypergraph.retrieve: cost must be positive";
+  if prob < 0. || prob > 1. then
+    invalid_arg "Hypergraph.retrieve: probability out of range";
+  Retrieve { label; cost; prob }
+
+let goal ?(label = "goal") choices =
+  if choices = [] then invalid_arg "Hypergraph.goal: no choices";
+  Goal { label; choices }
+
+let choice ?(label = "rule") ?(cost = 1.0) subgoals =
+  if subgoals = [] then invalid_arg "Hypergraph.choice: no subgoals";
+  if cost <= 0. then invalid_arg "Hypergraph.choice: cost must be positive";
+  { hlabel = label; hcost = cost; subgoals }
+
+let of_rulebase ?(max_depth = 64) ?(cost_rule = fun _ -> 1.0)
+    ?(cost_retrieval = fun _ -> 1.0) ~rulebase ~query ~prob () =
+  let gen = ref 0 in
+  let rec expand goal_atom depth =
+    if depth > max_depth then
+      invalid_arg "Hypergraph.of_rulebase: max unfolding depth exceeded";
+    let rules = D.Rulebase.rules_for rulebase goal_atom.D.Atom.pred in
+    if rules = [] then
+      Retrieve
+        {
+          label = D.Atom.to_string goal_atom;
+          cost = cost_retrieval goal_atom;
+          prob = prob goal_atom;
+        }
+    else
+      let choices =
+        List.filter_map
+          (fun clause ->
+            incr gen;
+            let renamed = D.Clause.rename !gen clause in
+            match
+              D.Subst.unify_atoms renamed.D.Clause.head goal_atom D.Subst.empty
+            with
+            | None -> None
+            | Some s ->
+              let subgoals =
+                List.map
+                  (fun lit ->
+                    match lit with
+                    | D.Clause.Pos a ->
+                      expand (D.Subst.apply_atom s a) (depth + 1)
+                    | D.Clause.Neg _ ->
+                      invalid_arg
+                        "Hypergraph.of_rulebase: negation not supported")
+                  renamed.D.Clause.body
+              in
+              if subgoals = [] then
+                invalid_arg
+                  "Hypergraph.of_rulebase: facts belong in the database"
+              else
+                Some
+                  {
+                    hlabel = D.Clause.to_string clause;
+                    hcost = cost_rule clause;
+                    subgoals;
+                  })
+          rules
+      in
+      if choices = [] then
+        invalid_arg
+          (Format.asprintf "Hypergraph.of_rulebase: no applicable rule for %a"
+             D.Atom.pp goal_atom)
+      else Goal { label = D.Atom.to_string goal_atom; choices }
+  in
+  expand query 0
+
+let rec evaluate = function
+  | Retrieve { cost; prob; _ } -> (cost, prob)
+  | Goal { choices; _ } ->
+    (* OR: visit choices until one succeeds. *)
+    let cost, fail =
+      List.fold_left
+        (fun (cost, fail) ch ->
+          let c, p = evaluate_choice ch in
+          (cost +. (fail *. c), fail *. (1. -. p)))
+        (0., 1.) choices
+    in
+    (cost, 1. -. fail)
+
+and evaluate_choice ch =
+  (* AND: pay the hyper-arc, then prove subgoals until one fails. *)
+  let cost, succ =
+    List.fold_left
+      (fun (cost, succ) g ->
+        let c, p = evaluate g in
+        (cost +. (succ *. c), succ *. p))
+      (ch.hcost, 1.) ch.subgoals
+  in
+  (cost, succ)
+
+let rec optimize = function
+  | Retrieve _ as t -> t
+  | Goal { label; choices } ->
+    let choices =
+      List.map optimize_choice choices
+      |> List.map (fun ch -> (ch, evaluate_choice ch))
+      |> List.stable_sort (fun (_, (c1, p1)) (_, (c2, p2)) ->
+             (* descending productivity P/C  <=>  p1*c2 > p2*c1 first *)
+             Float.compare (p2 *. c1) (p1 *. c2))
+      |> List.map fst
+    in
+    Goal { label; choices }
+
+and optimize_choice ch =
+  let subgoals =
+    List.map optimize ch.subgoals
+    |> List.map (fun g -> (g, evaluate g))
+    |> List.stable_sort (fun (_, (c1, p1)) (_, (c2, p2)) ->
+           (* descending fail-fast ratio (1-P)/C *)
+           Float.compare ((1. -. p2) *. c1) ((1. -. p1) *. c2))
+    |> List.map fst
+  in
+  { ch with subgoals }
+
+let rec simulate t rng =
+  match t with
+  | Retrieve { cost; prob; _ } -> (cost, Stats.Rng.bernoulli rng prob)
+  | Goal { choices; _ } ->
+    let rec try_choices cost = function
+      | [] -> (cost, false)
+      | ch :: rest ->
+        let c, ok = simulate_choice ch rng in
+        let cost = cost +. c in
+        if ok then (cost, true) else try_choices cost rest
+    in
+    try_choices 0. choices
+
+and simulate_choice ch rng =
+  let rec prove cost = function
+    | [] -> (cost, true)
+    | g :: rest ->
+      let c, ok = simulate g rng in
+      let cost = cost +. c in
+      if ok then prove cost rest else (cost, false)
+  in
+  prove ch.hcost ch.subgoals
+
+(* All interleavings of per-node orders. *)
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x ->
+        let rest = List.filter (fun y -> y != x) l in
+        List.map (fun p -> x :: p) (permutations rest))
+      l
+
+let all_orders ?(limit = 20000) t =
+  let rec go t =
+    match t with
+    | Retrieve _ -> [ t ]
+    | Goal { label; choices } ->
+      let choice_variants = List.map go_choice choices in
+      (* cartesian product of per-choice variants *)
+      let combos =
+        List.fold_right
+          (fun variants acc ->
+            List.concat_map
+              (fun v -> List.map (fun rest -> v :: rest) acc)
+              variants)
+          choice_variants [ [] ]
+      in
+      List.concat_map
+        (fun combo ->
+          List.map (fun perm -> Goal { label; choices = perm })
+            (permutations combo))
+        combos
+  and go_choice ch =
+    let sub_variants = List.map go ch.subgoals in
+    let combos =
+      List.fold_right
+        (fun variants acc ->
+          List.concat_map (fun v -> List.map (fun rest -> v :: rest) acc)
+            variants)
+        sub_variants [ [] ]
+    in
+    List.concat_map
+      (fun combo ->
+        List.map (fun perm -> { ch with subgoals = perm }) (permutations combo))
+      combos
+  in
+  let result = go t in
+  if List.length result > limit then
+    invalid_arg "Hypergraph.all_orders: too many orderings";
+  result
+
+let rec n_leaves = function
+  | Retrieve _ -> 1
+  | Goal { choices; _ } ->
+    List.fold_left
+      (fun acc ch ->
+        acc + List.fold_left (fun a g -> a + n_leaves g) 0 ch.subgoals)
+      0 choices
+
+let rec pp ppf = function
+  | Retrieve { label; cost; prob } ->
+    Format.fprintf ppf "%s(c=%g,p=%g)" label cost prob
+  | Goal { label; choices } ->
+    Format.fprintf ppf "@[<hov 2>%s{%a}@]" label
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " | ")
+         pp_choice)
+      choices
+
+and pp_choice ppf ch =
+  Format.fprintf ppf "@[<hov 2>%s:[%a]@]" ch.hlabel
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " & ")
+       pp)
+    ch.subgoals

@@ -1,0 +1,62 @@
+(** AND/OR directed hypergraphs — Note 4's extension for conjunctive rules.
+
+    A rule [A :- B, C] becomes a hyper-arc from the goal [A] to the set
+    {B, C}: the derivation must succeed on {e every} subgoal of some choice.
+    This module models those graphs with independent leaf probabilities and
+    provides depth-first strategies (an order of choices at each OR node and
+    of subgoals inside each hyper-arc), their exact expected cost, and the
+    recursive ratio-ordering optimizer:
+
+    - OR choices are visited in non-increasing [P/C] (productivity) order;
+    - AND subgoals in non-increasing [(1-P)/C] (fail-fast) order.
+
+    Both rules are exchange-optimal, so the recursion is optimal within the
+    depth-first class (the test suite checks this against brute force). *)
+
+type t =
+  | Retrieve of { label : string; cost : float; prob : float }
+      (** database retrieval: attempt cost and success probability *)
+  | Goal of { label : string; choices : choice list }
+      (** OR node: any choice proves the goal *)
+
+and choice = { hlabel : string; hcost : float; subgoals : t list }
+    (** hyper-arc: pay [hcost], then prove every subgoal (left to right,
+        abandoning the choice at the first failed subgoal) *)
+
+val retrieve : ?label:string -> cost:float -> prob:float -> unit -> t
+val goal : ?label:string -> choice list -> t
+val choice : ?label:string -> ?cost:float -> t list -> choice
+
+(** [of_rulebase ~rulebase ~query ~prob ~cost_rule ~cost_retrieval] unfolds
+    a (possibly conjunctive) non-recursive rule base into an AND/OR tree for
+    a ground query form; [prob] assigns each extensional predicate its
+    retrieval success probability.
+    Raises [Invalid_argument] on recursion deeper than [max_depth]. *)
+val of_rulebase :
+  ?max_depth:int ->
+  ?cost_rule:(Datalog.Clause.t -> float) ->
+  ?cost_retrieval:(Datalog.Atom.t -> float) ->
+  rulebase:Datalog.Rulebase.t ->
+  query:Datalog.Atom.t ->
+  prob:(Datalog.Atom.t -> float) ->
+  unit ->
+  t
+
+(** Exact (expected cost, success probability) of the depth-first execution
+    in the tree's current order, assuming independent leaves. *)
+val evaluate : t -> float * float
+
+(** Recursively reorder to the ratio-optimal depth-first strategy. *)
+val optimize : t -> t
+
+(** Simulate one depth-first execution; returns (cost, success). *)
+val simulate : t -> Stats.Rng.t -> float * bool
+
+(** All reorderings of the tree (choices and subgoals). Exponential: guarded
+    by [limit] (default 20000); raises [Invalid_argument] beyond it. *)
+val all_orders : ?limit:int -> t -> t list
+
+(** Number of leaves. *)
+val n_leaves : t -> int
+
+val pp : Format.formatter -> t -> unit

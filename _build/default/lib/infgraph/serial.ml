@@ -1,0 +1,203 @@
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+let graph_to_string g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "strategem-graph 1\n";
+  Buffer.add_string buf (Printf.sprintf "root %d\n" (Graph.root g));
+  List.iter
+    (fun n ->
+      Buffer.add_string buf
+        (Printf.sprintf "node %d %S %s %s\n" n.Graph.node_id n.Graph.name
+           (if n.Graph.success then "success" else "goal")
+           (match n.Graph.goal with
+           | Some atom -> Printf.sprintf "%S" (Datalog.Atom.to_string atom)
+           | None -> "-")))
+    (Graph.nodes g);
+  List.iter
+    (fun a ->
+      Buffer.add_string buf
+        (Printf.sprintf "arc %d %d %d %s %S %.17g %b %s\n" a.Graph.arc_id
+           a.Graph.src a.Graph.dst
+           (match a.Graph.kind with
+           | Graph.Reduction -> "reduction"
+           | Graph.Retrieval -> "retrieval")
+           a.Graph.label a.Graph.cost a.Graph.blockable
+           (match a.Graph.pattern with
+           | Some atom -> Printf.sprintf "%S" (Datalog.Atom.to_string atom)
+           | None -> "-")))
+    (Graph.arcs g);
+  Buffer.add_string buf "end\n";
+  Buffer.contents buf
+
+type parsed_node = { pid : int; pname : string; psuccess : bool; pgoal : string option }
+
+type parsed_arc = {
+  aid : int;
+  asrc : int;
+  adst : int;
+  akind : Graph.kind;
+  alabel : string;
+  acost : float;
+  ablockable : bool;
+  apattern : string option;
+}
+
+let parse_atom_opt = function
+  | None -> None
+  | Some s -> (
+    try Some (Datalog.Parser.parse_atom s)
+    with _ -> fail "unparsable atom %S" s)
+
+let graph_of_string input =
+  let lines =
+    String.split_on_char '\n' input
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  let root = ref (-1) in
+  let nodes = ref [] in
+  let arcs = ref [] in
+  let opt_of_string s = if s = "-" then None else Some (Scanf.sscanf s "%S" Fun.id) in
+  (match lines with
+  | header :: _ when String.length header >= 15
+                     && String.sub header 0 15 = "strategem-graph" -> ()
+  | _ -> fail "missing strategem-graph header");
+  List.iteri
+    (fun lineno line ->
+      if lineno = 0 || line = "end" then ()
+      else
+        try
+          if String.length line > 5 && String.sub line 0 5 = "root " then
+            Scanf.sscanf line "root %d" (fun r -> root := r)
+          else if String.length line > 5 && String.sub line 0 5 = "node " then
+            Scanf.sscanf line "node %d %S %s %s@\000" (fun pid pname kind rest ->
+                nodes :=
+                  {
+                    pid;
+                    pname;
+                    psuccess =
+                      (match kind with
+                      | "success" -> true
+                      | "goal" -> false
+                      | k -> fail "bad node kind %S" k);
+                    pgoal = opt_of_string (String.trim rest);
+                  }
+                  :: !nodes)
+          else if String.length line > 4 && String.sub line 0 4 = "arc " then
+            Scanf.sscanf line "arc %d %d %d %s %S %g %B %s@\000"
+              (fun aid asrc adst kind alabel acost ablockable rest ->
+                arcs :=
+                  {
+                    aid;
+                    asrc;
+                    adst;
+                    akind =
+                      (match kind with
+                      | "reduction" -> Graph.Reduction
+                      | "retrieval" -> Graph.Retrieval
+                      | k -> fail "bad arc kind %S" k);
+                    alabel;
+                    acost;
+                    ablockable;
+                    apattern = opt_of_string (String.trim rest);
+                  }
+                  :: !arcs)
+          else fail "unrecognized line %S" line
+        with Scanf.Scan_failure m | Failure m ->
+          fail "line %d: %s" (lineno + 1) m)
+    lines;
+  if !root < 0 then fail "no root line";
+  let nodes = List.sort (fun a b -> compare a.pid b.pid) !nodes in
+  let arcs = List.sort (fun a b -> compare a.aid b.aid) !arcs in
+  (* Rebuild through the Builder to revalidate every structural invariant.
+     The builder assigns ids in creation order, so create nodes and arcs in
+     id order and check the ids match. *)
+  (match nodes with
+  | { pid = 0; _ } :: _ -> ()
+  | _ -> fail "node 0 (the root) must be present");
+  let b =
+    match nodes with
+    | first :: _ ->
+      Graph.Builder.create
+        ?goal:(parse_atom_opt first.pgoal)
+        first.pname
+    | [] -> fail "no nodes"
+  in
+  if !root <> 0 then fail "root must be node 0 in builder order";
+  List.iteri
+    (fun i n ->
+      if i = 0 then ()
+      else begin
+        if n.pid <> i then fail "non-contiguous node ids";
+        let id =
+          if n.psuccess then Graph.Builder.add_success b n.pname
+          else Graph.Builder.add_node b ?goal:(parse_atom_opt n.pgoal) n.pname
+        in
+        if id <> n.pid then fail "node id mismatch"
+      end)
+    nodes;
+  try
+    List.iteri
+      (fun i a ->
+        if a.aid <> i then fail "non-contiguous arc ids";
+        let id =
+          Graph.Builder.add_arc b ~src:a.asrc ~dst:a.adst ~cost:a.acost
+            ~blockable:a.ablockable
+            ?pattern:(parse_atom_opt a.apattern)
+            ~label:a.alabel a.akind
+        in
+        if id <> a.aid then fail "arc id mismatch")
+      arcs;
+    Graph.Builder.finish b
+  with Invalid_argument m -> fail "invalid graph: %s" m
+
+let graph_to_file path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (graph_to_string g))
+
+let graph_of_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> graph_of_string (really_input_string ic (in_channel_length ic)))
+
+let model_to_string model =
+  let g = Bernoulli_model.graph model in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "strategem-model 1\n";
+  List.iter
+    (fun a ->
+      Buffer.add_string buf
+        (Printf.sprintf "prob %d %.17g\n" a.Graph.arc_id
+           (Bernoulli_model.prob model a.Graph.arc_id)))
+    (Graph.experiments g);
+  Buffer.add_string buf "end\n";
+  Buffer.contents buf
+
+let model_of_string g input =
+  let p = Array.make (Graph.n_arcs g) 1.0 in
+  String.split_on_char '\n' input
+  |> List.map String.trim
+  |> List.filter (fun l -> l <> "")
+  |> List.iteri (fun lineno line ->
+         if lineno = 0 then begin
+           if
+             not
+               (String.length line >= 15
+               && String.sub line 0 15 = "strategem-model")
+           then fail "missing strategem-model header"
+         end
+         else if line = "end" then ()
+         else
+           try
+             Scanf.sscanf line "prob %d %g" (fun id v ->
+                 if id < 0 || id >= Graph.n_arcs g then
+                   fail "arc id %d out of range" id;
+                 p.(id) <- v)
+           with Scanf.Scan_failure m -> fail "line %d: %s" (lineno + 1) m);
+  try Bernoulli_model.make g ~p
+  with Invalid_argument m -> fail "invalid model: %s" m

@@ -1,0 +1,27 @@
+(** Text serialization for inference graphs and probability models.
+
+    A small line-oriented format (versioned header, one node/arc per
+    line, OCaml-style quoted strings) so that graphs built from a
+    knowledge base — and the probability estimates a learner produced —
+    can be saved and reloaded across sessions. Strategies are serialized
+    by {!Strategy.Persist} on top of this.
+
+    [graph_of_string (graph_to_string g)] reconstructs an identical graph
+    (same ids, names, kinds, costs, patterns). *)
+
+exception Parse_error of string
+
+val graph_to_string : Graph.t -> string
+
+(** Raises [Parse_error] on malformed input. *)
+val graph_of_string : string -> Graph.t
+
+val graph_to_file : string -> Graph.t -> unit
+val graph_of_file : string -> Graph.t
+
+(** Probabilities, one [prob <arc_id> <p>] line per blockable arc. *)
+val model_to_string : Bernoulli_model.t -> string
+
+(** Raises [Parse_error] if an arc id is out of range or a probability
+    invalid for the given graph. *)
+val model_of_string : Graph.t -> string -> Bernoulli_model.t

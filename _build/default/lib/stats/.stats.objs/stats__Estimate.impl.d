@@ -1,0 +1,1 @@
+lib/stats/estimate.ml: Chernoff Counter Float Format

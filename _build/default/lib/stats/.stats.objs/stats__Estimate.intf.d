@@ -1,0 +1,1 @@
+lib/stats/estimate.mli: Counter Format

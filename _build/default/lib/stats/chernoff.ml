@@ -1,0 +1,83 @@
+let pi = 4.0 *. atan 1.0
+
+let check_delta delta =
+  if not (delta > 0. && delta < 1.) then
+    invalid_arg "Chernoff: delta must lie in (0,1)"
+
+let check_range range =
+  if not (range > 0.) then invalid_arg "Chernoff: range must be positive"
+
+let tail_bound ~n ~beta ~range =
+  if n < 0 then invalid_arg "Chernoff.tail_bound: n < 0";
+  if beta < 0. then invalid_arg "Chernoff.tail_bound: beta < 0";
+  check_range range;
+  exp (-2.0 *. float_of_int n *. (beta /. range) ** 2.0)
+
+let deviation ~n ~delta ~range =
+  if n <= 0 then invalid_arg "Chernoff.deviation: n <= 0";
+  check_delta delta;
+  check_range range;
+  range *. sqrt (log (1.0 /. delta) /. (2.0 *. float_of_int n))
+
+let switch_threshold ~n ~delta ~range =
+  if n < 0 then invalid_arg "Chernoff.switch_threshold: n < 0";
+  check_delta delta;
+  check_range range;
+  range *. sqrt (float_of_int n /. 2.0 *. log (1.0 /. delta))
+
+let switch_threshold_k ~n ~delta ~k ~range =
+  if k <= 0 then invalid_arg "Chernoff.switch_threshold_k: k <= 0";
+  if n < 0 then invalid_arg "Chernoff.switch_threshold_k: n < 0";
+  check_delta delta;
+  check_range range;
+  range *. sqrt (float_of_int n /. 2.0 *. log (float_of_int k /. delta))
+
+let sequential_delta ~delta ~test_index =
+  check_delta delta;
+  if test_index < 1 then invalid_arg "Chernoff.sequential_delta: index < 1";
+  let i = float_of_int test_index in
+  6.0 /. (pi *. pi) *. delta /. (i *. i)
+
+let switch_threshold_seq ~n ~delta ~test_index ~range =
+  if n < 0 then invalid_arg "Chernoff.switch_threshold_seq: n < 0";
+  check_delta delta;
+  check_range range;
+  if test_index < 1 then invalid_arg "Chernoff.switch_threshold_seq: index < 1";
+  let i = float_of_int test_index in
+  range *. sqrt (float_of_int n /. 2.0 *. log (i *. i *. pi *. pi /. (6.0 *. delta)))
+
+(* Rounds a positive float up to an int, guarding against overflow on the
+   astronomically large PAC sample sizes Equation 7 can produce. *)
+let ceil_to_int x =
+  if x >= float_of_int max_int then max_int else int_of_float (ceil x)
+
+let samples_for_retrieval ~n_retrievals ~f_not ~epsilon ~delta =
+  if n_retrievals <= 0 then invalid_arg "Chernoff.samples_for_retrieval: n <= 0";
+  if f_not < 0. then invalid_arg "Chernoff.samples_for_retrieval: f_not < 0";
+  if epsilon <= 0. then invalid_arg "Chernoff.samples_for_retrieval: epsilon <= 0";
+  check_delta delta;
+  if f_not = 0. then 0
+  else
+    let n = float_of_int n_retrievals in
+    ceil_to_int (2.0 *. (n *. f_not /. epsilon) ** 2.0 *. log (2.0 *. n /. delta))
+
+let aims_for_experiment ~n_experiments ~f_not ~epsilon ~delta =
+  if n_experiments <= 0 then invalid_arg "Chernoff.aims_for_experiment: n <= 0";
+  if f_not < 0. then invalid_arg "Chernoff.aims_for_experiment: f_not < 0";
+  if epsilon <= 0. then invalid_arg "Chernoff.aims_for_experiment: epsilon <= 0";
+  check_delta delta;
+  if f_not = 0. then 0
+  else
+    let n = float_of_int n_experiments in
+    let root = sqrt ((2.0 *. epsilon /. (n *. f_not)) +. 1.0) -. 1.0 in
+    ceil_to_int (2.0 /. (root *. root) *. log (4.0 *. n /. delta))
+
+let hoeffding_radius ~m ~delta =
+  if m <= 0 then invalid_arg "Chernoff.hoeffding_radius: m <= 0";
+  check_delta delta;
+  sqrt (log (2.0 /. delta) /. (2.0 *. float_of_int m))
+
+let samples_for_radius ~radius ~delta =
+  if radius <= 0. then invalid_arg "Chernoff.samples_for_radius: radius <= 0";
+  check_delta delta;
+  ceil_to_int (log (2.0 /. delta) /. (2.0 *. radius *. radius))

@@ -1,0 +1,69 @@
+(** Chernoff/Hoeffding bound machinery.
+
+    This module implements, symbol for symbol, the statistical tests and
+    sample-complexity formulae of Greiner, "Learning Efficient Query
+    Processing Strategies" (PODS 1992):
+
+    - Equation 1: the two-sided Hoeffding tail bound for i.i.d. variables
+      with range [Lambda];
+    - Equations 2/3: the a-posteriori switch threshold for a single
+      comparison at confidence [1 - delta];
+    - Equation 5: the threshold corrected for [k] simultaneous comparisons;
+    - Equation 6: the threshold further corrected for sequential testing
+      (the [i^2 pi^2 / 6 delta] schedule);
+    - Equation 7: Theorem 2's per-retrieval sample complexity [m(d_i)];
+    - Equation 8: Theorem 3's per-experiment aiming complexity [m'(e_i)]. *)
+
+(** [tail_bound ~n ~beta ~range] is the Equation 1 bound
+    [exp (-2 n (beta / range)^2)] on [Pr(Y_n > mu + beta)].
+    Requires [n >= 0], [beta >= 0], [range > 0]. *)
+val tail_bound : n:int -> beta:float -> range:float -> float
+
+(** [deviation ~n ~delta ~range] inverts Equation 1: the radius [beta] such
+    that [Pr(|Y_n - mu| > beta) <= 2 delta] — i.e.
+    [range * sqrt (ln (1/delta) / (2 n))]. Requires [n > 0], [0 < delta < 1]. *)
+val deviation : n:int -> delta:float -> range:float -> float
+
+(** [switch_threshold ~n ~delta ~range] is Equation 2's right-hand side
+    [range * sqrt ((n/2) ln (1/delta))]: if the observed sum of cost
+    differences over [n] samples exceeds it, the alternative strategy is
+    better with confidence at least [1 - delta]. *)
+val switch_threshold : n:int -> delta:float -> range:float -> float
+
+(** [switch_threshold_k ~n ~delta ~k ~range] is Equation 5: the threshold
+    guarding [k] simultaneous comparisons, [range * sqrt ((n/2) ln (k/delta))]. *)
+val switch_threshold_k : n:int -> delta:float -> k:int -> range:float -> float
+
+(** [sequential_delta ~delta ~test_index] is the Section 3.2 schedule
+    [delta_i = (6 / pi^2) * delta / i^2] whose sum over all [i >= 1] is
+    exactly [delta]. [test_index] is 1-based. *)
+val sequential_delta : delta:float -> test_index:int -> float
+
+(** [switch_threshold_seq ~n ~delta ~test_index ~range] is Equation 6:
+    [range * sqrt ((n/2) ln (i^2 pi^2 / (6 delta)))] for the [i]-th test. *)
+val switch_threshold_seq :
+  n:int -> delta:float -> test_index:int -> range:float -> float
+
+(** [samples_for_retrieval ~n_retrievals ~f_not ~epsilon ~delta] is
+    Equation 7: [ceil (2 (n F_not / eps)^2 ln (2n / delta))], the number of
+    samples of retrieval [d_i] Theorem 2 requires. [f_not] is [F_not(d_i)].
+    When [f_not = 0] the retrieval cannot affect any other path and 0 samples
+    are needed. *)
+val samples_for_retrieval :
+  n_retrievals:int -> f_not:float -> epsilon:float -> delta:float -> int
+
+(** [aims_for_experiment ~n_experiments ~f_not ~epsilon ~delta] is
+    Equation 8: [ceil (2 (sqrt (2 eps / (n F_not) + 1) - 1)^-2 ln (4n / delta))],
+    the number of contexts on which QP^A must attempt to reach experiment
+    [e_i] under Theorem 3. Returns 0 when [f_not = 0]. *)
+val aims_for_experiment :
+  n_experiments:int -> f_not:float -> epsilon:float -> delta:float -> int
+
+(** [hoeffding_radius ~m ~delta] is the two-sided confidence radius for a
+    Bernoulli mean estimated from [m] samples:
+    [sqrt (ln (2/delta) / (2 m))]. *)
+val hoeffding_radius : m:int -> delta:float -> float
+
+(** [samples_for_radius ~radius ~delta] inverts [hoeffding_radius]: the
+    smallest [m] with [hoeffding_radius ~m ~delta <= radius]. *)
+val samples_for_radius : radius:float -> delta:float -> int

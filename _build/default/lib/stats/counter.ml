@@ -1,0 +1,25 @@
+type t = { mutable attempts : int; mutable successes : int }
+
+let create () = { attempts = 0; successes = 0 }
+
+let attempts t = t.attempts
+let successes t = t.successes
+let failures t = t.attempts - t.successes
+
+let record t ~success =
+  t.attempts <- t.attempts + 1;
+  if success then t.successes <- t.successes + 1
+
+let frequency ?(default = 0.5) t =
+  if t.attempts = 0 then default
+  else float_of_int t.successes /. float_of_int t.attempts
+
+let reset t =
+  t.attempts <- 0;
+  t.successes <- 0
+
+let merge_into ~dst ~src =
+  dst.attempts <- dst.attempts + src.attempts;
+  dst.successes <- dst.successes + src.successes
+
+let pp ppf t = Format.fprintf ppf "%d/%d" t.successes t.attempts

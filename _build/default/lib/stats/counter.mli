@@ -1,0 +1,33 @@
+(** Attempt/success counters.
+
+    Section 5.1 of the paper stresses that PIB and PAO need only "one or two
+    counters per retrieval": the number of times a query processor attempted
+    a database retrieval and the number of times it succeeded. This module is
+    that storage. *)
+
+type t
+
+val create : unit -> t
+
+(** Number of attempts recorded so far. *)
+val attempts : t -> int
+
+(** Number of successful attempts recorded so far. *)
+val successes : t -> int
+
+(** Number of failed attempts recorded so far. *)
+val failures : t -> int
+
+(** Record one attempt and its outcome. *)
+val record : t -> success:bool -> unit
+
+(** Empirical success frequency. [default] (default [0.5], as in Theorem 3)
+    is returned when no attempts have been recorded. *)
+val frequency : ?default:float -> t -> float
+
+val reset : t -> unit
+
+(** Merge [src] into [dst] (for combining counters from separate runs). *)
+val merge_into : dst:t -> src:t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,38 @@
+type 'a t = { values : 'a array; probs : float array }
+
+let create pairs =
+  if pairs = [] then invalid_arg "Distribution.create: empty";
+  let total =
+    List.fold_left
+      (fun acc (_, w) ->
+        if w < 0. then invalid_arg "Distribution.create: negative weight";
+        acc +. w)
+      0. pairs
+  in
+  if total <= 0. then invalid_arg "Distribution.create: zero total weight";
+  {
+    values = Array.of_list (List.map fst pairs);
+    probs = Array.of_list (List.map (fun (_, w) -> w /. total) pairs);
+  }
+
+let uniform values = create (List.map (fun v -> (v, 1.0)) values)
+let point v = { values = [| v |]; probs = [| 1.0 |] }
+let support t = Array.to_list t.values
+let prob t i = t.probs.(i)
+let size t = Array.length t.values
+let sample t rng = t.values.(Rng.categorical rng t.probs)
+
+let expect t f =
+  let acc = ref 0. in
+  Array.iteri (fun i v -> acc := !acc +. (t.probs.(i) *. f v)) t.values;
+  !acc
+
+let map f t = { values = Array.map f t.values; probs = Array.copy t.probs }
+
+let prob_of t pred =
+  let acc = ref 0. in
+  Array.iteri (fun i v -> if pred v then acc := !acc +. t.probs.(i)) t.values;
+  !acc
+
+let to_alist t =
+  Array.to_list (Array.mapi (fun i v -> (v, t.probs.(i))) t.values)

@@ -1,0 +1,41 @@
+(** Finite discrete distributions.
+
+    The paper's theorems quantify over a fixed but unknown stationary
+    distribution of query-processing contexts; experiments instantiate that
+    distribution explicitly with values of this type. *)
+
+type 'a t
+
+(** [create pairs] builds a distribution from [(value, weight)] pairs.
+    Weights must be non-negative with a positive sum; they are normalized.
+    Raises [Invalid_argument] otherwise. *)
+val create : ('a * float) list -> 'a t
+
+(** [uniform values] gives each value equal probability. *)
+val uniform : 'a list -> 'a t
+
+(** [point v] is the distribution concentrated on [v]. *)
+val point : 'a -> 'a t
+
+val support : 'a t -> 'a list
+
+(** Normalized probability of the [i]-th support element. *)
+val prob : 'a t -> int -> float
+
+val size : 'a t -> int
+
+(** Draw one value. *)
+val sample : 'a t -> Rng.t -> 'a
+
+(** [expect t f] is the exact expectation of [f] under [t]. *)
+val expect : 'a t -> ('a -> float) -> float
+
+(** [map f t] pushes the distribution forward through [f]
+    (weights of equal images are not merged). *)
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+(** Probability assigned to values satisfying the predicate. *)
+val prob_of : 'a t -> ('a -> bool) -> float
+
+(** [to_alist t] returns [(value, probability)] pairs. *)
+val to_alist : 'a t -> ('a * float) list

@@ -1,0 +1,23 @@
+type t = { mean : float; samples : int; radius : float }
+
+let of_counts ?(default = 0.5) ~successes ~attempts ~delta () =
+  if attempts < 0 || successes < 0 || successes > attempts then
+    invalid_arg "Estimate.of_counts: bad counts";
+  if attempts = 0 then { mean = default; samples = 0; radius = 1.0 }
+  else
+    {
+      mean = float_of_int successes /. float_of_int attempts;
+      samples = attempts;
+      radius = Chernoff.hoeffding_radius ~m:attempts ~delta;
+    }
+
+let of_counter ?default c ~delta =
+  of_counts ?default ~successes:(Counter.successes c)
+    ~attempts:(Counter.attempts c) ~delta ()
+
+let lower t = Float.max 0.0 (t.mean -. t.radius)
+let upper t = Float.min 1.0 (t.mean +. t.radius)
+let contains t p = p >= lower t && p <= upper t
+
+let pp ppf t =
+  Format.fprintf ppf "%.4f +/- %.4f (n=%d)" t.mean t.radius t.samples

@@ -1,0 +1,26 @@
+(** Frequency estimates with Hoeffding confidence radii. *)
+
+type t = {
+  mean : float;        (** empirical frequency [p_hat] *)
+  samples : int;       (** number of observations it is based on *)
+  radius : float;      (** confidence radius at the [delta] used to build it *)
+}
+
+(** [of_counter ?default c ~delta] turns an attempt/success counter into an
+    estimate whose radius satisfies [Pr(|p_hat - p| > radius) <= delta].
+    With zero samples the mean is [default] (0.5 per Theorem 3) and the
+    radius is 1. *)
+val of_counter : ?default:float -> Counter.t -> delta:float -> t
+
+(** Same from raw counts. *)
+val of_counts :
+  ?default:float -> successes:int -> attempts:int -> delta:float -> unit -> t
+
+(** Clamped confidence interval bounds. *)
+val lower : t -> float
+val upper : t -> float
+
+(** [contains t p] — is [p] inside the interval? *)
+val contains : t -> float -> bool
+
+val pp : Format.formatter -> t -> unit

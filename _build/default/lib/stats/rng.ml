@@ -1,0 +1,77 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix64 seed }
+
+let copy t = { state = t.state }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t = { state = mix64 (bits64 t) }
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let n64 = Int64.of_int n in
+  let rec loop () =
+    let bits = Int64.shift_right_logical (bits64 t) 1 in
+    let v = Int64.rem bits n64 in
+    if Int64.sub (Int64.add (Int64.sub bits v) n64) 1L < 0L then loop ()
+    else Int64.to_int v
+  in
+  loop ()
+
+let float t =
+  (* 53 random bits scaled to [0,1). *)
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let bernoulli t p =
+  let p = if p < 0. then 0. else if p > 1. then 1. else p in
+  float t < p
+
+let categorical t weights =
+  let n = Array.length weights in
+  if n = 0 then invalid_arg "Rng.categorical: empty weights";
+  let total = Array.fold_left (fun acc w ->
+    if w < 0. then invalid_arg "Rng.categorical: negative weight";
+    acc +. w) 0. weights
+  in
+  if total <= 0. then invalid_arg "Rng.categorical: all weights zero";
+  let x = float t *. total in
+  let rec scan i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. weights.(i) in
+      if x < acc then i else scan (i + 1) acc
+  in
+  scan 0 0.
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t l =
+  match l with
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | _ -> List.nth l (int t (List.length l))
+
+let exponential t ~rate =
+  if rate <= 0. then invalid_arg "Rng.exponential: rate must be positive";
+  -. log (1.0 -. float t) /. rate
+
+let uniform_in t ~lo ~hi =
+  if hi < lo then invalid_arg "Rng.uniform_in: hi < lo";
+  lo +. ((hi -. lo) *. float t)

@@ -1,0 +1,48 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    The generator is splitmix64 (Steele, Lea & Flood, OOPSLA 2014). Every
+    experiment in this repository threads an explicit [Rng.t] so that runs are
+    reproducible bit-for-bit; [split] derives statistically independent
+    streams for parallel or nested use. *)
+
+type t
+
+(** [create seed] returns a fresh generator. Equal seeds give equal streams. *)
+val create : int64 -> t
+
+(** [copy t] is an independent generator with the same current state. *)
+val copy : t -> t
+
+(** [split t] advances [t] and returns a new generator whose stream is
+    independent of the remainder of [t]'s stream. *)
+val split : t -> t
+
+(** Next raw 64-bit value. *)
+val bits64 : t -> int64
+
+(** [int t n] is uniform on [0, n-1]. Raises [Invalid_argument] if [n <= 0]. *)
+val int : t -> int -> int
+
+(** [float t] is uniform on [0, 1). *)
+val float : t -> float
+
+(** [bernoulli t p] is [true] with probability [p] (clamped to [0,1]). *)
+val bernoulli : t -> float -> bool
+
+(** [categorical t weights] draws an index with probability proportional to
+    its non-negative weight. Raises [Invalid_argument] on an empty or
+    all-zero weight array. *)
+val categorical : t -> float array -> int
+
+(** [shuffle t a] permutes [a] in place, uniformly (Fisher-Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [pick t l] is a uniformly random element of [l].
+    Raises [Invalid_argument] on an empty list. *)
+val pick : t -> 'a list -> 'a
+
+(** [exponential t ~rate] draws from Exp(rate). *)
+val exponential : t -> rate:float -> float
+
+(** [uniform_in t ~lo ~hi] is uniform on [lo, hi). *)
+val uniform_in : t -> lo:float -> hi:float -> float

@@ -1,0 +1,30 @@
+type t = { delta : float; mutable used : int; mutable spent : float }
+
+let create ~delta =
+  if not (delta > 0. && delta < 1.) then
+    invalid_arg "Sequential.create: delta must lie in (0,1)";
+  { delta; used = 0; spent = 0. }
+
+let delta t = t.delta
+let tests_used t = t.used
+
+let advance t ~count =
+  if count < 1 then invalid_arg "Sequential.advance: count < 1";
+  (* Charge each elementary test its own delta_i so [spent] tracks the true
+     union bound, then report the final (most conservative) index. *)
+  for _ = 1 to count do
+    t.used <- t.used + 1;
+    t.spent <-
+      t.spent +. Chernoff.sequential_delta ~delta:t.delta ~test_index:t.used
+  done;
+  t.used
+
+let current_delta t =
+  if t.used = 0 then t.delta
+  else Chernoff.sequential_delta ~delta:t.delta ~test_index:t.used
+
+let threshold t ~n ~range =
+  if t.used = 0 then invalid_arg "Sequential.threshold: no test charged yet";
+  Chernoff.switch_threshold_seq ~n ~delta:t.delta ~test_index:t.used ~range
+
+let spent t = t.spent

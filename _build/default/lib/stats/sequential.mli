@@ -1,0 +1,38 @@
+(** Sequential hypothesis-test bookkeeping.
+
+    Section 3.2: a learner that re-tests "is the candidate better?" after
+    successive batches of samples must spend confidence across the tests.
+    The paper's schedule assigns the [i]-th test confidence
+    [delta_i = (6/pi^2) delta / i^2], so the total false-positive probability
+    is below [sum delta_i = delta]. This module tracks the running test index
+    and hands out per-test deltas and Equation 6 thresholds.
+
+    Figure 3 of the paper advances the index by the number of comparisons
+    performed at once ([i <- i + |T(Theta_j)|]); [advance] takes that count. *)
+
+type t
+
+(** [create ~delta] with total confidence budget [delta] in (0,1). *)
+val create : delta:float -> t
+
+(** Total budget. *)
+val delta : t -> float
+
+(** Number of elementary tests charged so far. *)
+val tests_used : t -> int
+
+(** [advance t ~count] charges [count >= 1] elementary tests and returns the
+    index [i] (after advancing) to use in Equation 6. *)
+val advance : t -> count:int -> int
+
+(** Per-test confidence at the current index (after the last [advance]);
+    [delta] itself if no test has been charged yet. *)
+val current_delta : t -> float
+
+(** [threshold t ~n ~range] is Equation 6's right-hand side at the current
+    test index for [n] samples and difference range [range]. Must be called
+    after at least one [advance]. *)
+val threshold : t -> n:int -> range:float -> float
+
+(** Sum of the per-test deltas charged so far (always [<= delta]). *)
+val spent : t -> float

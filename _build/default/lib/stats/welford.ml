@@ -1,0 +1,43 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable lo : float;
+  mutable hi : float;
+}
+
+let create () = { n = 0; mean = 0.; m2 = 0.; lo = infinity; hi = neg_infinity }
+
+let add t x =
+  t.n <- t.n + 1;
+  let d = x -. t.mean in
+  t.mean <- t.mean +. (d /. float_of_int t.n);
+  t.m2 <- t.m2 +. (d *. (x -. t.mean));
+  if x < t.lo then t.lo <- x;
+  if x > t.hi then t.hi <- x
+
+let count t = t.n
+let mean t = t.mean
+let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
+let stddev t = sqrt (variance t)
+let min t = t.lo
+let max t = t.hi
+let sum t = t.mean *. float_of_int t.n
+
+let merge a b =
+  if a.n = 0 then { b with n = b.n }
+  else if b.n = 0 then { a with n = a.n }
+  else
+    let n = a.n + b.n in
+    let d = b.mean -. a.mean in
+    let fa = float_of_int a.n and fb = float_of_int b.n and fn = float_of_int n in
+    {
+      n;
+      mean = a.mean +. (d *. fb /. fn);
+      m2 = a.m2 +. b.m2 +. (d *. d *. fa *. fb /. fn);
+      lo = Float.min a.lo b.lo;
+      hi = Float.max a.hi b.hi;
+    }
+
+let pp ppf t =
+  Format.fprintf ppf "mean=%.4f sd=%.4f n=%d" (mean t) (stddev t) t.n

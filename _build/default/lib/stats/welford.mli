@@ -1,0 +1,24 @@
+(** Running mean and variance (Welford's online algorithm).
+
+    Used by the experiment harness to aggregate per-context costs without
+    storing them. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+
+(** Unbiased sample variance; 0 for fewer than two observations. *)
+val variance : t -> float
+
+val stddev : t -> float
+val min : t -> float
+val max : t -> float
+val sum : t -> float
+
+(** Merge two aggregates (Chan et al. parallel combination). *)
+val merge : t -> t -> t
+
+val pp : Format.formatter -> t -> unit

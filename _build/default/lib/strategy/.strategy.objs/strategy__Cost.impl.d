@@ -1,0 +1,1 @@
+lib/strategy/cost.ml: Array Bernoulli_model Exec Graph Infgraph List Spec Stats

@@ -1,0 +1,1 @@
+lib/strategy/cost.mli: Bernoulli_model Context Infgraph Spec Stats

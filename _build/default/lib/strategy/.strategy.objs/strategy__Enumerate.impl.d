@@ -1,0 +1,1 @@
+lib/strategy/enumerate.ml: Graph Infgraph List Spec

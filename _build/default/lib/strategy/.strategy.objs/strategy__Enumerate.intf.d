@@ -1,0 +1,1 @@
+lib/strategy/enumerate.mli: Graph Infgraph Spec

@@ -1,0 +1,1 @@
+lib/strategy/exec.ml: Array Context Graph Infgraph List Spec

@@ -1,0 +1,1 @@
+lib/strategy/exec.mli: Context Graph Infgraph Spec

@@ -1,0 +1,1 @@
+lib/strategy/moves.ml: Array Costs Format Graph Infgraph List Spec Transform

@@ -1,0 +1,1 @@
+lib/strategy/moves.mli: Format Spec Transform

@@ -1,0 +1,1 @@
+lib/strategy/persist.ml: Array Buffer Format Graph Infgraph List Printf Scanf Spec String

@@ -1,0 +1,1 @@
+lib/strategy/persist.mli: Infgraph Spec

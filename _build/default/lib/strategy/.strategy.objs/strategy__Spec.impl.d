@@ -1,0 +1,1 @@
+lib/strategy/spec.ml: Array Format Graph Hashtbl Infgraph List Printf String

@@ -1,0 +1,1 @@
+lib/strategy/spec.mli: Format Graph Infgraph

@@ -1,0 +1,1 @@
+lib/strategy/transform.ml: Array Costs Format Graph Infgraph List Spec

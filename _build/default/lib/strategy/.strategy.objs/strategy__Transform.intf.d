@@ -1,0 +1,1 @@
+lib/strategy/transform.mli: Format Spec

@@ -1,0 +1,1 @@
+lib/strategy/upsilon.ml: Array Bernoulli_model Cost Costs Enumerate Float Graph Infgraph List Spec

@@ -1,0 +1,1 @@
+lib/strategy/upsilon.mli: Bernoulli_model Infgraph Spec

@@ -1,0 +1,53 @@
+open Infgraph
+
+(* Composite (expected cost, success probability) of searching the subtree
+   hanging from [arc_id], in the strategy's order, given that the search
+   reaches the arc's source with no solution found yet. *)
+let rec arc_composite (d : Spec.dfs) model arc_id =
+  let g = d.Spec.graph in
+  let a = Graph.arc g arc_id in
+  let p = Bernoulli_model.prob model arc_id in
+  match a.Graph.kind with
+  | Graph.Retrieval -> (a.Graph.cost, p)
+  | Graph.Reduction ->
+    let c_below, p_below = node_composite d model a.Graph.dst in
+    (a.Graph.cost +. (p *. c_below), p *. p_below)
+
+and node_composite d model node =
+  List.fold_left
+    (fun (cost, succ) child ->
+      let c, p = arc_composite d model child in
+      (cost +. ((1. -. succ) *. c), succ +. ((1. -. succ) *. p)))
+    (0., 0.) d.Spec.orders.(node)
+
+let exact_dfs d model =
+  if Bernoulli_model.graph model != d.Spec.graph then
+    invalid_arg "Cost.exact_dfs: model is for a different graph";
+  node_composite d model (Graph.root d.Spec.graph)
+
+let exact_enum ?max_experiments spec model =
+  if Bernoulli_model.graph model != Spec.graph spec then
+    invalid_arg "Cost.exact_enum: model is for a different graph";
+  List.fold_left
+    (fun acc (ctx, prob) ->
+      if prob = 0. then acc
+      else acc +. (prob *. (Exec.run spec ctx).Exec.cost))
+    0.
+    (Bernoulli_model.enumerate ?max_experiments model)
+
+let monte_carlo spec model rng ~n =
+  if n <= 0 then invalid_arg "Cost.monte_carlo: n must be positive";
+  let w = Stats.Welford.create () in
+  for _ = 1 to n do
+    let ctx = Bernoulli_model.sample model rng in
+    Stats.Welford.add w (Exec.run spec ctx).Exec.cost
+  done;
+  w
+
+let over_contexts spec dist =
+  Stats.Distribution.expect dist (fun ctx -> (Exec.run spec ctx).Exec.cost)
+
+let exact spec model =
+  match spec with
+  | Spec.Dfs d -> fst (exact_dfs d model)
+  | Spec.Paths _ -> exact_enum spec model

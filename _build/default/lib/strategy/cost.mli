@@ -1,0 +1,32 @@
+(** Expected strategy cost C[Θ] (Section 2.1).
+
+    Four evaluators, trading generality against scale:
+
+    - [exact_dfs]: closed-form recursion for DFS strategies under the
+      independent-arc model — O(arcs), any size;
+    - [exact_enum]: any strategy, by enumerating the model's blocked-arc
+      configurations — exponential in the number of experiments;
+    - [monte_carlo]: any strategy, sampled;
+    - [over_contexts]: any strategy against an explicit finite context
+      distribution — the exact Section 2 definition
+      C[Θ] = Σ_I Pr(I) c(Θ, I). *)
+
+open Infgraph
+
+(** Expected cost and overall success probability of a DFS strategy. *)
+val exact_dfs : Spec.dfs -> Bernoulli_model.t -> float * float
+
+(** Expected cost of any strategy by exhaustive enumeration (guarded by
+    [max_experiments], default 20). *)
+val exact_enum : ?max_experiments:int -> Spec.t -> Bernoulli_model.t -> float
+
+(** [monte_carlo spec model rng ~n] — sampled cost statistics. *)
+val monte_carlo :
+  Spec.t -> Bernoulli_model.t -> Stats.Rng.t -> n:int -> Stats.Welford.t
+
+(** Exact expectation over an explicit context distribution. *)
+val over_contexts : Spec.t -> Context.t Stats.Distribution.t -> float
+
+(** [exact spec model] — [exact_dfs] when [spec] is DFS, else
+    [exact_enum]. *)
+val exact : Spec.t -> Bernoulli_model.t -> float

@@ -1,0 +1,43 @@
+open Infgraph
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x ->
+        let rest = List.filter (fun y -> y <> x) l in
+        List.map (fun p -> x :: p) (permutations rest))
+      l
+
+let rec factorial n = if n <= 1 then 1 else n * factorial (n - 1)
+
+let count_dfs g =
+  let n = ref 1 in
+  for node = 0 to Graph.n_nodes g - 1 do
+    n := !n * factorial (List.length (Graph.children g node))
+  done;
+  !n
+
+let all_dfs ?(limit = 50000) g =
+  if count_dfs g > limit then
+    invalid_arg "Enumerate.all_dfs: too many strategies";
+  let base = Spec.default g in
+  let rec go node acc =
+    if node >= Graph.n_nodes g then acc
+    else
+      let perms = permutations (Graph.children g node) in
+      let acc =
+        List.concat_map
+          (fun d -> List.map (fun order -> Spec.with_order d ~node ~order) perms)
+          acc
+      in
+      go (node + 1) acc
+  in
+  go 0 [ base ]
+
+let all_paths ?(limit = 50000) g =
+  let paths = Graph.leaf_paths g in
+  let n = List.length paths in
+  if factorial n > limit then
+    invalid_arg "Enumerate.all_paths: too many strategies";
+  List.map (Spec.of_paths g) (permutations paths)

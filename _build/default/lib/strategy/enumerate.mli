@@ -1,0 +1,15 @@
+(** Exhaustive strategy enumeration (ground truth for optimality tests). *)
+
+open Infgraph
+
+(** All DFS strategies: the product of the child permutations at every
+    node. Guarded by [limit] (default 50000 strategies);
+    raises [Invalid_argument] beyond it. *)
+val all_dfs : ?limit:int -> Graph.t -> Spec.dfs list
+
+(** All path-order strategies: permutations of the root-to-retrieval
+    paths. Guarded by [limit]. *)
+val all_paths : ?limit:int -> Graph.t -> Spec.t list
+
+(** Number of DFS strategies without enumerating them. *)
+val count_dfs : Graph.t -> int

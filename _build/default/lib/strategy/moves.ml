@@ -1,0 +1,71 @@
+open Infgraph
+
+type t =
+  | Swap of Transform.t
+  | Promote of { node : int; pos : int }
+
+type family =
+  | Adjacent_swaps
+  | All_swaps
+  | Promotions
+  | Swaps_and_promotions
+
+let apply d = function
+  | Swap tr -> Transform.apply d tr
+  | Promote { node; pos } ->
+    let order = d.Spec.orders.(node) in
+    if pos < 1 || pos >= List.length order then
+      invalid_arg "Moves.apply: invalid promotion position";
+    let chosen = List.nth order pos in
+    let rest = List.filteri (fun i _ -> i <> pos) order in
+    Spec.with_order d ~node ~order:(chosen :: rest)
+
+let segment_lambda d ~node ~lo ~hi =
+  let stars = Costs.f_star_all d.Spec.graph in
+  let order = Array.of_list d.Spec.orders.(node) in
+  let sum = ref 0. in
+  for k = lo to hi do
+    sum := !sum +. stars.(order.(k))
+  done;
+  !sum
+
+let lambda d = function
+  | Swap tr -> Transform.lambda d tr
+  | Promote { node; pos } -> segment_lambda d ~node ~lo:0 ~hi:pos
+
+let neighbors family d =
+  let swaps adjacent_only =
+    List.map
+      (fun (tr, d') -> (Swap tr, d'))
+      (Transform.neighbors ~adjacent_only d)
+  in
+  let promotions () =
+    let g = d.Spec.graph in
+    let out = ref [] in
+    for node = 0 to Graph.n_nodes g - 1 do
+      let len = List.length d.Spec.orders.(node) in
+      (* pos = 1 duplicates the adjacent swap (0,1); start at 2. *)
+      for pos = 2 to len - 1 do
+        let mv = Promote { node; pos } in
+        out := (mv, apply d mv) :: !out
+      done
+    done;
+    List.rev !out
+  in
+  match family with
+  | Adjacent_swaps -> swaps true
+  | All_swaps -> swaps false
+  | Promotions -> swaps true @ promotions ()
+  | Swaps_and_promotions -> swaps false @ promotions ()
+
+let family_to_string = function
+  | Adjacent_swaps -> "adjacent-swaps"
+  | All_swaps -> "all-swaps"
+  | Promotions -> "promotions"
+  | Swaps_and_promotions -> "swaps+promotions"
+
+let pp d ppf = function
+  | Swap tr -> Transform.pp d ppf tr
+  | Promote { node; pos } ->
+    Format.fprintf ppf "promote(pos %d)@@%s" pos
+      (Graph.node d.Spec.graph node).Graph.name

@@ -1,0 +1,38 @@
+(** Generalized transformation sets.
+
+    Section 3.2: "The general PIB system can use (almost) arbitrary sets
+    of transformations to hill-climb". Beyond the sibling swaps of
+    {!Transform}, this module offers {e promotions} (move a child to the
+    front of its node — a macro-operator composed of adjacent swaps, in
+    the spirit of the [MKKC86]/[LNR87] citations) and packages families of
+    moves for the learners to draw neighborhoods from.
+
+    Every move reorders the children of a single node, so the range bound
+    is the same segment argument as {!Transform.lambda}: the total subtree
+    cost of the children whose positions change. *)
+
+type t =
+  | Swap of Transform.t
+  | Promote of { node : int; pos : int }
+      (** move the child at position [pos >= 1] to position 0 *)
+
+type family =
+  | Adjacent_swaps    (** smallest: n-1 moves per node *)
+  | All_swaps         (** every sibling pair *)
+  | Promotions
+      (** move-to-front macros, plus adjacent swaps so the neighborhood
+          stays connected *)
+  | Swaps_and_promotions  (** union of [All_swaps] and [Promotions] *)
+
+val apply : Spec.dfs -> t -> Spec.dfs
+
+(** Range Λ[Θ, move(Θ)]. *)
+val lambda : Spec.dfs -> t -> float
+
+(** The neighborhood 𝒯(Θ) for a family (duplicates removed: a promotion
+    of position 1 is the same strategy as the adjacent swap (0,1), so it
+    is emitted only as a swap). *)
+val neighbors : family -> Spec.dfs -> (t * Spec.dfs) list
+
+val family_to_string : family -> string
+val pp : Spec.dfs -> Format.formatter -> t -> unit

@@ -1,0 +1,92 @@
+open Infgraph
+
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+let ints_line ids = String.concat " " (List.map string_of_int ids)
+
+let parse_ints s =
+  String.split_on_char ' ' s
+  |> List.filter (fun t -> t <> "")
+  |> List.map (fun t ->
+         match int_of_string_opt t with
+         | Some i -> i
+         | None -> fail "expected an integer, found %S" t)
+
+let dfs_to_string d =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "strategem-strategy 1 dfs\n";
+  Array.iteri
+    (fun node order ->
+      if order <> [] then
+        Buffer.add_string buf
+          (Printf.sprintf "order %d %s\n" node (ints_line order)))
+    d.Spec.orders;
+  Buffer.add_string buf "end\n";
+  Buffer.contents buf
+
+let paths_to_string g order =
+  ignore g;
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "strategem-strategy 1 paths\n";
+  List.iter
+    (fun path ->
+      Buffer.add_string buf (Printf.sprintf "path %s\n" (ints_line path)))
+    order;
+  Buffer.add_string buf "end\n";
+  Buffer.contents buf
+
+let to_string = function
+  | Spec.Dfs d -> dfs_to_string d
+  | Spec.Paths { graph; order } -> paths_to_string graph order
+
+let body_lines input =
+  match
+    String.split_on_char '\n' input
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  with
+  | [] -> fail "empty strategy text"
+  | header :: rest ->
+    let kind =
+      try Scanf.sscanf header "strategem-strategy %d %s" (fun _ k -> k)
+      with Scanf.Scan_failure _ -> fail "missing strategem-strategy header"
+    in
+    (kind, List.filter (fun l -> l <> "end") rest)
+
+let dfs_of_string g input =
+  match body_lines input with
+  | "dfs", lines ->
+    let orders = Array.init (Graph.n_nodes g) (Graph.children g) in
+    List.iter
+      (fun line ->
+        if String.length line < 6 || String.sub line 0 6 <> "order " then
+          fail "unrecognized line %S" line
+        else
+          match parse_ints (String.sub line 6 (String.length line - 6)) with
+          | node :: order ->
+            if node < 0 || node >= Graph.n_nodes g then
+              fail "node %d out of range" node;
+            orders.(node) <- order
+          | [] -> fail "empty order line")
+      lines;
+    (try Spec.make_dfs g orders
+     with Invalid_argument m -> fail "invalid strategy: %s" m)
+  | k, _ -> fail "expected a dfs strategy, found %S" k
+
+let of_string g input =
+  match body_lines input with
+  | "dfs", _ -> Spec.Dfs (dfs_of_string g input)
+  | "paths", lines ->
+    let order =
+      List.map
+        (fun line ->
+          if String.length line < 5 || String.sub line 0 5 <> "path " then
+            fail "unrecognized line %S" line
+          else parse_ints (String.sub line 5 (String.length line - 5)))
+        lines
+    in
+    (try Spec.of_paths g order
+     with Invalid_argument m -> fail "invalid strategy: %s" m)
+  | k, _ -> fail "unknown strategy kind %S" k

@@ -1,0 +1,13 @@
+(** Strategy serialization (companion to {!Infgraph.Serial}).
+
+    A DFS strategy is stored as one [order <node_id> <arc ids...>] line per
+    node; a path strategy as one [path <arc ids...>] line per root-to-
+    retrieval path, in visit order. Loading validates against the graph
+    (permutation checks are {!Spec}'s). *)
+
+exception Parse_error of string
+
+val dfs_to_string : Spec.dfs -> string
+val dfs_of_string : Infgraph.Graph.t -> string -> Spec.dfs
+val to_string : Spec.t -> string
+val of_string : Infgraph.Graph.t -> string -> Spec.t

@@ -1,0 +1,61 @@
+open Infgraph
+
+type t = { node : int; pos_i : int; pos_j : int }
+
+let check d t =
+  let order = d.Spec.orders.(t.node) in
+  let len = List.length order in
+  if t.pos_i < 0 || t.pos_j <= t.pos_i || t.pos_j >= len then
+    invalid_arg "Transform: invalid sibling positions"
+
+let arcs d t =
+  check d t;
+  let order = d.Spec.orders.(t.node) in
+  (List.nth order t.pos_i, List.nth order t.pos_j)
+
+let apply d t =
+  check d t;
+  let order = Array.of_list d.Spec.orders.(t.node) in
+  let tmp = order.(t.pos_i) in
+  order.(t.pos_i) <- order.(t.pos_j);
+  order.(t.pos_j) <- tmp;
+  Spec.with_order d ~node:t.node ~order:(Array.to_list order)
+
+let all ?(adjacent_only = false) d =
+  let g = d.Spec.graph in
+  let out = ref [] in
+  for node = 0 to Graph.n_nodes g - 1 do
+    let len = List.length d.Spec.orders.(node) in
+    for i = 0 to len - 2 do
+      let js = if adjacent_only then [ i + 1 ] else List.init (len - 1 - i) (fun k -> i + 1 + k) in
+      List.iter (fun j -> out := { node; pos_i = i; pos_j = j } :: !out) js
+    done
+  done;
+  List.rev !out
+
+let neighbors ?adjacent_only d =
+  List.map (fun t -> (t, apply d t)) (all ?adjacent_only d)
+
+let lambda d t =
+  check d t;
+  (* Executions coincide outside the child segment [pos_i .. pos_j] of the
+     swapped node (children before i are visited identically; the multiset
+     explored before any later child is unchanged), so the difference range
+     is the total subtree cost of that segment. For adjacent swaps this is
+     the paper's f*(r1) + f*(r2); for non-adjacent swaps the intermediate
+     siblings' subtrees must be included (e.g. success under r1 only:
+     Θ stops at r1 while τ(Θ) first searches r2 and every intermediate). *)
+  let stars = Costs.f_star_all d.Spec.graph in
+  let order = Array.of_list d.Spec.orders.(t.node) in
+  let sum = ref 0. in
+  for k = t.pos_i to t.pos_j do
+    sum := !sum +. stars.(order.(k))
+  done;
+  !sum
+
+let pp d ppf t =
+  let r1, r2 = arcs d t in
+  let g = d.Spec.graph in
+  Format.fprintf ppf "swap(%s, %s)@@%s" (Graph.arc g r1).Graph.label
+    (Graph.arc g r2).Graph.label
+    (Graph.node g t.node).Graph.name

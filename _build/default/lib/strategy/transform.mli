@@ -1,0 +1,36 @@
+(** The PIB transformation set 𝒯 (Section 3.2).
+
+    Each transformation re-orders one pair of sibling arcs in a DFS
+    strategy: τ(Θ) swaps the subtrees under two arcs that descend from a
+    common node (e.g. τ_{d,c}(Θ_ABCD) = Θ_ABDC). The neighborhood 𝒯(Θ) of
+    all such swaps is what PIB hill-climbs over. *)
+
+type t = {
+  node : int;  (** node whose child order is changed *)
+  pos_i : int;  (** earlier position (0-based, in Θ's order) *)
+  pos_j : int;  (** later position *)
+}
+
+(** Swapped arc ids [(r1, r2)]: r1 currently at [pos_i], r2 at [pos_j]. *)
+val arcs : Spec.dfs -> t -> int * int
+
+val apply : Spec.dfs -> t -> Spec.dfs
+
+(** All transformations of a strategy: adjacent sibling swaps only when
+    [adjacent_only] (smaller, still connects the whole space), otherwise
+    every sibling pair (the default). Nodes with fewer than two children
+    contribute none. *)
+val all : ?adjacent_only:bool -> Spec.dfs -> t list
+
+(** Neighborhood 𝒯(Θ): transformations with their resulting strategies. *)
+val neighbors : ?adjacent_only:bool -> Spec.dfs -> (t * Spec.dfs) list
+
+(** The range Λ[Θ, τ(Θ)] of per-context cost differences: the total
+    subtree cost of the children in positions [pos_i .. pos_j] of the
+    swapped node. For adjacent swaps this is the paper's
+    [f*(r1) + f*(r2)]; for non-adjacent swaps the intermediate siblings'
+    subtrees are part of the range (a success under [r1] alone makes τ(Θ)
+    search [r2] {e and} every intermediate before reaching [r1]). *)
+val lambda : Spec.dfs -> t -> float
+
+val pp : Spec.dfs -> Format.formatter -> t -> unit

@@ -1,0 +1,168 @@
+open Infgraph
+
+(* ---------- Υ_AOT: optimal depth-first strategy ---------- *)
+
+(* Bottom-up: compute each subtree's optimal child order along with its
+   composite (cost, success probability); sort children by non-increasing
+   productivity P/C (compared as P1*C2 >= P2*C1 to avoid division). *)
+let aot model =
+  let g = Bernoulli_model.graph model in
+  let orders = Array.make (Graph.n_nodes g) [] in
+  let rec arc_composite arc_id =
+    let a = Graph.arc g arc_id in
+    let p = Bernoulli_model.prob model arc_id in
+    match a.Graph.kind with
+    | Graph.Retrieval -> (a.Graph.cost, p)
+    | Graph.Reduction ->
+      let c_below, p_below = node_composite a.Graph.dst in
+      (a.Graph.cost +. (p *. c_below), p *. p_below)
+  and node_composite node =
+    let rated =
+      List.map (fun c -> (c, arc_composite c)) (Graph.children g node)
+    in
+    let sorted =
+      List.stable_sort
+        (fun (_, (c1, p1)) (_, (c2, p2)) -> Float.compare (p2 *. c1) (p1 *. c2))
+        rated
+    in
+    orders.(node) <- List.map fst sorted;
+    List.fold_left
+      (fun (cost, succ) (_, (c, p)) ->
+        (cost +. ((1. -. succ) *. c), succ +. ((1. -. succ) *. p)))
+      (0., 0.) sorted
+  in
+  let root_cost, _ = node_composite (Graph.root g) in
+  (* Success nodes have no children; their (empty) orders are fine. *)
+  (Spec.make_dfs g orders, root_cost)
+
+(* ---------- Υ_OT: Sidney/Horn chain merging ---------- *)
+
+(* A segment is a block of arcs executed consecutively: [cost] is its
+   expected incremental cost when started (internal arcs never block in
+   this class, so all arcs of the segment before a success are paid in
+   sequence, discounted by the failure probabilities of the segment's own
+   earlier retrievals), [fail] the probability it finds no solution, and
+   [arcs] the block in execution order. Its ratio (1-fail)/cost is the
+   merge key. *)
+type segment = { scost : float; sfail : float; sarcs : int list }
+
+let seg_ratio s = (1. -. s.sfail) /. s.scost
+
+(* Sequential composition: run s1 then (if it failed) s2. *)
+let seg_concat s1 s2 =
+  {
+    scost = s1.scost +. (s1.sfail *. s2.scost);
+    sfail = s1.sfail *. s2.sfail;
+    sarcs = s1.sarcs @ s2.sarcs;
+  }
+
+(* Merge segment lists that are each in non-increasing ratio order into one
+   such list (cross-list order is free: no precedence between subtrees). *)
+let rec seg_merge l1 l2 =
+  match (l1, l2) with
+  | [], l | l, [] -> l
+  | s1 :: r1, s2 :: r2 ->
+    if seg_ratio s1 >= seg_ratio s2 then s1 :: seg_merge r1 l2
+    else s2 :: seg_merge l1 r2
+
+(* Prepend a head segment, absorbing following segments while they have a
+   strictly higher ratio than the accumulated head (the chain-merge step
+   that restores non-increasing order after adding a precedence root). *)
+let rec seg_push head = function
+  | [] -> [ head ]
+  | s :: rest ->
+    if seg_ratio s > seg_ratio head then seg_push (seg_concat head s) rest
+    else head :: s :: rest
+
+let ot_sidney model =
+  let g = Bernoulli_model.graph model in
+  if not (Graph.simple_disjunctive g) then
+    invalid_arg
+      "Upsilon.ot_sidney: requires a simple disjunctive graph (no blockable \
+       reductions)";
+  let rec arc_segments arc_id =
+    let a = Graph.arc g arc_id in
+    match a.Graph.kind with
+    | Graph.Retrieval ->
+      [
+        {
+          scost = a.Graph.cost;
+          sfail = 1. -. Bernoulli_model.prob model arc_id;
+          sarcs = [ arc_id ];
+        };
+      ]
+    | Graph.Reduction ->
+      let below = node_segments a.Graph.dst in
+      let head = { scost = a.Graph.cost; sfail = 1.; sarcs = [ arc_id ] } in
+      seg_push head below
+  and node_segments node =
+    List.fold_left
+      (fun acc child -> seg_merge acc (arc_segments child))
+      []
+      (Graph.children g node)
+  in
+  let segments = node_segments (Graph.root g) in
+  let arc_seq = List.concat_map (fun s -> s.sarcs) segments in
+  (* Convert the arc sequence to a path order: paths in order of their
+     retrieval's appearance. *)
+  let order =
+    List.filter_map
+      (fun arc_id ->
+        match (Graph.arc g arc_id).Graph.kind with
+        | Graph.Retrieval -> Some (Graph.path_to g arc_id)
+        | Graph.Reduction -> None)
+      arc_seq
+  in
+  let spec = Spec.of_paths g order in
+  (* Expected cost: fold the segments sequentially from an empty run. *)
+  let total =
+    match segments with
+    | [] -> { scost = 0.; sfail = 1.; sarcs = [] }
+    | s :: rest -> List.fold_left seg_concat s rest
+  in
+  (spec, total.scost)
+
+(* ---------- greedy approximation ---------- *)
+
+let approx model =
+  let g = Bernoulli_model.graph model in
+  let stars = Costs.f_star_all g in
+  let orders =
+    Array.init (Graph.n_nodes g) (fun node ->
+        Graph.children g node
+        |> List.map (fun c -> (c, Bernoulli_model.success_below model c))
+        |> List.stable_sort (fun (c1, p1) (c2, p2) ->
+               Float.compare (p2 *. stars.(c1)) (p1 *. stars.(c2)))
+        |> List.map fst)
+  in
+  Spec.make_dfs g orders
+
+(* ---------- brute force references ---------- *)
+
+let brute_dfs ?limit model =
+  let g = Bernoulli_model.graph model in
+  let best = ref None in
+  List.iter
+    (fun d ->
+      let c, _ = Cost.exact_dfs d model in
+      match !best with
+      | Some (_, bc) when bc <= c -> ()
+      | _ -> best := Some (d, c))
+    (Enumerate.all_dfs ?limit g);
+  match !best with
+  | Some r -> r
+  | None -> invalid_arg "Upsilon.brute_dfs: no strategies"
+
+let brute_paths ?limit ?max_experiments model =
+  let g = Bernoulli_model.graph model in
+  let best = ref None in
+  List.iter
+    (fun spec ->
+      let c = Cost.exact_enum ?max_experiments spec model in
+      match !best with
+      | Some (_, bc) when bc <= c -> ()
+      | _ -> best := Some (spec, c))
+    (Enumerate.all_paths ?limit g);
+  match !best with
+  | Some r -> r
+  | None -> invalid_arg "Upsilon.brute_paths: no strategies"

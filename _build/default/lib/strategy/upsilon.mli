@@ -1,0 +1,41 @@
+(** The Υ functions: compute optimal strategies from success probabilities
+    (Section 4 of the paper).
+
+    Three algorithms plus brute-force references:
+
+    - [aot]: the optimal {e depth-first} strategy for any tree-shaped graph
+      with probabilistic experiments, by the recursive productivity
+      ordering (children sorted by non-increasing P/C of their subtree
+      composites). Exchange-optimal at every node, hence optimal within
+      the DFS class. O(A log A).
+    - [ot_sidney]: the globally optimal {e path-order} strategy for simple
+      disjunctive trees (only retrievals block) — the class [Smi89]'s
+      Υ_OT handles — via Sidney/Horn chain-merging over the tree
+      precedence order. O(A² ) worst case here (list merges).
+    - [approx]: the cheap greedy Υ̃ that sorts children by
+      [success_below / f*] without recursing on composites — the paper's
+      note that near-optimal polynomial approximations exist.
+    - [brute_dfs] / [brute_paths]: exhaustive references for tests.
+
+    All assume independent experiment probabilities (footnote 8). *)
+
+open Infgraph
+
+(** Optimal DFS strategy and its expected cost. *)
+val aot : Bernoulli_model.t -> Spec.dfs * float
+
+(** Globally optimal path order for simple disjunctive trees and its
+    expected cost. Raises [Invalid_argument] if a reduction arc is
+    blockable. *)
+val ot_sidney : Bernoulli_model.t -> Spec.t * float
+
+(** Greedy one-level approximation (still a valid strategy). *)
+val approx : Bernoulli_model.t -> Spec.dfs
+
+(** Exhaustive optimum over DFS strategies (small graphs only). *)
+val brute_dfs : ?limit:int -> Bernoulli_model.t -> Spec.dfs * float
+
+(** Exhaustive optimum over path orders (small graphs only), cost by
+    configuration enumeration. *)
+val brute_paths :
+  ?limit:int -> ?max_experiments:int -> Bernoulli_model.t -> Spec.t * float

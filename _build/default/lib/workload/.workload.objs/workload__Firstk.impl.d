@@ -1,0 +1,1 @@
+lib/workload/firstk.ml: Array Bernoulli_model Enumerate Exec Float Graph Infgraph List Spec Strategy

@@ -1,0 +1,1 @@
+lib/workload/firstk.mli: Bernoulli_model Graph Infgraph Spec Strategy

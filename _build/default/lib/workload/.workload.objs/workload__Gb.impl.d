@@ -1,0 +1,1 @@
+lib/workload/gb.ml: Bernoulli_model Build Datalog Graph Infgraph List Spec Strategy String

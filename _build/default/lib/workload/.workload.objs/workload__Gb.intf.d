@@ -1,0 +1,1 @@
+lib/workload/gb.mli: Bernoulli_model Build Infgraph Spec Strategy

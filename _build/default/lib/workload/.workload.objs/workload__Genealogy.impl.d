@@ -1,0 +1,1 @@
+lib/workload/genealogy.ml: Build Context Core Datalog Infgraph List Printf Stats

@@ -1,0 +1,1 @@
+lib/workload/genealogy.mli: Build Context Core Datalog Infgraph Stats

@@ -1,0 +1,1 @@
+lib/workload/naf.ml: Array Buffer Context Core Datalog Graph Hashtbl Infgraph List Printf Stats

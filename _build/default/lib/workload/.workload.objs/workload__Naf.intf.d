@@ -1,0 +1,1 @@
+lib/workload/naf.mli: Context Core Datalog Graph Infgraph Stats

@@ -1,0 +1,1 @@
+lib/workload/segmented.ml: Array Bernoulli_model Context Core Graph Hashtbl Infgraph List Printf Stats

@@ -1,0 +1,1 @@
+lib/workload/segmented.mli: Bernoulli_model Context Core Graph Infgraph Stats

@@ -1,0 +1,1 @@
+lib/workload/synth.ml: Array Bernoulli_model Datalog Graph Infgraph List Printf Stats

@@ -1,0 +1,1 @@
+lib/workload/synth.mli: Bernoulli_model Datalog Graph Infgraph Stats

@@ -1,0 +1,1 @@
+lib/workload/university.ml: Bernoulli_model Build Datalog Float Graph Infgraph List Printf Spec Stats Strategy

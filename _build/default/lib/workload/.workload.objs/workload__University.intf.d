@@ -1,0 +1,1 @@
+lib/workload/university.mli: Bernoulli_model Build Datalog Infgraph Spec Stats Strategy

@@ -1,0 +1,64 @@
+open Infgraph
+open Strategy
+
+type t = {
+  graph : Graph.t;
+  k : int;
+  model : Bernoulli_model.t;
+  sources : (string * float * float) list;
+}
+
+let make ~sources ~k =
+  if k < 1 then invalid_arg "Firstk.make: k must be >= 1";
+  if List.length sources < k then
+    invalid_arg "Firstk.make: need at least k sources";
+  let b = Graph.Builder.create "answers(Q)" in
+  List.iter
+    (fun (label, cost, _) ->
+      ignore
+        (Graph.Builder.add_retrieval b ~src:(Graph.Builder.root b) ~cost ~label
+           ()))
+    sources;
+  let graph = Graph.Builder.finish b in
+  let p = Array.make (Graph.n_arcs graph) 1.0 in
+  List.iteri (fun i (_, _, prob) -> p.(i) <- prob) sources;
+  { graph; k; model = Bernoulli_model.make graph ~p; sources }
+
+let graph t = t.graph
+let k t = t.k
+let model t = t.model
+
+let expected_cost t spec =
+  List.fold_left
+    (fun acc (ctx, prob) ->
+      if prob = 0. then acc
+      else acc +. (prob *. (Exec.first_k t.k spec ctx).Exec.cost))
+    0.
+    (Bernoulli_model.enumerate t.model)
+
+let brute_optimal t =
+  let specs = Enumerate.all_paths t.graph in
+  let best =
+    List.fold_left
+      (fun best spec ->
+        let c = expected_cost t spec in
+        match best with
+        | Some (_, bc) when bc <= c -> best
+        | _ -> Some (spec, c))
+      None specs
+  in
+  match best with
+  | Some r -> r
+  | None -> invalid_arg "Firstk.brute_optimal: no strategies"
+
+let ratio_strategy t =
+  let rated =
+    List.mapi
+      (fun i (_, cost, prob) -> (Graph.path_to t.graph i, prob /. cost))
+      t.sources
+  in
+  let order =
+    List.stable_sort (fun (_, r1) (_, r2) -> Float.compare r2 r1) rated
+    |> List.map fst
+  in
+  Spec.of_paths t.graph order

@@ -1,0 +1,32 @@
+(** Section 5.2's first-k-answers variant.
+
+    Some queries are known to have exactly [k] answers — [parent(x, Y)]
+    yields two bindings, [senator(state, Y)] two, etc. The satisficing
+    search then stops after the [k]-th success rather than the first
+    ({!Strategy.Exec.first_k}). Strategies are the same objects; only the
+    stopping rule changes, so expected costs are evaluated by enumeration
+    or sampling over contexts. *)
+
+open Infgraph
+open Strategy
+
+type t
+
+(** [make ~sources ~k] — one retrieval arc per answer source:
+    (label, cost, probability the source holds an answer). *)
+val make : sources:(string * float * float) list -> k:int -> t
+
+val graph : t -> Graph.t
+val k : t -> int
+val model : t -> Bernoulli_model.t
+
+(** Exact expected cost of a strategy under the first-k stopping rule
+    (enumerates contexts). *)
+val expected_cost : t -> Spec.t -> float
+
+(** Best strategy by brute force over path orders (small source counts). *)
+val brute_optimal : t -> Spec.t * float
+
+(** Order sources greedily by p/c — optimal for the k = 1 case, a good
+    heuristic otherwise (compared against [brute_optimal] in tests). *)
+val ratio_strategy : t -> Spec.t

@@ -1,0 +1,48 @@
+module D = Datalog
+open Infgraph
+open Strategy
+
+let rules_text =
+  "g(X) :- a(X).\n\
+   g(X) :- s(X).\n\
+   s(X) :- b(X).\n\
+   s(X) :- t(X).\n\
+   t(X) :- c(X).\n\
+   t(X) :- d(X).\n"
+
+let build () =
+  Build.build
+    ~rulebase:(D.Rulebase.of_list (D.Parser.parse_clauses rules_text))
+    ~query_form:(D.Parser.parse_atom "g(someone)")
+    ()
+
+let theta_abcd result = Spec.default result.Build.graph
+
+let node_of_goal g pred =
+  let found =
+    List.find_opt
+      (fun n ->
+        match n.Graph.goal with
+        | Some atom ->
+          String.equal (D.Symbol.to_string atom.D.Atom.pred) pred
+        | None -> false)
+      (Graph.nodes g)
+  in
+  match found with
+  | Some n -> n.Graph.node_id
+  | None -> invalid_arg ("Gb: no goal node for predicate " ^ pred)
+
+let swap_at result pred =
+  let g = result.Build.graph in
+  let node = node_of_goal g pred in
+  fun d ->
+    Spec.with_order d ~node ~order:(List.rev (Graph.children g node))
+
+let theta_abdc result = swap_at result "t" (theta_abcd result)
+let theta_acdb result = swap_at result "s" (theta_abcd result)
+
+let model result ~pa ~pb ~pc ~pd =
+  Bernoulli_model.of_alist result.Build.graph
+    [ ("D_a", pa); ("D_b", pb); ("D_c", pc); ("D_d", pd) ]
+
+let model_d_heavy result = model result ~pa:0.05 ~pb:0.05 ~pc:0.1 ~pd:0.8

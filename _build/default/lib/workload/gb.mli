@@ -1,0 +1,34 @@
+(** Figure 2's larger inference graph G_B.
+
+    Rule base (query form [g^(b)]):
+    {v
+      g(X) :- a(X).   g(X) :- s(X).
+      s(X) :- b(X).   s(X) :- t(X).
+      t(X) :- c(X).   t(X) :- d(X).
+    v}
+    Ten arcs: ⟨R_ga D_a R_gs R_sb D_b R_st R_tc D_c R_td D_d⟩ in the
+    default (Θ_ABCD) order. *)
+
+open Infgraph
+open Strategy
+
+val rules_text : string
+val build : unit -> Build.result
+
+(** Equation 4's Θ_ABCD: depth-first, left-to-right (the default). *)
+val theta_abcd : Build.result -> Spec.dfs
+
+(** Θ_ABDC: D before C under node T. *)
+val theta_abdc : Build.result -> Spec.dfs
+
+(** Θ_ACDB: the T subtree before B under node S. *)
+val theta_acdb : Build.result -> Spec.dfs
+
+(** Independent model from leaf probabilities. *)
+val model :
+  Build.result -> pa:float -> pb:float -> pc:float -> pd:float ->
+  Bernoulli_model.t
+
+(** The Section 3.2 motivating situation: D_a, D_b, D_c rarely succeed and
+    D_d usually does — ⟨0.05, 0.05, 0.1, 0.8⟩. *)
+val model_d_heavy : Build.result -> Bernoulli_model.t

@@ -1,0 +1,76 @@
+module D = Datalog
+open Infgraph
+
+let rules_text =
+  "relative(X) :- ancestor_of_probe(X).\n\
+   relative(X) :- sibling(X).\n\
+   relative(X) :- inlaw(X).\n\
+   ancestor_of_probe(X) :- parent_of_probe(X).\n\
+   ancestor_of_probe(X) :- grandparent_of_probe(X).\n\
+   parent_of_probe(X) :- mother_probe(X).\n\
+   parent_of_probe(X) :- father_probe(X).\n\
+   grandparent_of_probe(X) :- gm_probe(X).\n\
+   grandparent_of_probe(X) :- gf_probe(X).\n\
+   sibling(X) :- full_sibling(X).\n\
+   sibling(X) :- half_sibling(X).\n\
+   inlaw(X) :- spouse(X).\n\
+   inlaw(X) :- spouse_sibling(X).\n"
+
+let rulebase () = D.Rulebase.of_list (D.Parser.parse_clauses rules_text)
+
+let build () =
+  Build.build ~rulebase:(rulebase ())
+    ~query_form:(D.Parser.parse_atom "relative(someone)")
+    ()
+
+let rates =
+  [
+    ("mother_probe", 0.02);
+    ("father_probe", 0.02);
+    ("gm_probe", 0.01);
+    ("gf_probe", 0.01);
+    ("full_sibling", 0.25);
+    ("half_sibling", 0.05);
+    ("spouse", 0.15);
+    ("spouse_sibling", 0.10);
+  ]
+
+type population = { pdb : D.Database.t; ppeople : string list }
+
+let populate rng ~n_people =
+  if n_people < 1 then invalid_arg "Genealogy.populate: need people";
+  let pdb = D.Database.create () in
+  let ppeople =
+    List.init n_people (fun i ->
+        let name = Printf.sprintf "person%d" (i + 1) in
+        List.iter
+          (fun (pred, rate) ->
+            if Stats.Rng.bernoulli rng rate then
+              ignore (D.Database.add pdb (D.Atom.make pred [ D.Term.const name ])))
+          rates;
+        name)
+  in
+  { pdb; ppeople }
+
+let db p = p.pdb
+let people p = p.ppeople
+
+let person_distribution ?(skew = 1.2) pop =
+  Stats.Distribution.create
+    (List.mapi
+       (fun i name -> (name, (1.0 /. float_of_int (i + 1)) ** skew))
+       pop.ppeople)
+
+let context_distribution ?skew result pop =
+  let g = result.Build.graph in
+  Stats.Distribution.map
+    (fun name ->
+      Context.of_db g
+        ~query:(Build.query_of_consts result [ name ])
+        ~db:pop.pdb)
+    (person_distribution ?skew pop)
+
+let oracle ?skew result pop rng =
+  let dist = context_distribution ?skew result pop in
+  Core.Oracle.of_fn result.Build.graph (fun () ->
+      Stats.Distribution.sample dist rng)

@@ -1,0 +1,52 @@
+(** A deeper, multi-level knowledge base: genealogy.
+
+    Three layers of disjunctive rules over six extensional relations —
+    large enough that the inference graph for [relative^(b)] has a dozen
+    retrievals at different depths, so learned strategies genuinely
+    reorder subtrees rather than a single sibling pair:
+
+    {v
+      relative(X) :- ancestor_of_probe(X).
+      relative(X) :- sibling(X).
+      relative(X) :- inlaw(X).
+      ancestor_of_probe(X) :- parent_of_probe(X).
+      ancestor_of_probe(X) :- grandparent_of_probe(X).
+      parent_of_probe(X)      :- mother_probe(X).
+      parent_of_probe(X)      :- father_probe(X).
+      grandparent_of_probe(X) :- gm_probe(X).
+      grandparent_of_probe(X) :- gf_probe(X).
+      sibling(X) :- full_sibling(X).
+      sibling(X) :- half_sibling(X).
+      inlaw(X)   :- spouse(X).
+      inlaw(X)   :- spouse_sibling(X).
+    v}
+
+    A population generator fills the extensional relations with per-person
+    Bernoulli draws (each predicate has its own rate), and a query mix
+    draws people with a Zipf skew. *)
+
+open Infgraph
+
+val rules_text : string
+val rulebase : unit -> Datalog.Rulebase.t
+
+(** Inference graph for [relative^(b)]. *)
+val build : unit -> Build.result
+
+type population
+
+(** [populate rng ~n_people] — draws each leaf relation per person. *)
+val populate : Stats.Rng.t -> n_people:int -> population
+
+val db : population -> Datalog.Database.t
+val people : population -> string list
+
+(** The per-leaf-relation rates used by the generator, by predicate. *)
+val rates : (string * float) list
+
+(** Query oracle over the population, Zipf-skewed. *)
+val oracle : ?skew:float -> Build.result -> population -> Stats.Rng.t -> Core.Oracle.t
+
+(** The exact context distribution the oracle samples from. *)
+val context_distribution :
+  ?skew:float -> Build.result -> population -> Context.t Stats.Distribution.t

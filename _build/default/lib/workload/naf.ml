@@ -1,0 +1,87 @@
+module D = Datalog
+open Infgraph
+
+type t = {
+  graph : Graph.t;
+  categories : (string * float * float) list;
+  db : D.Database.t;
+  people : string list;
+  paupers : (string, unit) Hashtbl.t;
+  ownership : (string * string, unit) Hashtbl.t; (* (person, category) *)
+}
+
+let make ~rng ~categories ~n_people ~pauper_fraction () =
+  if categories = [] then invalid_arg "Naf.make: no categories";
+  if pauper_fraction < 0. || pauper_fraction > 1. then
+    invalid_arg "Naf.make: pauper_fraction out of range";
+  let db = D.Database.create () in
+  let paupers = Hashtbl.create 16 in
+  let ownership = Hashtbl.create 64 in
+  let people =
+    List.init n_people (fun i ->
+        let name = Printf.sprintf "citizen%d" (i + 1) in
+        ignore (D.Database.add db (D.Atom.make "person" [ D.Term.const name ]));
+        if Stats.Rng.bernoulli rng pauper_fraction then
+          Hashtbl.add paupers name ()
+        else begin
+          (* A non-pauper owns each category independently; guarantee at
+             least one possession so "non-pauper" is meaningful. *)
+          let owned = ref false in
+          List.iter
+            (fun (cat, _cost, p) ->
+              if Stats.Rng.bernoulli rng p then begin
+                owned := true;
+                Hashtbl.add ownership (name, cat) ();
+                ignore
+                  (D.Database.add db
+                     (D.Atom.make ("owns_" ^ cat) [ D.Term.const name ]))
+              end)
+            categories;
+          if not !owned then begin
+            let cat, _, _ = List.hd categories in
+            Hashtbl.add ownership (name, cat) ();
+            ignore
+              (D.Database.add db
+                 (D.Atom.make ("owns_" ^ cat) [ D.Term.const name ]))
+          end
+        end;
+        name)
+  in
+  let b = Graph.Builder.create "has_possession(P)" in
+  List.iter
+    (fun (cat, cost, _) ->
+      ignore
+        (Graph.Builder.add_retrieval b ~src:(Graph.Builder.root b) ~cost
+           ~label:("owns_" ^ cat) ()))
+    categories;
+  { graph = Graph.Builder.finish b; categories; db; people; paupers; ownership }
+
+let graph t = t.graph
+let db t = t.db
+let people t = t.people
+let is_pauper t person = Hashtbl.mem t.paupers person
+
+let program t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "pauper(X) :- person(X), not has_possession(X).\n";
+  List.iter
+    (fun (cat, _, _) ->
+      Buffer.add_string buf
+        (Printf.sprintf "has_possession(X) :- owns_%s(X).\n" cat))
+    t.categories;
+  Buffer.contents buf
+
+let context_for t person =
+  let unblocked = Array.make (Graph.n_arcs t.graph) false in
+  List.iteri
+    (fun i (cat, _, _) ->
+      if Hashtbl.mem t.ownership (person, cat) then unblocked.(i) <- true)
+    t.categories;
+  Context.make t.graph ~unblocked
+
+let context_distribution t =
+  Stats.Distribution.uniform (List.map (context_for t) t.people)
+
+let oracle t rng =
+  let dist = context_distribution t in
+  Core.Oracle.of_fn t.graph (fun () -> Stats.Distribution.sample dist rng)

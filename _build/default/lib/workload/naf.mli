@@ -1,0 +1,44 @@
+(** Section 5.2's negation-as-failure application.
+
+    {v pauper(X) :- person(X), not has_possession(X). v}
+
+    Deciding [not has_possession(x)] is a satisficing search: find a
+    {e single} possession and the NAF test fails — "we do not have to find
+    each of his multitude of possessions". The search over possession
+    categories ([owns_house], [owns_car], ...) is a one-level inference
+    graph whose retrieval order PIB can learn: probing the categories
+    people most often own first answers the NAF test fastest for
+    non-paupers (the common case). *)
+
+open Infgraph
+
+type t
+
+(** [make ~rng ~categories ~n_people ~pauper_fraction ()] — [categories]
+    are (name, retrieval cost, ownership probability among non-paupers)
+    triples. *)
+val make :
+  rng:Stats.Rng.t ->
+  categories:(string * float * float) list ->
+  n_people:int ->
+  pauper_fraction:float ->
+  unit ->
+  t
+
+(** The inference graph of the [has_possession] satisficing search. *)
+val graph : t -> Graph.t
+
+(** The rule base, including the NAF rule, as Datalog source (the same
+    scenario run through the SLD engine in tests). *)
+val program : t -> string
+
+val db : t -> Datalog.Database.t
+val people : t -> string list
+val is_pauper : t -> string -> bool
+
+val context_for : t -> string -> Context.t
+
+(** Uniform queries over all people. *)
+val oracle : t -> Stats.Rng.t -> Core.Oracle.t
+
+val context_distribution : t -> Context.t Stats.Distribution.t

@@ -1,0 +1,80 @@
+open Infgraph
+
+type t = {
+  graph : Graph.t;
+  n_files : int;
+  people : string array;
+  assignment : (string, int) Hashtbl.t; (* person -> file *)
+  costs : float array;
+}
+
+let make ?(hot_file_bias = 2.0) ~rng ~n_files ~n_people () =
+  if n_files < 2 then invalid_arg "Segmented.make: need at least 2 files";
+  if n_people < 1 then invalid_arg "Segmented.make: need at least 1 person";
+  if hot_file_bias < 1.0 then
+    invalid_arg "Segmented.make: hot_file_bias must be >= 1";
+  (* Skewed file popularity: file f gets weight bias^-f. *)
+  let weights =
+    Array.init n_files (fun f -> hot_file_bias ** float_of_int (-f))
+  in
+  let assignment = Hashtbl.create n_people in
+  let sizes = Array.make n_files 0 in
+  let people =
+    Array.init n_people (fun i ->
+        let name = Printf.sprintf "person%d" (i + 1) in
+        let f = Stats.Rng.categorical rng weights in
+        Hashtbl.add assignment name f;
+        sizes.(f) <- sizes.(f) + 1;
+        name)
+  in
+  let costs =
+    Array.init n_files (fun f -> 1.0 +. float_of_int sizes.(f))
+  in
+  let b = Graph.Builder.create "record(P)" in
+  for f = 0 to n_files - 1 do
+    ignore
+      (Graph.Builder.add_retrieval b ~src:(Graph.Builder.root b)
+         ~cost:costs.(f)
+         ~label:(Printf.sprintf "file%d" f)
+         ())
+  done;
+  { graph = Graph.Builder.finish b; n_files; people; assignment; costs }
+
+let graph t = t.graph
+let n_files t = t.n_files
+let file_of t person = Hashtbl.find_opt t.assignment person
+let costs t = Array.copy t.costs
+
+let context_for t person =
+  let unblocked = Array.make (Graph.n_arcs t.graph) false in
+  (match file_of t person with
+  | Some f -> unblocked.(f) <- true (* arc ids equal file index here *)
+  | None -> ());
+  Context.make t.graph ~unblocked
+
+let person_distribution ?(skew = 1.5) t =
+  (* Zipf over people, independent of file assignment. *)
+  Stats.Distribution.create
+    (Array.to_list
+       (Array.mapi
+          (fun i person -> (person, (1.0 /. float_of_int (i + 1)) ** skew))
+          t.people))
+
+let context_distribution ?skew t =
+  Stats.Distribution.map (context_for t) (person_distribution ?skew t)
+
+let oracle ?skew t rng =
+  let dist = person_distribution ?skew t in
+  Core.Oracle.of_fn t.graph (fun () ->
+      context_for t (Stats.Distribution.sample dist rng))
+
+let independent_model ?skew t =
+  let dist = person_distribution ?skew t in
+  let p = Array.make (Graph.n_arcs t.graph) 0. in
+  List.iter
+    (fun (person, prob) ->
+      match file_of t person with
+      | Some f -> p.(f) <- p.(f) +. prob
+      | None -> ())
+    (Stats.Distribution.to_alist dist);
+  Bernoulli_model.make t.graph ~p

@@ -1,0 +1,54 @@
+(** Section 5.2's distributed-database application: choosing the order in
+    which to scan horizontally segmented files.
+
+    One logical relation (say [age/2]) is split across [n] physical files;
+    a query [age(person, X)] probes files until the one holding the
+    person's record is found. A probe costs that file's scan cost; the
+    scan order is exactly a one-level satisficing strategy, so PIB/PAO
+    apply unchanged: the inference graph is a root with one retrieval arc
+    per file, and a context blocks every arc except the file that holds
+    the queried person (or all of them, for unknown people). *)
+
+open Infgraph
+
+type t
+
+(** [make ~rng ~n_files ~n_people ()] distributes [n_people] records over
+    [n_files] files with a skewed (geometric-ish) file-popularity profile,
+    and gives each file a scan cost proportional to its size (plus 1).
+    [hot_file_bias] (default 2.0) controls the skew. *)
+val make :
+  ?hot_file_bias:float ->
+  rng:Stats.Rng.t ->
+  n_files:int ->
+  n_people:int ->
+  unit ->
+  t
+
+val graph : t -> Graph.t
+val n_files : t -> int
+
+(** Which file holds this person (if any). *)
+val file_of : t -> string -> int option
+
+(** File scan costs by file index. *)
+val costs : t -> float array
+
+(** The context for a query about [person]. *)
+val context_for : t -> string -> Context.t
+
+(** Oracle over a query distribution on people. [skew] (default 1.5)
+    Zipf-skews the per-person query probabilities — independently of where
+    their records sit, which is the paper's point. *)
+val oracle : ?skew:float -> t -> Stats.Rng.t -> Core.Oracle.t
+
+(** The exact context distribution [oracle] samples from — file successes
+    are mutually exclusive (a person's record lives in one file), so exact
+    expected costs use this with {!Strategy.Cost.over_contexts}. PIB makes
+    no independence assumption (Section 5.3) and handles this directly. *)
+val context_distribution :
+  ?skew:float -> t -> Context.t Stats.Distribution.t
+
+(** The independence {e approximation} of the per-file hit probabilities —
+    what PAO (which assumes independence, footnote 8) would work with. *)
+val independent_model : ?skew:float -> t -> Bernoulli_model.t

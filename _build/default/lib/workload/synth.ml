@@ -1,0 +1,153 @@
+open Infgraph
+
+type params = {
+  depth : int;
+  branch_min : int;
+  branch_max : int;
+  leaf_prob : float;
+  cost_min : float;
+  cost_max : float;
+  experiment_prob : float;
+}
+
+let default_params =
+  {
+    depth = 4;
+    branch_min = 2;
+    branch_max = 3;
+    leaf_prob = 0.4;
+    cost_min = 0.5;
+    cost_max = 4.0;
+    experiment_prob = 0.0;
+  }
+
+let validate p =
+  if p.depth < 1 then invalid_arg "Synth: depth must be >= 1";
+  if p.branch_min < 1 || p.branch_max < p.branch_min then
+    invalid_arg "Synth: bad branching bounds";
+  if p.cost_min <= 0. || p.cost_max < p.cost_min then
+    invalid_arg "Synth: bad cost bounds";
+  if p.leaf_prob < 0. || p.leaf_prob > 1. then
+    invalid_arg "Synth: leaf_prob out of range";
+  if p.experiment_prob < 0. || p.experiment_prob > 1. then
+    invalid_arg "Synth: experiment_prob out of range"
+
+let random_graph rng p =
+  validate p;
+  let b = Graph.Builder.create "root" in
+  let cost () = Stats.Rng.uniform_in rng ~lo:p.cost_min ~hi:p.cost_max in
+  let rec grow node depth =
+    let n_children =
+      p.branch_min + Stats.Rng.int rng (p.branch_max - p.branch_min + 1)
+    in
+    for _ = 1 to n_children do
+      let leaf = depth >= p.depth || Stats.Rng.bernoulli rng p.leaf_prob in
+      if leaf then
+        ignore (Graph.Builder.add_retrieval b ~src:node ~cost:(cost ()) ())
+      else begin
+        let child = Graph.Builder.add_node b (Printf.sprintf "n%d" node) in
+        let blockable = Stats.Rng.bernoulli rng p.experiment_prob in
+        ignore
+          (Graph.Builder.add_arc b ~src:node ~dst:child ~cost:(cost ())
+             ~blockable Graph.Reduction);
+        grow child (depth + 1)
+      end
+    done
+  in
+  grow (Graph.Builder.root b) 1;
+  Graph.Builder.finish b
+
+let random_model ?(p_min = 0.05) ?(p_max = 0.95) rng g =
+  if p_min < 0. || p_max > 1. || p_max < p_min then
+    invalid_arg "Synth.random_model: bad probability bounds";
+  Bernoulli_model.make g
+    ~p:
+      (Array.init (Graph.n_arcs g) (fun _ ->
+           Stats.Rng.uniform_in rng ~lo:p_min ~hi:p_max))
+
+let random_instance ?p_min ?p_max rng p =
+  let g = random_graph rng p in
+  (g, random_model ?p_min ?p_max rng g)
+
+type kb = {
+  rulebase : Datalog.Rulebase.t;
+  query_pred : string;
+  edb_preds : string list;
+  edb_probs : (string * float) list;
+  constants : string list;
+}
+
+let random_kb ?(p_min = 0.1) ?(p_max = 0.9) rng ~depth ~branch ~n_constants =
+  if depth < 1 || branch < 1 then invalid_arg "Synth.random_kb: bad shape";
+  if n_constants < 1 then invalid_arg "Synth.random_kb: need constants";
+  let clauses = ref [] in
+  let edb = ref [] in
+  let counter = ref 0 in
+  (* Build the predicate tree top-down; returns the predicate name. *)
+  let rec define level =
+    incr counter;
+    let name =
+      if level = 0 then "q0"
+      else if level >= depth then Printf.sprintf "e%d" !counter
+      else Printf.sprintf "p%d" !counter
+    in
+    if level >= depth then begin
+      edb := name :: !edb;
+      name
+    end
+    else begin
+      for _ = 1 to branch do
+        let child = define (level + 1) in
+        clauses :=
+          Datalog.Clause.make
+            (Datalog.Atom.make name [ Datalog.Term.var "X" ])
+            [ Datalog.Clause.Pos (Datalog.Atom.make child [ Datalog.Term.var "X" ]) ]
+          :: !clauses
+      done;
+      name
+    end
+  in
+  let root = define 0 in
+  let edb_preds = List.rev !edb in
+  {
+    rulebase = Datalog.Rulebase.of_list (List.rev !clauses);
+    query_pred = root;
+    edb_preds;
+    edb_probs =
+      List.map
+        (fun p -> (p, Stats.Rng.uniform_in rng ~lo:p_min ~hi:p_max))
+        edb_preds;
+    constants = List.init n_constants (fun i -> Printf.sprintf "k%d" i);
+  }
+
+let sample_db kb rng =
+  let db = Datalog.Database.create () in
+  List.iter
+    (fun (pred, prob) ->
+      List.iter
+        (fun const ->
+          if Stats.Rng.bernoulli rng prob then
+            ignore
+              (Datalog.Database.add db
+                 (Datalog.Atom.make pred [ Datalog.Term.const const ])))
+        kb.constants)
+    kb.edb_probs;
+  db
+
+let sample_query kb rng =
+  Datalog.Atom.make kb.query_pred
+    [ Datalog.Term.const (Stats.Rng.pick rng kb.constants) ]
+
+let small_instance ?(max_leaves = 5) ?params ?p_min ?p_max rng =
+  let p =
+    match params with
+    | Some p -> p
+    | None -> { default_params with depth = 2; branch_max = 2 }
+  in
+  let rec try_once () =
+    let g = random_graph rng p in
+    if List.length (Graph.retrievals g) <= max_leaves then
+      (g, random_model ?p_min ?p_max rng g)
+    else try_once ()
+  in
+  try_once ()

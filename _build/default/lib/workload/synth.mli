@@ -1,0 +1,66 @@
+(** Random tree-shaped inference graphs and models — the scaling and
+    property-test workload. *)
+
+open Infgraph
+
+type params = {
+  depth : int;            (** maximum reduction depth (>= 1) *)
+  branch_min : int;       (** children per goal node, lower bound (>= 1) *)
+  branch_max : int;       (** upper bound *)
+  leaf_prob : float;      (** probability an arc is a retrieval (when depth allows) *)
+  cost_min : float;
+  cost_max : float;
+  experiment_prob : float;
+      (** probability a reduction arc is blockable (0 gives simple
+          disjunctive graphs) *)
+}
+
+val default_params : params
+
+(** Shape-only generation (unit retrieval probabilities are chosen by
+    {!random_model}). *)
+val random_graph : Stats.Rng.t -> params -> Graph.t
+
+(** Independent model with blockable-arc probabilities uniform in
+    [[p_min, p_max]]. *)
+val random_model :
+  ?p_min:float -> ?p_max:float -> Stats.Rng.t -> Graph.t -> Bernoulli_model.t
+
+(** A graph plus model in one call. *)
+val random_instance :
+  ?p_min:float -> ?p_max:float -> Stats.Rng.t -> params ->
+  Graph.t * Bernoulli_model.t
+
+(** Small instances for brute-force comparison: at most [max_leaves]
+    retrievals (resamples until satisfied). *)
+val small_instance :
+  ?max_leaves:int -> ?params:params -> ?p_min:float -> ?p_max:float ->
+  Stats.Rng.t -> Graph.t * Bernoulli_model.t
+
+(** A full random Datalog knowledge base: a non-recursive simple
+    disjunctive rule base (a tree of unary predicates), a population of
+    databases and a query distribution over constants — the end-to-end
+    workload on which the inference-graph pipeline is cross-validated
+    against the SLD engine. *)
+type kb = {
+  rulebase : Datalog.Rulebase.t;
+  query_pred : string;          (** root predicate (arity 1) *)
+  edb_preds : string list;      (** leaf predicates *)
+  edb_probs : (string * float) list;
+      (** per-predicate membership probability used to populate databases *)
+  constants : string list;      (** the query/constant universe *)
+}
+
+(** [random_kb rng ~depth ~branch ~n_constants] — each intensional
+    predicate gets [branch] single-literal rules; at [depth] the body
+    predicates are extensional. *)
+val random_kb :
+  ?p_min:float -> ?p_max:float ->
+  Stats.Rng.t -> depth:int -> branch:int -> n_constants:int -> kb
+
+(** Draw a database: each (EDB predicate, constant) fact is present
+    independently with the predicate's probability. *)
+val sample_db : kb -> Stats.Rng.t -> Datalog.Database.t
+
+(** A ground query about a uniformly random constant. *)
+val sample_query : kb -> Stats.Rng.t -> Datalog.Atom.t

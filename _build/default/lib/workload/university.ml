@@ -1,0 +1,77 @@
+module D = Datalog
+open Infgraph
+open Strategy
+
+let rules_text = "instructor(X) :- prof(X).\ninstructor(X) :- grad(X).\n"
+
+let rulebase () = D.Rulebase.of_list (D.Parser.parse_clauses rules_text)
+
+let db1 () =
+  D.Database.of_list
+    [ D.Parser.parse_atom "prof(russ)"; D.Parser.parse_atom "grad(manolis)" ]
+
+let db2 ?(n_prof = 2000) ?(n_grad = 500) () =
+  let db = db1 () in
+  for i = 1 to n_prof do
+    ignore
+      (D.Database.add db
+         (D.Atom.make "prof" [ D.Term.const (Printf.sprintf "p%d" i) ]))
+  done;
+  for i = 1 to n_grad do
+    ignore
+      (D.Database.add db
+         (D.Atom.make "grad" [ D.Term.const (Printf.sprintf "g%d" i) ]))
+  done;
+  db
+
+let build () =
+  Build.build ~rulebase:(rulebase ())
+    ~query_form:(D.Parser.parse_atom "instructor(someone)")
+    ()
+
+let theta1 result = Spec.default result.Build.graph
+
+let theta2 result =
+  let g = result.Build.graph in
+  let root = Graph.root g in
+  Spec.with_order (Spec.default g) ~node:root
+    ~order:(List.rev (Graph.children g root))
+
+let model_of result ~p_prof ~p_grad =
+  Bernoulli_model.of_alist result.Build.graph
+    [ ("D_prof", p_prof); ("D_grad", p_grad) ]
+
+let model_section2 result = model_of result ~p_prof:0.60 ~p_grad:0.15
+let model_section4 result = model_of result ~p_prof:0.2 ~p_grad:0.6
+
+let query_for result name = Build.query_of_consts result [ name ]
+
+let query_mix_section2 result =
+  let db = db1 () in
+  Stats.Distribution.create
+    [
+      ((query_for result "russ", db), 0.60);
+      ((query_for result "manolis", db), 0.15);
+      ((query_for result "fred", db), 0.25);
+    ]
+
+let minors_mix ?(grad_fraction = 0.6) ?(n_minors = 10) result =
+  if grad_fraction < 0. || grad_fraction > 1. then
+    invalid_arg "University.minors_mix: grad_fraction out of range";
+  if n_minors < 2 then invalid_arg "University.minors_mix: need >= 2 minors";
+  let db = db2 () in
+  (* The first ceil(grad_fraction * n) minors are grads; none are profs. *)
+  let n_grads =
+    int_of_float (Float.round (grad_fraction *. float_of_int n_minors))
+  in
+  let minors = List.init n_minors (fun i -> Printf.sprintf "minor%d" (i + 1)) in
+  List.iteri
+    (fun i name ->
+      if i < n_grads then
+        ignore (D.Database.add db (D.Atom.make "grad" [ D.Term.const name ])))
+    minors;
+  let mix =
+    Stats.Distribution.uniform
+      (List.map (fun name -> (query_for result name, db)) minors)
+  in
+  (mix, db)

@@ -1,0 +1,60 @@
+(** The paper's running example (Figure 1): the university knowledge base.
+
+    Rule base: [instructor(X) :- prof(X).  instructor(X) :- grad(X).]
+    Query form: [instructor^(b)].
+
+    Two strategies: Θ₁ = ⟨R_p D_p R_g D_g⟩ (prof first, the graph's
+    default) and Θ₂ = ⟨R_g D_g R_p D_p⟩.
+
+    Section 2's quantities: with the query mix 60% [instructor(russ)]
+    (a prof), 15% [instructor(manolis)] (a grad), 25% [instructor(fred)]
+    (neither), the retrieval success probabilities are p_prof = 0.60 and
+    p_grad = 0.15, and the two expected costs are 2.8 and 3.7.
+    (The paper's §2 prints the two values against swapped labels — its own
+    per-context costs c(Θ₁,I₂) = 2 with 60% weight on I₂ force
+    C[Θ₁] = 2.8; see EXPERIMENTS.md E1.) *)
+
+open Infgraph
+open Strategy
+
+val rules_text : string
+
+val rulebase : unit -> Datalog.Rulebase.t
+
+(** DB₁ of Figure 1: [prof(russ)], [grad(manolis)] (fred in neither). *)
+val db1 : unit -> Datalog.Database.t
+
+(** The Section 2 DB₂: [n_prof] prof facts and [n_grad] grad facts
+    (defaults 2000 / 500) over synthetic constants, plus DB₁'s people. *)
+val db2 : ?n_prof:int -> ?n_grad:int -> unit -> Datalog.Database.t
+
+(** Inference graph for [instructor^(b)] (G_A). *)
+val build : unit -> Build.result
+
+(** Θ₁: prof first. *)
+val theta1 : Build.result -> Spec.dfs
+
+(** Θ₂: grad first. *)
+val theta2 : Build.result -> Spec.dfs
+
+(** The ⟨p_prof, p_grad⟩ = ⟨0.60, 0.15⟩ independent model. *)
+val model_section2 : Build.result -> Bernoulli_model.t
+
+(** The Section 4 example model ⟨p_p, p_g⟩ = ⟨0.2, 0.6⟩. *)
+val model_section4 : Build.result -> Bernoulli_model.t
+
+(** The Section 2 query mix as ⟨query, database⟩ pairs over DB₁:
+    60% russ / 15% manolis / 25% fred. *)
+val query_mix_section2 :
+  Build.result -> (Datalog.Atom.t * Datalog.Database.t) Stats.Distribution.t
+
+(** The "minors" adversarial mix (Section 2): queries mention only people
+    absent from [prof]; [grad_fraction] of the query mass falls on people
+    with [grad] facts (default 0.6). Returns the mix and the database it
+    runs against (DB₂ extended with the minors' grad facts). *)
+val minors_mix :
+  ?grad_fraction:float ->
+  ?n_minors:int ->
+  Build.result ->
+  (Datalog.Atom.t * Datalog.Database.t) Stats.Distribution.t
+  * Datalog.Database.t

@@ -1,0 +1,7 @@
+  $ ../bin/strategem.exe query ../examples/data/university.dl --all
+  $ ../bin/strategem.exe query ../examples/data/university.dl --engine seminaive
+  $ ../bin/strategem.exe optimal ../examples/data/university.dl -f 'instructor(q)' -p 'D_prof=0.6,D_grad=0.15'
+  $ ../bin/strategem.exe smith ../examples/data/university.dl -f 'instructor(q)'
+  $ ../bin/strategem.exe learn ../examples/data/university.dl -f 'instructor(q)' -m 'manolis=0.7,fred=0.3' -n 500 --seed 1 --save-strategy learned.strategy
+  $ ../bin/strategem.exe graph ../examples/data/university.dl -f 'instructor(q)' --save u.graph | tail -n 2
+  $ ../bin/strategem.exe eval u.graph -s learned.strategy -p 'D_prof=0.6,D_grad=0.15'

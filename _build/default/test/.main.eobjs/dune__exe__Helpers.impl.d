@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Bernoulli_model Context Graph Infgraph Int64 List QCheck2 QCheck_alcotest Stats Strategy Workload

@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_core Test_datalog Test_infgraph Test_stats Test_strategy Test_workload

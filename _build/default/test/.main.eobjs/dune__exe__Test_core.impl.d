@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Bernoulli_model Build Context Core Cost Costs Datalog Exec Graph Helpers Infgraph List Printf QCheck2 Spec Stats Strategy Transform Upsilon Workload

@@ -1,0 +1,1 @@
+test/test_datalog.ml: Alcotest Datalog Format Helpers List Printf QCheck2 Stats

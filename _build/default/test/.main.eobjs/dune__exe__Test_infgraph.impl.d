@@ -1,0 +1,1 @@
+test/test_infgraph.ml: Alcotest Array Bernoulli_model Build Context Costs Datalog Dot Float Graph Helpers Hypergraph Infgraph List Option Printf QCheck2 Serial Stats Strategy String Workload

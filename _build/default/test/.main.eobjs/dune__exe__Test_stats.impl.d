@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Fun Hashtbl Helpers List Option QCheck2 Stats

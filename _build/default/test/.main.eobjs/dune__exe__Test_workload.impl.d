@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Bernoulli_model Build Context Core Cost Datalog Exec Graph Helpers Infgraph List Printf QCheck2 Spec Stats Strategy Upsilon Workload

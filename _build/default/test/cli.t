@@ -1,0 +1,60 @@
+The strategem CLI, end to end on the Figure 1 knowledge base.
+
+Queries through the SLD engine:
+
+  $ ../bin/strategem.exe query ../examples/data/university.dl --all
+  ?- instructor(manolis).
+    yes.
+    [2 reductions, 2 retrievals (1 hits)]
+  ?- instructor(fred).
+    no.
+    [2 reductions, 2 retrievals (0 hits)]
+  ?- instructor(X).
+    {X=russ}
+    {X=manolis}
+    [2 reductions, 2 retrievals (2 hits)]
+
+The same queries, bottom-up:
+
+  $ ../bin/strategem.exe query ../examples/data/university.dl --engine seminaive
+  ?- instructor(manolis).
+    instructor(manolis).
+  ?- instructor(fred).
+    no.
+  ?- instructor(X).
+    instructor(russ).
+    instructor(manolis).
+
+The inference graph and the Section 2 expected costs:
+
+  $ ../bin/strategem.exe optimal ../examples/data/university.dl -f 'instructor(q)' -p 'D_prof=0.6,D_grad=0.15'
+  optimal DFS strategy: ⟨R_instructor_prof D_prof R_instructor_grad D_grad⟩
+  expected cost: 2.8000
+  optimal path order:  ⟨R_instructor_prof D_prof R_instructor_grad D_grad⟩
+  expected cost: 2.8000
+
+Smith's fact-count baseline (DB1 has one fact per relation, so it ties and
+keeps the written order):
+
+  $ ../bin/strategem.exe smith ../examples/data/university.dl -f 'instructor(q)'
+  D_prof: p_hat = 1.000
+  D_grad: p_hat = 1.000
+  Smith strategy: ⟨R_instructor_prof D_prof R_instructor_grad D_grad⟩
+
+Learning from a grad-heavy stream (seeded, deterministic), saving the
+result, and evaluating the saved artifacts:
+
+  $ ../bin/strategem.exe learn ../examples/data/university.dl -f 'instructor(q)' -m 'manolis=0.7,fred=0.3' -n 500 --seed 1 --save-strategy learned.strategy
+  initial strategy: ⟨R_instructor_prof D_prof R_instructor_grad D_grad⟩
+  climb 1 after 36 samples: ⟨R_instructor_grad D_grad R_instructor_prof D_prof⟩
+  final strategy (1 climbs over 500 queries): ⟨R_instructor_grad D_grad R_instructor_prof D_prof⟩
+  saved strategy to learned.strategy
+
+  $ ../bin/strategem.exe graph ../examples/data/university.dl -f 'instructor(q)' --save u.graph | tail -n 2
+  tree: 5 nodes, 4 arcs, 2 retrievals, total cost 4
+  saved graph to u.graph
+
+  $ ../bin/strategem.exe eval u.graph -s learned.strategy -p 'D_prof=0.6,D_grad=0.15'
+  strategy: ⟨R_instructor_grad D_grad R_instructor_prof D_prof⟩
+  expected cost: 3.7000  success probability: 0.6600
+  optimal DFS strategy would be ⟨R_instructor_prof D_prof R_instructor_grad D_grad⟩ at 2.8000

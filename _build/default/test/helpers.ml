@@ -1,0 +1,96 @@
+(* Shared fixtures and small utilities for the test suite. *)
+
+open Infgraph
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close ?(eps = 1e-6) msg a b = Alcotest.(check (float eps)) msg a b
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let case name f = Alcotest.test_case name `Quick f
+let slow_case name f = Alcotest.test_case name `Slow f
+
+let qcheck ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name gen prop)
+
+(* Figure 1's G_A built directly (arc ids: Rp=0, Rg=1, Dp=2, Dg=3). *)
+type ga = {
+  ga_graph : Graph.t;
+  rp : int;
+  rg : int;
+  dp : int;
+  dg : int;
+}
+
+let make_ga ?(cost = fun _ -> 1.0) () =
+  let b = Graph.Builder.create "instructor(K)" in
+  let prof = Graph.Builder.add_node b "prof(K)" in
+  let grad = Graph.Builder.add_node b "grad(K)" in
+  let rp =
+    Graph.Builder.add_arc b ~src:(Graph.Builder.root b) ~dst:prof
+      ~cost:(cost `Rp) ~label:"Rp" Graph.Reduction
+  in
+  let rg =
+    Graph.Builder.add_arc b ~src:(Graph.Builder.root b) ~dst:grad
+      ~cost:(cost `Rg) ~label:"Rg" Graph.Reduction
+  in
+  let dp = Graph.Builder.add_retrieval b ~src:prof ~cost:(cost `Dp) ~label:"Dp" () in
+  let dg = Graph.Builder.add_retrieval b ~src:grad ~cost:(cost `Dg) ~label:"Dg" () in
+  { ga_graph = Graph.Builder.finish b; rp; rg; dp; dg }
+
+(* A context for G_A given which retrievals succeed. *)
+let ga_context ga ~dp ~dg =
+  let unblocked = Array.make (Graph.n_arcs ga.ga_graph) true in
+  unblocked.(ga.dp) <- dp;
+  unblocked.(ga.dg) <- dg;
+  Context.make ga.ga_graph ~unblocked
+
+let ga_model ga ~pp ~pg =
+  let p = Array.make (Graph.n_arcs ga.ga_graph) 1.0 in
+  p.(ga.dp) <- pp;
+  p.(ga.dg) <- pg;
+  Bernoulli_model.make ga.ga_graph ~p
+
+(* Θ1 = ⟨Rp Dp Rg Dg⟩ (default), Θ2 = swapped. *)
+let ga_theta1 ga = Strategy.Spec.default ga.ga_graph
+let ga_theta2 ga =
+  Strategy.Spec.with_order (ga_theta1 ga)
+    ~node:(Graph.root ga.ga_graph)
+    ~order:[ ga.rg; ga.rp ]
+
+(* QCheck generator for a random small synthetic instance. *)
+let gen_small_instance =
+  QCheck2.Gen.map
+    (fun seed ->
+      let rng = Stats.Rng.create (Int64.of_int seed) in
+      Workload.Synth.small_instance ~max_leaves:5 rng)
+    QCheck2.Gen.int
+
+(* Random instance that may contain blockable reductions. *)
+let gen_experiment_instance =
+  QCheck2.Gen.map
+    (fun seed ->
+      let rng = Stats.Rng.create (Int64.of_int seed) in
+      let params =
+        { Workload.Synth.default_params with
+          depth = 3;
+          branch_max = 2;
+          experiment_prob = 0.5;
+        }
+      in
+      let rec pick () =
+        let g, m = Workload.Synth.random_instance rng params in
+        if List.length (Graph.retrievals g) <= 5 then (g, m) else pick ()
+      in
+      pick ())
+    QCheck2.Gen.int
+
+(* Deterministic RNG per test. *)
+let rng seed = Stats.Rng.create (Int64.of_int seed)
+
+let dfs_strategies g = Strategy.Enumerate.all_dfs g
+
+(* Random context from a model with a locally created rng. *)
+let any_context model seed = Bernoulli_model.sample model (rng seed)

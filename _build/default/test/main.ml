@@ -1,0 +1,4 @@
+let () =
+  Alcotest.run "strategem"
+    (Test_stats.suite @ Test_datalog.suite @ Test_infgraph.suite
+   @ Test_strategy.suite @ Test_core.suite @ Test_workload.suite)

@@ -1,0 +1,414 @@
+open Helpers
+
+(* ---------- Rng ---------- *)
+
+let rng_deterministic () =
+  let a = rng 1 and b = rng 1 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Stats.Rng.bits64 a) (Stats.Rng.bits64 b)
+  done
+
+let rng_split_independent () =
+  let a = rng 2 in
+  let b = Stats.Rng.split a in
+  (* After splitting, the two streams should differ quickly. *)
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Stats.Rng.bits64 a = Stats.Rng.bits64 b then incr same
+  done;
+  check_bool "streams differ" true (!same < 4)
+
+let rng_float_range () =
+  let r = rng 3 in
+  for _ = 1 to 10_000 do
+    let x = Stats.Rng.float r in
+    check_bool "in [0,1)" true (x >= 0.0 && x < 1.0)
+  done
+
+let rng_int_uniform () =
+  let r = rng 4 in
+  let counts = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let i = Stats.Rng.int r 10 in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let f = float_of_int c /. float_of_int n in
+      if abs_float (f -. 0.1) > 0.01 then
+        Alcotest.failf "bucket %d off: %f" i f)
+    counts
+
+let rng_bernoulli_mean () =
+  let r = rng 5 in
+  let n = 100_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Stats.Rng.bernoulli r 0.3 then incr hits
+  done;
+  check_close ~eps:0.01 "bernoulli mean" 0.3
+    (float_of_int !hits /. float_of_int n)
+
+let rng_bernoulli_extremes () =
+  let r = rng 6 in
+  for _ = 1 to 100 do
+    check_bool "p=0 never" false (Stats.Rng.bernoulli r 0.0);
+    check_bool "p=1 always" true (Stats.Rng.bernoulli r 1.0)
+  done
+
+let rng_categorical () =
+  let r = rng 7 in
+  let w = [| 1.0; 3.0; 0.0; 6.0 |] in
+  let counts = Array.make 4 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let i = Stats.Rng.categorical r w in
+    counts.(i) <- counts.(i) + 1
+  done;
+  check_int "zero-weight bucket empty" 0 counts.(2);
+  check_close ~eps:0.01 "weight 1/10" 0.1
+    (float_of_int counts.(0) /. float_of_int n);
+  check_close ~eps:0.01 "weight 6/10" 0.6
+    (float_of_int counts.(3) /. float_of_int n)
+
+let rng_categorical_errors () =
+  let r = rng 8 in
+  Alcotest.check_raises "empty" (Invalid_argument "Rng.categorical: empty weights")
+    (fun () -> ignore (Stats.Rng.categorical r [||]));
+  Alcotest.check_raises "all zero"
+    (Invalid_argument "Rng.categorical: all weights zero") (fun () ->
+      ignore (Stats.Rng.categorical r [| 0.0; 0.0 |]))
+
+let rng_shuffle_permutes () =
+  let r = rng 9 in
+  let a = Array.init 20 Fun.id in
+  Stats.Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same elements" (Array.init 20 Fun.id) sorted
+
+let rng_int_bounds =
+  qcheck "Rng.int within bounds"
+    QCheck2.Gen.(pair small_int (int_range 1 1000))
+    (fun (seed, n) ->
+      let r = rng seed in
+      let x = Stats.Rng.int r n in
+      x >= 0 && x < n)
+
+let rng_exponential_mean () =
+  let r = rng 13 in
+  let n = 100_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Stats.Rng.exponential r ~rate:2.0
+  done;
+  check_close ~eps:0.01 "mean = 1/rate" 0.5 (!sum /. float_of_int n)
+
+let rng_uniform_in_bounds =
+  qcheck "uniform_in stays within bounds"
+    QCheck2.Gen.(triple small_int (float_range (-10.) 10.) (float_range 0.1 10.))
+    (fun (seed, lo, width) ->
+      let r = rng seed in
+      let x = Stats.Rng.uniform_in r ~lo ~hi:(lo +. width) in
+      x >= lo && x < lo +. width)
+
+let rng_pick_uniform () =
+  let r = rng 14 in
+  let counts = Hashtbl.create 4 in
+  for _ = 1 to 30_000 do
+    let v = Stats.Rng.pick r [ "a"; "b"; "c" ] in
+    Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+  done;
+  Hashtbl.iter
+    (fun _ c ->
+      check_bool "roughly uniform" true (c > 9_000 && c < 11_000))
+    counts
+
+(* ---------- Chernoff ---------- *)
+
+let chernoff_tail_values () =
+  (* exp(-2 * 50 * (0.1/1)^2) = exp(-1) *)
+  check_close "tail bound" (exp (-1.0))
+    (Stats.Chernoff.tail_bound ~n:50 ~beta:0.1 ~range:1.0);
+  check_float "beta=0 gives 1" 1.0
+    (Stats.Chernoff.tail_bound ~n:100 ~beta:0.0 ~range:1.0)
+
+let chernoff_threshold_values () =
+  (* range * sqrt(n/2 ln(1/delta)) with n=8, delta=e^-1, range=2:
+     2 * sqrt(4 * 1) = 4 *)
+  check_close "eq 2" 4.0
+    (Stats.Chernoff.switch_threshold ~n:8 ~delta:(exp (-1.0)) ~range:2.0)
+
+let chernoff_threshold_k () =
+  (* k=1 must equal the plain threshold. *)
+  check_close "k=1 reduces"
+    (Stats.Chernoff.switch_threshold ~n:10 ~delta:0.05 ~range:1.5)
+    (Stats.Chernoff.switch_threshold_k ~n:10 ~delta:0.05 ~k:1 ~range:1.5)
+
+let chernoff_sequential_sums_to_delta () =
+  (* sum_{i=1..N} 6/(pi^2 i^2) * delta -> delta *)
+  let delta = 0.2 in
+  let total = ref 0. in
+  for i = 1 to 200_000 do
+    total := !total +. Stats.Chernoff.sequential_delta ~delta ~test_index:i
+  done;
+  check_close ~eps:1e-4 "series sum" delta !total
+
+let chernoff_eq6_vs_eq2 () =
+  (* Equation 6 at test index i equals Equation 2 at delta_i' where
+     ln(1/delta_i') = ln(i^2 pi^2 / 6 delta). *)
+  let pi = 4.0 *. atan 1.0 in
+  let delta = 0.1 and i = 7 and n = 31 and range = 2.5 in
+  let direct =
+    Stats.Chernoff.switch_threshold_seq ~n ~delta ~test_index:i ~range
+  in
+  let di = 6.0 *. delta /. (pi *. pi *. float_of_int (i * i)) in
+  let via_eq2 = Stats.Chernoff.switch_threshold ~n ~delta:di ~range in
+  check_close "consistent" via_eq2 direct
+
+let chernoff_eq7_monotone =
+  qcheck "Eq 7 decreasing in epsilon"
+    QCheck2.Gen.(triple (int_range 1 10) (float_range 0.5 5.0) (float_range 0.01 0.4))
+    (fun (n, f_not, delta) ->
+      let m eps =
+        Stats.Chernoff.samples_for_retrieval ~n_retrievals:n ~f_not
+          ~epsilon:eps ~delta
+      in
+      m 1.0 >= m 2.0 && m 2.0 >= m 4.0)
+
+let chernoff_eq7_value () =
+  (* n=1, F=1, eps=1, delta=2/e^2: m = ceil(2 * 1 * ln(2/(2/e^2))) = ceil(4) = 4 *)
+  check_int "eq 7" 4
+    (Stats.Chernoff.samples_for_retrieval ~n_retrievals:1 ~f_not:1.0
+       ~epsilon:1.0 ~delta:(2.0 /. exp 2.0))
+
+let chernoff_eq8_leading_term () =
+  (* Footnote 11: the asymptotic leading term of Eq 8 is
+     2 (n F / eps)^2 ln(4n/delta); for large n the two should be close. *)
+  let n = 2000 and f_not = 1.0 and epsilon = 1.0 and delta = 0.1 in
+  let actual =
+    float_of_int
+      (Stats.Chernoff.aims_for_experiment ~n_experiments:n ~f_not ~epsilon
+         ~delta)
+  in
+  let fn = float_of_int n in
+  let leading = 2.0 *. ((fn *. f_not /. epsilon) ** 2.0) *. log (4.0 *. fn /. delta) in
+  let ratio = actual /. leading in
+  check_bool "within 1% of the leading term" true
+    (ratio > 0.99 && ratio < 1.01)
+
+let chernoff_eq8_zero_fnot () =
+  check_int "F=0 needs no samples" 0
+    (Stats.Chernoff.aims_for_experiment ~n_experiments:3 ~f_not:0.0
+       ~epsilon:0.5 ~delta:0.1)
+
+let chernoff_radius_inverse =
+  qcheck "samples_for_radius inverts hoeffding_radius"
+    QCheck2.Gen.(pair (float_range 0.01 0.5) (float_range 0.01 0.5))
+    (fun (radius, delta) ->
+      let m = Stats.Chernoff.samples_for_radius ~radius ~delta in
+      Stats.Chernoff.hoeffding_radius ~m ~delta <= radius
+      && (m = 1
+         || Stats.Chernoff.hoeffding_radius ~m:(m - 1) ~delta > radius))
+
+let chernoff_hoeffding_coverage () =
+  (* Empirical check that the radius covers the true mean at >= 1-delta. *)
+  let r = rng 11 in
+  let delta = 0.1 and p = 0.35 and m = 200 in
+  let radius = Stats.Chernoff.hoeffding_radius ~m ~delta in
+  let trials = 2000 in
+  let misses = ref 0 in
+  for _ = 1 to trials do
+    let hits = ref 0 in
+    for _ = 1 to m do
+      if Stats.Rng.bernoulli r p then incr hits
+    done;
+    let p_hat = float_of_int !hits /. float_of_int m in
+    if abs_float (p_hat -. p) > radius then incr misses
+  done;
+  check_bool "miss rate below delta" true
+    (float_of_int !misses /. float_of_int trials <= delta)
+
+let chernoff_validation () =
+  Alcotest.check_raises "bad delta"
+    (Invalid_argument "Chernoff: delta must lie in (0,1)") (fun () ->
+      ignore (Stats.Chernoff.deviation ~n:3 ~delta:1.0 ~range:1.0));
+  Alcotest.check_raises "bad range"
+    (Invalid_argument "Chernoff: range must be positive") (fun () ->
+      ignore (Stats.Chernoff.deviation ~n:3 ~delta:0.5 ~range:0.0))
+
+(* ---------- Counter / Estimate ---------- *)
+
+let counter_basics () =
+  let c = Stats.Counter.create () in
+  check_int "attempts" 0 (Stats.Counter.attempts c);
+  check_float "default freq" 0.5 (Stats.Counter.frequency c);
+  Stats.Counter.record c ~success:true;
+  Stats.Counter.record c ~success:false;
+  Stats.Counter.record c ~success:true;
+  check_int "attempts" 3 (Stats.Counter.attempts c);
+  check_int "successes" 2 (Stats.Counter.successes c);
+  check_int "failures" 1 (Stats.Counter.failures c);
+  check_close "freq" (2.0 /. 3.0) (Stats.Counter.frequency c);
+  Stats.Counter.reset c;
+  check_int "reset" 0 (Stats.Counter.attempts c)
+
+let counter_merge () =
+  let a = Stats.Counter.create () and b = Stats.Counter.create () in
+  Stats.Counter.record a ~success:true;
+  Stats.Counter.record b ~success:false;
+  Stats.Counter.record b ~success:true;
+  Stats.Counter.merge_into ~dst:a ~src:b;
+  check_int "merged attempts" 3 (Stats.Counter.attempts a);
+  check_int "merged successes" 2 (Stats.Counter.successes a)
+
+let estimate_basics () =
+  let e = Stats.Estimate.of_counts ~successes:30 ~attempts:100 ~delta:0.05 () in
+  check_close "mean" 0.3 e.Stats.Estimate.mean;
+  check_bool "contains truth-ish" true (Stats.Estimate.contains e 0.3);
+  check_bool "bounds clamped" true
+    (Stats.Estimate.lower e >= 0.0 && Stats.Estimate.upper e <= 1.0);
+  let empty = Stats.Estimate.of_counts ~successes:0 ~attempts:0 ~delta:0.05 () in
+  check_float "empty default" 0.5 empty.Stats.Estimate.mean;
+  check_float "empty radius" 1.0 empty.Stats.Estimate.radius
+
+(* ---------- Welford ---------- *)
+
+let welford_known_values () =
+  let w = Stats.Welford.create () in
+  List.iter (Stats.Welford.add w) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  check_close "mean" 5.0 (Stats.Welford.mean w);
+  check_close "variance" (32.0 /. 7.0) (Stats.Welford.variance w);
+  check_float "min" 2.0 (Stats.Welford.min w);
+  check_float "max" 9.0 (Stats.Welford.max w);
+  check_close "sum" 40.0 (Stats.Welford.sum w)
+
+let welford_merge =
+  qcheck "merge equals concatenation"
+    QCheck2.Gen.(pair (list (float_range (-100.) 100.)) (list (float_range (-100.) 100.)))
+    (fun (xs, ys) ->
+      let wa = Stats.Welford.create () and wb = Stats.Welford.create () in
+      let wall = Stats.Welford.create () in
+      List.iter (Stats.Welford.add wa) xs;
+      List.iter (Stats.Welford.add wb) ys;
+      List.iter (Stats.Welford.add wall) (xs @ ys);
+      let merged = Stats.Welford.merge wa wb in
+      Stats.Welford.count merged = Stats.Welford.count wall
+      && abs_float (Stats.Welford.mean merged -. Stats.Welford.mean wall) < 1e-6
+      && abs_float (Stats.Welford.variance merged -. Stats.Welford.variance wall)
+         < 1e-4)
+
+(* ---------- Distribution ---------- *)
+
+let distribution_normalizes () =
+  let d = Stats.Distribution.create [ ("a", 2.0); ("b", 6.0) ] in
+  check_close "p(a)" 0.25 (Stats.Distribution.prob d 0);
+  check_close "p(b)" 0.75 (Stats.Distribution.prob d 1);
+  check_close "expect" 0.75
+    (Stats.Distribution.expect d (fun v -> if v = "b" then 1.0 else 0.0))
+
+let distribution_sampling_matches () =
+  let d = Stats.Distribution.create [ (0, 1.0); (1, 4.0) ] in
+  let r = rng 12 in
+  let n = 50_000 in
+  let ones = ref 0 in
+  for _ = 1 to n do
+    if Stats.Distribution.sample d r = 1 then incr ones
+  done;
+  check_close ~eps:0.01 "sampled frequency" 0.8
+    (float_of_int !ones /. float_of_int n)
+
+let distribution_errors () =
+  Alcotest.check_raises "empty" (Invalid_argument "Distribution.create: empty")
+    (fun () -> ignore (Stats.Distribution.create []));
+  Alcotest.check_raises "zero mass"
+    (Invalid_argument "Distribution.create: zero total weight") (fun () ->
+      ignore (Stats.Distribution.create [ ("x", 0.0) ]))
+
+let distribution_prob_of () =
+  let d = Stats.Distribution.uniform [ 1; 2; 3; 4 ] in
+  check_close "evens" 0.5 (Stats.Distribution.prob_of d (fun x -> x mod 2 = 0))
+
+(* ---------- Sequential ---------- *)
+
+let sequential_budget () =
+  let s = Stats.Sequential.create ~delta:0.1 in
+  check_int "no tests yet" 0 (Stats.Sequential.tests_used s);
+  let i1 = Stats.Sequential.advance s ~count:3 in
+  check_int "advanced" 3 i1;
+  let i2 = Stats.Sequential.advance s ~count:2 in
+  check_int "advanced again" 5 i2;
+  check_bool "budget below delta" true (Stats.Sequential.spent s < 0.1)
+
+let sequential_spent_bounded =
+  qcheck "spent never exceeds delta" ~count:50
+    QCheck2.Gen.(list_size (int_range 1 50) (int_range 1 10))
+    (fun counts ->
+      let s = Stats.Sequential.create ~delta:0.05 in
+      List.iter (fun c -> ignore (Stats.Sequential.advance s ~count:c)) counts;
+      Stats.Sequential.spent s <= 0.05 +. 1e-12)
+
+let sequential_threshold_grows () =
+  let s = Stats.Sequential.create ~delta:0.05 in
+  ignore (Stats.Sequential.advance s ~count:1);
+  let t1 = Stats.Sequential.threshold s ~n:100 ~range:1.0 in
+  ignore (Stats.Sequential.advance s ~count:100);
+  let t2 = Stats.Sequential.threshold s ~n:100 ~range:1.0 in
+  check_bool "later tests need larger margins" true (t2 > t1)
+
+let suite =
+  [
+    ( "stats.rng",
+      [
+        case "deterministic" rng_deterministic;
+        case "split independence" rng_split_independent;
+        case "float range" rng_float_range;
+        case "int uniform" rng_int_uniform;
+        case "bernoulli mean" rng_bernoulli_mean;
+        case "bernoulli extremes" rng_bernoulli_extremes;
+        case "categorical" rng_categorical;
+        case "categorical errors" rng_categorical_errors;
+        case "shuffle permutes" rng_shuffle_permutes;
+        rng_int_bounds;
+        case "exponential mean" rng_exponential_mean;
+        rng_uniform_in_bounds;
+        case "pick uniform" rng_pick_uniform;
+      ] );
+    ( "stats.chernoff",
+      [
+        case "tail bound values" chernoff_tail_values;
+        case "eq2 threshold" chernoff_threshold_values;
+        case "eq5 with k=1" chernoff_threshold_k;
+        case "sequential deltas sum to delta" chernoff_sequential_sums_to_delta;
+        case "eq6 consistency" chernoff_eq6_vs_eq2;
+        chernoff_eq7_monotone;
+        case "eq7 value" chernoff_eq7_value;
+        case "eq8 leading term" chernoff_eq8_leading_term;
+        case "eq8 F=0" chernoff_eq8_zero_fnot;
+        chernoff_radius_inverse;
+        case "hoeffding coverage" chernoff_hoeffding_coverage;
+        case "argument validation" chernoff_validation;
+      ] );
+    ( "stats.counters",
+      [
+        case "counter basics" counter_basics;
+        case "counter merge" counter_merge;
+        case "estimate basics" estimate_basics;
+      ] );
+    ( "stats.welford",
+      [ case "known values" welford_known_values; welford_merge ] );
+    ( "stats.distribution",
+      [
+        case "normalizes" distribution_normalizes;
+        case "sampling matches" distribution_sampling_matches;
+        case "errors" distribution_errors;
+        case "prob_of" distribution_prob_of;
+      ] );
+    ( "stats.sequential",
+      [
+        case "budget" sequential_budget;
+        sequential_spent_bounded;
+        case "threshold grows" sequential_threshold_grows;
+      ] );
+  ]

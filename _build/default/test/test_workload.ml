@@ -1,0 +1,435 @@
+open Helpers
+open Infgraph
+open Strategy
+module D = Datalog
+
+(* ---------- University ---------- *)
+
+let university_worked_example () =
+  let result = Workload.University.build () in
+  let mix = Workload.University.query_mix_section2 result in
+  let g = result.Build.graph in
+  (* Expected cost over the explicit query mix must equal the independent-
+     model computation: 2.8 / 3.7. *)
+  let ctx_dist =
+    Stats.Distribution.map
+      (fun (q, db) -> Context.of_db g ~query:q ~db)
+      mix
+  in
+  check_close "C[Θ1] over queries" 2.8
+    (Cost.over_contexts (Spec.Dfs (Workload.University.theta1 result)) ctx_dist);
+  check_close "C[Θ2] over queries" 3.7
+    (Cost.over_contexts (Spec.Dfs (Workload.University.theta2 result)) ctx_dist)
+
+let university_sld_agrees_with_graph () =
+  (* The inference-graph execution and the real SLD engine must agree on
+     answers and on the number of retrieval attempts, query by query. *)
+  let result = Workload.University.build () in
+  let g = result.Build.graph in
+  let db = Workload.University.db1 () in
+  let rb = Workload.University.rulebase () in
+  let cfg = D.Sld.config ~rulebase:rb ~db () in
+  List.iter
+    (fun name ->
+      let q = Build.query_of_consts result [ name ] in
+      let ctx = Context.of_db g ~query:q ~db in
+      let outcome = Exec.run (Spec.Dfs (Workload.University.theta1 result)) ctx in
+      let answer, stats = D.Sld.solve_first cfg [ D.Clause.Pos q ] in
+      check_bool (name ^ ": same answer") outcome.Exec.succeeded (answer <> None);
+      check_int (name ^ ": same retrieval count") stats.D.Sld.retrievals
+        (List.length outcome.Exec.observations))
+    [ "russ"; "manolis"; "fred" ]
+
+let university_minors () =
+  let result = Workload.University.build () in
+  let mix, _db = Workload.University.minors_mix ~grad_fraction:0.6 result in
+  let g = result.Build.graph in
+  let ctx_dist =
+    Stats.Distribution.map (fun (q, db) -> Context.of_db g ~query:q ~db) mix
+  in
+  let c1 = Cost.over_contexts (Spec.Dfs (Workload.University.theta1 result)) ctx_dist in
+  let c2 = Cost.over_contexts (Spec.Dfs (Workload.University.theta2 result)) ctx_dist in
+  check_bool "Θ2 superior under minors" true (c2 < c1)
+
+let university_db2_counts () =
+  let db = Workload.University.db2 () in
+  check_int "prof count" 2001 (D.Database.count_pred db "prof");
+  check_int "grad count" 501 (D.Database.count_pred db "grad")
+
+(* ---------- Gb ---------- *)
+
+let gb_structure () =
+  let result = Workload.Gb.build () in
+  let g = result.Build.graph in
+  check_int "10 arcs" 10 (Graph.n_arcs g);
+  check_int "4 retrievals" 4 (List.length (Graph.retrievals g));
+  check_bool "simple disjunctive" true (Graph.simple_disjunctive g)
+
+let gb_model_d_heavy_prefers_d () =
+  let result = Workload.Gb.build () in
+  let model = Workload.Gb.model_d_heavy result in
+  let opt, _ = Upsilon.aot model in
+  let g = result.Build.graph in
+  let seq = Spec.arc_sequence (Spec.Dfs opt) in
+  let label i = (Graph.arc g (List.nth seq i)).Graph.label in
+  (* The optimal strategy must reach D_d before any other retrieval. *)
+  let first_retrieval =
+    List.find
+      (fun id -> (Graph.arc g id).Graph.kind = Graph.Retrieval)
+      seq
+  in
+  ignore label;
+  check_string "D_d first" "D_d" (Graph.arc g first_retrieval).Graph.label
+
+(* ---------- Synth ---------- *)
+
+let synth_valid_graphs =
+  qcheck "random graphs are well formed" ~count:100
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let r = rng seed in
+      let g = Workload.Synth.random_graph r Workload.Synth.default_params in
+      (* every non-root node has a parent; every goal node has children *)
+      List.for_all
+        (fun n ->
+          let id = n.Graph.node_id in
+          (id = Graph.root g || Graph.parent_arc g id <> None)
+          && (n.Graph.success || Graph.children g id <> []))
+        (Graph.nodes g))
+
+let synth_experiment_fraction () =
+  let r = rng 71 in
+  let params =
+    { Workload.Synth.default_params with experiment_prob = 1.0; depth = 3 }
+  in
+  let g = Workload.Synth.random_graph r params in
+  check_bool "all reductions blockable" true
+    (List.for_all
+       (fun a -> a.Graph.blockable)
+       (List.filter (fun a -> a.Graph.kind = Graph.Reduction) (Graph.arcs g)))
+
+let synth_costs_in_range =
+  qcheck "costs respect bounds" ~count:50
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let r = rng seed in
+      let p = { Workload.Synth.default_params with cost_min = 2.0; cost_max = 3.0 } in
+      let g = Workload.Synth.random_graph r p in
+      List.for_all
+        (fun a -> a.Graph.cost >= 2.0 && a.Graph.cost <= 3.0)
+        (Graph.arcs g))
+
+(* The full-pipeline property: on random knowledge bases, the inference
+   graph + strategy executor must agree with the real SLD engine on the
+   answer, the number of retrieval attempts, and (unit costs) the total
+   work, query by query. *)
+let synth_kb_pipeline_agrees =
+  qcheck "graph execution = SLD on random KBs" ~count:60
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let r = rng seed in
+      let depth = 1 + Stats.Rng.int r 3 in
+      let branch = 2 + Stats.Rng.int r 2 in
+      let kb = Workload.Synth.random_kb r ~depth ~branch ~n_constants:6 in
+      let result =
+        Build.build ~rulebase:kb.Workload.Synth.rulebase
+          ~query_form:
+            (D.Atom.make kb.Workload.Synth.query_pred [ D.Term.const "x" ])
+          ()
+      in
+      let g = result.Build.graph in
+      let theta = Spec.default g in
+      List.for_all
+        (fun trial ->
+          let db = Workload.Synth.sample_db kb (rng (seed + trial)) in
+          let query = Workload.Synth.sample_query kb (rng (seed + trial + 7)) in
+          let ctx = Context.of_db g ~query ~db in
+          let outcome = Exec.run (Spec.Dfs theta) ctx in
+          let cfg = D.Sld.config ~rulebase:kb.Workload.Synth.rulebase ~db () in
+          let answer, stats = D.Sld.solve_first cfg [ D.Clause.Pos query ] in
+          outcome.Exec.succeeded = (answer <> None)
+          && List.length outcome.Exec.observations = stats.D.Sld.retrievals
+          && int_of_float outcome.Exec.cost
+             = stats.D.Sld.reductions + stats.D.Sld.retrievals)
+        [ 0; 1; 2 ])
+
+let synth_kb_structure () =
+  let kb = Workload.Synth.random_kb (rng 80) ~depth:2 ~branch:3 ~n_constants:4 in
+  check_bool "non-recursive" false
+    (D.Rulebase.is_recursive kb.Workload.Synth.rulebase);
+  check_int "9 leaves" 9 (List.length kb.Workload.Synth.edb_preds);
+  let result =
+    Build.build ~rulebase:kb.Workload.Synth.rulebase
+      ~query_form:(D.Atom.make kb.Workload.Synth.query_pred [ D.Term.const "x" ])
+      ()
+  in
+  check_bool "simple disjunctive" true
+    (Graph.simple_disjunctive result.Build.graph);
+  check_int "9 retrievals" 9
+    (List.length (Graph.retrievals result.Build.graph))
+
+(* Learning end-to-end on a random KB through real databases. *)
+let synth_kb_learning () =
+  let r = rng 81 in
+  let kb = Workload.Synth.random_kb ~p_min:0.05 ~p_max:0.4 r ~depth:2 ~branch:2 ~n_constants:8 in
+  let result =
+    Build.build ~rulebase:kb.Workload.Synth.rulebase
+      ~query_form:(D.Atom.make kb.Workload.Synth.query_pred [ D.Term.const "x" ])
+      ()
+  in
+  let g = result.Build.graph in
+  let oracle =
+    Core.Oracle.of_fn g (fun () ->
+        let db = Workload.Synth.sample_db kb r in
+        Context.of_db g ~query:(Workload.Synth.sample_query kb r) ~db)
+  in
+  let pib = Core.Pib.create (Spec.default g) in
+  ignore (Core.Pib.run pib oracle ~n:8000);
+  (* The climbs must never hurt: evaluate on the true per-pred model. *)
+  let p = Array.make (Graph.n_arcs g) 1.0 in
+  List.iter
+    (fun a ->
+      match a.Graph.pattern with
+      | Some pattern ->
+        let name = D.Symbol.to_string pattern.D.Atom.pred in
+        p.(a.Graph.arc_id) <-
+          List.assoc name kb.Workload.Synth.edb_probs
+      | None -> ())
+    (Graph.retrievals g);
+  let model = Bernoulli_model.make g ~p in
+  check_bool "no worse than start" true
+    (fst (Cost.exact_dfs (Core.Pib.current pib) model)
+    <= fst (Cost.exact_dfs (Spec.default g) model) +. 1e-9)
+
+(* ---------- Segmented ---------- *)
+
+let segmented_fixture () =
+  Workload.Segmented.make ~rng:(rng 72) ~n_files:4 ~n_people:200 ()
+
+let segmented_structure () =
+  let s = segmented_fixture () in
+  let g = Workload.Segmented.graph s in
+  check_int "one arc per file" 4 (Graph.n_arcs g);
+  check_int "all retrievals" 4 (List.length (Graph.retrievals g));
+  (* scan costs are 1 + file size; sizes sum to the population *)
+  let total = Array.fold_left ( +. ) 0. (Workload.Segmented.costs s) in
+  check_float "costs account for every record" (float_of_int (4 + 200)) total
+
+let segmented_contexts_exclusive () =
+  let s = segmented_fixture () in
+  let g = Workload.Segmented.graph s in
+  (* Each person's context unblocks exactly the file that holds them. *)
+  List.iter
+    (fun i ->
+      let person = Printf.sprintf "person%d" i in
+      let ctx = Workload.Segmented.context_for s person in
+      let unblocked_files =
+        List.filter (fun a -> Context.unblocked ctx a.Graph.arc_id) (Graph.arcs g)
+      in
+      check_int (person ^ " in one file") 1 (List.length unblocked_files);
+      match Workload.Segmented.file_of s person with
+      | Some f ->
+        check_int "the right file" f (List.hd unblocked_files).Graph.arc_id
+      | None -> Alcotest.fail "person must be assigned")
+    [ 1; 50; 137 ];
+  let unknown = Workload.Segmented.context_for s "stranger" in
+  check_bool "unknown person blocks all" true
+    (List.for_all (fun a -> Context.blocked unknown a.Graph.arc_id) (Graph.arcs g))
+
+let segmented_learning_helps () =
+  let s = segmented_fixture () in
+  let dist = Workload.Segmented.context_distribution s in
+  let oracle = Workload.Segmented.oracle s (rng 73) in
+  let start = Spec.default (Workload.Segmented.graph s) in
+  let pib = Core.Pib.create start in
+  ignore (Core.Pib.run pib oracle ~n:20_000);
+  let cost spec = Cost.over_contexts (Spec.Dfs spec) dist in
+  check_bool "learned order no worse" true
+    (cost (Core.Pib.current pib) <= cost start +. 1e-9)
+
+(* ---------- Naf ---------- *)
+
+let naf_fixture () =
+  Workload.Naf.make ~rng:(rng 74)
+    ~categories:[ ("house", 3.0, 0.3); ("car", 1.0, 0.8); ("boat", 2.0, 0.1) ]
+    ~n_people:120 ~pauper_fraction:0.25 ()
+
+let naf_graph_matches_sld () =
+  let n = naf_fixture () in
+  let rb = D.Rulebase.of_list (D.Parser.parse_clauses (Workload.Naf.program n)) in
+  let cfg = D.Sld.config ~rulebase:rb ~db:(Workload.Naf.db n) () in
+  List.iter
+    (fun person ->
+      let graph_says =
+        (Exec.run
+           (Spec.Dfs (Spec.default (Workload.Naf.graph n)))
+           (Workload.Naf.context_for n person))
+          .Exec.succeeded
+      in
+      let sld_says =
+        D.Sld.provable cfg
+          [ D.Clause.Pos (D.Atom.make "has_possession" [ D.Term.const person ]) ]
+      in
+      check_bool (person ^ " agreement") sld_says graph_says;
+      (* pauper = person with no possession *)
+      let pauper_sld =
+        D.Sld.provable cfg
+          [ D.Clause.Pos (D.Atom.make "pauper" [ D.Term.const person ]) ]
+      in
+      check_bool (person ^ " pauper consistency")
+        (Workload.Naf.is_pauper n person)
+        pauper_sld)
+    (List.filteri (fun i _ -> i < 25) (Workload.Naf.people n))
+
+let naf_learning_improves () =
+  let n = naf_fixture () in
+  let dist = Workload.Naf.context_distribution n in
+  (* Worst static order: house (expensive, unlikely) first. That is the
+     default construction order; learning should find car-first. *)
+  let start = Spec.default (Workload.Naf.graph n) in
+  let pib = Core.Pib.create start in
+  ignore (Core.Pib.run pib (Workload.Naf.oracle n (rng 75)) ~n:30_000);
+  let cost spec = Cost.over_contexts (Spec.Dfs spec) dist in
+  check_bool "strictly better after learning" true
+    (cost (Core.Pib.current pib) < cost start)
+
+(* ---------- Genealogy ---------- *)
+
+let genealogy_structure () =
+  let result = Workload.Genealogy.build () in
+  let g = result.Build.graph in
+  check_int "8 retrievals" 8 (List.length (Graph.retrievals g));
+  check_bool "simple disjunctive" true (Graph.simple_disjunctive g);
+  check_bool "three levels deep" true
+    (List.exists (fun p -> List.length p = 4) (Graph.leaf_paths g));
+  check_bool "non-recursive" false
+    (D.Rulebase.is_recursive (Workload.Genealogy.rulebase ()))
+
+let genealogy_graph_matches_sld () =
+  let result = Workload.Genealogy.build () in
+  let g = result.Build.graph in
+  let pop = Workload.Genealogy.populate (rng 90) ~n_people:60 in
+  let db = Workload.Genealogy.db pop in
+  let cfg = D.Sld.config ~rulebase:(Workload.Genealogy.rulebase ()) ~db () in
+  List.iter
+    (fun name ->
+      let q = Build.query_of_consts result [ name ] in
+      let ctx = Context.of_db g ~query:q ~db in
+      let outcome = Exec.run (Spec.Dfs (Spec.default g)) ctx in
+      let answer, stats = D.Sld.solve_first cfg [ D.Clause.Pos q ] in
+      check_bool (name ^ " answer") outcome.Exec.succeeded (answer <> None);
+      check_int (name ^ " retrievals") stats.D.Sld.retrievals
+        (List.length outcome.Exec.observations))
+    (List.filteri (fun i _ -> i < 20) (Workload.Genealogy.people pop))
+
+let genealogy_learning_improves () =
+  let result = Workload.Genealogy.build () in
+  let pop = Workload.Genealogy.populate (rng 91) ~n_people:200 in
+  let dist = Workload.Genealogy.context_distribution result pop in
+  let start = Spec.default result.Build.graph in
+  let cost d = Cost.over_contexts (Spec.Dfs d) dist in
+  let pib = Core.Pib.create start in
+  ignore
+    (Core.Pib.run pib (Workload.Genealogy.oracle result pop (rng 92)) ~n:40_000);
+  (* The written rule order probes the rare ancestor relations first;
+     the population makes siblings/in-laws far more common. *)
+  check_bool "strictly better after learning" true
+    (cost (Core.Pib.current pib) < cost start);
+  check_bool "at least one climb" true (Core.Pib.climbs pib <> [])
+
+let genealogy_magic_agrees () =
+  (* The genealogy rule base also exercises magic sets. *)
+  let pop = Workload.Genealogy.populate (rng 93) ~n_people:40 in
+  let db = Workload.Genealogy.db pop in
+  let rb = Workload.Genealogy.rulebase () in
+  List.iter
+    (fun name ->
+      let q = D.Atom.make "relative" [ D.Term.const name ] in
+      let via_magic = D.Magic.answers rb db ~query:q <> [] in
+      let via_sn = D.Seminaive.holds rb db q in
+      check_bool (name ^ " magic = semi-naive") via_sn via_magic)
+    (List.filteri (fun i _ -> i < 15) (Workload.Genealogy.people pop))
+
+(* ---------- Firstk ---------- *)
+
+let firstk_fixture () =
+  Workload.Firstk.make
+    ~sources:
+      [ ("mother", 1.0, 0.9); ("father", 1.0, 0.7); ("guardian", 2.0, 0.3) ]
+    ~k:2
+
+let firstk_expected_cost () =
+  let f = firstk_fixture () in
+  (* Hand computation for the default order (m, f, g), k = 2:
+     cost = 1 (mother) + 1 (father) + P(fewer than 2 found so far) * 2.
+     after two probes: both found with 0.63 -> stop; else probe guardian. *)
+  let expected = 1.0 +. 1.0 +. ((1.0 -. (0.9 *. 0.7)) *. 2.0) in
+  check_close "hand computation"
+    expected
+    (Workload.Firstk.expected_cost f
+       (Spec.Dfs (Spec.default (Workload.Firstk.graph f))))
+
+let firstk_brute_vs_ratio () =
+  let f = firstk_fixture () in
+  let _, best = Workload.Firstk.brute_optimal f in
+  let ratio = Workload.Firstk.expected_cost f (Workload.Firstk.ratio_strategy f) in
+  check_bool "ratio heuristic within 10%" true (ratio <= best *. 1.10)
+
+let firstk_k1_ratio_optimal () =
+  let f =
+    Workload.Firstk.make
+      ~sources:[ ("a", 2.0, 0.5); ("b", 1.0, 0.4); ("c", 3.0, 0.9) ]
+      ~k:1
+  in
+  let _, best = Workload.Firstk.brute_optimal f in
+  let ratio = Workload.Firstk.expected_cost f (Workload.Firstk.ratio_strategy f) in
+  check_close "p/c ordering optimal for k=1" best ratio
+
+let suite =
+  [
+    ( "workload.university",
+      [
+        case "worked example" university_worked_example;
+        case "SLD agrees with graph" university_sld_agrees_with_graph;
+        case "minors scenario" university_minors;
+        case "db2 counts" university_db2_counts;
+      ] );
+    ( "workload.gb",
+      [
+        case "structure" gb_structure;
+        case "d-heavy optimum" gb_model_d_heavy_prefers_d;
+      ] );
+    ( "workload.synth",
+      [
+        synth_valid_graphs;
+        case "experiment fraction" synth_experiment_fraction;
+        synth_costs_in_range;
+        synth_kb_pipeline_agrees;
+        case "random kb structure" synth_kb_structure;
+        slow_case "random kb learning" synth_kb_learning;
+      ] );
+    ( "workload.segmented",
+      [
+        case "structure" segmented_structure;
+        case "contexts exclusive" segmented_contexts_exclusive;
+        slow_case "learning helps" segmented_learning_helps;
+      ] );
+    ( "workload.naf",
+      [
+        case "graph matches SLD" naf_graph_matches_sld;
+        slow_case "learning improves" naf_learning_improves;
+      ] );
+    ( "workload.genealogy",
+      [
+        case "structure" genealogy_structure;
+        case "graph matches SLD" genealogy_graph_matches_sld;
+        slow_case "learning improves" genealogy_learning_improves;
+        case "magic agrees" genealogy_magic_agrees;
+      ] );
+    ( "workload.firstk",
+      [
+        case "expected cost" firstk_expected_cost;
+        case "brute vs ratio" firstk_brute_vs_ratio;
+        case "k=1 ratio optimal" firstk_k1_ratio_optimal;
+      ] );
+  ]
