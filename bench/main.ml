@@ -24,6 +24,7 @@ let experiments =
     ("e15", "AND/OR hypergraphs (Note 4)", E15_hypergraph.run);
     ("e16", "genealogy knowledge base end-to-end", E16_genealogy.run);
     ("e17", "live SLD query processor with PIB", E17_live.run);
+    ("e18", "serve daemon closed-loop throughput/latency", E18_serve.run);
   ]
 
 let () =

@@ -6,6 +6,8 @@
      optimal  compute the optimal strategy for given success probabilities
      smith    the [Smi89] fact-count baseline strategy
      learn    watch a query stream and improve the strategy (PIB/PALO/PAO)
+     serve    TCP daemon answering queries and learning online
+     client   minimal line-protocol client for the serve daemon
      demo     the full Figure-1 walkthrough *)
 
 open Cmdliner
@@ -372,6 +374,130 @@ let eval_cmd =
              probabilities.")
     Term.(const run_eval $ graph_file $ strategy_file $ probs_arg)
 
+(* ---------- serve / client ---------- *)
+
+let host_arg =
+  Arg.(
+    value
+    & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"ADDR" ~doc:"Address to bind/connect to.")
+
+let run_serve file host port workers queue_depth state_dir snapshot_interval
+    delta =
+  let rulebase, db, _ = load_kb file in
+  let config =
+    {
+      Serve.Server.host;
+      port;
+      workers;
+      queue_depth;
+      state_dir;
+      snapshot_interval;
+      pib_config = { Core.Pib.default_config with delta };
+    }
+  in
+  Serve.Server.run ~handle_signals:true
+    ~on_listen:(fun port ->
+      Fmt.pr "strategem serve: listening on %s:%d (%d workers)@." host port
+        workers)
+    config ~rulebase ~db;
+  Fmt.pr "strategem serve: shut down cleanly@."
+
+let serve_cmd =
+  let port =
+    Arg.(
+      value & opt int 4280
+      & info [ "port" ] ~docv:"PORT" ~doc:"TCP port (0 picks one).")
+  in
+  let workers =
+    Arg.(
+      value & opt int 4
+      & info [ "workers"; "j" ] ~docv:"N" ~doc:"Worker threads.")
+  in
+  let queue_depth =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:
+            "Admission queue bound; connections beyond it are shed with \
+             BUSY.")
+  in
+  let state_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "state-dir" ] ~docv:"DIR"
+          ~doc:
+            "Snapshot learned strategies here (reloaded on startup; also \
+             written on SHUTDOWN and by the SNAPSHOT command).")
+  in
+  let snapshot_interval =
+    Arg.(
+      value & opt float 0.0
+      & info [ "snapshot-interval" ] ~docv:"SECONDS"
+          ~doc:"Periodic snapshot interval (0 disables).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve queries over TCP, learning a better strategy from every \
+          answered query.")
+    Term.(
+      const run_serve $ file_arg $ host_arg $ port $ workers $ queue_depth
+      $ state_dir $ snapshot_interval $ delta_arg)
+
+let run_client host port commands =
+  let commands =
+    match commands with
+    | [ "-" ] -> In_channel.input_lines In_channel.stdin
+    | cs -> cs
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+   with Unix.Unix_error (e, _, _) ->
+     Fmt.epr "connect %s:%d: %s@." host port (Unix.error_message e);
+     exit 1);
+  let oc = Unix.out_channel_of_descr fd in
+  let ic = Unix.in_channel_of_descr fd in
+  List.iter
+    (fun c ->
+      output_string oc c;
+      output_char oc '\n')
+    commands;
+  flush oc;
+  (* Half-close: the server sees EOF after the last command and closes
+     once every reply is out, so "read to EOF" prints exactly the
+     replies. *)
+  Unix.shutdown fd Unix.SHUTDOWN_SEND;
+  (try
+     while true do
+       print_endline (input_line ic)
+     done
+   with End_of_file -> ());
+  close_in_noerr ic
+
+let client_cmd =
+  let port =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "port"; "p" ] ~docv:"PORT" ~doc:"Server port.")
+  in
+  let commands =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"COMMAND"
+          ~doc:
+            "Protocol lines to send, e.g. 'QUERY instructor(russ)'; a \
+             single '-' reads them from stdin.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send protocol lines to a strategem serve daemon and print the \
+          replies.")
+    Term.(const run_client $ host_arg $ port $ commands)
+
 (* ---------- demo ---------- *)
 
 let run_demo () =
@@ -404,6 +530,9 @@ let main_cmd =
        ~doc:
          "Learning efficient query processing strategies (Greiner, PODS \
           1992).")
-    [ query_cmd; graph_cmd; optimal_cmd; smith_cmd; learn_cmd; eval_cmd; demo_cmd ]
+    [
+      query_cmd; graph_cmd; optimal_cmd; smith_cmd; learn_cmd; eval_cmd;
+      serve_cmd; client_cmd; demo_cmd;
+    ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -5,7 +5,7 @@ open Strategy
 type t = {
   rulebase : D.Rulebase.t;
   built : Build.result;
-  pib : Pib.t;
+  mutable pib : Pib.t;
   mutable order_by_pred : (int, D.Clause.t list) Hashtbl.t;
   mutable queries : int;
   mutable reductions : int;
@@ -59,6 +59,13 @@ let strategy t = Pib.current t.pib
 let pib t = t.pib
 let queries t = t.queries
 let work t = (t.reductions, t.retrievals)
+let climbs t = List.length (Pib.climbs t.pib)
+
+let set_strategy t d =
+  if d.Spec.graph != t.built.Build.graph then
+    invalid_arg "Live.set_strategy: strategy built on a different graph";
+  t.pib <- Pib.create ~config:(Pib.config t.pib) d;
+  t.order_by_pred <- derive_orders t.built d
 
 type answer = {
   result : D.Subst.t option;

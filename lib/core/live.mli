@@ -29,6 +29,16 @@ val graph : t -> Infgraph.Graph.t
 val strategy : t -> Strategy.Spec.dfs
 val pib : t -> Pib.t
 
+(** Climbs performed since creation (or since the last {!set_strategy}). *)
+val climbs : t -> int
+
+(** Adopt a strategy (e.g. one reloaded from a snapshot): the learner is
+    re-seeded at it with the same configuration and the SLD rule orders
+    are rederived. The strategy must have been built on (or parsed
+    against) this processor's graph — raises [Invalid_argument]
+    otherwise. *)
+val set_strategy : t -> Strategy.Spec.dfs -> unit
+
 type answer = {
   result : Datalog.Subst.t option;  (** first answer, if any *)
   stats : Datalog.Sld.stats;        (** the SLD engine's work counters *)

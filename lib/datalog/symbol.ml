@@ -3,14 +3,25 @@ type t = { id : int; name : string }
 let table : (string, t) Hashtbl.t = Hashtbl.create 1024
 let next = ref 0
 
+(* Interning must be safe under the serve daemon's worker threads, which
+   parse client-supplied atoms concurrently. The fast path (symbol already
+   interned) takes the lock too: a Hashtbl.find racing a resize is not
+   safe in OCaml 5, and the critical section is a handful of ns. *)
+let lock = Mutex.create ()
+
 let intern name =
-  match Hashtbl.find_opt table name with
-  | Some s -> s
-  | None ->
-    let s = { id = !next; name } in
-    incr next;
-    Hashtbl.add table name s;
-    s
+  Mutex.lock lock;
+  let s =
+    match Hashtbl.find_opt table name with
+    | Some s -> s
+    | None ->
+      let s = { id = !next; name } in
+      incr next;
+      Hashtbl.add table name s;
+      s
+  in
+  Mutex.unlock lock;
+  s
 
 let to_string s = s.name
 let id s = s.id
@@ -18,4 +29,9 @@ let equal a b = a.id = b.id
 let compare a b = Int.compare a.id b.id
 let hash s = s.id
 let pp ppf s = Format.pp_print_string ppf s.name
-let count () = !next
+
+let count () =
+  Mutex.lock lock;
+  let n = !next in
+  Mutex.unlock lock;
+  n

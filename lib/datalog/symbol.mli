@@ -2,8 +2,9 @@
 
     Predicate names and constants are interned into a global table so that
     equality and comparison are integer operations; fact stores and rule
-    indexes rely on this. Interning is append-only and thread-unsafe (the
-    whole library is single-threaded, as is the paper's setting). *)
+    indexes rely on this. Interning is append-only and guarded by a
+    mutex: the serve daemon's workers parse client-supplied atoms from
+    several threads at once. *)
 
 type t
 

@@ -1,0 +1,50 @@
+type 'a t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  items : 'a Queue.t;
+  depth : int;
+  mutable is_closed : bool;
+  mutable high_water : int;
+}
+
+let create ~depth =
+  if depth < 1 then invalid_arg "Admission.create: depth must be >= 1";
+  {
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    items = Queue.create ();
+    depth;
+    is_closed = false;
+    high_water = 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let try_push t x =
+  with_lock t (fun () ->
+      if t.is_closed || Queue.length t.items >= t.depth then false
+      else begin
+        Queue.push x t.items;
+        let n = Queue.length t.items in
+        if n > t.high_water then t.high_water <- n;
+        Condition.signal t.nonempty;
+        true
+      end)
+
+let pop t =
+  with_lock t (fun () ->
+      while Queue.is_empty t.items && not t.is_closed do
+        Condition.wait t.nonempty t.lock
+      done;
+      Queue.take_opt t.items)
+
+let close t =
+  with_lock t (fun () ->
+      t.is_closed <- true;
+      Condition.broadcast t.nonempty)
+
+let closed t = with_lock t (fun () -> t.is_closed)
+let length t = with_lock t (fun () -> Queue.length t.items)
+let high_water t = with_lock t (fun () -> t.high_water)

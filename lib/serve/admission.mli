@@ -1,0 +1,33 @@
+(** Bounded admission queue between the accept loop and the worker pool.
+
+    The producer never blocks: {!try_push} refuses immediately when the
+    queue is at capacity (the caller sheds the connection with a [BUSY]
+    reply) or after {!close}. Consumers block in {!pop} until an item or
+    until the queue is closed {e and} drained — close-then-drain is what
+    gives the server its graceful shutdown: queued work is still served,
+    only new work is refused. *)
+
+type 'a t
+
+(** [create ~depth] — a queue admitting at most [depth] items at once.
+    Raises [Invalid_argument] if [depth < 1]. *)
+val create : depth:int -> 'a t
+
+(** Enqueue, or refuse: [false] when full or closed. Never blocks. *)
+val try_push : 'a t -> 'a -> bool
+
+(** Dequeue, blocking while the queue is empty but open. [None] once the
+    queue is closed and every queued item has been consumed. *)
+val pop : 'a t -> 'a option
+
+(** Refuse all future pushes and wake blocked consumers. Idempotent. *)
+val close : 'a t -> unit
+
+val closed : 'a t -> bool
+
+(** Items queued right now. *)
+val length : 'a t -> int
+
+(** The most items ever queued at once (the load-shedding headroom
+    actually used). *)
+val high_water : 'a t -> int

@@ -1,0 +1,217 @@
+(* Bucket i counts latencies in [2^i, 2^(i+1)) µs; the last bucket is the
+   overflow. 22 doubling buckets reach ~4.2 s, plenty for a query. *)
+let n_buckets = 22
+
+type histogram = {
+  mutable count : int;
+  mutable sum_us : float;
+  buckets : int array;  (* length n_buckets + 1 *)
+}
+
+let hist_create () =
+  { count = 0; sum_us = 0.0; buckets = Array.make (n_buckets + 1) 0 }
+
+let bucket_of_us us =
+  let us = int_of_float (Float.max us 0.0) in
+  let rec go i bound = if us < bound then i else go (i + 1) (bound * 2) in
+  Int.min (go 0 2) n_buckets
+
+let hist_record h us =
+  h.count <- h.count + 1;
+  h.sum_us <- h.sum_us +. us;
+  let b = bucket_of_us us in
+  h.buckets.(b) <- h.buckets.(b) + 1
+
+let hist_mean h = if h.count = 0 then 0.0 else h.sum_us /. float_of_int h.count
+
+(* Upper bound (µs) of the smallest bucket that covers quantile [q]. *)
+let hist_quantile h q =
+  if h.count = 0 then 0
+  else begin
+    let target =
+      Int.max 1 (int_of_float (ceil (q *. float_of_int h.count)))
+    in
+    let acc = ref 0 and result = ref (1 lsl (n_buckets + 1)) in
+    (try
+       Array.iteri
+         (fun i n ->
+           acc := !acc + n;
+           if !acc >= target then begin
+             result := 1 lsl (i + 1);
+             raise Exit
+           end)
+         h.buckets
+     with Exit -> ());
+    !result
+  end
+
+type form_stats = {
+  mutable queries : int;
+  mutable answered : int;
+  mutable climbs : int;
+  hist : histogram;
+  mutable strategy : string;
+}
+
+type t = {
+  lock : Mutex.t;
+  started : float;
+  mutable connections : int;
+  mutable busy : int;
+  mutable errors : int;
+  mutable snapshots : int;
+  mutable snapshot_forms : int;
+  mutable forms_loaded : int;
+  mutable queue_hwm : int;
+  forms : (string, form_stats) Hashtbl.t;
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    started = Unix.gettimeofday ();
+    connections = 0;
+    busy = 0;
+    errors = 0;
+    snapshots = 0;
+    snapshot_forms = 0;
+    forms_loaded = 0;
+    queue_hwm = 0;
+    forms = Hashtbl.create 8;
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let form_stats t key =
+  match Hashtbl.find_opt t.forms key with
+  | Some fs -> fs
+  | None ->
+    let fs =
+      { queries = 0; answered = 0; climbs = 0; hist = hist_create ();
+        strategy = "" }
+    in
+    Hashtbl.add t.forms key fs;
+    fs
+
+let connection t = with_lock t (fun () -> t.connections <- t.connections + 1)
+let busy t = with_lock t (fun () -> t.busy <- t.busy + 1)
+let error t = with_lock t (fun () -> t.errors <- t.errors + 1)
+
+let snapshot_saved t ~forms =
+  with_lock t (fun () ->
+      t.snapshots <- t.snapshots + 1;
+      t.snapshot_forms <- t.snapshot_forms + forms)
+
+let forms_loaded t n =
+  with_lock t (fun () -> t.forms_loaded <- t.forms_loaded + n)
+
+let observe_queue_depth t d =
+  with_lock t (fun () -> if d > t.queue_hwm then t.queue_hwm <- d)
+
+let query t ~form ~latency_us ~answered ~switched =
+  with_lock t (fun () ->
+      let fs = form_stats t form in
+      fs.queries <- fs.queries + 1;
+      if answered then fs.answered <- fs.answered + 1;
+      if switched then fs.climbs <- fs.climbs + 1;
+      hist_record fs.hist latency_us)
+
+let set_form_strategy t ~form s =
+  with_lock t (fun () -> (form_stats t form).strategy <- s)
+
+let fold_forms t f init =
+  Hashtbl.fold (fun k fs acc -> f k fs acc) t.forms init
+
+let queries_total t =
+  with_lock t (fun () -> fold_forms t (fun _ fs n -> n + fs.queries) 0)
+
+let climbs_total t =
+  with_lock t (fun () -> fold_forms t (fun _ fs n -> n + fs.climbs) 0)
+
+let busy_total t = with_lock t (fun () -> t.busy)
+let queue_high_water t = with_lock t (fun () -> t.queue_hwm)
+
+let sorted_forms t =
+  fold_forms t (fun k fs acc -> (k, fs) :: acc) []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let render_text t =
+  with_lock t (fun () ->
+      let totals name f = Printf.sprintf "%s %d" name (fold_forms t f 0) in
+      let counters =
+        [
+          Printf.sprintf "uptime_seconds %d"
+            (int_of_float (Unix.gettimeofday () -. t.started));
+          Printf.sprintf "connections_total %d" t.connections;
+          totals "queries_total" (fun _ fs n -> n + fs.queries);
+          totals "answered_total" (fun _ fs n -> n + fs.answered);
+          totals "climbs_total" (fun _ fs n -> n + fs.climbs);
+          Printf.sprintf "busy_total %d" t.busy;
+          Printf.sprintf "errors_total %d" t.errors;
+          Printf.sprintf "snapshots_total %d" t.snapshots;
+          Printf.sprintf "forms_loaded %d" t.forms_loaded;
+          Printf.sprintf "forms_active %d" (Hashtbl.length t.forms);
+          Printf.sprintf "queue_high_water %d" t.queue_hwm;
+        ]
+      in
+      let form_lines =
+        List.map
+          (fun (key, fs) ->
+            Printf.sprintf
+              "form %s queries %d answered %d climbs %d mean_us %.0f \
+               p50_us %d p95_us %d p99_us %d strategy %s"
+              key fs.queries fs.answered fs.climbs (hist_mean fs.hist)
+              (hist_quantile fs.hist 0.50) (hist_quantile fs.hist 0.95)
+              (hist_quantile fs.hist 0.99) fs.strategy)
+          (sorted_forms t)
+      in
+      counters @ form_lines)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_json t =
+  with_lock t (fun () ->
+      let buf = Buffer.create 512 in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"uptime_seconds\":%d,\"connections_total\":%d,\
+            \"queries_total\":%d,\"answered_total\":%d,\
+            \"climbs_total\":%d,\"busy_total\":%d,\"errors_total\":%d,\
+            \"snapshots_total\":%d,\"forms_loaded\":%d,\
+            \"forms_active\":%d,\"queue_high_water\":%d,\"forms\":{"
+           (int_of_float (Unix.gettimeofday () -. t.started))
+           t.connections
+           (fold_forms t (fun _ fs n -> n + fs.queries) 0)
+           (fold_forms t (fun _ fs n -> n + fs.answered) 0)
+           (fold_forms t (fun _ fs n -> n + fs.climbs) 0)
+           t.busy t.errors t.snapshots t.forms_loaded
+           (Hashtbl.length t.forms) t.queue_hwm);
+      List.iteri
+        (fun i (key, fs) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf
+            (Printf.sprintf
+               "\"%s\":{\"queries\":%d,\"answered\":%d,\"climbs\":%d,\
+                \"mean_us\":%.1f,\"p50_us\":%d,\"p95_us\":%d,\
+                \"p99_us\":%d,\"strategy\":\"%s\"}"
+               (json_escape key) fs.queries fs.answered fs.climbs
+               (hist_mean fs.hist) (hist_quantile fs.hist 0.50)
+               (hist_quantile fs.hist 0.95) (hist_quantile fs.hist 0.99)
+               (json_escape fs.strategy)))
+        (sorted_forms t);
+      Buffer.add_string buf "}}";
+      Buffer.contents buf)

@@ -1,0 +1,54 @@
+(** Server observability: monotonic counters, per-form latency histograms
+    and strategy-learning event counts, rendered for the [STATS] command
+    (text) and dumpable as JSON.
+
+    All operations are thread-safe (one internal lock). Counters only
+    ever increase; per-form state is created on first use. Latencies go
+    into fixed log-scale buckets — bucket [i] holds observations in
+    [[2^i, 2^(i+1)) µs) — so percentile reads are O(buckets) and never
+    allocate per observation. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Events} *)
+
+val connection : t -> unit
+
+(** A connection shed with [BUSY]. *)
+val busy : t -> unit
+
+val error : t -> unit
+val snapshot_saved : t -> forms:int -> unit
+
+(** [n] forms' learned strategies were reloaded from snapshots at
+    startup. *)
+val forms_loaded : t -> int -> unit
+
+(** Record the admission-queue depth observed after an enqueue; the
+    high-water mark is kept. *)
+val observe_queue_depth : t -> int -> unit
+
+(** One answered query: latency, whether an answer was found, and whether
+    it triggered a strategy climb. *)
+val query :
+  t -> form:string -> latency_us:float -> answered:bool -> switched:bool ->
+  unit
+
+(** The form's current strategy, pre-rendered (shown by [STATS]). *)
+val set_form_strategy : t -> form:string -> string -> unit
+
+(** {1 Reads} *)
+
+val queries_total : t -> int
+val climbs_total : t -> int
+val busy_total : t -> int
+val queue_high_water : t -> int
+
+(** [STATS] body: one [key value] line per counter, then one [form ...]
+    line per query form (sorted by form key). Deterministic field order. *)
+val render_text : t -> string list
+
+(** The same data as a single JSON object (one line). *)
+val render_json : t -> string

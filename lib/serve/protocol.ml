@@ -1,0 +1,66 @@
+type request =
+  | Query of string
+  | Stats
+  | Stats_json
+  | Snapshot
+  | Strategy of string
+  | Ping
+  | Help
+  | Quit
+  | Shutdown
+  | Empty
+  | Unknown of string
+
+let split_command line =
+  match String.index_opt line ' ' with
+  | None -> (line, "")
+  | Some i ->
+    ( String.sub line 0 i,
+      String.trim (String.sub line i (String.length line - i)) )
+
+let parse line =
+  let line = String.trim line in
+  if line = "" then Empty
+  else
+    let cmd, rest = split_command line in
+    match (String.uppercase_ascii cmd, rest) with
+    | "QUERY", "" -> Unknown "QUERY needs an atom"
+    | "QUERY", atom -> Query atom
+    | "STATS", "" -> Stats
+    | "STATS", arg when String.uppercase_ascii arg = "JSON" -> Stats_json
+    | "SNAPSHOT", "" -> Snapshot
+    | "STRATEGY", "" -> Unknown "STRATEGY needs an atom"
+    | "STRATEGY", atom -> Strategy atom
+    | "PING", "" -> Ping
+    | "HELP", "" -> Help
+    | "QUIT", "" -> Quit
+    | "SHUTDOWN", "" -> Shutdown
+    | _ -> Unknown line
+
+let terminator = "END"
+
+let help_lines =
+  [
+    "QUERY <atom>     answer a Datalog query, learning from it";
+    "STATS            server metrics (text; terminated by END)";
+    "STATS JSON       server metrics as a single JSON line";
+    "STRATEGY <atom>  the current learned strategy for the atom's form";
+    "SNAPSHOT         persist all learned strategies to the state dir";
+    "PING             liveness probe";
+    "HELP             this text";
+    "QUIT             close this connection";
+    "SHUTDOWN         drain in-flight queries and stop the server";
+  ]
+
+let one_line s =
+  String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let answer_line ~result ~reductions ~retrievals ~switched =
+  Printf.sprintf "ANSWER %s reductions=%d retrievals=%d%s" (one_line result)
+    reductions retrievals
+    (if switched then " switched" else "")
+
+let err msg = "ERR " ^ one_line msg
+let busy = "BUSY"
+let bye = "BYE"
+let pong = "PONG"

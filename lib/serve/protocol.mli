@@ -1,0 +1,40 @@
+(** The wire protocol: a line-oriented request/reply dialect (one request
+    per line, replies of one or more lines, multi-line replies terminated
+    by [END]). Full specification in [docs/SERVING.md].
+
+    Parsing is total — an unrecognized line becomes {!Unknown} and the
+    server answers [ERR]. Command words are case-insensitive; arguments
+    (Datalog atoms) are passed through verbatim. *)
+
+type request =
+  | Query of string     (** [QUERY <atom>] — answer one query, learning *)
+  | Stats               (** [STATS] — metrics as text, [END]-terminated *)
+  | Stats_json          (** [STATS JSON] — metrics as one JSON line *)
+  | Snapshot            (** [SNAPSHOT] — persist all learned strategies *)
+  | Strategy of string  (** [STRATEGY <atom>] — a form's current strategy *)
+  | Ping                (** [PING] — liveness probe *)
+  | Help                (** [HELP] — list commands, [END]-terminated *)
+  | Quit                (** [QUIT] — close this connection *)
+  | Shutdown            (** [SHUTDOWN] — drain and stop the server *)
+  | Empty               (** blank line — ignored *)
+  | Unknown of string
+
+val parse : string -> request
+
+(** Terminator line for multi-line replies. *)
+val terminator : string
+
+(** The [HELP] reply body. *)
+val help_lines : string list
+
+(** Reply formatting: [ANSWER ...], [ERR <msg>] (message flattened to one
+    line), [BUSY], [BYE], [PONG]. *)
+
+val answer_line :
+  result:string -> reductions:int -> retrievals:int -> switched:bool ->
+  string
+
+val err : string -> string
+val busy : string
+val bye : string
+val pong : string

@@ -1,0 +1,109 @@
+module D = Datalog
+
+type entry = {
+  key : string;
+  form : D.Atom.t;
+  live : Core.Live.t;
+  lock : Mutex.t;
+}
+
+type t = {
+  lock : Mutex.t;
+  rulebase : D.Rulebase.t;
+  pib_config : Core.Pib.config;
+  metrics : Metrics.t;
+  entries : (string, entry) Hashtbl.t;
+}
+
+let create ?(pib_config = Core.Pib.default_config) ~rulebase metrics =
+  {
+    lock = Mutex.create ();
+    rulebase;
+    pib_config;
+    metrics;
+    entries = Hashtbl.create 8;
+  }
+
+let form_of_query (q : D.Atom.t) =
+  let args =
+    List.mapi
+      (fun i t ->
+        if D.Term.is_const t then D.Term.const "q"
+        else D.Term.var (Printf.sprintf "X%d" i))
+      q.D.Atom.args
+  in
+  D.Atom.make_sym q.D.Atom.pred args
+
+let key_of_form (form : D.Atom.t) =
+  let sanitize c =
+    match c with
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+    | _ -> '-'
+  in
+  let adornment =
+    D.Atom.adornment form
+    |> List.map (function `B -> "b" | `F -> "f")
+    |> String.concat ""
+  in
+  Printf.sprintf "%s_%d%s%s"
+    (String.map sanitize (D.Symbol.to_string form.D.Atom.pred))
+    (D.Atom.arity form)
+    (if adornment = "" then "" else "_")
+    adornment
+
+let render live =
+  Format.asprintf "%a" Strategy.Spec.pp_dfs (Core.Live.strategy live)
+
+let with_live (entry : entry) f =
+  Mutex.lock entry.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock entry.lock) (fun () ->
+      f entry.live)
+
+let strategy_string entry = with_live entry render
+
+let find_or_create t atom =
+  let form = form_of_query atom in
+  let key = key_of_form form in
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      match Hashtbl.find_opt t.entries key with
+      | Some e -> e
+      | None ->
+        let live =
+          Core.Live.create ~config:t.pib_config ~rulebase:t.rulebase
+            ~query_form:form ()
+        in
+        let e = { key; form; live; lock = Mutex.create () } in
+        Hashtbl.add t.entries key e;
+        Metrics.set_form_strategy t.metrics ~form:key (render live);
+        e)
+
+let answer t ~db q =
+  let entry = find_or_create t q in
+  let ans, strategy =
+    with_live entry (fun live ->
+        let a = Core.Live.answer live ~db q in
+        (a, if a.Core.Live.switched then Some (render live) else None))
+  in
+  Option.iter
+    (fun s -> Metrics.set_form_strategy t.metrics ~form:entry.key s)
+    strategy;
+  ans
+
+let entries t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () -> Hashtbl.fold (fun _ e acc -> e :: acc) t.entries [])
+  |> List.sort (fun a b -> String.compare a.key b.key)
+
+let key e = e.key
+let form e = e.form
+
+let publish_strategies t =
+  List.iter
+    (fun e ->
+      Metrics.set_form_strategy t.metrics ~form:e.key (strategy_string e))
+    (entries t)

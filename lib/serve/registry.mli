@@ -1,0 +1,60 @@
+(** The per-query-form learner registry — the daemon's brain.
+
+    Each distinct query {e form} (predicate, arity, and adornment: which
+    argument positions are bound) gets its own {!Core.Live} processor,
+    built lazily on the first query of that form and kept for the life of
+    the server. Concurrency contract: queries of the {e same} form
+    serialize on the entry's lock (the learner is stateful — Figure 4's
+    PIB watches a single execution stream), while queries of different
+    forms proceed in parallel; the registry-wide lock is held only for
+    table lookup/insertion.
+
+    Forms are canonicalized so that [instructor(manolis)] and
+    [instructor(russ)] share a learner (form [instructor(q)], key
+    ["instructor_1_b"]) while [instructor(X)] gets its own
+    (["instructor_1_f"]). *)
+
+type entry
+
+type t
+
+(** [create ?pib_config ~rulebase metrics] — learners are created against
+    [rulebase] with the given PIB configuration (default
+    {!Core.Pib.default_config}). *)
+val create :
+  ?pib_config:Core.Pib.config -> rulebase:Datalog.Rulebase.t -> Metrics.t ->
+  t
+
+(** The canonical query form of a concrete query: every constant becomes
+    the bound-position marker [q], every variable a positional [X<i>]. *)
+val form_of_query : Datalog.Atom.t -> Datalog.Atom.t
+
+(** Filesystem/metrics-safe key of a form, e.g. ["instructor_1_b"]. *)
+val key_of_form : Datalog.Atom.t -> string
+
+(** Look up or lazily build the entry for a form (the atom is
+    canonicalized first). May raise {!Infgraph.Build.Not_disjunctive} (a
+    conjunctive rule body) or [Invalid_argument] (a graph PIB cannot
+    learn on). *)
+val find_or_create : t -> Datalog.Atom.t -> entry
+
+(** Answer one concrete query with the form's learner, serialized against
+    other queries of the same form. Updates the entry's strategy
+    rendering in the metrics on a climb. *)
+val answer : t -> db:Datalog.Database.t -> Datalog.Atom.t -> Core.Live.answer
+
+(** All entries, sorted by form key. *)
+val entries : t -> entry list
+
+val key : entry -> string
+val form : entry -> Datalog.Atom.t
+
+(** Run [f] on the entry's processor while holding its lock. *)
+val with_live : entry -> (Core.Live.t -> 'a) -> 'a
+
+(** The entry's current strategy, rendered ⟨like this⟩. *)
+val strategy_string : entry -> string
+
+(** Re-render every entry's current strategy into the metrics — called
+    after {!Snapshot.load} installs reloaded strategies. *)
+val publish_strategies : t -> unit

@@ -1,0 +1,296 @@
+module D = Datalog
+open Infgraph
+
+type config = {
+  host : string;
+  port : int;
+  workers : int;
+  queue_depth : int;
+  state_dir : string option;
+  snapshot_interval : float;
+  pib_config : Core.Pib.config;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 4280;
+    workers = 4;
+    queue_depth = 64;
+    state_dir = None;
+    snapshot_interval = 0.0;
+    pib_config = Core.Pib.default_config;
+  }
+
+type state = {
+  cfg : config;
+  metrics : Metrics.t;
+  registry : Registry.t;
+  db : D.Database.t;
+  queue : Unix.file_descr Admission.t;
+  stopping : bool Atomic.t;
+  stop_w : Unix.file_descr;  (* self-pipe: wakes the accept loop *)
+}
+
+(* Callable from worker threads and from signal handlers, so it must not
+   take locks: flip the flag and wake the accept loop, which does the
+   actual teardown. *)
+let initiate_shutdown st =
+  if not (Atomic.exchange st.stopping true) then
+    try ignore (Unix.write_substring st.stop_w "x" 0 1)
+    with Unix.Unix_error _ -> ()
+
+let send oc lines =
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    lines;
+  flush oc
+
+let result_string = function
+  | None -> "no"
+  | Some s when D.Subst.is_empty s -> "yes"
+  | Some s -> Format.asprintf "%a" D.Subst.pp s
+
+let handle_query st oc atom_text =
+  let t0 = Unix.gettimeofday () in
+  match D.Parser.parse_atom atom_text with
+  | exception D.Parser.Parse_error (msg, _) ->
+    Metrics.error st.metrics;
+    send oc [ Protocol.err (Printf.sprintf "parse: %s" msg) ]
+  | q -> (
+    match Registry.answer st.registry ~db:st.db q with
+    | exception Build.Not_disjunctive clause ->
+      Metrics.error st.metrics;
+      send oc
+        [
+          Protocol.err
+            (Format.asprintf
+               "cannot serve this form: rule %a is conjunctive" D.Clause.pp
+               clause);
+        ]
+    | exception Invalid_argument msg | exception Failure msg ->
+      Metrics.error st.metrics;
+      send oc [ Protocol.err msg ]
+    | ans ->
+      let latency_us = (Unix.gettimeofday () -. t0) *. 1e6 in
+      Metrics.query st.metrics
+        ~form:(Registry.key_of_form (Registry.form_of_query q))
+        ~latency_us
+        ~answered:(ans.Core.Live.result <> None)
+        ~switched:ans.Core.Live.switched;
+      send oc
+        [
+          Protocol.answer_line
+            ~result:(result_string ans.Core.Live.result)
+            ~reductions:ans.Core.Live.stats.D.Sld.reductions
+            ~retrievals:ans.Core.Live.stats.D.Sld.retrievals
+            ~switched:ans.Core.Live.switched;
+        ])
+
+let handle_strategy st oc atom_text =
+  match D.Parser.parse_atom atom_text with
+  | exception D.Parser.Parse_error (msg, _) ->
+    Metrics.error st.metrics;
+    send oc [ Protocol.err (Printf.sprintf "parse: %s" msg) ]
+  | q -> (
+    match Registry.find_or_create st.registry q with
+    | exception Build.Not_disjunctive _ | exception Invalid_argument _ ->
+      Metrics.error st.metrics;
+      send oc [ Protocol.err "cannot build a learner for this form" ]
+    | entry ->
+      send oc
+        [
+          Printf.sprintf "OK %s %s" (Registry.key entry)
+            (Registry.strategy_string entry);
+        ])
+
+let save_snapshot st =
+  match st.cfg.state_dir with
+  | None -> None
+  | Some dir ->
+    let n = Snapshot.save ~dir st.registry in
+    Metrics.snapshot_saved st.metrics ~forms:n;
+    Some n
+
+let handle_snapshot st oc =
+  match save_snapshot st with
+  | None ->
+    Metrics.error st.metrics;
+    send oc [ Protocol.err "no state directory configured (--state-dir)" ]
+  | Some n -> send oc [ Printf.sprintf "OK snapshot saved %d form(s)" n ]
+  | exception Sys_error msg | exception Failure msg ->
+    Metrics.error st.metrics;
+    send oc [ Protocol.err msg ]
+
+(* One admitted connection, served to completion by one worker. *)
+let serve_conn st fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | exception Sys_error _ -> ()
+    | line -> (
+      match Protocol.parse line with
+      | Protocol.Empty -> loop ()
+      | Protocol.Ping ->
+        send oc [ Protocol.pong ];
+        loop ()
+      | Protocol.Help ->
+        send oc (Protocol.help_lines @ [ Protocol.terminator ]);
+        loop ()
+      | Protocol.Stats ->
+        send oc (Metrics.render_text st.metrics @ [ Protocol.terminator ]);
+        loop ()
+      | Protocol.Stats_json ->
+        send oc [ Metrics.render_json st.metrics ];
+        loop ()
+      | Protocol.Query atom ->
+        handle_query st oc atom;
+        loop ()
+      | Protocol.Strategy atom ->
+        handle_strategy st oc atom;
+        loop ()
+      | Protocol.Snapshot ->
+        handle_snapshot st oc;
+        loop ()
+      | Protocol.Quit -> send oc [ Protocol.bye ]
+      | Protocol.Shutdown ->
+        send oc [ Protocol.bye ];
+        initiate_shutdown st
+      | Protocol.Unknown msg ->
+        Metrics.error st.metrics;
+        send oc [ Protocol.err ("unknown command: " ^ msg) ];
+        loop ())
+  in
+  (try loop () with Sys_error _ -> ());
+  (* flushes and closes [fd]; [ic] shares it and needs no separate close *)
+  close_out_noerr oc
+
+let worker_loop st =
+  let rec go () =
+    match Admission.pop st.queue with
+    | None -> ()
+    | Some fd ->
+      (try serve_conn st fd with _ -> (try Unix.close fd with _ -> ()));
+      go ()
+  in
+  go ()
+
+let shed fd =
+  let line = Protocol.busy ^ "\n" in
+  (try ignore (Unix.write_substring fd line 0 (String.length line))
+   with Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_loop st sock stop_r =
+  let rec go () =
+    if not (Atomic.get st.stopping) then begin
+      (match Unix.select [ sock; stop_r ] [] [] (-1.0) with
+      | readable, _, _ when List.mem sock readable -> (
+        match Unix.accept sock with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | exception Unix.Unix_error _ -> ()
+        | fd, _ ->
+          if Admission.try_push st.queue fd then begin
+            Metrics.connection st.metrics;
+            Metrics.observe_queue_depth st.metrics
+              (Admission.length st.queue)
+          end
+          else begin
+            Metrics.busy st.metrics;
+            shed fd
+          end)
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      go ()
+    end
+  in
+  go ()
+
+let snapshot_loop st =
+  let interval = st.cfg.snapshot_interval in
+  let rec go deadline =
+    if not (Atomic.get st.stopping) then begin
+      Thread.delay (Float.min 0.2 interval);
+      if Unix.gettimeofday () >= deadline then begin
+        (try ignore (save_snapshot st) with _ -> ());
+        go (Unix.gettimeofday () +. interval)
+      end
+      else go deadline
+    end
+  in
+  go (Unix.gettimeofday () +. interval)
+
+let run ?(handle_signals = false) ?(on_listen = fun _ -> ()) cfg ~rulebase
+    ~db =
+  if cfg.workers < 1 then invalid_arg "Server.run: workers must be >= 1";
+  if cfg.queue_depth < 1 then
+    invalid_arg "Server.run: queue_depth must be >= 1";
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let metrics = Metrics.create () in
+  let registry =
+    Registry.create ~pib_config:cfg.pib_config ~rulebase metrics
+  in
+  (match cfg.state_dir with
+  | Some dir ->
+    let n = Snapshot.load ~dir registry in
+    if n > 0 then begin
+      Metrics.forms_loaded metrics n;
+      Registry.publish_strategies registry
+    end
+  | None -> ());
+  let stop_r, stop_w = Unix.pipe () in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let st =
+    {
+      cfg;
+      metrics;
+      registry;
+      db;
+      queue = Admission.create ~depth:cfg.queue_depth;
+      stopping = Atomic.make false;
+      stop_w;
+    }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        [ sock; stop_r; stop_w ])
+    (fun () ->
+      Unix.setsockopt sock Unix.SO_REUSEADDR true;
+      Unix.bind sock
+        (Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port));
+      Unix.listen sock 64;
+      let port =
+        match Unix.getsockname sock with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> assert false
+      in
+      if handle_signals then
+        List.iter
+          (fun s ->
+            try
+              Sys.set_signal s
+                (Sys.Signal_handle (fun _ -> initiate_shutdown st))
+            with Invalid_argument _ | Sys_error _ -> ())
+          [ Sys.sigint; Sys.sigterm ];
+      let workers =
+        List.init cfg.workers (fun _ -> Thread.create worker_loop st)
+      in
+      let snapshotter =
+        if cfg.snapshot_interval > 0.0 && cfg.state_dir <> None then
+          Some (Thread.create snapshot_loop st)
+        else None
+      in
+      on_listen port;
+      accept_loop st sock stop_r;
+      (* Shutdown: refuse new connections, serve what is queued, drain. *)
+      Admission.close st.queue;
+      List.iter Thread.join workers;
+      Option.iter Thread.join snapshotter;
+      try ignore (save_snapshot st) with _ -> ())

@@ -1,0 +1,42 @@
+(** The `strategem serve` daemon: a TCP listener whose accept loop feeds
+    a bounded {!Admission} queue drained by a fixed pool of worker
+    threads, each speaking {!Protocol} over its connection and answering
+    queries through the {!Registry} of per-form {!Core.Live} learners.
+
+    Load shedding: a connection arriving while the admission queue is
+    full is answered [BUSY] and closed instead of stalling the accept
+    loop. Graceful shutdown (the [SHUTDOWN] command, or SIGINT/SIGTERM
+    when [handle_signals]): the listener stops accepting, queued
+    connections are still served to completion, workers drain and join,
+    and — when a state directory is configured — a final snapshot is
+    written, so nothing learned is lost. *)
+
+type config = {
+  host : string;            (** bind address (default ["127.0.0.1"]) *)
+  port : int;               (** [0] picks an ephemeral port *)
+  workers : int;            (** worker threads (≥ 1) *)
+  queue_depth : int;        (** admission queue bound (≥ 1) *)
+  state_dir : string option;      (** snapshot directory *)
+  snapshot_interval : float;      (** seconds; [0.] = periodic off *)
+  pib_config : Core.Pib.config;   (** learner configuration *)
+}
+
+(** 127.0.0.1:4280, 4 workers, queue depth 64, no state dir, periodic
+    snapshots off, {!Core.Pib.default_config}. *)
+val default_config : config
+
+(** [run ?handle_signals ?on_listen config ~rulebase ~db] — bind, serve,
+    and block until shutdown. [on_listen] receives the actual bound port
+    (useful with [port = 0]) once the server is accepting.
+    [handle_signals] (default [false]) installs SIGINT/SIGTERM handlers
+    that trigger the same graceful shutdown as [SHUTDOWN].
+
+    Raises [Invalid_argument] on a nonsensical config and lets
+    [Unix.Unix_error] from [bind]/[listen] escape. *)
+val run :
+  ?handle_signals:bool ->
+  ?on_listen:(int -> unit) ->
+  config ->
+  rulebase:Datalog.Rulebase.t ->
+  db:Datalog.Database.t ->
+  unit

@@ -1,0 +1,27 @@
+(** Strategy durability: persist every form's learned strategy to a state
+    directory and reload it on startup, so a restarted server resumes
+    with everything it learned.
+
+    Layout — three files per form, keyed by {!Registry.key_of_form}:
+
+    - [<key>.form]     the canonical query-form atom, [Parser.parse_atom]
+                       syntax (how to rebuild the learner);
+    - [<key>.graph]    the inference graph ({!Infgraph.Serial} format,
+                       also consumable by [strategem eval]);
+    - [<key>.strategy] the learned strategy ({!Strategy.Persist} format).
+
+    Writes go through a temp file + [rename], so a crash mid-snapshot
+    never corrupts the previous one. Loading is defensive: a form whose
+    files are malformed, or whose saved graph no longer matches the graph
+    rebuilt from the current rule base (the knowledge base changed), is
+    skipped with a warning on stderr rather than failing startup. *)
+
+(** [save ~dir registry] — write a snapshot of every registered form.
+    Creates [dir] if needed. Returns the number of forms saved. *)
+val save : dir:string -> Registry.t -> int
+
+(** [load ~dir registry] — rebuild a learner for every [<key>.form] found
+    in [dir] and install its saved strategy. Returns the number of forms
+    restored (skips, with a warning, anything malformed or stale). Does
+    nothing if [dir] does not exist. *)
+val load : dir:string -> Registry.t -> int

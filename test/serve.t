@@ -1,0 +1,75 @@
+The serve daemon end to end: start on an ephemeral port, answer queries
+while learning online, snapshot, shut down gracefully, and resume the
+learned strategy after a restart.
+
+  $ ../bin/strategem.exe serve ../examples/data/university.dl --port 0 --workers 2 --state-dir state > serve.log 2>&1 &
+  $ SERVER=$!
+  $ for _ in $(seq 1 100); do grep -q listening serve.log && break; sleep 0.1; done
+  $ PORT=$(sed -n 's/.*listening on [^:]*:\([0-9]*\).*/\1/p' serve.log)
+
+A first conversation: liveness, the three Figure-1 queries (prof-first
+rule order: instructor(manolis) costs two retrievals because the prof
+branch is tried first), and the current strategy of the bound form.
+
+  $ ../bin/strategem.exe client --port $PORT PING 'QUERY instructor(manolis)' 'QUERY instructor(fred)' 'QUERY instructor(X)' 'STRATEGY instructor(q)'
+  PONG
+  ANSWER yes reductions=2 retrievals=2
+  ANSWER no reductions=2 retrievals=2
+  ANSWER {X=russ} reductions=1 retrievals=1
+  OK instructor_1_b ⟨R_instructor_prof D_prof R_instructor_grad D_grad⟩
+
+A grad-heavy stream: PIB climbs to grad-first under live traffic (the
+"switched" reply), after which the same query costs half the work.
+
+  $ yes 'QUERY instructor(manolis)' | head -80 | ../bin/strategem.exe client --port $PORT - | sort | uniq -c | sed 's/^ *//'
+  60 ANSWER yes reductions=1 retrievals=1
+  19 ANSWER yes reductions=2 retrievals=2
+  1 ANSWER yes reductions=2 retrievals=2 switched
+
+The metrics confirm the climb (latency fields vary run to run, so only
+the stable counters are shown):
+
+  $ ../bin/strategem.exe client --port $PORT STATS | grep -E '^(queries_total|answered_total|climbs_total|busy_total|errors_total|forms_active) '
+  queries_total 83
+  answered_total 82
+  climbs_total 1
+  busy_total 0
+  errors_total 0
+  forms_active 2
+
+Unknown commands and unparsable queries are answered with ERR:
+
+  $ ../bin/strategem.exe client --port $PORT FROBNICATE 'QUERY instructor(' | sed 's/:.*//'
+  ERR unknown command
+  ERR parse
+
+Snapshot both learned forms and shut down (the daemon also snapshots on
+shutdown); the state directory holds form, graph, and strategy per form.
+
+  $ ../bin/strategem.exe client --port $PORT SNAPSHOT SHUTDOWN
+  OK snapshot saved 2 form(s)
+  BYE
+  $ wait $SERVER
+  $ tail -n 1 serve.log
+  strategem serve: shut down cleanly
+  $ ls state
+  instructor_1_b.form
+  instructor_1_b.graph
+  instructor_1_b.strategy
+  instructor_1_f.form
+  instructor_1_f.graph
+  instructor_1_f.strategy
+
+A restarted server reloads the snapshots: the bound form resumes at the
+learned grad-first strategy, and the very first query is already cheap.
+
+  $ ../bin/strategem.exe serve ../examples/data/university.dl --port 0 --workers 2 --state-dir state > serve2.log 2>&1 &
+  $ SERVER=$!
+  $ for _ in $(seq 1 100); do grep -q listening serve2.log && break; sleep 0.1; done
+  $ PORT=$(sed -n 's/.*listening on [^:]*:\([0-9]*\).*/\1/p' serve2.log)
+  $ ../bin/strategem.exe client --port $PORT 'STRATEGY instructor(q)' 'QUERY instructor(manolis)' STATS SHUTDOWN | grep -E '^(OK|ANSWER|forms_loaded|BYE)'
+  OK instructor_1_b ⟨R_instructor_grad D_grad R_instructor_prof D_prof⟩
+  ANSWER yes reductions=1 retrievals=1
+  forms_loaded 2
+  BYE
+  $ wait $SERVER

@@ -1,0 +1,105 @@
+(* Serialization round-trips over knowledge-base-built graphs — the
+   artifacts `strategem serve` snapshots and `strategem eval` consumes:
+   Strategy.Persist over both DFS and path strategies, Infgraph.Serial
+   over graphs and probability models, file round-trips, and malformed
+   inputs raising Parse_error rather than crashing. *)
+
+open Helpers
+open Infgraph
+open Strategy
+
+(* ---------- Strategy.Persist ---------- *)
+
+let persist_dfs_kb_roundtrip () =
+  let result = Workload.Gb.build () in
+  let g = result.Build.graph in
+  List.iter
+    (fun d ->
+      let d' = Persist.dfs_of_string g (Persist.dfs_to_string d) in
+      check_bool "dfs round-trips" true (Spec.equal_dfs d d');
+      match Persist.of_string g (Persist.to_string (Spec.Dfs d)) with
+      | Spec.Dfs d'' ->
+        check_bool "Spec.t dfs round-trips" true (Spec.equal_dfs d d'')
+      | Spec.Paths _ -> Alcotest.fail "dfs came back as paths")
+    [
+      Workload.Gb.theta_abcd result;
+      Workload.Gb.theta_abdc result;
+      Workload.Gb.theta_acdb result;
+    ]
+
+let persist_paths_roundtrip () =
+  (* A reversed path order is not expressible as a DFS strategy on G_B
+     (the shared R_gs prefix's subtrees interleave), so this exercises
+     the genuine paths branch of the format. *)
+  let result = Workload.Gb.build () in
+  let g = result.Build.graph in
+  let order = List.rev (Graph.leaf_paths g) in
+  let spec = Spec.of_paths g order in
+  let spec' = Persist.of_string g (Persist.to_string spec) in
+  check_bool "paths round-trip" true (Spec.equal spec spec');
+  check_bool "order preserved" true (Spec.to_paths spec' = order)
+
+let persist_malformed () =
+  let result = Workload.Gb.build () in
+  let g = result.Build.graph in
+  let bad ~name s =
+    check_bool name true
+      (try
+         ignore (Persist.of_string g s);
+         false
+       with Persist.Parse_error _ -> true)
+  in
+  bad ~name:"empty" "";
+  bad ~name:"truncated order line" "strategem-strategy 1 dfs\norder\nend\n";
+  bad ~name:"non-integer arc id"
+    "strategem-strategy 1 dfs\norder 0 zero\nend\n";
+  bad ~name:"unknown path arc" "strategem-strategy 1 paths\npath 0 99\nend\n";
+  bad ~name:"missing path" "strategem-strategy 1 paths\npath 0 1\nend\n";
+  (* dfs_of_string refuses a paths payload. *)
+  let paths_text = Persist.to_string (Spec.Paths { graph = g; order = Graph.leaf_paths g }) in
+  check_bool "dfs_of_string on paths text" true
+    (try
+       ignore (Persist.dfs_of_string g paths_text);
+       false
+     with Persist.Parse_error _ -> true)
+
+(* ---------- Infgraph.Serial ---------- *)
+
+let serial_file_roundtrip () =
+  let result = Workload.University.build () in
+  let g = result.Build.graph in
+  let path = Filename.temp_file "strategem" ".graph" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Serial.graph_to_file path g;
+      let g' = Serial.graph_of_file path in
+      check_int "nodes" (Graph.n_nodes g) (Graph.n_nodes g');
+      check_int "arcs" (Graph.n_arcs g) (Graph.n_arcs g');
+      check_string "same text" (Serial.graph_to_string g)
+        (Serial.graph_to_string g'))
+
+let serial_model_malformed () =
+  let ga = make_ga () in
+  let bad ~name s =
+    check_bool name true
+      (try
+         ignore (Serial.model_of_string ga.ga_graph s);
+         false
+       with Serial.Parse_error _ -> true)
+  in
+  bad ~name:"arc id out of range" "strategem-model 1\nprob 99 0.5\nend\n";
+  bad ~name:"probability above 1" "strategem-model 1\nprob 2 1.5\nend\n";
+  bad ~name:"garbage" "not a model"
+
+let suite =
+  [
+    ( "persist",
+      [
+        case "G_B DFS strategies round-trip" persist_dfs_kb_roundtrip;
+        case "non-DFS path order round-trips" persist_paths_roundtrip;
+        case "malformed strategies raise Parse_error" persist_malformed;
+        case "graph file round-trip" serial_file_roundtrip;
+        case "malformed models raise Parse_error" serial_model_malformed;
+      ] );
+  ]

@@ -1,0 +1,339 @@
+(* The serve subsystem: protocol parsing, the admission queue's
+   shed/drain semantics, metrics, the per-form registry (lazy creation,
+   sharing, online climbs), snapshot save/load resumption, and the TCP
+   server end to end in-process — concurrent clients, load shedding,
+   graceful shutdown. *)
+
+open Helpers
+module D = Datalog
+
+let kb_text =
+  "instructor(X) :- prof(X).\n\
+   instructor(X) :- grad(X).\n\
+   prof(russ).\n\
+   grad(manolis).\n"
+
+let kb () =
+  let rules, facts, _ = D.Parser.parse_kb kb_text in
+  (D.Rulebase.of_list rules, D.Database.of_list facts)
+
+(* ---------- Protocol ---------- *)
+
+let protocol_parse () =
+  let check name expected line =
+    check_bool name true (Serve.Protocol.parse line = expected)
+  in
+  check "query" (Serve.Protocol.Query "instructor(russ)")
+    "QUERY instructor(russ)";
+  check "query lowercase" (Serve.Protocol.Query "p(a)") "query p(a)";
+  check "query trimmed" (Serve.Protocol.Query "p(a)") "  QUERY   p(a)  ";
+  check "stats" Serve.Protocol.Stats "STATS";
+  check "stats json" Serve.Protocol.Stats_json "STATS json";
+  check "strategy" (Serve.Protocol.Strategy "p(q)") "STRATEGY p(q)";
+  check "snapshot" Serve.Protocol.Snapshot "SNAPSHOT";
+  check "ping" Serve.Protocol.Ping "PING";
+  check "quit" Serve.Protocol.Quit "QUIT";
+  check "shutdown" Serve.Protocol.Shutdown "SHUTDOWN";
+  check "empty" Serve.Protocol.Empty "   ";
+  check "bare query is unknown" (Serve.Protocol.Unknown "QUERY needs an atom")
+    "QUERY";
+  (match Serve.Protocol.parse "FROBNICATE 3" with
+  | Serve.Protocol.Unknown _ -> ()
+  | _ -> Alcotest.fail "FROBNICATE should be Unknown");
+  check_string "answer line" "ANSWER yes reductions=2 retrievals=2 switched"
+    (Serve.Protocol.answer_line ~result:"yes" ~reductions:2 ~retrievals:2
+       ~switched:true);
+  check_string "err flattens newlines" "ERR a b"
+    (Serve.Protocol.err "a\nb")
+
+(* ---------- Admission ---------- *)
+
+let admission_shed_and_drain () =
+  let q = Serve.Admission.create ~depth:2 in
+  check_bool "push 1" true (Serve.Admission.try_push q 1);
+  check_bool "push 2" true (Serve.Admission.try_push q 2);
+  check_bool "full refuses" false (Serve.Admission.try_push q 3);
+  check_int "length" 2 (Serve.Admission.length q);
+  check_bool "pop 1" true (Serve.Admission.pop q = Some 1);
+  check_bool "room again" true (Serve.Admission.try_push q 4);
+  Serve.Admission.close q;
+  check_bool "closed refuses" false (Serve.Admission.try_push q 5);
+  check_bool "drains 2" true (Serve.Admission.pop q = Some 2);
+  check_bool "drains 4" true (Serve.Admission.pop q = Some 4);
+  check_bool "then None" true (Serve.Admission.pop q = None);
+  check_int "high water" 2 (Serve.Admission.high_water q)
+
+let admission_blocking_pop () =
+  let q = Serve.Admission.create ~depth:4 in
+  let got = Atomic.make (-1) in
+  let consumer =
+    Thread.create
+      (fun () ->
+        match Serve.Admission.pop q with
+        | Some v -> Atomic.set got v
+        | None -> Atomic.set got (-2))
+      ()
+  in
+  Thread.delay 0.05;
+  check_bool "push wakes consumer" true (Serve.Admission.try_push q 7);
+  Thread.join consumer;
+  check_int "consumer got it" 7 (Atomic.get got)
+
+(* ---------- Metrics ---------- *)
+
+let metrics_counters_and_histogram () =
+  let m = Serve.Metrics.create () in
+  Serve.Metrics.connection m;
+  Serve.Metrics.busy m;
+  Serve.Metrics.observe_queue_depth m 3;
+  Serve.Metrics.observe_queue_depth m 1;
+  for i = 1 to 100 do
+    Serve.Metrics.query m ~form:"f_1_b"
+      ~latency_us:(float_of_int i)
+      ~answered:(i mod 2 = 0)
+      ~switched:(i = 50)
+  done;
+  check_int "queries" 100 (Serve.Metrics.queries_total m);
+  check_int "climbs" 1 (Serve.Metrics.climbs_total m);
+  check_int "busy" 1 (Serve.Metrics.busy_total m);
+  check_int "queue high water" 3 (Serve.Metrics.queue_high_water m);
+  let text = String.concat "\n" (Serve.Metrics.render_text m) in
+  let contains needle haystack =
+    let n = String.length needle and h = String.length haystack in
+    let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "text has totals" true (contains "queries_total 100" text);
+  check_bool "text has form line" true (contains "form f_1_b queries 100" text);
+  let json = Serve.Metrics.render_json m in
+  check_bool "json one line" true (not (String.contains json '\n'));
+  check_bool "json has form" true (contains "\"f_1_b\"" json);
+  check_bool "json has climbs" true (contains "\"climbs\":1" json)
+
+(* ---------- Registry ---------- *)
+
+let registry_forms () =
+  let q = D.Parser.parse_atom "instructor(manolis)" in
+  let form = Serve.Registry.form_of_query q in
+  check_string "canonical form" "instructor(q)" (D.Atom.to_string form);
+  check_string "key" "instructor_1_b" (Serve.Registry.key_of_form form);
+  let free = Serve.Registry.form_of_query (D.Parser.parse_atom "instructor(X)") in
+  check_string "free key" "instructor_1_f" (Serve.Registry.key_of_form free)
+
+let registry_shares_and_learns () =
+  let rulebase, db = kb () in
+  let m = Serve.Metrics.create () in
+  let reg = Serve.Registry.create ~rulebase m in
+  let ans =
+    Serve.Registry.answer reg ~db (D.Parser.parse_atom "instructor(russ)")
+  in
+  check_bool "russ answered" true (ans.Core.Live.result <> None);
+  ignore
+    (Serve.Registry.answer reg ~db (D.Parser.parse_atom "instructor(fred)"));
+  check_int "one entry for both constants" 1
+    (List.length (Serve.Registry.entries reg));
+  (* a grad-heavy stream flips the learned order to grad-first *)
+  let switched = ref false in
+  for _ = 1 to 200 do
+    let a =
+      Serve.Registry.answer reg ~db (D.Parser.parse_atom "instructor(manolis)")
+    in
+    if a.Core.Live.switched then switched := true
+  done;
+  check_bool "climbed" true !switched;
+  let e = List.hd (Serve.Registry.entries reg) in
+  let s = Serve.Registry.strategy_string e in
+  check_bool "grad-first strategy" true
+    (String.length s > 2 && String.sub s 3 17 = "R_instructor_grad")
+
+(* ---------- Snapshot ---------- *)
+
+let temp_dir () =
+  let d = Filename.temp_file "strategem" ".state" in
+  Sys.remove d;
+  d
+
+let snapshot_roundtrip () =
+  let rulebase, db = kb () in
+  let dir = temp_dir () in
+  let m = Serve.Metrics.create () in
+  let reg = Serve.Registry.create ~rulebase m in
+  for _ = 1 to 200 do
+    ignore
+      (Serve.Registry.answer reg ~db (D.Parser.parse_atom "instructor(manolis)"))
+  done;
+  let learned =
+    Serve.Registry.strategy_string (List.hd (Serve.Registry.entries reg))
+  in
+  check_int "saved one form" 1 (Serve.Snapshot.save ~dir reg);
+  (* a fresh registry (a restarted server) resumes the learned strategy *)
+  let reg' = Serve.Registry.create ~rulebase (Serve.Metrics.create ()) in
+  check_int "loaded one form" 1 (Serve.Snapshot.load ~dir reg');
+  let resumed =
+    Serve.Registry.strategy_string (List.hd (Serve.Registry.entries reg'))
+  in
+  check_string "strategy resumed" learned resumed;
+  (* load into yet another registry from a missing dir is a no-op *)
+  check_int "missing dir" 0
+    (Serve.Snapshot.load ~dir:(dir ^ ".nope")
+       (Serve.Registry.create ~rulebase (Serve.Metrics.create ())))
+
+(* ---------- Server end to end (in-process TCP) ---------- *)
+
+let server_config ?(workers = 2) ?(queue_depth = 8) ?state_dir () =
+  {
+    Serve.Server.default_config with
+    port = 0;
+    workers;
+    queue_depth;
+    state_dir;
+  }
+
+let start_server ?workers ?queue_depth ?state_dir () =
+  let rulebase, db = kb () in
+  let port = Atomic.make 0 in
+  let thread =
+    Thread.create
+      (fun () ->
+        Serve.Server.run
+          ~on_listen:(fun p -> Atomic.set port p)
+          (server_config ?workers ?queue_depth ?state_dir ())
+          ~rulebase ~db)
+      ()
+  in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while Atomic.get port = 0 && Unix.gettimeofday () < deadline do
+    Thread.delay 0.01
+  done;
+  if Atomic.get port = 0 then Alcotest.fail "server did not start";
+  (thread, Atomic.get port)
+
+let connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0;
+  (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+let send oc line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc
+
+(* One-shot conversation: send every line, half-close, read every reply. *)
+let talk port lines =
+  let fd, ic, oc = connect port in
+  List.iter (send oc) lines;
+  Unix.shutdown fd Unix.SHUTDOWN_SEND;
+  let replies = In_channel.input_lines ic in
+  close_in_noerr ic;
+  replies
+
+let server_concurrent_clients () =
+  let thread, port = start_server ~workers:2 () in
+  (* Client A parks on a worker; client B must still be answered, which
+     needs the second worker. *)
+  let _fd_a, ic_a, oc_a = connect port in
+  check_bool "A ping" true (send oc_a "PING"; input_line ic_a = "PONG");
+  let replies = talk port [ "QUERY instructor(manolis)"; "QUERY nonsense(" ] in
+  check_bool "B answered while A held a worker" true
+    (match replies with
+    | [ a; b ] ->
+      a = "ANSWER yes reductions=2 retrievals=2"
+      && String.length b >= 3
+      && String.sub b 0 3 = "ERR"
+    | _ -> false);
+  (* hammer it from two threads at once; all queries must be answered *)
+  let n = 50 in
+  let one_client () =
+    let replies =
+      talk port (List.init n (fun _ -> "QUERY instructor(manolis)"))
+    in
+    List.length (List.filter (fun r -> String.sub r 0 6 = "ANSWER") replies)
+  in
+  let count_b = ref 0 in
+  let t = Thread.create (fun () -> count_b := one_client ()) () in
+  let count_a = one_client () in
+  Thread.join t;
+  check_int "all of A's queries answered" n count_a;
+  check_int "all of B's queries answered" n !count_b;
+  send oc_a "QUIT";
+  check_bool "A said bye" true (input_line ic_a = "BYE");
+  close_in_noerr ic_a;
+  let replies = talk port [ "STATS"; "SHUTDOWN" ] in
+  check_bool "stats then bye" true
+    (List.mem "END" replies && List.mem "BYE" replies);
+  (* the parse-error line counts as an error, not a query *)
+  check_bool "stats counted the queries" true
+    (List.exists (fun l -> l = Printf.sprintf "queries_total %d" ((2 * n) + 1))
+       replies);
+  check_bool "stats counted the error" true
+    (List.mem "errors_total 1" replies);
+  Thread.join thread
+
+let server_sheds_when_full () =
+  let thread, port = start_server ~workers:1 ~queue_depth:1 () in
+  (* occupy the single worker ... *)
+  let fd_a, ic_a, oc_a = connect port in
+  send oc_a "PING";
+  check_string "worker busy with A" "PONG" (input_line ic_a);
+  (* ... fill the queue ... *)
+  let fd_b, _ic_b, _oc_b = connect port in
+  Thread.delay 0.2;
+  (* ... so the next connection is shed with BUSY. *)
+  let _fd_c, ic_c, _oc_c = connect port in
+  check_string "shed" "BUSY" (input_line ic_c);
+  close_in_noerr ic_c;
+  Unix.close fd_b;
+  send oc_a "SHUTDOWN";
+  check_string "bye" "BYE" (input_line ic_a);
+  close_in_noerr ic_a;
+  ignore fd_a;
+  Thread.join thread
+
+let server_snapshot_restart () =
+  let dir = temp_dir () in
+  let thread, port = start_server ~state_dir:dir () in
+  let replies =
+    talk port
+      (List.init 200 (fun _ -> "QUERY instructor(manolis)") @ [ "SHUTDOWN" ])
+  in
+  check_bool "climbed under live traffic" true
+    (List.exists
+       (fun r -> r = "ANSWER yes reductions=1 retrievals=1 switched")
+       replies
+    || List.exists
+         (fun r -> r = "ANSWER yes reductions=2 retrievals=2 switched")
+         replies);
+  Thread.join thread;
+  (* restart against the same state dir: the learned strategy is back
+     without a single climb *)
+  let thread, port = start_server ~state_dir:dir () in
+  let replies =
+    talk port [ "STRATEGY instructor(q)"; "QUERY instructor(manolis)"; "SHUTDOWN" ]
+  in
+  check_bool "resumed grad-first" true
+    (List.exists
+       (fun r ->
+         r = "OK instructor_1_b ⟨R_instructor_grad D_grad R_instructor_prof \
+              D_prof⟩")
+       replies);
+  check_bool "fast from the first query" true
+    (List.mem "ANSWER yes reductions=1 retrievals=1" replies);
+  Thread.join thread
+
+let suite =
+  [
+    ( "serve",
+      [
+        case "protocol parse and render" protocol_parse;
+        case "admission queue sheds and drains" admission_shed_and_drain;
+        case "admission pop blocks until push" admission_blocking_pop;
+        case "metrics counters and histogram" metrics_counters_and_histogram;
+        case "registry canonical forms" registry_forms;
+        case "registry shares learners and climbs" registry_shares_and_learns;
+        case "snapshot save/load resumes the strategy" snapshot_roundtrip;
+        slow_case "server answers concurrent clients" server_concurrent_clients;
+        slow_case "server sheds with BUSY when saturated" server_sheds_when_full;
+        slow_case "server restart resumes the snapshot" server_snapshot_restart;
+      ] );
+  ]
