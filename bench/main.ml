@@ -25,6 +25,7 @@ let experiments =
     ("e16", "genealogy knowledge base end-to-end", E16_genealogy.run);
     ("e17", "live SLD query processor with PIB", E17_live.run);
     ("e18", "serve daemon closed-loop throughput/latency", E18_serve.run);
+    ("e19", "tracing overhead on the serve path", E19_trace.run);
   ]
 
 let () =

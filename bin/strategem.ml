@@ -6,6 +6,7 @@
      optimal  compute the optimal strategy for given success probabilities
      smith    the [Smi89] fact-count baseline strategy
      learn    watch a query stream and improve the strategy (PIB/PALO/PAO)
+     explain  answer one query with tracing on and show the span tree
      serve    TCP daemon answering queries and learning online
      client   minimal line-protocol client for the serve daemon
      demo     the full Figure-1 walkthrough *)
@@ -374,6 +375,78 @@ let eval_cmd =
              probabilities.")
     Term.(const run_eval $ graph_file $ strategy_file $ probs_arg)
 
+(* ---------- explain ---------- *)
+
+let run_explain file atom_text json dot =
+  let rulebase, db, _ = load_kb file in
+  let q = D.Parser.parse_atom atom_text in
+  let form = Serve.Registry.form_of_query q in
+  let live = Core.Live.create ~rulebase ~query_form:form () in
+  let tracer = Trace.make () in
+  let ans = Core.Live.answer ~tracer live ~db q in
+  let root =
+    match Trace.root_span tracer with Some sp -> sp | None -> assert false
+  in
+  let result =
+    match ans.Core.Live.result with
+    | None -> "no"
+    | Some s when D.Subst.is_empty s -> "yes"
+    | Some s -> Format.asprintf "%a" D.Subst.pp s
+  in
+  if json then Fmt.pr "%s@." (Trace.to_json root)
+  else begin
+    Fmt.pr "?- %a.@." D.Atom.pp q;
+    Fmt.pr "answer: %s  [%d reductions, %d retrievals]@." result
+      ans.Core.Live.stats.D.Sld.reductions
+      ans.Core.Live.stats.D.Sld.retrievals;
+    Fmt.pr "%a" Trace.pp_tree root;
+    let exec_cost =
+      List.fold_left
+        (fun acc sp -> acc +. Trace.total_cost sp)
+        0.0
+        (Trace.find_kind root "exec")
+    in
+    Fmt.pr "paper cost: %g (monitor: %g, %s)@." exec_cost ans.Core.Live.cost
+      (if Float.abs (exec_cost -. ans.Core.Live.cost) <= 1e-9 then
+         "consistent"
+       else "INCONSISTENT")
+  end;
+  match dot with
+  | None -> ()
+  | Some path ->
+    let arc_ids =
+      Trace.find_kind root "arc"
+      |> List.filter_map (fun sp ->
+             Option.bind (Trace.attr sp "arc_id") int_of_string_opt)
+    in
+    Dot.to_file
+      ~name:(Format.asprintf "%a" D.Atom.pp form)
+      ~highlight:arc_ids path (Core.Live.graph live);
+    Fmt.pr "wrote %s@." path
+
+let explain_cmd =
+  let atom_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"ATOM" ~doc:"The query to explain, e.g. \
+                                   'instructor(manolis)'.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Print the span tree as one JSON line (with timings) \
+                instead of the text tree.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Answer one query with tracing on and show where every \
+          paper-cost unit went (text tree, JSON, or a DOT rendering with \
+          the traversed arcs highlighted).")
+    Term.(const run_explain $ file_arg $ atom_arg $ json $ dot_arg)
+
 (* ---------- serve / client ---------- *)
 
 let host_arg =
@@ -383,8 +456,16 @@ let host_arg =
     & info [ "host" ] ~docv:"ADDR" ~doc:"Address to bind/connect to.")
 
 let run_serve file host port workers queue_depth state_dir snapshot_interval
-    delta =
+    delta learner trace_sample =
   let rulebase, db, _ = load_kb file in
+  let learner_config =
+    {
+      Core.Learner.default_config with
+      pib = { Core.Pib.default_config with delta };
+      palo = { Core.Palo.default_config with delta };
+      pao_delta = delta;
+    }
+  in
   let config =
     {
       Serve.Server.host;
@@ -393,7 +474,9 @@ let run_serve file host port workers queue_depth state_dir snapshot_interval
       queue_depth;
       state_dir;
       snapshot_interval;
-      pib_config = { Core.Pib.default_config with delta };
+      learner;
+      learner_config;
+      trace_sample;
     }
   in
   Serve.Server.run ~handle_signals:true
@@ -437,6 +520,29 @@ let serve_cmd =
       & info [ "snapshot-interval" ] ~docv:"SECONDS"
           ~doc:"Periodic snapshot interval (0 disables).")
   in
+  let learner =
+    Arg.(
+      value
+      & opt
+          (enum
+             (List.map
+                (fun k -> (Core.Learner.kind_to_string k, k))
+                Core.Learner.all_kinds))
+          `Pib
+      & info [ "learner" ] ~docv:"LEARNER"
+          ~doc:
+            "Per-form learner: pib, pib1, pao, pao-adaptive or palo \
+             (default pib).")
+  in
+  let trace_sample =
+    Arg.(
+      value & opt int 0
+      & info [ "trace-sample" ] ~docv:"N"
+          ~doc:
+            "Keep the last N query traces in a ring exposed by STATS JSON \
+             (0 disables tracing of ordinary queries; TRACE always \
+             traces).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -444,7 +550,7 @@ let serve_cmd =
           answered query.")
     Term.(
       const run_serve $ file_arg $ host_arg $ port $ workers $ queue_depth
-      $ state_dir $ snapshot_interval $ delta_arg)
+      $ state_dir $ snapshot_interval $ delta_arg $ learner $ trace_sample)
 
 let run_client host port commands =
   let commands =
@@ -532,7 +638,7 @@ let main_cmd =
           1992).")
     [
       query_cmd; graph_cmd; optimal_cmd; smith_cmd; learn_cmd; eval_cmd;
-      serve_cmd; client_cmd; demo_cmd;
+      explain_cmd; serve_cmd; client_cmd; demo_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

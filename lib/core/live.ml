@@ -5,9 +5,10 @@ open Strategy
 type t = {
   rulebase : D.Rulebase.t;
   built : Build.result;
-  mutable pib : Pib.t;
+  mutable learner : Learner.t;
   mutable order_by_pred : (int, D.Clause.t list) Hashtbl.t;
   mutable queries : int;
+  mutable switches : int;
   mutable reductions : int;
   mutable retrievals : int;
 }
@@ -40,36 +41,39 @@ let derive_orders built (d : Spec.dfs) =
   done;
   tbl
 
-let create ?config ~rulebase ~query_form () =
+let create ?(learner = `Pib) ?config ~rulebase ~query_form () =
   let built = Build.build ~rulebase ~query_form () in
   let start = Spec.default built.Build.graph in
-  let pib = Pib.create ?config start in
+  let learner = Learner.create ?config learner start in
   {
     rulebase;
     built;
-    pib;
+    learner;
     order_by_pred = derive_orders built start;
     queries = 0;
+    switches = 0;
     reductions = 0;
     retrievals = 0;
   }
 
 let graph t = t.built.Build.graph
-let strategy t = Pib.current t.pib
-let pib t = t.pib
+let strategy t = Learner.current t.learner
+let learner t = t.learner
+let learner_name t = Learner.name t.learner
 let queries t = t.queries
 let work t = (t.reductions, t.retrievals)
-let climbs t = List.length (Pib.climbs t.pib)
+let climbs t = t.switches
 
 let set_strategy t d =
   if d.Spec.graph != t.built.Build.graph then
     invalid_arg "Live.set_strategy: strategy built on a different graph";
-  t.pib <- Pib.create ~config:(Pib.config t.pib) d;
+  t.learner <- Learner.reseed t.learner d;
   t.order_by_pred <- derive_orders t.built d
 
 type answer = {
   result : D.Subst.t option;
   stats : D.Sld.stats;
+  cost : float;
   switched : bool;
 }
 
@@ -88,25 +92,54 @@ let rule_order t goal rules =
       (fun c1 c2 -> Int.compare (position c1) (position c2))
       rules
 
-let answer t ~db query =
+let answer ?(tracer = Trace.null) ?parent t ~db query =
+  (* Root a fresh [query] span unless the caller supplied one (the serve
+     path roots a [serve] span covering queue wait as well). *)
+  let owns_root, parent =
+    match parent with
+    | Some sp -> (false, sp)
+    | None ->
+      ( true,
+        if Trace.enabled tracer then
+          Trace.root tracer ~kind:"query" (D.Atom.to_string query)
+        else Trace.dummy )
+  in
+  let sld_span = Trace.push tracer parent ~kind:"sld" "sld" in
   let cfg =
     D.Sld.config
       ~rule_order:(fun goal rules -> rule_order t goal rules)
-      ~rulebase:t.rulebase ~db ()
+      ~tracer ~parent:sld_span ~rulebase:t.rulebase ~db ()
   in
   let result, stats = D.Sld.solve_first cfg [ D.Clause.Pos query ] in
+  Trace.finish tracer sld_span;
   t.queries <- t.queries + 1;
   t.reductions <- t.reductions + stats.D.Sld.reductions;
   t.retrievals <- t.retrievals + stats.D.Sld.retrievals;
-  (* Learn: derive the context this query induced and feed PIB with the
-     current strategy's execution of it (which mirrors the SLD run). *)
+  (* Learn: derive the context this query induced and feed the learner
+     with the current strategy's execution of it (which mirrors the SLD
+     run). *)
   let ctx = Context.of_db (graph t) ~query ~db in
-  let outcome = Exec.run (Spec.Dfs (Pib.current t.pib)) ctx in
+  let exec_span = Trace.push tracer parent ~kind:"exec" "exec" in
+  let outcome =
+    Exec.run ~tracer ~parent:exec_span (Spec.Dfs (strategy t)) ctx
+  in
+  Trace.finish tracer exec_span;
+  let learn_span = Trace.push tracer parent ~kind:"learn" "learn" in
+  if Trace.enabled tracer then
+    Trace.set_attr tracer learn_span "learner" (Learner.name t.learner);
+  Learner.observe t.learner ctx outcome;
   let switched =
-    match Pib.observe t.pib outcome with
-    | Some _climb ->
-      t.order_by_pred <- derive_orders t.built (Pib.current t.pib);
+    match Learner.conjecture t.learner with
+    | Some d ->
+      t.order_by_pred <- derive_orders t.built d;
+      t.switches <- t.switches + 1;
+      if Trace.enabled tracer then
+        Trace.event tracer learn_span ~kind:"climb"
+          ~attrs:[ ("to", Format.asprintf "%a" Spec.pp_dfs d) ]
+          "climb";
       true
     | None -> false
   in
-  { result; stats; switched }
+  Trace.finish tracer learn_span;
+  if owns_root then Trace.finish tracer parent;
+  { result; stats; cost = outcome.Exec.cost; switched }

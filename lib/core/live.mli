@@ -5,8 +5,9 @@
     once, and then answers concrete queries with {!Datalog.Sld}, ordering
     candidate rules according to its current strategy (the strategy's
     child order at each goal node becomes the SLD rule order). After each
-    answer it derives the query's context, feeds PIB, and adopts any climb
-    — so later queries really run faster. This is the "smart filter inside
+    answer it derives the query's context, feeds its {!Learner} (PIB by
+    default, any {!Learner.kind} on request), and adopts any conjecture —
+    so later queries really run faster. This is the "smart filter inside
     the host optimizer" deployment the paper describes for DedGin*-style
     systems.
 
@@ -19,7 +20,8 @@
 type t
 
 val create :
-  ?config:Pib.config ->
+  ?learner:Learner.kind ->
+  ?config:Learner.config ->
   rulebase:Datalog.Rulebase.t ->
   query_form:Datalog.Atom.t ->
   unit ->
@@ -27,9 +29,14 @@ val create :
 
 val graph : t -> Infgraph.Graph.t
 val strategy : t -> Strategy.Spec.dfs
-val pib : t -> Pib.t
 
-(** Climbs performed since creation (or since the last {!set_strategy}). *)
+(** The processor's learner (packed behind the unified API). *)
+val learner : t -> Learner.t
+
+val learner_name : t -> string
+
+(** Strategy switches adopted since creation (or since the last
+    {!set_strategy}). *)
 val climbs : t -> int
 
 (** Adopt a strategy (e.g. one reloaded from a snapshot): the learner is
@@ -42,13 +49,31 @@ val set_strategy : t -> Strategy.Spec.dfs -> unit
 type answer = {
   result : Datalog.Subst.t option;  (** first answer, if any *)
   stats : Datalog.Sld.stats;        (** the SLD engine's work counters *)
-  switched : bool;                  (** did this query trigger a climb? *)
+  cost : float;
+      (** paper cost c(Θ, I) of the mirrored strategy execution — what
+          the learner's statistics are built from, and what a trace's
+          [exec] span must sum to *)
+  switched : bool;                  (** did this query trigger a switch? *)
 }
 
 (** Answer one query (an instance of the query form) against a database,
     with the current learned rule order; learn from it.
+
+    With [tracer], the whole answer is recorded as a span tree: a root
+    [query] span (or the supplied [parent]) containing an [sld] phase
+    (the resolution steps), an [exec] phase (the mirrored strategy
+    execution, arc by arc — its total paper cost equals [cost]), and a
+    [learn] phase (the learner update; a switch appears as a [climb]
+    event). Defaults to {!Trace.null} — free.
+
     Raises [Invalid_argument] if the query does not match the form. *)
-val answer : t -> db:Datalog.Database.t -> Datalog.Atom.t -> answer
+val answer :
+  ?tracer:Trace.t ->
+  ?parent:Trace.span ->
+  t ->
+  db:Datalog.Database.t ->
+  Datalog.Atom.t ->
+  answer
 
 (** Queries answered so far. *)
 val queries : t -> int

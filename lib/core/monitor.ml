@@ -50,6 +50,13 @@ let of_palo palo =
         | Palo.Running -> false);
   }
 
+let of_learner l =
+  {
+    observe = (fun _theta ctx outcome -> Learner.observe l ctx outcome);
+    propose = (fun () -> Learner.conjecture l);
+    finished = (fun () -> Learner.finished l);
+  }
+
 type t = {
   learner : learner;
   mutable theta : Spec.dfs;
@@ -65,8 +72,10 @@ let queries t = t.queries
 let total_cost t = t.cost
 let switches t = List.rev t.switches
 
-let answer t ctx =
-  let outcome = Exec.run (Spec.Dfs t.theta) ctx in
+let answer ?(tracer = Trace.null) ?(parent = Trace.dummy) t ctx =
+  let exec_span = Trace.push tracer parent ~kind:"exec" "exec" in
+  let outcome = Exec.run ~tracer ~parent:exec_span (Spec.Dfs t.theta) ctx in
+  Trace.finish tracer exec_span;
   t.queries <- t.queries + 1;
   t.cost <- t.cost +. outcome.Exec.cost;
   let switched =

@@ -29,14 +29,25 @@ val null_learner : learner
 val of_pib : Pib.t -> learner
 val of_palo : Palo.t -> learner
 
+(** Any learner behind the unified {!Learner} API. *)
+val of_learner : Learner.t -> learner
+
 type t
 
 val create : Spec.dfs -> learner -> t
 val strategy : t -> Spec.dfs
 
 (** Answer one context with the current strategy; feed the learner; apply
-    any proposal. Returns the outcome and whether a switch happened. *)
-val answer : t -> Context.t -> Exec.outcome * bool
+    any proposal. Returns the outcome and whether a switch happened.
+    With [tracer], the execution is recorded as an [exec] span under
+    [parent] whose total paper cost equals the outcome's [cost] — the
+    consistency invariant the trace tests check. *)
+val answer :
+  ?tracer:Trace.t ->
+  ?parent:Trace.span ->
+  t ->
+  Context.t ->
+  Exec.outcome * bool
 
 (** Answer [n] contexts from an oracle. *)
 val serve : t -> Oracle.t -> n:int -> unit

@@ -20,11 +20,13 @@ type config = {
   db : Database.t;
   rule_order : Atom.t -> Clause.t list -> Clause.t list;
   depth_limit : int;
+  tracer : Trace.t;
+  parent : Trace.span;
 }
 
-let config ?(rule_order = fun _ rules -> rules) ?(depth_limit = 512) ~rulebase
-    ~db () =
-  { rulebase; db; rule_order; depth_limit }
+let config ?(rule_order = fun _ rules -> rules) ?(depth_limit = 512)
+    ?(tracer = Trace.null) ?(parent = Trace.dummy) ~rulebase ~db () =
+  { rulebase; db; rule_order; depth_limit; tracer; parent }
 
 exception Floundering of Atom.t
 
@@ -49,8 +51,10 @@ let goal_vars goals =
 
 (* The solver: returns a lazy sequence of substitutions extending [s] that
    prove [goals]. [gen] is a mutable fresh-generation counter shared across
-   the whole derivation so standardized-apart clauses never collide. *)
-let rec prove cfg stats gen depth s goals : Subst.t Seq.t =
+   the whole derivation so standardized-apart clauses never collide. [sp] is
+   the trace span the current derivation step reports under; with the [null]
+   tracer every trace call is a single tag test. *)
+let rec prove cfg stats gen depth sp s goals : Subst.t Seq.t =
   match goals with
   | [] -> Seq.return s
   | _ -> (
@@ -85,6 +89,14 @@ let rec prove cfg stats gen depth s goals : Subst.t Seq.t =
           stats.retrievals <- stats.retrievals + 1;
           let matches = Database.matching cfg.db atom in
           if matches <> [] then stats.retrieval_hits <- stats.retrieval_hits + 1;
+          if Trace.enabled cfg.tracer then
+            Trace.event cfg.tracer sp ~kind:"retrieval" ~cost:1.0
+              ~attrs:
+                [
+                  ("pattern", Atom.to_string atom);
+                  ("hit", if matches <> [] then "true" else "false");
+                ]
+              (Symbol.to_string atom.Atom.pred);
           List.to_seq matches
           |> Seq.filter_map (fun (_fact, s_fact) ->
                  (* Merge the fact bindings into [s]. *)
@@ -94,7 +106,7 @@ let rec prove cfg stats gen depth s goals : Subst.t Seq.t =
                      | None -> None
                      | Some s -> Subst.unify (Term.Var v) t s)
                    (Some s) (Subst.to_alist s_fact))
-          |> Seq.concat_map (fun s' -> prove cfg stats gen depth s' rest)
+          |> Seq.concat_map (fun s' -> prove cfg stats gen depth sp s' rest)
           end
         in
         let from_rules () =
@@ -109,25 +121,42 @@ let rec prove cfg stats gen depth s goals : Subst.t Seq.t =
                  | None -> Seq.empty
                  | Some s' ->
                    stats.reductions <- stats.reductions + 1;
-                   prove cfg stats gen (depth + 1) s'
+                   let sp' =
+                     if Trace.enabled cfg.tracer then begin
+                       let child =
+                         Trace.push cfg.tracer sp ~kind:"reduction"
+                           (Atom.to_string atom)
+                       in
+                       Trace.add_cost cfg.tracer child 1.0;
+                       child
+                     end
+                     else sp
+                   in
+                   prove cfg stats gen (depth + 1) sp' s'
                      (clause.Clause.body @ rest))
         in
         Seq.append (from_facts ()) (from_rules ())
       | Some (Clause.Neg atom, rest) ->
         let atom = Subst.apply_atom s atom in
         stats.naf_calls <- stats.naf_calls + 1;
+        let sp' =
+          if Trace.enabled cfg.tracer then
+            Trace.push cfg.tracer sp ~kind:"naf" (Atom.to_string atom)
+          else sp
+        in
         let holds =
           (* Sub-proof for the NAF test; shares counters and depth budget. *)
           not
             (Seq.is_empty
-               (prove cfg stats gen (depth + 1) Subst.empty [ Clause.Pos atom ]))
+               (prove cfg stats gen (depth + 1) sp' Subst.empty
+                  [ Clause.Pos atom ]))
         in
-        if holds then Seq.empty else prove cfg stats gen depth s rest)
+        if holds then Seq.empty else prove cfg stats gen depth sp s rest)
 
 let solve_seq cfg stats goals =
   let vars = goal_vars goals in
   let gen = ref 0 in
-  prove cfg stats gen 0 Subst.empty goals
+  prove cfg stats gen 0 cfg.parent Subst.empty goals
   |> Seq.map (fun s -> Subst.restrict vars s)
 
 let solve_first cfg goals =

@@ -30,11 +30,20 @@ type config = {
       (** Reorders the candidate rules for a goal; [Fun.flip Fun.const]-like
           identity by default. This is the strategy hook. *)
   depth_limit : int;  (** maximum resolution depth (default 512) *)
+  tracer : Trace.t;
+      (** Span sink for resolution steps ([Trace.null] by default — free).
+          Each rule application opens a [reduction] span (paper cost 1) that
+          nests the sub-derivation; each database probe emits a [retrieval]
+          event (paper cost 1, attrs [pattern]/[hit]); each
+          negation-as-failure sub-proof nests under a cost-0 [naf] span. *)
+  parent : Trace.span;  (** span the derivation reports under *)
 }
 
 val config :
   ?rule_order:(Atom.t -> Clause.t list -> Clause.t list) ->
   ?depth_limit:int ->
+  ?tracer:Trace.t ->
+  ?parent:Trace.span ->
   rulebase:Rulebase.t ->
   db:Database.t ->
   unit ->

@@ -7,16 +7,27 @@ let escape s =
     s;
   Buffer.contents buf
 
-let to_string ?(name = "inference_graph") g =
+let to_string ?(name = "inference_graph") ?(highlight = []) g =
+  let hot arc_id = List.mem arc_id highlight in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" (escape name));
   Buffer.add_string buf "  rankdir=TB;\n  node [fontname=\"Helvetica\"];\n";
+  (* Nodes touched by a highlighted arc glow with it. *)
+  let hot_nodes =
+    List.concat_map
+      (fun a ->
+        if hot a.Graph.arc_id then [ a.Graph.src; a.Graph.dst ] else [])
+      (Graph.arcs g)
+  in
   List.iter
     (fun n ->
       let shape = if n.Graph.success then "box" else "ellipse" in
+      let extra =
+        if List.mem n.Graph.node_id hot_nodes then ", color=red" else ""
+      in
       Buffer.add_string buf
-        (Printf.sprintf "  n%d [label=\"%s\", shape=%s];\n" n.Graph.node_id
-           (escape n.Graph.name) shape))
+        (Printf.sprintf "  n%d [label=\"%s\", shape=%s%s];\n" n.Graph.node_id
+           (escape n.Graph.name) shape extra))
     (Graph.nodes g);
   List.iter
     (fun a ->
@@ -26,17 +37,22 @@ let to_string ?(name = "inference_graph") g =
         | Graph.Reduction, true -> "dotted"
         | Graph.Reduction, false -> "solid"
       in
+      let extra =
+        if hot a.Graph.arc_id then ", color=red, penwidth=2" else ""
+      in
       Buffer.add_string buf
-        (Printf.sprintf "  n%d -> n%d [label=\"%s (%g)\", style=%s];\n"
-           a.Graph.src a.Graph.dst (escape a.Graph.label) a.Graph.cost style))
+        (Printf.sprintf "  n%d -> n%d [label=\"%s (%g)\", style=%s%s];\n"
+           a.Graph.src a.Graph.dst (escape a.Graph.label) a.Graph.cost style
+           extra))
     (Graph.arcs g);
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 
-let to_channel ?name oc g = output_string oc (to_string ?name g)
+let to_channel ?name ?highlight oc g =
+  output_string oc (to_string ?name ?highlight g)
 
-let to_file ?name path g =
+let to_file ?name ?highlight path g =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> to_channel ?name oc g)
+    (fun () -> to_channel ?name ?highlight oc g)

@@ -1,8 +1,16 @@
 (** Graphviz export — regenerates the paper's Figure 1 / Figure 2 drawings.
 
     Success nodes are drawn as boxes (as in the paper); retrieval arcs are
-    dashed; blockable reduction arcs ("experiments") are dotted. *)
+    dashed; blockable reduction arcs ("experiments") are dotted.
 
-val to_string : ?name:string -> Graph.t -> string
-val to_channel : ?name:string -> out_channel -> Graph.t -> unit
-val to_file : ?name:string -> string -> Graph.t -> unit
+    [highlight] paints the named arcs (and the nodes they touch) red —
+    [strategem explain] uses it to mark the arcs a traced query actually
+    paid for. Unknown ids are ignored. *)
+
+val to_string : ?name:string -> ?highlight:int list -> Graph.t -> string
+
+val to_channel :
+  ?name:string -> ?highlight:int list -> out_channel -> Graph.t -> unit
+
+val to_file :
+  ?name:string -> ?highlight:int list -> string -> Graph.t -> unit

@@ -63,10 +63,12 @@ type t = {
   mutable snapshot_forms : int;
   mutable forms_loaded : int;
   mutable queue_hwm : int;
+  queue_wait : histogram;
+  traces : Trace.Ring.t option;  (* --trace-sample ring; lock-guarded *)
   forms : (string, form_stats) Hashtbl.t;
 }
 
-let create () =
+let create ?(trace_capacity = 0) () =
   {
     lock = Mutex.create ();
     started = Unix.gettimeofday ();
@@ -77,6 +79,11 @@ let create () =
     snapshot_forms = 0;
     forms_loaded = 0;
     queue_hwm = 0;
+    queue_wait = hist_create ();
+    traces =
+      (if trace_capacity > 0 then
+         Some (Trace.Ring.create ~capacity:trace_capacity)
+       else None);
     forms = Hashtbl.create 8;
   }
 
@@ -109,6 +116,21 @@ let forms_loaded t n =
 
 let observe_queue_depth t d =
   with_lock t (fun () -> if d > t.queue_hwm then t.queue_hwm <- d)
+
+let queue_waited t ~wait_us =
+  with_lock t (fun () -> hist_record t.queue_wait wait_us)
+
+let trace_sampling t = t.traces <> None
+
+let trace t json =
+  match t.traces with
+  | None -> ()
+  | Some ring -> with_lock t (fun () -> Trace.Ring.add ring json)
+
+let recent_traces t =
+  match t.traces with
+  | None -> []
+  | Some ring -> with_lock t (fun () -> Trace.Ring.to_list ring)
 
 let query t ~form ~latency_us ~answered ~switched =
   with_lock t (fun () ->
@@ -154,6 +176,10 @@ let render_text t =
           Printf.sprintf "forms_loaded %d" t.forms_loaded;
           Printf.sprintf "forms_active %d" (Hashtbl.length t.forms);
           Printf.sprintf "queue_high_water %d" t.queue_hwm;
+          Printf.sprintf "queue_wait_count %d" t.queue_wait.count;
+          Printf.sprintf "queue_wait_mean_us %.0f" (hist_mean t.queue_wait);
+          Printf.sprintf "queue_wait_p95_us %d"
+            (hist_quantile t.queue_wait 0.95);
         ]
       in
       let form_lines =
@@ -183,23 +209,32 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+let schema_version = 1
+
 let render_json t =
   with_lock t (fun () ->
       let buf = Buffer.create 512 in
       Buffer.add_string buf
         (Printf.sprintf
-           "{\"uptime_seconds\":%d,\"connections_total\":%d,\
+           "{\"schema\":%d,\"uptime_seconds\":%d,\"connections_total\":%d,\
             \"queries_total\":%d,\"answered_total\":%d,\
             \"climbs_total\":%d,\"busy_total\":%d,\"errors_total\":%d,\
             \"snapshots_total\":%d,\"forms_loaded\":%d,\
-            \"forms_active\":%d,\"queue_high_water\":%d,\"forms\":{"
+            \"forms_active\":%d,\"queue_high_water\":%d,\
+            \"queue_wait\":{\"count\":%d,\"mean_us\":%.1f,\"p50_us\":%d,\
+            \"p95_us\":%d,\"p99_us\":%d},\"forms\":{"
+           schema_version
            (int_of_float (Unix.gettimeofday () -. t.started))
            t.connections
            (fold_forms t (fun _ fs n -> n + fs.queries) 0)
            (fold_forms t (fun _ fs n -> n + fs.answered) 0)
            (fold_forms t (fun _ fs n -> n + fs.climbs) 0)
            t.busy t.errors t.snapshots t.forms_loaded
-           (Hashtbl.length t.forms) t.queue_hwm);
+           (Hashtbl.length t.forms) t.queue_hwm t.queue_wait.count
+           (hist_mean t.queue_wait)
+           (hist_quantile t.queue_wait 0.50)
+           (hist_quantile t.queue_wait 0.95)
+           (hist_quantile t.queue_wait 0.99));
       List.iteri
         (fun i (key, fs) ->
           if i > 0 then Buffer.add_char buf ',';
@@ -213,5 +248,17 @@ let render_json t =
                (hist_quantile fs.hist 0.95) (hist_quantile fs.hist 0.99)
                (json_escape fs.strategy)))
         (sorted_forms t);
-      Buffer.add_string buf "}}";
+      Buffer.add_string buf "}";
+      (match t.traces with
+      | None -> ()
+      | Some ring ->
+        Buffer.add_string buf ",\"recent_traces\":[";
+        List.iteri
+          (fun i json ->
+            if i > 0 then Buffer.add_char buf ',';
+            (* Entries are already rendered JSON objects. *)
+            Buffer.add_string buf json)
+          (Trace.Ring.to_list ring);
+        Buffer.add_char buf ']');
+      Buffer.add_char buf '}';
       Buffer.contents buf)

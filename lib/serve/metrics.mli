@@ -10,7 +10,15 @@
 
 type t
 
-val create : unit -> t
+(** [trace_capacity > 0] keeps a ring of the last that many rendered
+    query traces (the daemon's [--trace-sample N]), exposed in the
+    [STATS JSON] [recent_traces] array; [0] (the default) disables
+    sampling. *)
+val create : ?trace_capacity:int -> unit -> t
+
+(** Version of the frozen [STATS JSON] schema (the [schema] field;
+    documented field-by-field in [docs/SERVING.md]). *)
+val schema_version : int
 
 (** {1 Events} *)
 
@@ -29,6 +37,20 @@ val forms_loaded : t -> int -> unit
 (** Record the admission-queue depth observed after an enqueue; the
     high-water mark is kept. *)
 val observe_queue_depth : t -> int -> unit
+
+(** A connection spent [wait_us] in the admission queue before a worker
+    picked it up. *)
+val queue_waited : t -> wait_us:float -> unit
+
+(** Is trace sampling on ([trace_capacity > 0])? *)
+val trace_sampling : t -> bool
+
+(** Add one rendered trace (a {!Trace.to_json} line) to the sample ring;
+    no-op when sampling is off. *)
+val trace : t -> string -> unit
+
+(** Sampled traces, oldest first ([[]] when sampling is off). *)
+val recent_traces : t -> string list
 
 (** One answered query: latency, whether an answer was found, and whether
     it triggered a strategy climb. *)

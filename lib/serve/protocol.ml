@@ -1,5 +1,7 @@
 type request =
+  | Hello
   | Query of string
+  | Trace of string
   | Stats
   | Stats_json
   | Snapshot
@@ -9,7 +11,10 @@ type request =
   | Quit
   | Shutdown
   | Empty
+  | Malformed of string
   | Unknown of string
+
+let version = 2
 
 let split_command line =
   match String.index_opt line ' ' with
@@ -24,24 +29,32 @@ let parse line =
   else
     let cmd, rest = split_command line in
     match (String.uppercase_ascii cmd, rest) with
-    | "QUERY", "" -> Unknown "QUERY needs an atom"
+    | "HELLO", "" -> Hello
+    | "QUERY", "" -> Malformed "QUERY needs an atom"
     | "QUERY", atom -> Query atom
+    | "TRACE", "" -> Malformed "TRACE needs an atom"
+    | "TRACE", atom -> Trace atom
     | "STATS", "" -> Stats
     | "STATS", arg when String.uppercase_ascii arg = "JSON" -> Stats_json
     | "SNAPSHOT", "" -> Snapshot
-    | "STRATEGY", "" -> Unknown "STRATEGY needs an atom"
+    | "STRATEGY", "" -> Malformed "STRATEGY needs an atom"
     | "STRATEGY", atom -> Strategy atom
     | "PING", "" -> Ping
     | "HELP", "" -> Help
     | "QUIT", "" -> Quit
     | "SHUTDOWN", "" -> Shutdown
-    | _ -> Unknown line
+    | ( ("HELLO" | "STATS" | "SNAPSHOT" | "PING" | "HELP" | "QUIT" | "SHUTDOWN"),
+        _ ) ->
+      Malformed (String.uppercase_ascii cmd ^ " takes no argument")
+    | _ -> Unknown cmd
 
 let terminator = "END"
 
 let help_lines =
   [
+    "HELLO            protocol banner (version, learner)";
     "QUERY <atom>     answer a Datalog query, learning from it";
+    "TRACE <atom>     answer a query and return its span tree as JSON";
     "STATS            server metrics (text; terminated by END)";
     "STATS JSON       server metrics as a single JSON line";
     "STRATEGY <atom>  the current learned strategy for the atom's form";
@@ -60,7 +73,26 @@ let answer_line ~result ~reductions ~retrievals ~switched =
     reductions retrievals
     (if switched then " switched" else "")
 
-let err msg = "ERR " ^ one_line msg
+let hello_line ~learner =
+  Printf.sprintf "HELLO strategem/%d learner=%s" version learner
+
+let trace_line json = "TRACE " ^ one_line json
+
+type err_code =
+  [ `Parse | `Unknown_verb | `Malformed | `Unsupported | `No_state_dir
+  | `Internal ]
+
+let err_code_to_string = function
+  | `Parse -> "parse"
+  | `Unknown_verb -> "unknown-verb"
+  | `Malformed -> "malformed"
+  | `Unsupported -> "unsupported"
+  | `No_state_dir -> "no-state-dir"
+  | `Internal -> "internal"
+
+let err ~code msg =
+  Printf.sprintf "ERR %s %s" (err_code_to_string code) (one_line msg)
+
 let busy = "BUSY"
 let bye = "BYE"
 let pong = "PONG"

@@ -2,12 +2,20 @@
     per line, replies of one or more lines, multi-line replies terminated
     by [END]). Full specification in [docs/SERVING.md].
 
-    Parsing is total — an unrecognized line becomes {!Unknown} and the
-    server answers [ERR]. Command words are case-insensitive; arguments
-    (Datalog atoms) are passed through verbatim. *)
+    Protocol {!version} 2. A client can start with [HELLO] to learn the
+    server's protocol version and learner before relying on either.
+
+    Parsing is total — a recognized verb with bad arguments becomes
+    {!Malformed}, an unrecognized verb {!Unknown} (carrying just the verb
+    word); the server answers a structured [ERR <code> <message>] line
+    either way. Command words are case-insensitive; arguments (Datalog
+    atoms) are passed through verbatim. *)
 
 type request =
+  | Hello               (** [HELLO] — protocol banner *)
   | Query of string     (** [QUERY <atom>] — answer one query, learning *)
+  | Trace of string
+      (** [TRACE <atom>] — answer one query and return its span tree *)
   | Stats               (** [STATS] — metrics as text, [END]-terminated *)
   | Stats_json          (** [STATS JSON] — metrics as one JSON line *)
   | Snapshot            (** [SNAPSHOT] — persist all learned strategies *)
@@ -17,7 +25,11 @@ type request =
   | Quit                (** [QUIT] — close this connection *)
   | Shutdown            (** [SHUTDOWN] — drain and stop the server *)
   | Empty               (** blank line — ignored *)
-  | Unknown of string
+  | Malformed of string (** known verb, unusable arguments *)
+  | Unknown of string   (** unrecognized verb (the verb word) *)
+
+(** The wire protocol version announced by [HELLO]. *)
+val version : int
 
 val parse : string -> request
 
@@ -27,14 +39,30 @@ val terminator : string
 (** The [HELP] reply body. *)
 val help_lines : string list
 
-(** Reply formatting: [ANSWER ...], [ERR <msg>] (message flattened to one
-    line), [BUSY], [BYE], [PONG]. *)
+(** Reply formatting: [ANSWER ...], [HELLO ...], [TRACE <json>],
+    [ERR <code> <msg>] (message flattened to one line), [BUSY], [BYE],
+    [PONG]. *)
 
 val answer_line :
   result:string -> reductions:int -> retrievals:int -> switched:bool ->
   string
 
-val err : string -> string
+(** [HELLO strategem/<version> learner=<learner>]. *)
+val hello_line : learner:string -> string
+
+val trace_line : string -> string
+
+(** Machine-readable error classes, the first token after [ERR]. *)
+type err_code =
+  [ `Parse          (** the atom argument did not parse *)
+  | `Unknown_verb   (** no such command *)
+  | `Malformed      (** known command, unusable arguments *)
+  | `Unsupported    (** the form cannot be served (e.g. conjunctive) *)
+  | `No_state_dir   (** [SNAPSHOT] without [--state-dir] *)
+  | `Internal       (** anything else *) ]
+
+val err_code_to_string : err_code -> string
+val err : code:err_code -> string -> string
 val busy : string
 val bye : string
 val pong : string

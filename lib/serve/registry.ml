@@ -10,16 +10,19 @@ type entry = {
 type t = {
   lock : Mutex.t;
   rulebase : D.Rulebase.t;
-  pib_config : Core.Pib.config;
+  learner : Core.Learner.kind;
+  config : Core.Learner.config;
   metrics : Metrics.t;
   entries : (string, entry) Hashtbl.t;
 }
 
-let create ?(pib_config = Core.Pib.default_config) ~rulebase metrics =
+let create ?(learner = `Pib) ?(config = Core.Learner.default_config) ~rulebase
+    metrics =
   {
     lock = Mutex.create ();
     rulebase;
-    pib_config;
+    learner;
+    config;
     metrics;
     entries = Hashtbl.create 8;
   }
@@ -72,19 +75,21 @@ let find_or_create t atom =
       | Some e -> e
       | None ->
         let live =
-          Core.Live.create ~config:t.pib_config ~rulebase:t.rulebase
-            ~query_form:form ()
+          Core.Live.create ~learner:t.learner ~config:t.config
+            ~rulebase:t.rulebase ~query_form:form ()
         in
         let e = { key; form; live; lock = Mutex.create () } in
         Hashtbl.add t.entries key e;
         Metrics.set_form_strategy t.metrics ~form:key (render live);
         e)
 
-let answer t ~db q =
+let learner_kind t = t.learner
+
+let answer ?tracer ?parent t ~db q =
   let entry = find_or_create t q in
   let ans, strategy =
     with_live entry (fun live ->
-        let a = Core.Live.answer live ~db q in
+        let a = Core.Live.answer ?tracer ?parent live ~db q in
         (a, if a.Core.Live.switched then Some (render live) else None))
   in
   Option.iter

@@ -18,12 +18,18 @@ type entry
 
 type t
 
-(** [create ?pib_config ~rulebase metrics] — learners are created against
-    [rulebase] with the given PIB configuration (default
-    {!Core.Pib.default_config}). *)
+(** [create ?learner ?config ~rulebase metrics] — per-form processors are
+    created against [rulebase] with the given learner kind (default
+    [`Pib]) and {!Core.Learner.config}. *)
 val create :
-  ?pib_config:Core.Pib.config -> rulebase:Datalog.Rulebase.t -> Metrics.t ->
+  ?learner:Core.Learner.kind ->
+  ?config:Core.Learner.config ->
+  rulebase:Datalog.Rulebase.t ->
+  Metrics.t ->
   t
+
+(** The learner kind every entry is created with. *)
+val learner_kind : t -> Core.Learner.kind
 
 (** The canonical query form of a concrete query: every constant becomes
     the bound-position marker [q], every variable a positional [X<i>]. *)
@@ -40,8 +46,15 @@ val find_or_create : t -> Datalog.Atom.t -> entry
 
 (** Answer one concrete query with the form's learner, serialized against
     other queries of the same form. Updates the entry's strategy
-    rendering in the metrics on a climb. *)
-val answer : t -> db:Datalog.Database.t -> Datalog.Atom.t -> Core.Live.answer
+    rendering in the metrics on a climb. [tracer]/[parent] are passed
+    through to {!Core.Live.answer}. *)
+val answer :
+  ?tracer:Trace.t ->
+  ?parent:Trace.span ->
+  t ->
+  db:Datalog.Database.t ->
+  Datalog.Atom.t ->
+  Core.Live.answer
 
 (** All entries, sorted by form key. *)
 val entries : t -> entry list

@@ -8,7 +8,9 @@ type config = {
   queue_depth : int;
   state_dir : string option;
   snapshot_interval : float;
-  pib_config : Core.Pib.config;
+  learner : Core.Learner.kind;
+  learner_config : Core.Learner.config;
+  trace_sample : int;
 }
 
 let default_config =
@@ -19,7 +21,9 @@ let default_config =
     queue_depth = 64;
     state_dir = None;
     snapshot_interval = 0.0;
-    pib_config = Core.Pib.default_config;
+    learner = `Pib;
+    learner_config = Core.Learner.default_config;
+    trace_sample = 0;
   }
 
 type state = {
@@ -27,7 +31,9 @@ type state = {
   metrics : Metrics.t;
   registry : Registry.t;
   db : D.Database.t;
-  queue : Unix.file_descr Admission.t;
+  (* each queued connection carries its enqueue time, so the worker that
+     pops it can charge the admission-queue wait *)
+  queue : (Unix.file_descr * float) Admission.t;
   stopping : bool Atomic.t;
   stop_w : Unix.file_descr;  (* self-pipe: wakes the accept loop *)
 }
@@ -53,33 +59,78 @@ let result_string = function
   | Some s when D.Subst.is_empty s -> "yes"
   | Some s -> Format.asprintf "%a" D.Subst.pp s
 
-let handle_query st oc atom_text =
-  let t0 = Unix.gettimeofday () in
+(* Root a [serve] span covering this query's whole worker-side handling;
+   the admission wait the connection already paid is attached as an
+   attribute (it happened before the span could exist). *)
+let serve_root tracer ~wait_us atom_text =
+  let root = Trace.root tracer ~kind:"serve" atom_text in
+  Trace.set_attr tracer root "queue_wait_us"
+    (Printf.sprintf "%.0f" wait_us);
+  root
+
+(* Answer [q] through the registry, tracing if [tracer] is enabled, and
+   record the query metrics. Returns the answer (exceptions escape). *)
+let answer_traced st ~wait_us ~t0 tracer q =
+  let root =
+    if Trace.enabled tracer then
+      serve_root tracer ~wait_us (D.Atom.to_string q)
+    else Trace.dummy
+  in
+  let ans = Registry.answer ~tracer ~parent:root st.registry ~db:st.db q in
+  Trace.finish tracer root;
+  let latency_us = (Unix.gettimeofday () -. t0) *. 1e6 in
+  Metrics.query st.metrics
+    ~form:(Registry.key_of_form (Registry.form_of_query q))
+    ~latency_us
+    ~answered:(ans.Core.Live.result <> None)
+    ~switched:ans.Core.Live.switched;
+  if Trace.enabled tracer then
+    Option.iter
+      (fun sp -> Metrics.trace st.metrics (Trace.to_json sp))
+      (Trace.root_span tracer);
+  ans
+
+(* The paper-cost total of the trace's [exec] spans, checked against the
+   cost the learner pipeline recorded — the built-in consistency check on
+   the cost model (equal unless the tracer has a bug). *)
+let exec_cost_of_trace tracer =
+  match Trace.root_span tracer with
+  | None -> 0.0
+  | Some root ->
+    List.fold_left
+      (fun acc sp -> acc +. Trace.total_cost sp)
+      0.0
+      (Trace.find_kind root "exec")
+
+let with_query st oc atom_text f =
   match D.Parser.parse_atom atom_text with
   | exception D.Parser.Parse_error (msg, _) ->
     Metrics.error st.metrics;
-    send oc [ Protocol.err (Printf.sprintf "parse: %s" msg) ]
+    send oc [ Protocol.err ~code:`Parse msg ]
   | q -> (
-    match Registry.answer st.registry ~db:st.db q with
+    match f q with
     | exception Build.Not_disjunctive clause ->
       Metrics.error st.metrics;
       send oc
         [
-          Protocol.err
+          Protocol.err ~code:`Unsupported
             (Format.asprintf
                "cannot serve this form: rule %a is conjunctive" D.Clause.pp
                clause);
         ]
     | exception Invalid_argument msg | exception Failure msg ->
       Metrics.error st.metrics;
-      send oc [ Protocol.err msg ]
-    | ans ->
-      let latency_us = (Unix.gettimeofday () -. t0) *. 1e6 in
-      Metrics.query st.metrics
-        ~form:(Registry.key_of_form (Registry.form_of_query q))
-        ~latency_us
-        ~answered:(ans.Core.Live.result <> None)
-        ~switched:ans.Core.Live.switched;
+      send oc [ Protocol.err ~code:`Internal msg ]
+    | () -> ())
+
+let handle_query st oc ~wait_us atom_text =
+  let t0 = Unix.gettimeofday () in
+  with_query st oc atom_text (fun q ->
+      let tracer =
+        if Metrics.trace_sampling st.metrics then Trace.make ()
+        else Trace.null
+      in
+      let ans = answer_traced st ~wait_us ~t0 tracer q in
       send oc
         [
           Protocol.answer_line
@@ -89,16 +140,43 @@ let handle_query st oc atom_text =
             ~switched:ans.Core.Live.switched;
         ])
 
+let handle_trace st oc ~wait_us atom_text =
+  let t0 = Unix.gettimeofday () in
+  with_query st oc atom_text (fun q ->
+      let tracer = Trace.make () in
+      let ans = answer_traced st ~wait_us ~t0 tracer q in
+      let paper_cost = exec_cost_of_trace tracer in
+      let monitor_cost = ans.Core.Live.cost in
+      let span_json =
+        match Trace.root_span tracer with
+        | Some sp -> Trace.to_json sp
+        | None -> "{}"
+      in
+      let reply =
+        Printf.sprintf
+          "{\"result\":\"%s\",\"reductions\":%d,\"retrievals\":%d,\
+           \"switched\":%b,\"paper_cost\":%.17g,\"monitor_cost\":%.17g,\
+           \"consistent\":%b,\"span\":%s}"
+          (Trace.json_escape (result_string ans.Core.Live.result))
+          ans.Core.Live.stats.D.Sld.reductions
+          ans.Core.Live.stats.D.Sld.retrievals ans.Core.Live.switched
+          paper_cost monitor_cost
+          (Float.abs (paper_cost -. monitor_cost) <= 1e-9)
+          span_json
+      in
+      send oc [ Protocol.trace_line reply ])
+
 let handle_strategy st oc atom_text =
   match D.Parser.parse_atom atom_text with
   | exception D.Parser.Parse_error (msg, _) ->
     Metrics.error st.metrics;
-    send oc [ Protocol.err (Printf.sprintf "parse: %s" msg) ]
+    send oc [ Protocol.err ~code:`Parse msg ]
   | q -> (
     match Registry.find_or_create st.registry q with
     | exception Build.Not_disjunctive _ | exception Invalid_argument _ ->
       Metrics.error st.metrics;
-      send oc [ Protocol.err "cannot build a learner for this form" ]
+      send oc
+        [ Protocol.err ~code:`Unsupported "cannot build a learner for this form" ]
     | entry ->
       send oc
         [
@@ -118,14 +196,20 @@ let handle_snapshot st oc =
   match save_snapshot st with
   | None ->
     Metrics.error st.metrics;
-    send oc [ Protocol.err "no state directory configured (--state-dir)" ]
+    send oc
+      [
+        Protocol.err ~code:`No_state_dir
+          "no state directory configured (--state-dir)";
+      ]
   | Some n -> send oc [ Printf.sprintf "OK snapshot saved %d form(s)" n ]
   | exception Sys_error msg | exception Failure msg ->
     Metrics.error st.metrics;
-    send oc [ Protocol.err msg ]
+    send oc [ Protocol.err ~code:`Internal msg ]
 
-(* One admitted connection, served to completion by one worker. *)
-let serve_conn st fd =
+(* One admitted connection, served to completion by one worker.
+   [wait_us] is the admission-queue wait this connection paid before a
+   worker picked it up; queries on it report that wait in their spans. *)
+let serve_conn st ~wait_us fd =
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
   let rec loop () =
@@ -135,6 +219,15 @@ let serve_conn st fd =
     | line -> (
       match Protocol.parse line with
       | Protocol.Empty -> loop ()
+      | Protocol.Hello ->
+        send oc
+          [
+            Protocol.hello_line
+              ~learner:
+                (Core.Learner.kind_to_string
+                   (Registry.learner_kind st.registry));
+          ];
+        loop ()
       | Protocol.Ping ->
         send oc [ Protocol.pong ];
         loop ()
@@ -148,7 +241,10 @@ let serve_conn st fd =
         send oc [ Metrics.render_json st.metrics ];
         loop ()
       | Protocol.Query atom ->
-        handle_query st oc atom;
+        handle_query st oc ~wait_us atom;
+        loop ()
+      | Protocol.Trace atom ->
+        handle_trace st oc ~wait_us atom;
         loop ()
       | Protocol.Strategy atom ->
         handle_strategy st oc atom;
@@ -160,9 +256,13 @@ let serve_conn st fd =
       | Protocol.Shutdown ->
         send oc [ Protocol.bye ];
         initiate_shutdown st
-      | Protocol.Unknown msg ->
+      | Protocol.Malformed msg ->
         Metrics.error st.metrics;
-        send oc [ Protocol.err ("unknown command: " ^ msg) ];
+        send oc [ Protocol.err ~code:`Malformed msg ];
+        loop ()
+      | Protocol.Unknown verb ->
+        Metrics.error st.metrics;
+        send oc [ Protocol.err ~code:`Unknown_verb verb ];
         loop ())
   in
   (try loop () with Sys_error _ -> ());
@@ -173,8 +273,11 @@ let worker_loop st =
   let rec go () =
     match Admission.pop st.queue with
     | None -> ()
-    | Some fd ->
-      (try serve_conn st fd with _ -> (try Unix.close fd with _ -> ()));
+    | Some (fd, enqueued) ->
+      let wait_us = (Unix.gettimeofday () -. enqueued) *. 1e6 in
+      Metrics.queue_waited st.metrics ~wait_us;
+      (try serve_conn st ~wait_us fd
+       with _ -> ( try Unix.close fd with _ -> ()));
       go ()
   in
   go ()
@@ -194,7 +297,7 @@ let accept_loop st sock stop_r =
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
         | exception Unix.Unix_error _ -> ()
         | fd, _ ->
-          if Admission.try_push st.queue fd then begin
+          if Admission.try_push st.queue (fd, Unix.gettimeofday ()) then begin
             Metrics.connection st.metrics;
             Metrics.observe_queue_depth st.metrics
               (Admission.length st.queue)
@@ -231,9 +334,10 @@ let run ?(handle_signals = false) ?(on_listen = fun _ -> ()) cfg ~rulebase
     invalid_arg "Server.run: queue_depth must be >= 1";
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ | Sys_error _ -> ());
-  let metrics = Metrics.create () in
+  let metrics = Metrics.create ~trace_capacity:cfg.trace_sample () in
   let registry =
-    Registry.create ~pib_config:cfg.pib_config ~rulebase metrics
+    Registry.create ~learner:cfg.learner ~config:cfg.learner_config ~rulebase
+      metrics
   in
   (match cfg.state_dir with
   | Some dir ->

@@ -18,11 +18,18 @@ type config = {
   queue_depth : int;        (** admission queue bound (≥ 1) *)
   state_dir : string option;      (** snapshot directory *)
   snapshot_interval : float;      (** seconds; [0.] = periodic off *)
-  pib_config : Core.Pib.config;   (** learner configuration *)
+  learner : Core.Learner.kind;    (** per-form learner ([--learner]) *)
+  learner_config : Core.Learner.config;
+  trace_sample : int;
+      (** keep the last [N] query traces in a ring exposed by
+          [STATS JSON] ([recent_traces]); [0] = sampling off. Tracing a
+          query costs span allocations, so the default is off; [TRACE]
+          always traces its own query regardless. *)
 }
 
 (** 127.0.0.1:4280, 4 workers, queue depth 64, no state dir, periodic
-    snapshots off, {!Core.Pib.default_config}. *)
+    snapshots off, PIB with {!Core.Learner.default_config}, trace
+    sampling off. *)
 val default_config : config
 
 (** [run ?handle_signals ?on_listen config ~rulebase ~db] — bind, serve,

@@ -10,7 +10,7 @@ type outcome = {
   attempted : int list;
 }
 
-let first_k k spec ctx =
+let first_k ?(tracer = Trace.null) ?(parent = Trace.dummy) k spec ctx =
   if k < 1 then invalid_arg "Exec.first_k: k must be at least 1";
   let g = Spec.graph spec in
   let n = Graph.n_arcs g in
@@ -33,16 +33,25 @@ let first_k k spec ctx =
           cost := !cost +. a.Graph.cost;
           paid.(arc_id) <- true;
           attempted := arc_id :: !attempted;
-          if a.Graph.blockable then begin
-            let unblocked = Context.unblocked ctx arc_id in
-            observations := { arc_id; unblocked } :: !observations;
-            if unblocked then go rest
-            else begin
-              known_blocked.(arc_id) <- true;
-              false
+          let unblocked =
+            if a.Graph.blockable then begin
+              let unblocked = Context.unblocked ctx arc_id in
+              observations := { arc_id; unblocked } :: !observations;
+              if not unblocked then known_blocked.(arc_id) <- true;
+              unblocked
             end
-          end
-          else go rest
+            else true
+          in
+          if Trace.enabled tracer then
+            Trace.event tracer parent ~kind:"arc" ~cost:a.Graph.cost
+              ~attrs:
+                [
+                  ("arc_id", string_of_int arc_id);
+                  ("blockable", if a.Graph.blockable then "true" else "false");
+                  ("unblocked", if unblocked then "true" else "false");
+                ]
+              a.Graph.label;
+          if unblocked then go rest else false
         end
     in
     go path
@@ -68,7 +77,7 @@ let first_k k spec ctx =
     attempted = List.rev !attempted;
   }
 
-let run spec ctx = first_k 1 spec ctx
+let run ?tracer ?parent spec ctx = first_k ?tracer ?parent 1 spec ctx
 
 let to_partial g outcome =
   let partial = Context.Partial.unknown g in

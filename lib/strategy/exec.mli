@@ -19,8 +19,11 @@ type outcome = {
   attempted : int list;   (** all arcs paid for, in order *)
 }
 
-(** Run a strategy in a context. *)
-val run : Spec.t -> Context.t -> outcome
+(** Run a strategy in a context. With [tracer], each arc paid for emits an
+    [arc] event under [parent] carrying the arc's paper cost [f(arc)] and
+    attrs [arc_id]/[blockable]/[unblocked]; the events' summed cost equals
+    [outcome.cost]. Defaults: [Trace.null]/[Trace.dummy] — free. *)
+val run : ?tracer:Trace.t -> ?parent:Trace.span -> Spec.t -> Context.t -> outcome
 
 (** The partial context a learner knows after watching this run. *)
 val to_partial : Graph.t -> outcome -> Context.Partial.t
@@ -29,4 +32,5 @@ val to_partial : Graph.t -> outcome -> Context.Partial.t
     successful retrievals instead of one ([run] is [first_k 1]);
     [succeeded] then means "found at least [k] answers" and [success_arc]
     is the retrieval that delivered the [k]-th. *)
-val first_k : int -> Spec.t -> Context.t -> outcome
+val first_k :
+  ?tracer:Trace.t -> ?parent:Trace.span -> int -> Spec.t -> Context.t -> outcome

@@ -14,6 +14,42 @@ Queries through the SLD engine:
     {X=manolis}
     [2 reductions, 2 retrievals (2 hits)]
 
+Explain a single query: the answer, the full span tree (SLD resolution
+steps, the mirrored strategy execution arc by arc, the learner phase),
+and the cost-model consistency check on the last line. instructor(manolis)
+under the written prof-first order pays all four arcs:
+
+  $ ../bin/strategem.exe explain ../examples/data/university.dl 'instructor(manolis)' --dot explain.dot
+  ?- instructor(manolis).
+  answer: yes  [2 reductions, 2 retrievals]
+  instructor(manolis) [query] cost=0
+    sld [sld] cost=0
+      instructor(manolis) [reduction] cost=1
+        prof [retrieval] cost=1 pattern=prof(manolis) hit=false
+      instructor(manolis) [reduction] cost=1
+        grad [retrieval] cost=1 pattern=grad(manolis) hit=true
+    exec [exec] cost=0
+      R_instructor_prof [arc] cost=1 arc_id=0 blockable=false unblocked=true
+      D_prof [arc] cost=1 arc_id=1 blockable=true unblocked=false
+      R_instructor_grad [arc] cost=1 arc_id=2 blockable=false unblocked=true
+      D_grad [arc] cost=1 arc_id=3 blockable=true unblocked=true
+    learn [learn] cost=0 learner=pib
+  paper cost: 4 (monitor: 4, consistent)
+  wrote explain.dot
+
+The DOT export paints the four traversed arcs (and their nodes) red:
+
+  $ grep -c 'penwidth=2' explain.dot
+  4
+
+The russ query succeeds on the first branch, so only the prof arcs are
+paid — and only they are highlighted:
+
+  $ ../bin/strategem.exe explain ../examples/data/university.dl 'instructor(russ)' --dot russ.dot | grep 'paper cost'
+  paper cost: 2 (monitor: 2, consistent)
+  $ grep -c 'penwidth=2' russ.dot
+  2
+
 The same queries, bottom-up:
 
   $ ../bin/strategem.exe query ../examples/data/university.dl --engine seminaive

@@ -2,16 +2,18 @@ The serve daemon end to end: start on an ephemeral port, answer queries
 while learning online, snapshot, shut down gracefully, and resume the
 learned strategy after a restart.
 
-  $ ../bin/strategem.exe serve ../examples/data/university.dl --port 0 --workers 2 --state-dir state > serve.log 2>&1 &
+  $ ../bin/strategem.exe serve ../examples/data/university.dl --port 0 --workers 2 --state-dir state --trace-sample 4 > serve.log 2>&1 &
   $ SERVER=$!
   $ for _ in $(seq 1 100); do grep -q listening serve.log && break; sleep 0.1; done
   $ PORT=$(sed -n 's/.*listening on [^:]*:\([0-9]*\).*/\1/p' serve.log)
 
-A first conversation: liveness, the three Figure-1 queries (prof-first
-rule order: instructor(manolis) costs two retrievals because the prof
-branch is tried first), and the current strategy of the bound form.
+A first conversation: the protocol banner, liveness, the three Figure-1
+queries (prof-first rule order: instructor(manolis) costs two retrievals
+because the prof branch is tried first), and the current strategy of the
+bound form.
 
-  $ ../bin/strategem.exe client --port $PORT PING 'QUERY instructor(manolis)' 'QUERY instructor(fred)' 'QUERY instructor(X)' 'STRATEGY instructor(q)'
+  $ ../bin/strategem.exe client --port $PORT HELLO PING 'QUERY instructor(manolis)' 'QUERY instructor(fred)' 'QUERY instructor(X)' 'STRATEGY instructor(q)'
+  HELLO strategem/2 learner=pib
   PONG
   ANSWER yes reductions=2 retrievals=2
   ANSWER no reductions=2 retrievals=2
@@ -37,11 +39,32 @@ the stable counters are shown):
   errors_total 0
   forms_active 2
 
-Unknown commands and unparsable queries are answered with ERR:
+Unknown verbs, malformed arguments, and unparsable queries are answered
+with structured ERR lines (a machine-readable code first):
 
-  $ ../bin/strategem.exe client --port $PORT FROBNICATE 'QUERY instructor(' | sed 's/:.*//'
-  ERR unknown command
-  ERR parse
+  $ ../bin/strategem.exe client --port $PORT FROBNICATE 'QUERY instructor(' 'PING now'
+  ERR unknown-verb FROBNICATE
+  ERR parse expected a term but found end of input
+  ERR malformed PING takes no argument
+
+TRACE answers the query and returns its span tree as one JSON object;
+the tree's summed exec paper-cost always equals the cost the learner
+pipeline recorded for the same query (the built-in cost-model check):
+
+  $ ../bin/strategem.exe client --port $PORT 'TRACE instructor(manolis)' | grep -c '"consistent":true'
+  1
+  $ ../bin/strategem.exe client --port $PORT 'TRACE instructor(manolis)' | grep -o '"kind":"serve"\|"kind":"sld"\|"kind":"exec"\|"kind":"learn"' | sort -u
+  "kind":"exec"
+  "kind":"learn"
+  "kind":"serve"
+  "kind":"sld"
+
+With --trace-sample N the daemon keeps the last N query traces; STATS
+JSON carries them (and the frozen schema version) for scraping:
+
+  $ ../bin/strategem.exe client --port $PORT 'STATS JSON' | grep -o '"schema":1\|"recent_traces":\[' | sort -u
+  "recent_traces":[
+  "schema":1
 
 Snapshot both learned forms and shut down (the daemon also snapshots on
 shutdown); the state directory holds form, graph, and strategy per form.
@@ -62,12 +85,15 @@ shutdown); the state directory holds form, graph, and strategy per form.
 
 A restarted server reloads the snapshots: the bound form resumes at the
 learned grad-first strategy, and the very first query is already cheap.
+This restart also selects a different learner (--learner palo) for the
+reloaded strategies.
 
-  $ ../bin/strategem.exe serve ../examples/data/university.dl --port 0 --workers 2 --state-dir state > serve2.log 2>&1 &
+  $ ../bin/strategem.exe serve ../examples/data/university.dl --port 0 --workers 2 --state-dir state --learner palo > serve2.log 2>&1 &
   $ SERVER=$!
   $ for _ in $(seq 1 100); do grep -q listening serve2.log && break; sleep 0.1; done
   $ PORT=$(sed -n 's/.*listening on [^:]*:\([0-9]*\).*/\1/p' serve2.log)
-  $ ../bin/strategem.exe client --port $PORT 'STRATEGY instructor(q)' 'QUERY instructor(manolis)' STATS SHUTDOWN | grep -E '^(OK|ANSWER|forms_loaded|BYE)'
+  $ ../bin/strategem.exe client --port $PORT HELLO 'STRATEGY instructor(q)' 'QUERY instructor(manolis)' STATS SHUTDOWN | grep -E '^(HELLO|OK|ANSWER|forms_loaded|BYE)'
+  HELLO strategem/2 learner=palo
   OK instructor_1_b ⟨R_instructor_grad D_grad R_instructor_prof D_prof⟩
   ANSWER yes reductions=1 retrievals=1
   forms_loaded 2

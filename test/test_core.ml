@@ -645,6 +645,92 @@ let live_stats_mirror_graph () =
         (List.length outcome.Exec.attempted))
     (List.filteri (fun i _ -> i < 10) (Workload.Genealogy.people pop))
 
+(* ---------- Learner (unified API) ---------- *)
+
+let learner_kind_names () =
+  List.iter
+    (fun k ->
+      let s = C.Learner.kind_to_string k in
+      check_bool (s ^ " round-trips") true (C.Learner.kind_of_string s = Some k))
+    C.Learner.all_kinds;
+  check_bool "underscore alias" true
+    (C.Learner.kind_of_string "pao_adaptive" = Some `Pao_adaptive);
+  check_bool "unknown rejected" true (C.Learner.kind_of_string "sgd" = None)
+
+let learner_conformance () =
+  (* Every packed learner honours the API contract: it starts at the seed
+     strategy, serializes to a parseable strategy, any conjecture it emits
+     is adoptable via reseed, and observing never changes the graph. *)
+  let ga = make_ga () in
+  let start = ga_theta1 ga in
+  let model = ga_model ga ~pp:0.1 ~pg:0.9 in
+  List.iter
+    (fun k ->
+      let name = C.Learner.kind_to_string k in
+      let l = ref (C.Learner.create k start) in
+      check_string (name ^ " name") name (C.Learner.name !l);
+      check_bool (name ^ " starts at seed") true
+        (Spec.equal_dfs (C.Learner.current !l) start);
+      for seed = 0 to 399 do
+        if not (C.Learner.finished !l) then begin
+          let ctx = any_context model seed in
+          let outcome = Exec.run (Spec.Dfs (C.Learner.current !l)) ctx in
+          C.Learner.observe !l ctx outcome;
+          match C.Learner.conjecture !l with
+          | Some d -> l := C.Learner.reseed !l d
+          | None -> ()
+        end
+      done;
+      let cur = C.Learner.current !l in
+      let reparsed =
+        Strategy.Persist.dfs_of_string ga.ga_graph (C.Learner.serialize !l)
+      in
+      check_bool (name ^ " serialize round-trips") true
+        (Spec.equal_dfs cur reparsed))
+    C.Learner.all_kinds
+
+let learner_pib_agrees_with_direct () =
+  (* The packed PIB learner is the same algorithm as Pib.t: identical
+     observation streams yield identical strategies. *)
+  let ga = make_ga () in
+  let start = ga_theta1 ga in
+  let model = ga_model ga ~pp:0.05 ~pg:0.95 in
+  let packed = ref (C.Learner.create `Pib start) in
+  let direct = C.Pib.create start in
+  for seed = 0 to 199 do
+    let ctx = any_context model seed in
+    (* Both run their own current strategy (they stay in lockstep). *)
+    let o_packed = Exec.run (Spec.Dfs (C.Learner.current !packed)) ctx in
+    C.Learner.observe !packed ctx o_packed;
+    (match C.Learner.conjecture !packed with
+    | Some d -> packed := C.Learner.reseed !packed d
+    | None -> ());
+    let o_direct = Exec.run (Spec.Dfs (C.Pib.current direct)) ctx in
+    ignore (C.Pib.observe direct o_direct)
+  done;
+  check_bool "same learned strategy" true
+    (Spec.equal_dfs (C.Learner.current !packed) (C.Pib.current direct));
+  check_bool "grad-first was learned" true
+    (Spec.equal_dfs (C.Learner.current !packed) (ga_theta2 ga))
+
+let live_learner_selection () =
+  (* Live exposes the chosen learner and every kind answers correctly. *)
+  let rb = Workload.University.rulebase () in
+  let db = Workload.University.db1 () in
+  List.iter
+    (fun k ->
+      let live =
+        C.Live.create ~learner:k ~rulebase:rb
+          ~query_form:(Datalog.Parser.parse_atom "instructor(q)")
+          ()
+      in
+      let name = C.Learner.kind_to_string k in
+      check_string (name ^ " exposed") name (C.Live.learner_name live);
+      let q = Datalog.Atom.make "instructor" [ Datalog.Term.const "russ" ] in
+      let a = C.Live.answer live ~db q in
+      check_bool (name ^ " answers") true (a.C.Live.result <> None))
+    C.Learner.all_kinds
+
 (* ---------- Oracle ---------- *)
 
 let oracle_of_queries () =
@@ -728,6 +814,13 @@ let suite =
         case "correctness preserved" live_correctness;
         slow_case "learning reduces SLD work" live_learning_reduces_work;
         case "stats mirror graph exec" live_stats_mirror_graph;
+      ] );
+    ( "core.learner",
+      [
+        case "kind names round-trip" learner_kind_names;
+        case "API conformance (all kinds)" learner_conformance;
+        case "packed PIB ≡ direct PIB" learner_pib_agrees_with_direct;
+        case "Live learner selection" live_learner_selection;
       ] );
     ("core.oracle", [ case "of_queries" oracle_of_queries ]);
   ]

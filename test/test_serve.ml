@@ -35,16 +35,26 @@ let protocol_parse () =
   check "quit" Serve.Protocol.Quit "QUIT";
   check "shutdown" Serve.Protocol.Shutdown "SHUTDOWN";
   check "empty" Serve.Protocol.Empty "   ";
-  check "bare query is unknown" (Serve.Protocol.Unknown "QUERY needs an atom")
-    "QUERY";
-  (match Serve.Protocol.parse "FROBNICATE 3" with
-  | Serve.Protocol.Unknown _ -> ()
-  | _ -> Alcotest.fail "FROBNICATE should be Unknown");
+  check "hello" Serve.Protocol.Hello "HELLO";
+  check "trace" (Serve.Protocol.Trace "p(a)") "TRACE p(a)";
+  check "bare query is malformed"
+    (Serve.Protocol.Malformed "QUERY needs an atom") "QUERY";
+  check "bare trace is malformed"
+    (Serve.Protocol.Malformed "TRACE needs an atom") "TRACE";
+  check "ping with junk is malformed"
+    (Serve.Protocol.Malformed "PING takes no argument") "PING now";
+  check "unknown verb carries the verb" (Serve.Protocol.Unknown "FROBNICATE")
+    "FROBNICATE 3";
   check_string "answer line" "ANSWER yes reductions=2 retrievals=2 switched"
     (Serve.Protocol.answer_line ~result:"yes" ~reductions:2 ~retrievals:2
        ~switched:true);
-  check_string "err flattens newlines" "ERR a b"
-    (Serve.Protocol.err "a\nb")
+  check_string "hello line carries version and learner"
+    (Printf.sprintf "HELLO strategem/%d learner=pib" Serve.Protocol.version)
+    (Serve.Protocol.hello_line ~learner:"pib");
+  check_string "err is structured and flattens newlines" "ERR internal a b"
+    (Serve.Protocol.err ~code:`Internal "a\nb");
+  check_string "err code renders" "ERR unknown-verb FROBNICATE"
+    (Serve.Protocol.err ~code:`Unknown_verb "FROBNICATE")
 
 (* ---------- Admission ---------- *)
 
