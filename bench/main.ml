@@ -26,6 +26,7 @@ let experiments =
     ("e17", "live SLD query processor with PIB", E17_live.run);
     ("e18", "serve daemon closed-loop throughput/latency", E18_serve.run);
     ("e19", "tracing overhead on the serve path", E19_trace.run);
+    ("e20", "answer caching & memoization on the serve path", E20_cache.run);
   ]
 
 let () =

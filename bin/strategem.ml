@@ -377,16 +377,26 @@ let eval_cmd =
 
 (* ---------- explain ---------- *)
 
-let run_explain file atom_text json dot =
+let run_explain file atom_text json dot cached =
   let rulebase, db, _ = load_kb file in
   let q = D.Parser.parse_atom atom_text in
   let form = Serve.Registry.form_of_query q in
-  let live = Core.Live.create ~rulebase ~query_form:form () in
-  let tracer = Trace.make () in
-  let ans = Core.Live.answer ~tracer live ~db q in
-  let root =
-    match Trace.root_span tracer with Some sp -> sp | None -> assert false
+  let registry = Serve.Registry.create ~rulebase (Serve.Metrics.create ()) in
+  let cache =
+    if cached then
+      Some (Cache.Answers.create ~capacity_bytes:(8 * 1024 * 1024) ())
+    else None
   in
+  let memo = if cached then Some (D.Sld.Memo.create ()) else None in
+  (* Warm pass (untraced): fills the cache so the traced pass below shows
+     the query being served from it. *)
+  if cached then ignore (Serve.Registry.answer ?cache ?memo registry ~db q);
+  let tracer = Trace.make () in
+  let root = Trace.root tracer ~kind:"query" (D.Atom.to_string q) in
+  let ans =
+    Serve.Registry.answer ~tracer ~parent:root ?cache ?memo registry ~db q
+  in
+  Trace.finish tracer root;
   let result =
     match ans.Core.Live.result with
     | None -> "no"
@@ -396,9 +406,10 @@ let run_explain file atom_text json dot =
   if json then Fmt.pr "%s@." (Trace.to_json root)
   else begin
     Fmt.pr "?- %a.@." D.Atom.pp q;
-    Fmt.pr "answer: %s  [%d reductions, %d retrievals]@." result
+    Fmt.pr "answer: %s  [%d reductions, %d retrievals]%s@." result
       ans.Core.Live.stats.D.Sld.reductions
-      ans.Core.Live.stats.D.Sld.retrievals;
+      ans.Core.Live.stats.D.Sld.retrievals
+      (if ans.Core.Live.cached then "  (cached)" else "");
     Fmt.pr "%a" Trace.pp_tree root;
     let exec_cost =
       List.fold_left
@@ -419,9 +430,14 @@ let run_explain file atom_text json dot =
       |> List.filter_map (fun sp ->
              Option.bind (Trace.attr sp "arc_id") int_of_string_opt)
     in
+    let graph =
+      Serve.Registry.with_live
+        (Serve.Registry.find_or_create registry q)
+        Core.Live.graph
+    in
     Dot.to_file
       ~name:(Format.asprintf "%a" D.Atom.pp form)
-      ~highlight:arc_ids path (Core.Live.graph live);
+      ~highlight:arc_ids path graph;
     Fmt.pr "wrote %s@." path
 
 let explain_cmd =
@@ -439,13 +455,22 @@ let explain_cmd =
           ~doc:"Print the span tree as one JSON line (with timings) \
                 instead of the text tree.")
   in
+  let cached =
+    Arg.(
+      value & flag
+      & info [ "cached" ]
+          ~doc:
+            "Answer the query twice through an answer cache and trace the \
+             second, cache-served answer: the tree shows the cache_hit \
+             event and the learner pipeline that still runs on hits.")
+  in
   Cmd.v
     (Cmd.info "explain"
        ~doc:
          "Answer one query with tracing on and show where every \
           paper-cost unit went (text tree, JSON, or a DOT rendering with \
           the traversed arcs highlighted).")
-    Term.(const run_explain $ file_arg $ atom_arg $ json $ dot_arg)
+    Term.(const run_explain $ file_arg $ atom_arg $ json $ dot_arg $ cached)
 
 (* ---------- serve / client ---------- *)
 
@@ -456,7 +481,7 @@ let host_arg =
     & info [ "host" ] ~docv:"ADDR" ~doc:"Address to bind/connect to.")
 
 let run_serve file host port workers queue_depth state_dir snapshot_interval
-    delta learner trace_sample =
+    delta learner trace_sample cache_mb no_cache =
   let rulebase, db, _ = load_kb file in
   let learner_config =
     {
@@ -477,6 +502,7 @@ let run_serve file host port workers queue_depth state_dir snapshot_interval
       learner;
       learner_config;
       trace_sample;
+      cache_mb = (if no_cache then 0 else cache_mb);
     }
   in
   Serve.Server.run ~handle_signals:true
@@ -543,6 +569,22 @@ let serve_cmd =
              (0 disables tracing of ordinary queries; TRACE always \
              traces).")
   in
+  let cache_mb =
+    Arg.(
+      value & opt int 64
+      & info [ "cache-mb" ] ~docv:"MB"
+          ~doc:
+            "Answer-cache budget in MiB; also enables SLD subgoal \
+             memoization. 0 disables both (see --no-cache).")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:
+            "Disable the answer cache and subgoal memoization (same as \
+             --cache-mb 0).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -550,7 +592,8 @@ let serve_cmd =
           answered query.")
     Term.(
       const run_serve $ file_arg $ host_arg $ port $ workers $ queue_depth
-      $ state_dir $ snapshot_interval $ delta_arg $ learner $ trace_sample)
+      $ state_dir $ snapshot_interval $ delta_arg $ learner $ trace_sample
+      $ cache_mb $ no_cache)
 
 let run_client host port commands =
   let commands =

@@ -1,0 +1,42 @@
+module D = Datalog
+
+(* "$" cannot appear in a parsed variable name, so canonical variables never
+   collide with source-program variables. *)
+let canonical_name = "$c"
+
+let canonical_var i : D.Term.var = { name = canonical_name; gen = i }
+
+let index_of_canonical (v : D.Term.var) =
+  if String.equal v.D.Term.name canonical_name then Some v.D.Term.gen else None
+
+let of_atom (a : D.Atom.t) =
+  (* Queries have a handful of variables at most; a list scan beats a map. *)
+  let seen = ref [] in
+  let count = ref 0 in
+  let index_of v =
+    let rec go i = function
+      | [] -> None
+      | v' :: rest ->
+        if D.Term.equal_var v v' then Some i else go (i + 1) rest
+    in
+    go 0 (List.rev !seen)
+  in
+  let args =
+    List.map
+      (fun t ->
+        match t with
+        | D.Term.Const _ -> t
+        | D.Term.Var v ->
+          let i =
+            match index_of v with
+            | Some i -> i
+            | None ->
+              let i = !count in
+              seen := v :: !seen;
+              incr count;
+              i
+          in
+          D.Term.Var (canonical_var i))
+      a.D.Atom.args
+  in
+  ({ a with D.Atom.args = args }, Array.of_list (List.rev !seen))

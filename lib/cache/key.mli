@@ -1,0 +1,20 @@
+(** Canonical cache keys for query atoms.
+
+    Variables are renamed to a canonical De Bruijn-style order — the i-th
+    distinct variable, in order of first occurrence across the argument
+    list, becomes canonical variable [i] — so alpha-equivalent atoms such
+    as [anc(X, Y)] and [anc(A, B)] map to the same key while [anc(X, X)]
+    (a repeated variable) stays distinct from [anc(X, Y)]. The key is an
+    ordinary {!Datalog.Atom.t}, so {!Datalog.Atom.equal} /
+    {!Datalog.Atom.hash} serve directly as the cache's key operations. *)
+
+(** [of_atom a] is the canonical key together with the original variables
+    in canonical order: slot [i] of the array is the query variable that
+    canonical variable [i] replaced. *)
+val of_atom : Datalog.Atom.t -> Datalog.Atom.t * Datalog.Term.var array
+
+(** The canonical variable for index [i]. *)
+val canonical_var : int -> Datalog.Term.var
+
+(** [index_of_canonical v] is [Some i] iff [v] is [canonical_var i]. *)
+val index_of_canonical : Datalog.Term.var -> int option

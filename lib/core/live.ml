@@ -75,6 +75,7 @@ type answer = {
   stats : D.Sld.stats;
   cost : float;
   switched : bool;
+  cached : bool;
 }
 
 let rule_order t goal rules =
@@ -92,32 +93,24 @@ let rule_order t goal rules =
       (fun c1 c2 -> Int.compare (position c1) (position c2))
       rules
 
-let answer ?(tracer = Trace.null) ?parent t ~db query =
-  (* Root a fresh [query] span unless the caller supplied one (the serve
-     path roots a [serve] span covering queue wait as well). *)
-  let owns_root, parent =
-    match parent with
-    | Some sp -> (false, sp)
-    | None ->
-      ( true,
-        if Trace.enabled tracer then
-          Trace.root tracer ~kind:"query" (D.Atom.to_string query)
-        else Trace.dummy )
-  in
-  let sld_span = Trace.push tracer parent ~kind:"sld" "sld" in
-  let cfg =
-    D.Sld.config
-      ~rule_order:(fun goal rules -> rule_order t goal rules)
-      ~tracer ~parent:sld_span ~rulebase:t.rulebase ~db ()
-  in
-  let result, stats = D.Sld.solve_first cfg [ D.Clause.Pos query ] in
-  Trace.finish tracer sld_span;
-  t.queries <- t.queries + 1;
-  t.reductions <- t.reductions + stats.D.Sld.reductions;
-  t.retrievals <- t.retrievals + stats.D.Sld.retrievals;
-  (* Learn: derive the context this query induced and feed the learner
-     with the current strategy's execution of it (which mirrors the SLD
-     run). *)
+(* Root a fresh [query] span unless the caller supplied one (the serve
+   path roots a [serve] span covering queue wait as well). *)
+let root_span tracer parent query =
+  match parent with
+  | Some sp -> (false, sp)
+  | None ->
+    ( true,
+      if Trace.enabled tracer then
+        Trace.root tracer ~kind:"query" (D.Atom.to_string query)
+      else Trace.dummy )
+
+(* The learning half of an answer: derive the context this query induced
+   and feed the learner with the current strategy's execution of it (which
+   mirrors the SLD run). This runs for every query, cached or not — the
+   learner must see the full query distribution and the true paper-cost
+   c(Theta, I), which the execution recomputes from the database regardless
+   of how the answer itself was produced. *)
+let learn ~tracer ~parent t ~db query =
   let ctx = Context.of_db (graph t) ~query ~db in
   let exec_span = Trace.push tracer parent ~kind:"exec" "exec" in
   let outcome =
@@ -141,5 +134,28 @@ let answer ?(tracer = Trace.null) ?parent t ~db query =
     | None -> false
   in
   Trace.finish tracer learn_span;
+  (outcome.Exec.cost, switched)
+
+let answer ?(tracer = Trace.null) ?parent ?memo t ~db query =
+  let owns_root, parent = root_span tracer parent query in
+  let sld_span = Trace.push tracer parent ~kind:"sld" "sld" in
+  let cfg =
+    D.Sld.config
+      ~rule_order:(fun goal rules -> rule_order t goal rules)
+      ~tracer ~parent:sld_span ?memo ~rulebase:t.rulebase ~db ()
+  in
+  let result, stats = D.Sld.solve_first cfg [ D.Clause.Pos query ] in
+  Trace.finish tracer sld_span;
+  t.queries <- t.queries + 1;
+  t.reductions <- t.reductions + stats.D.Sld.reductions;
+  t.retrievals <- t.retrievals + stats.D.Sld.retrievals;
+  let cost, switched = learn ~tracer ~parent t ~db query in
   if owns_root then Trace.finish tracer parent;
-  { result; stats; cost = outcome.Exec.cost; switched }
+  { result; stats; cost; switched; cached = false }
+
+let answer_cached ?(tracer = Trace.null) ?parent t ~db ~result query =
+  let owns_root, parent = root_span tracer parent query in
+  t.queries <- t.queries + 1;
+  let cost, switched = learn ~tracer ~parent t ~db query in
+  if owns_root then Trace.finish tracer parent;
+  { result; stats = D.Sld.fresh_stats (); cost; switched; cached = true }

@@ -54,6 +54,9 @@ type answer = {
           the learner's statistics are built from, and what a trace's
           [exec] span must sum to *)
   switched : bool;                  (** did this query trigger a switch? *)
+  cached : bool;
+      (** answer served from a cache ({!answer_cached}); [stats] is then
+          all-zero — no SLD ran *)
 }
 
 (** Answer one query (an instance of the query form) against a database,
@@ -66,12 +69,31 @@ type answer = {
     [learn] phase (the learner update; a switch appears as a [climb]
     event). Defaults to {!Trace.null} — free.
 
+    With [memo], ground subgoals resolve through the shared
+    {!Datalog.Sld.Memo} table (the rest of the pipeline is unchanged).
+
     Raises [Invalid_argument] if the query does not match the form. *)
 val answer :
   ?tracer:Trace.t ->
   ?parent:Trace.span ->
+  ?memo:Datalog.Sld.Memo.t ->
   t ->
   db:Datalog.Database.t ->
+  Datalog.Atom.t ->
+  answer
+
+(** Answer a query whose [result] was produced elsewhere (the serving
+    layer's answer cache): skips SLD entirely but still runs the full
+    learning pipeline — context derivation, mirrored strategy execution
+    (so [cost] is the true current c(Θ, I)) and learner observation —
+    leaving the learner's trajectory identical to the uncached run. The
+    span tree has no [sld] phase and [stats] is all-zero. *)
+val answer_cached :
+  ?tracer:Trace.t ->
+  ?parent:Trace.span ->
+  t ->
+  db:Datalog.Database.t ->
+  result:Datalog.Subst.t option ->
   Datalog.Atom.t ->
   answer
 

@@ -8,8 +8,8 @@ let probabilities g db =
         match a.Graph.pattern with
         | Some pattern ->
           ( a.Graph.arc_id,
-            Datalog.Database.count_pred db
-              (Datalog.Symbol.to_string pattern.Datalog.Atom.pred) )
+            Datalog.Database.count_pred_id db
+              (Datalog.Symbol.id pattern.Datalog.Atom.pred) )
         | None ->
           invalid_arg
             (Printf.sprintf "Smith.probabilities: retrieval %s has no pattern"

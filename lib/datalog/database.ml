@@ -14,10 +14,22 @@ type t = {
   by_pred : (int, Atom_set.t ref) Hashtbl.t;
   by_first : Atom_set.t ref First_tbl.t;
   mutable size : int;
+  token : int;
+  mutable generation : int;
 }
 
+(* Unique per instance, so caches can tell two databases apart even when
+   their generation counters coincide. *)
+let next_token = Atomic.make 0
+
 let create () =
-  { by_pred = Hashtbl.create 64; by_first = First_tbl.create 256; size = 0 }
+  {
+    by_pred = Hashtbl.create 64;
+    by_first = First_tbl.create 256;
+    size = 0;
+    token = Atomic.fetch_and_add next_token 1;
+    generation = 0;
+  }
 
 let first_key fact =
   match fact.Atom.args with
@@ -52,6 +64,7 @@ let add db fact =
       s := Atom_set.add fact !s
     | None -> ());
     db.size <- db.size + 1;
+    db.generation <- db.generation + 1;
     true
   end
 
@@ -69,6 +82,7 @@ let remove db fact =
         | None -> ())
       | None -> ());
       db.size <- db.size - 1;
+      db.generation <- db.generation + 1;
       true
     end
 
@@ -112,12 +126,15 @@ let first_match db pattern =
     None
   with Found (fact, s) -> Some (fact, s)
 
-let count_pred db name =
-  match Hashtbl.find_opt db.by_pred (Symbol.id (Symbol.intern name)) with
+let count_pred_id db pred_id =
+  match Hashtbl.find_opt db.by_pred pred_id with
   | Some s -> Atom_set.cardinal !s
   | None -> 0
 
+let count_pred db name = count_pred_id db (Symbol.id (Symbol.intern name))
 let size db = db.size
+let token db = db.token
+let generation db = db.generation
 
 let iter f db = Hashtbl.iter (fun _ set -> Atom_set.iter f !set) db.by_pred
 

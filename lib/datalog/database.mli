@@ -35,8 +35,22 @@ val first_match : t -> Atom.t -> (Atom.t * Subst.t) option
     [Smi89]'s heuristic consumes (e.g. 2000 [prof] facts vs 500 [grad]). *)
 val count_pred : t -> string -> int
 
+(** Like [count_pred] but keyed by an interned [Symbol.id] — no string
+    allocation, for hot paths (SLD reduction ordering). *)
+val count_pred_id : t -> int -> int
+
 (** Total number of facts. *)
 val size : t -> int
+
+(** A token unique to this database instance (fresh on [create]/[copy]).
+    Caches record it alongside [generation] so entries computed against a
+    different database never validate. *)
+val token : t -> int
+
+(** Mutation counter: bumped by every successful [add] or [remove]. Caches
+    record the generation an entry was computed at and invalidate lazily
+    when it no longer matches. *)
+val generation : t -> int
 
 val of_list : Atom.t list -> t
 val to_list : t -> Atom.t list

@@ -23,6 +23,36 @@ type stats = {
 
 val fresh_stats : unit -> stats
 
+(** Subgoal memoization ("tabling-lite"): a thread-safe, sharded table of
+    completed ground-subgoal verdicts. A ground subgoal adds no bindings, so
+    its whole subtree collapses to one boolean; memoizing it makes shared
+    subtrees within a derivation — and, when the same table is passed to
+    successive configs, across queries — cost one lookup after the first
+    proof.
+
+    Entries record the {!Database.token}/{!Database.generation} pair they
+    were computed at and are invalidated lazily on lookup, so database
+    mutation never serves stale verdicts. A failed subgoal whose search was
+    cut by [depth_limit] is "unknown" and is never recorded. *)
+module Memo : sig
+  type t
+
+  type counters = {
+    hits : int;
+    misses : int;
+    invalidations : int;  (** entries dropped for a stale token/generation *)
+    entries : int;
+  }
+
+  (** [create ?shards ?max_entries ()] — [max_entries] (default 65536) is a
+      soft cap: an overflowing shard is reset wholesale rather than tracked
+      LRU, since verdicts are cheap to recompute. *)
+  val create : ?shards:int -> ?max_entries:int -> unit -> t
+
+  val clear : t -> unit
+  val counters : t -> counters
+end
+
 type config = {
   rulebase : Rulebase.t;
   db : Database.t;
@@ -37,6 +67,11 @@ type config = {
           event (paper cost 1, attrs [pattern]/[hit]); each
           negation-as-failure sub-proof nests under a cost-0 [naf] span. *)
   parent : Trace.span;  (** span the derivation reports under *)
+  memo : Memo.t option;
+      (** When set, ground positive subgoals (including NAF tests, which are
+          ground by selection) are proved through the memo table. Off by
+          default: memoization changes [stats] (that is the point) though
+          never the answers. Memo hits emit a [memo_hit] trace event. *)
 }
 
 val config :
@@ -44,6 +79,7 @@ val config :
   ?depth_limit:int ->
   ?tracer:Trace.t ->
   ?parent:Trace.span ->
+  ?memo:Memo.t ->
   rulebase:Rulebase.t ->
   db:Database.t ->
   unit ->

@@ -5,10 +5,15 @@ let is_empty = Term.Var_map.is_empty
 let size = Term.Var_map.cardinal
 let find v s = Term.Var_map.find_opt v s
 
-let walk s t =
+(* Bindings may form chains (X -> Y, Y -> a): [bind] is O(log n) and
+   resolution happens on read. Chains are acyclic by construction —
+   [bind] only adds v -> t where the fully walked [t] differs from [v],
+   and the walked endpoint is always an unbound variable or a constant —
+   and no longer than the number of variables, so [walk] terminates. *)
+let rec walk s t =
   match t with
   | Term.Const _ -> t
-  | Term.Var v -> ( match find v s with Some t' -> t' | None -> t)
+  | Term.Var v -> ( match find v s with Some t' -> walk s t' | None -> t)
 
 let bind v t s =
   let t = walk s t in
@@ -16,23 +21,16 @@ let bind v t s =
   | Term.Var v' when Term.equal_var v v' -> s
   | _ -> (
     match find v s with
-    | Some existing when Term.equal existing t -> s
-    | Some _ -> invalid_arg "Subst.bind: variable already bound"
-    | None ->
-      (* Keep the substitution idempotent: rewrite existing bindings that
-         mention [v]. Datalog terms are flat, so one pass suffices. *)
-      let s =
-        Term.Var_map.map
-          (fun bound ->
-            match bound with
-            | Term.Var v' when Term.equal_var v v' -> t
-            | _ -> bound)
-          s
-      in
-      Term.Var_map.add v t s)
+    | Some existing ->
+      if Term.equal (walk s existing) t then s
+      else invalid_arg "Subst.bind: variable already bound"
+    | None -> Term.Var_map.add v t s)
 
 let apply s t = walk s t
-let apply_atom s a = { a with Atom.args = List.map (walk s) a.Atom.args }
+
+let apply_atom s a =
+  if Term.Var_map.is_empty s then a
+  else { a with Atom.args = List.map (walk s) a.Atom.args }
 
 let unify a b s =
   let a = walk s a and b = walk s b in
@@ -71,10 +69,27 @@ let match_atom ~pattern ~ground s =
           | _, Term.Var _ -> invalid_arg "Subst.match_atom: ground side not ground"))
       (Some s) pattern.Atom.args ground.Atom.args
 
-let restrict vars s = Term.Var_map.filter (fun v _ -> Term.Var_set.mem v vars) s
-let to_alist s = Term.Var_map.bindings s
+(* Readers below resolve chains so consumers always see fully walked
+   terms, exactly as when [bind] rewrote eagerly. *)
 
-let equal a b = Term.Var_map.equal Term.equal a b
+let restrict vars s =
+  Term.Var_map.fold
+    (fun v t acc ->
+      if Term.Var_set.mem v vars then Term.Var_map.add v (walk s t) acc
+      else acc)
+    s Term.Var_map.empty
+
+let to_alist s =
+  List.map (fun (v, t) -> (v, walk s t)) (Term.Var_map.bindings s)
+
+let equal a b =
+  Term.Var_map.cardinal a = Term.Var_map.cardinal b
+  && Term.Var_map.for_all
+       (fun v ta ->
+         match Term.Var_map.find_opt v b with
+         | None -> false
+         | Some tb -> Term.equal (walk a ta) (walk b tb))
+       a
 
 let pp ppf s =
   let pairs = to_alist s in

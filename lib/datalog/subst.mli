@@ -1,8 +1,10 @@
 (** Substitutions and unification.
 
-    A substitution maps variables to terms. Bindings are idempotent by
-    construction: [bind] resolves the term fully before storing it, so
-    [apply] never needs to chase chains. *)
+    A substitution maps variables to terms. Bindings may form chains
+    (X -> Y, Y -> a): [bind] is O(log n) and never rewrites existing
+    bindings; every reader ([walk], [apply], [restrict], [to_alist],
+    [equal], [pp]) resolves chains, so consumers always observe fully
+    resolved terms. *)
 
 type t
 
@@ -10,11 +12,12 @@ val empty : t
 val is_empty : t -> bool
 val size : t -> int
 
-(** [find v s] is the binding of [v], if any. *)
+(** [find v s] is the stored binding of [v], if any. The stored term may
+    itself be a bound variable; use [apply] for the resolved value. *)
 val find : Term.var -> t -> Term.t option
 
-(** Resolve a term through the substitution (single step suffices because
-    bindings are kept fully resolved). *)
+(** Resolve a term through the substitution, chasing chains to an unbound
+    variable or a constant. *)
 val walk : t -> Term.t -> Term.t
 
 (** [bind v t s] adds the binding [v -> walk s t]. Binding a variable to
@@ -23,6 +26,9 @@ val walk : t -> Term.t -> Term.t
 val bind : Term.var -> Term.t -> t -> t
 
 val apply : t -> Term.t -> Term.t
+
+(** [apply_atom s a] applies [s] to every argument of [a]. Returns [a]
+    itself (no allocation) when [s] is empty. *)
 val apply_atom : t -> Atom.t -> Atom.t
 
 (** [unify a b s] extends [s] to make [a] and [b] equal, if possible. *)

@@ -53,6 +53,37 @@ type form_stats = {
   mutable strategy : string;
 }
 
+type cache_stats = {
+  enabled : bool;
+  hits : int;
+  misses : int;
+  evictions : int;
+  invalidations : int;
+  entries : int;
+  bytes : int;
+  capacity_bytes : int;
+  memo_hits : int;
+  memo_misses : int;
+  memo_invalidations : int;
+  memo_entries : int;
+}
+
+let no_cache_stats =
+  {
+    enabled = false;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    invalidations = 0;
+    entries = 0;
+    bytes = 0;
+    capacity_bytes = 0;
+    memo_hits = 0;
+    memo_misses = 0;
+    memo_invalidations = 0;
+    memo_entries = 0;
+  }
+
 type t = {
   lock : Mutex.t;
   started : float;
@@ -66,6 +97,9 @@ type t = {
   queue_wait : histogram;
   traces : Trace.Ring.t option;  (* --trace-sample ring; lock-guarded *)
   forms : (string, form_stats) Hashtbl.t;
+  (* The cache keeps its own (sharded) counters; rendering pulls them
+     through this provider rather than double-counting here. *)
+  mutable cache_provider : (unit -> cache_stats) option;
 }
 
 let create ?(trace_capacity = 0) () =
@@ -85,6 +119,7 @@ let create ?(trace_capacity = 0) () =
          Some (Trace.Ring.create ~capacity:trace_capacity)
        else None);
     forms = Hashtbl.create 8;
+    cache_provider = None;
   }
 
 let with_lock t f =
@@ -143,6 +178,13 @@ let query t ~form ~latency_us ~answered ~switched =
 let set_form_strategy t ~form s =
   with_lock t (fun () -> (form_stats t form).strategy <- s)
 
+let set_cache_provider t f = with_lock t (fun () -> t.cache_provider <- Some f)
+
+let cache_stats t =
+  match with_lock t (fun () -> t.cache_provider) with
+  | None -> None
+  | Some f -> Some (f ())
+
 let fold_forms t f init =
   Hashtbl.fold (fun k fs acc -> f k fs acc) t.forms init
 
@@ -159,7 +201,26 @@ let sorted_forms t =
   fold_forms t (fun k fs acc -> (k, fs) :: acc) []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+let cache_lines cs =
+  [
+    Printf.sprintf "cache_enabled %d" (if cs.enabled then 1 else 0);
+    Printf.sprintf "cache_hits %d" cs.hits;
+    Printf.sprintf "cache_misses %d" cs.misses;
+    Printf.sprintf "cache_evictions %d" cs.evictions;
+    Printf.sprintf "cache_invalidations %d" cs.invalidations;
+    Printf.sprintf "cache_entries %d" cs.entries;
+    Printf.sprintf "cache_bytes %d" cs.bytes;
+    Printf.sprintf "cache_capacity_bytes %d" cs.capacity_bytes;
+    Printf.sprintf "memo_hits %d" cs.memo_hits;
+    Printf.sprintf "memo_misses %d" cs.memo_misses;
+    Printf.sprintf "memo_invalidations %d" cs.memo_invalidations;
+    Printf.sprintf "memo_entries %d" cs.memo_entries;
+  ]
+
 let render_text t =
+  (* Pull cache counters before taking the metrics lock: the provider has
+     its own locks and must not nest inside ours. *)
+  let cache = cache_stats t in
   with_lock t (fun () ->
       let totals name f = Printf.sprintf "%s %d" name (fold_forms t f 0) in
       let counters =
@@ -181,6 +242,11 @@ let render_text t =
           Printf.sprintf "queue_wait_p95_us %d"
             (hist_quantile t.queue_wait 0.95);
         ]
+      in
+      let counters =
+        match cache with
+        | None -> counters
+        | Some cs -> counters @ cache_lines cs
       in
       let form_lines =
         List.map
@@ -211,7 +277,24 @@ let json_escape s =
 
 let schema_version = 1
 
+(* Versioned independently of the top-level schema: the [cache] block is
+   additive (schema stays 1) but carries its own version so its fields can
+   evolve without a top-level bump. *)
+let cache_block_version = 1
+
+let cache_json cs =
+  Printf.sprintf
+    "\"cache\":{\"version\":%d,\"enabled\":%b,\"hits\":%d,\"misses\":%d,\
+     \"evictions\":%d,\"invalidations\":%d,\"entries\":%d,\"bytes\":%d,\
+     \"capacity_bytes\":%d,\"memo\":{\"hits\":%d,\"misses\":%d,\
+     \"invalidations\":%d,\"entries\":%d}},"
+    cache_block_version cs.enabled cs.hits cs.misses cs.evictions
+    cs.invalidations cs.entries cs.bytes cs.capacity_bytes cs.memo_hits
+    cs.memo_misses cs.memo_invalidations cs.memo_entries
+
 let render_json t =
+  (* Same pre-pull as [render_text]: provider locks must not nest in ours. *)
+  let cache = cache_stats t in
   with_lock t (fun () ->
       let buf = Buffer.create 512 in
       Buffer.add_string buf
@@ -222,7 +305,7 @@ let render_json t =
             \"snapshots_total\":%d,\"forms_loaded\":%d,\
             \"forms_active\":%d,\"queue_high_water\":%d,\
             \"queue_wait\":{\"count\":%d,\"mean_us\":%.1f,\"p50_us\":%d,\
-            \"p95_us\":%d,\"p99_us\":%d},\"forms\":{"
+            \"p95_us\":%d,\"p99_us\":%d},"
            schema_version
            (int_of_float (Unix.gettimeofday () -. t.started))
            t.connections
@@ -235,6 +318,10 @@ let render_json t =
            (hist_quantile t.queue_wait 0.50)
            (hist_quantile t.queue_wait 0.95)
            (hist_quantile t.queue_wait 0.99));
+      (match cache with
+      | None -> ()
+      | Some cs -> Buffer.add_string buf (cache_json cs));
+      Buffer.add_string buf "\"forms\":{";
       List.iteri
         (fun i (key, fs) ->
           if i > 0 then Buffer.add_char buf ',';

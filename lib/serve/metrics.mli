@@ -61,6 +61,40 @@ val query :
 (** The form's current strategy, pre-rendered (shown by [STATS]). *)
 val set_form_strategy : t -> form:string -> string -> unit
 
+(** {1 Cache} *)
+
+(** A point-in-time view of the serving caches, pulled from the cache's
+    own counters when rendering (the cache layer is below [Serve] and
+    keeps its own thread-safe counters; metrics never double-count). *)
+type cache_stats = {
+  enabled : bool;
+  hits : int;  (** answer-cache hits *)
+  misses : int;
+  evictions : int;
+  invalidations : int;  (** entries dropped after a DB mutation *)
+  entries : int;
+  bytes : int;  (** estimated resident bytes *)
+  capacity_bytes : int;
+  memo_hits : int;  (** subgoal-memo hits (SLD tabling-lite) *)
+  memo_misses : int;
+  memo_invalidations : int;
+  memo_entries : int;
+}
+
+(** All-zero, [enabled = false] — what a cacheless server reports. *)
+val no_cache_stats : cache_stats
+
+(** Install the provider the renderers pull {!cache_stats} through. The
+    provider is called outside the metrics lock. *)
+val set_cache_provider : t -> (unit -> cache_stats) -> unit
+
+(** Current cache stats via the provider, if one is installed. *)
+val cache_stats : t -> cache_stats option
+
+(** Version of the [cache] block inside [STATS JSON] (independent of
+    {!schema_version}; the block is additive). *)
+val cache_block_version : int
+
 (** {1 Reads} *)
 
 val queries_total : t -> int

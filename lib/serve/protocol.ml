@@ -14,7 +14,7 @@ type request =
   | Malformed of string
   | Unknown of string
 
-let version = 2
+let version = 3
 
 let split_command line =
   match String.index_opt line ' ' with
@@ -68,9 +68,10 @@ let help_lines =
 let one_line s =
   String.map (function '\n' | '\r' -> ' ' | c -> c) s
 
-let answer_line ~result ~reductions ~retrievals ~switched =
-  Printf.sprintf "ANSWER %s reductions=%d retrievals=%d%s" (one_line result)
+let answer_line ~result ~reductions ~retrievals ~cached ~switched =
+  Printf.sprintf "ANSWER %s reductions=%d retrievals=%d%s%s" (one_line result)
     reductions retrievals
+    (if cached then " cached" else "")
     (if switched then " switched" else "")
 
 let hello_line ~learner =

@@ -2,8 +2,10 @@
     per line, replies of one or more lines, multi-line replies terminated
     by [END]). Full specification in [docs/SERVING.md].
 
-    Protocol {!version} 2. A client can start with [HELLO] to learn the
-    server's protocol version and learner before relying on either.
+    Protocol {!version} 3 (v3 adds the [cached] token to [ANSWER] lines
+    and the ["cached"] field to [TRACE] replies). A client can start with
+    [HELLO] to learn the server's protocol version and learner before
+    relying on either.
 
     Parsing is total — a recognized verb with bad arguments becomes
     {!Malformed}, an unrecognized verb {!Unknown} (carrying just the verb
@@ -43,9 +45,11 @@ val help_lines : string list
     [ERR <code> <msg>] (message flattened to one line), [BUSY], [BYE],
     [PONG]. *)
 
+(** [cached] adds a [cached] token (before [switched]): the answer was
+    served from the answer cache and [reductions]/[retrievals] are 0. *)
 val answer_line :
-  result:string -> reductions:int -> retrievals:int -> switched:bool ->
-  string
+  result:string -> reductions:int -> retrievals:int -> cached:bool ->
+  switched:bool -> string
 
 (** [HELLO strategem/<version> learner=<learner>]. *)
 val hello_line : learner:string -> string

@@ -85,11 +85,50 @@ let find_or_create t atom =
 
 let learner_kind t = t.learner
 
-let answer ?tracer ?parent t ~db q =
+let answer ?(tracer = Trace.null) ?parent ?cache ?memo t ~db q =
   let entry = find_or_create t q in
+  (* Cache service is visible in traces as an event on the caller's span:
+     a hit records what the fill paid and was saved; a miss is a marker. *)
+  let cache_event kind attrs =
+    match parent with
+    | Some sp when Trace.enabled tracer ->
+      Trace.event tracer sp ~kind ~attrs (D.Atom.to_string q)
+    | _ -> ()
+  in
   let ans, strategy =
     with_live entry (fun live ->
-        let a = Core.Live.answer ?tracer ?parent live ~db q in
+        let hit =
+          match cache with
+          | Some c -> Cache.Answers.find c ~db q
+          | None -> None
+        in
+        let a =
+          match hit with
+          | Some h ->
+            cache_event "cache_hit"
+              [
+                ( "saved_reductions",
+                  string_of_int h.Cache.Answers.reductions );
+                ( "saved_retrievals",
+                  string_of_int h.Cache.Answers.retrievals );
+                ("fill_cost", Printf.sprintf "%g" h.Cache.Answers.cost);
+              ];
+            Core.Live.answer_cached ~tracer ?parent live ~db
+              ~result:h.Cache.Answers.result q
+          | None ->
+            if Option.is_some cache then cache_event "cache_miss" [];
+            let a = Core.Live.answer ~tracer ?parent ?memo live ~db q in
+            (match cache with
+            | Some c when not a.Core.Live.stats.D.Sld.truncated ->
+              (* A truncated non-answer is "unknown", not "no" — never
+                 cache it. *)
+              Cache.Answers.store c ~db q ~result:a.Core.Live.result
+                ~reductions:a.Core.Live.stats.D.Sld.reductions
+                ~retrievals:a.Core.Live.stats.D.Sld.retrievals
+                ~cost:a.Core.Live.cost
+            | _ -> ());
+            a
+        in
         (a, if a.Core.Live.switched then Some (render live) else None))
   in
   Option.iter

@@ -47,10 +47,21 @@ val find_or_create : t -> Datalog.Atom.t -> entry
 (** Answer one concrete query with the form's learner, serialized against
     other queries of the same form. Updates the entry's strategy
     rendering in the metrics on a climb. [tracer]/[parent] are passed
-    through to {!Core.Live.answer}. *)
+    through to {!Core.Live.answer}.
+
+    With [cache], the answer cache is consulted (under the entry lock)
+    before SLD: a valid hit short-circuits to {!Core.Live.answer_cached}
+    — the learner still observes the query — and a miss stores the fresh
+    result unless the search was depth-truncated. When [parent] is given
+    and tracing is on, cache service is recorded on it as a [cache_hit]
+    event (attrs [saved_reductions]/[saved_retrievals]/[fill_cost]) or a
+    [cache_miss] event. [memo] is threaded to the SLD engine for subgoal
+    memoization on misses. *)
 val answer :
   ?tracer:Trace.t ->
   ?parent:Trace.span ->
+  ?cache:Cache.Answers.t ->
+  ?memo:Datalog.Sld.Memo.t ->
   t ->
   db:Datalog.Database.t ->
   Datalog.Atom.t ->

@@ -11,6 +11,7 @@ type config = {
   learner : Core.Learner.kind;
   learner_config : Core.Learner.config;
   trace_sample : int;
+  cache_mb : int;  (* answer-cache budget; 0 disables caching + memo *)
 }
 
 let default_config =
@@ -24,6 +25,7 @@ let default_config =
     learner = `Pib;
     learner_config = Core.Learner.default_config;
     trace_sample = 0;
+    cache_mb = 64;
   }
 
 type state = {
@@ -34,6 +36,8 @@ type state = {
   (* each queued connection carries its enqueue time, so the worker that
      pops it can charge the admission-queue wait *)
   queue : (Unix.file_descr * float) Admission.t;
+  cache : Cache.Answers.t option;
+  memo : D.Sld.Memo.t option;
   stopping : bool Atomic.t;
   stop_w : Unix.file_descr;  (* self-pipe: wakes the accept loop *)
 }
@@ -76,7 +80,10 @@ let answer_traced st ~wait_us ~t0 tracer q =
       serve_root tracer ~wait_us (D.Atom.to_string q)
     else Trace.dummy
   in
-  let ans = Registry.answer ~tracer ~parent:root st.registry ~db:st.db q in
+  let ans =
+    Registry.answer ~tracer ~parent:root ?cache:st.cache ?memo:st.memo
+      st.registry ~db:st.db q
+  in
   Trace.finish tracer root;
   let latency_us = (Unix.gettimeofday () -. t0) *. 1e6 in
   Metrics.query st.metrics
@@ -137,7 +144,7 @@ let handle_query st oc ~wait_us atom_text =
             ~result:(result_string ans.Core.Live.result)
             ~reductions:ans.Core.Live.stats.D.Sld.reductions
             ~retrievals:ans.Core.Live.stats.D.Sld.retrievals
-            ~switched:ans.Core.Live.switched;
+            ~cached:ans.Core.Live.cached ~switched:ans.Core.Live.switched;
         ])
 
 let handle_trace st oc ~wait_us atom_text =
@@ -155,12 +162,12 @@ let handle_trace st oc ~wait_us atom_text =
       let reply =
         Printf.sprintf
           "{\"result\":\"%s\",\"reductions\":%d,\"retrievals\":%d,\
-           \"switched\":%b,\"paper_cost\":%.17g,\"monitor_cost\":%.17g,\
-           \"consistent\":%b,\"span\":%s}"
+           \"cached\":%b,\"switched\":%b,\"paper_cost\":%.17g,\
+           \"monitor_cost\":%.17g,\"consistent\":%b,\"span\":%s}"
           (Trace.json_escape (result_string ans.Core.Live.result))
           ans.Core.Live.stats.D.Sld.reductions
-          ans.Core.Live.stats.D.Sld.retrievals ans.Core.Live.switched
-          paper_cost monitor_cost
+          ans.Core.Live.stats.D.Sld.retrievals ans.Core.Live.cached
+          ans.Core.Live.switched paper_cost monitor_cost
           (Float.abs (paper_cost -. monitor_cost) <= 1e-9)
           span_json
       in
@@ -349,6 +356,12 @@ let run ?(handle_signals = false) ?(on_listen = fun _ -> ()) cfg ~rulebase
   | None -> ());
   let stop_r, stop_w = Unix.pipe () in
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let cache =
+    if cfg.cache_mb > 0 then
+      Some (Cache.Answers.create ~capacity_bytes:(cfg.cache_mb * 1024 * 1024) ())
+    else None
+  in
+  let memo = if cfg.cache_mb > 0 then Some (D.Sld.Memo.create ()) else None in
   let st =
     {
       cfg;
@@ -356,10 +369,37 @@ let run ?(handle_signals = false) ?(on_listen = fun _ -> ()) cfg ~rulebase
       registry;
       db;
       queue = Admission.create ~depth:cfg.queue_depth;
+      cache;
+      memo;
       stopping = Atomic.make false;
       stop_w;
     }
   in
+  Metrics.set_cache_provider metrics (fun () ->
+      match st.cache with
+      | None -> Metrics.no_cache_stats
+      | Some c ->
+        let a = Cache.Answers.counters c in
+        let m =
+          match st.memo with
+          | Some m -> D.Sld.Memo.counters m
+          | None ->
+            D.Sld.Memo.{ hits = 0; misses = 0; invalidations = 0; entries = 0 }
+        in
+        {
+          Metrics.enabled = true;
+          hits = a.Cache.Answers.hits;
+          misses = a.Cache.Answers.misses;
+          evictions = a.Cache.Answers.evictions;
+          invalidations = a.Cache.Answers.invalidations;
+          entries = a.Cache.Answers.entries;
+          bytes = a.Cache.Answers.bytes;
+          capacity_bytes = a.Cache.Answers.capacity_bytes;
+          memo_hits = m.D.Sld.Memo.hits;
+          memo_misses = m.D.Sld.Memo.misses;
+          memo_invalidations = m.D.Sld.Memo.invalidations;
+          memo_entries = m.D.Sld.Memo.entries;
+        });
   Fun.protect
     ~finally:(fun () ->
       List.iter

@@ -25,11 +25,16 @@ type config = {
           [STATS JSON] ([recent_traces]); [0] = sampling off. Tracing a
           query costs span allocations, so the default is off; [TRACE]
           always traces its own query regardless. *)
+  cache_mb : int;
+      (** answer-cache budget in MiB ([--cache-mb]); [0] ([--no-cache])
+          disables both the answer cache and subgoal memoization. Cached
+          answers skip SLD but the form's learner still observes every
+          query, so learning is unaffected. *)
 }
 
 (** 127.0.0.1:4280, 4 workers, queue depth 64, no state dir, periodic
     snapshots off, PIB with {!Core.Learner.default_config}, trace
-    sampling off. *)
+    sampling off, 64 MiB answer cache. *)
 val default_config : config
 
 (** [run ?handle_signals ?on_listen config ~rulebase ~db] — bind, serve,

@@ -50,6 +50,24 @@ paid — and only they are highlighted:
   $ grep -c 'penwidth=2' russ.dot
   2
 
+With --cached the query is answered twice: an untraced warm pass fills
+the answer cache, and the traced pass is then served from it — a
+cache_hit event (recording the SLD work the fill paid) replaces the sld
+phase, while the exec and learn phases still run at the true paper cost:
+
+  $ ../bin/strategem.exe explain ../examples/data/university.dl 'instructor(manolis)' --cached
+  ?- instructor(manolis).
+  answer: yes  [0 reductions, 0 retrievals]  (cached)
+  instructor(manolis) [query] cost=0
+    instructor(manolis) [cache_hit] cost=0 saved_reductions=2 saved_retrievals=2 fill_cost=4
+    exec [exec] cost=0
+      R_instructor_prof [arc] cost=1 arc_id=0 blockable=false unblocked=true
+      D_prof [arc] cost=1 arc_id=1 blockable=true unblocked=false
+      R_instructor_grad [arc] cost=1 arc_id=2 blockable=false unblocked=true
+      D_grad [arc] cost=1 arc_id=3 blockable=true unblocked=true
+    learn [learn] cost=0 learner=pib
+  paper cost: 4 (monitor: 4, consistent)
+
 The same queries, bottom-up:
 
   $ ../bin/strategem.exe query ../examples/data/university.dl --engine seminaive

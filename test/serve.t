@@ -1,6 +1,6 @@
 The serve daemon end to end: start on an ephemeral port, answer queries
-while learning online, snapshot, shut down gracefully, and resume the
-learned strategy after a restart.
+while learning online (and caching answers), snapshot, shut down
+gracefully, and resume the learned strategy after a restart.
 
   $ ../bin/strategem.exe serve ../examples/data/university.dl --port 0 --workers 2 --state-dir state --trace-sample 4 > serve.log 2>&1 &
   $ SERVER=$!
@@ -10,23 +10,24 @@ learned strategy after a restart.
 A first conversation: the protocol banner, liveness, the three Figure-1
 queries (prof-first rule order: instructor(manolis) costs two retrievals
 because the prof branch is tried first), and the current strategy of the
-bound form.
+bound form. All three queries are cold, so each pays its full SLD cost.
 
   $ ../bin/strategem.exe client --port $PORT HELLO PING 'QUERY instructor(manolis)' 'QUERY instructor(fred)' 'QUERY instructor(X)' 'STRATEGY instructor(q)'
-  HELLO strategem/2 learner=pib
+  HELLO strategem/3 learner=pib
   PONG
   ANSWER yes reductions=2 retrievals=2
   ANSWER no reductions=2 retrievals=2
   ANSWER {X=russ} reductions=1 retrievals=1
   OK instructor_1_b ⟨R_instructor_prof D_prof R_instructor_grad D_grad⟩
 
-A grad-heavy stream: PIB climbs to grad-first under live traffic (the
-"switched" reply), after which the same query costs half the work.
+A grad-heavy stream: every repeat is served from the answer cache
+(reductions=0, flagged "cached"), yet the learner still observes each
+query at its true paper cost and climbs to grad-first under live traffic
+(the "switched" reply).
 
   $ yes 'QUERY instructor(manolis)' | head -80 | ../bin/strategem.exe client --port $PORT - | sort | uniq -c | sed 's/^ *//'
-  60 ANSWER yes reductions=1 retrievals=1
-  19 ANSWER yes reductions=2 retrievals=2
-  1 ANSWER yes reductions=2 retrievals=2 switched
+  79 ANSWER yes reductions=0 retrievals=0 cached
+  1 ANSWER yes reductions=0 retrievals=0 cached switched
 
 The metrics confirm the climb (latency fields vary run to run, so only
 the stable counters are shown):
@@ -39,6 +40,15 @@ the stable counters are shown):
   errors_total 0
   forms_active 2
 
+...and so do the cache counters: the three cold queries filled three
+entries, the 80 repeats all hit.
+
+  $ ../bin/strategem.exe client --port $PORT STATS | grep -E '^(cache_enabled|cache_hits|cache_misses|cache_entries) '
+  cache_enabled 1
+  cache_hits 80
+  cache_misses 3
+  cache_entries 3
+
 Unknown verbs, malformed arguments, and unparsable queries are answered
 with structured ERR lines (a machine-readable code first):
 
@@ -49,22 +59,40 @@ with structured ERR lines (a machine-readable code first):
 
 TRACE answers the query and returns its span tree as one JSON object;
 the tree's summed exec paper-cost always equals the cost the learner
-pipeline recorded for the same query (the built-in cost-model check):
+pipeline recorded for the same query (the built-in cost-model check).
+This query is warm, so the tree records a cache_hit event and no sld
+phase — the exec and learn phases still run, which is exactly why cached
+traffic cannot skew the learner.
 
   $ ../bin/strategem.exe client --port $PORT 'TRACE instructor(manolis)' | grep -c '"consistent":true'
   1
-  $ ../bin/strategem.exe client --port $PORT 'TRACE instructor(manolis)' | grep -o '"kind":"serve"\|"kind":"sld"\|"kind":"exec"\|"kind":"learn"' | sort -u
+  $ ../bin/strategem.exe client --port $PORT 'TRACE instructor(manolis)' | grep -o '"kind":"serve"\|"kind":"sld"\|"kind":"exec"\|"kind":"learn"\|"kind":"cache_hit"' | sort -u
+  "kind":"cache_hit"
   "kind":"exec"
   "kind":"learn"
   "kind":"serve"
-  "kind":"sld"
+
+A warm-cache round trip on a query never seen before: the first TRACE
+misses and runs SLD, the identical repeat is served from the cache.
+
+  $ ../bin/strategem.exe client --port $PORT 'TRACE instructor(russ)' 'TRACE instructor(russ)' | grep -o '"cached":false\|"cached":true'
+  "cached":false
+  "cached":true
+
+  $ ../bin/strategem.exe client --port $PORT STATS | grep -E '^(cache_hits|cache_misses|cache_entries) '
+  cache_hits 83
+  cache_misses 4
+  cache_entries 4
 
 With --trace-sample N the daemon keeps the last N query traces; STATS
-JSON carries them (and the frozen schema version) for scraping:
+JSON carries them (and the frozen schema version) for scraping, along
+with the versioned cache block:
 
   $ ../bin/strategem.exe client --port $PORT 'STATS JSON' | grep -o '"schema":1\|"recent_traces":\[' | sort -u
   "recent_traces":[
   "schema":1
+  $ ../bin/strategem.exe client --port $PORT 'STATS JSON' | grep -c '"cache":{"version":1,"enabled":true'
+  1
 
 Snapshot both learned forms and shut down (the daemon also snapshots on
 shutdown); the state directory holds form, graph, and strategy per form.
@@ -85,17 +113,19 @@ shutdown); the state directory holds form, graph, and strategy per form.
 
 A restarted server reloads the snapshots: the bound form resumes at the
 learned grad-first strategy, and the very first query is already cheap.
-This restart also selects a different learner (--learner palo) for the
-reloaded strategies.
+This restart also selects a different learner (--learner palo) and turns
+the answer cache off (--no-cache): the query runs real SLD and the
+metrics report the cache as disabled.
 
-  $ ../bin/strategem.exe serve ../examples/data/university.dl --port 0 --workers 2 --state-dir state --learner palo > serve2.log 2>&1 &
+  $ ../bin/strategem.exe serve ../examples/data/university.dl --port 0 --workers 2 --state-dir state --learner palo --no-cache > serve2.log 2>&1 &
   $ SERVER=$!
   $ for _ in $(seq 1 100); do grep -q listening serve2.log && break; sleep 0.1; done
   $ PORT=$(sed -n 's/.*listening on [^:]*:\([0-9]*\).*/\1/p' serve2.log)
-  $ ../bin/strategem.exe client --port $PORT HELLO 'STRATEGY instructor(q)' 'QUERY instructor(manolis)' STATS SHUTDOWN | grep -E '^(HELLO|OK|ANSWER|forms_loaded|BYE)'
-  HELLO strategem/2 learner=palo
+  $ ../bin/strategem.exe client --port $PORT HELLO 'STRATEGY instructor(q)' 'QUERY instructor(manolis)' STATS SHUTDOWN | grep -E '^(HELLO|OK|ANSWER|forms_loaded|cache_enabled|BYE)'
+  HELLO strategem/3 learner=palo
   OK instructor_1_b ⟨R_instructor_grad D_grad R_instructor_prof D_prof⟩
   ANSWER yes reductions=1 retrievals=1
   forms_loaded 2
+  cache_enabled 0
   BYE
   $ wait $SERVER

@@ -102,6 +102,33 @@ let subst_idempotent () =
   check_bool "X resolves fully" true
     (D.Term.equal (D.Subst.apply s (D.Term.var "X")) (D.Term.const "a"))
 
+let subst_walk_chain () =
+  let x = { D.Term.name = "X"; gen = 0 } and y = { D.Term.name = "Y"; gen = 0 } in
+  let s = D.Subst.bind x (D.Term.var "Y") D.Subst.empty in
+  (* [find] returns the raw stored binding; [walk] resolves the chain. *)
+  check_bool "raw binding kept" true (D.Subst.find x s = Some (D.Term.var "Y"));
+  let s = D.Subst.bind y (D.Term.const "a") s in
+  check_bool "walk resolves through Y" true
+    (D.Term.equal (D.Subst.walk s (D.Term.var "X")) (D.Term.const "a"));
+  check_bool "to_alist resolves too" true
+    (List.for_all
+       (fun (_, t) -> D.Term.equal t (D.Term.const "a"))
+       (D.Subst.to_alist s));
+  (* Rebinding to the same resolved value is a no-op... *)
+  check_int "consistent rebind is a no-op" 2
+    (D.Subst.size (D.Subst.bind x (D.Term.const "a") s));
+  (* ...while a conflicting rebinding is a programming error. *)
+  check_bool "conflicting rebind raises" true
+    (try
+       ignore (D.Subst.bind x (D.Term.const "b") s);
+       false
+     with Invalid_argument _ -> true)
+
+let subst_apply_atom_no_alloc () =
+  let a = atom "p(X, a)" in
+  check_bool "empty subst returns the atom itself" true
+    (D.Subst.apply_atom D.Subst.empty a == a)
+
 (* ---------- Clause ---------- *)
 
 let clause_safety () =
@@ -219,7 +246,28 @@ let database_counts () =
   check_int "count p" 2 (D.Database.count_pred db "p");
   check_int "count q" 1 (D.Database.count_pred db "q");
   check_int "count missing" 0 (D.Database.count_pred db "zzz");
+  check_int "count p by id" 2
+    (D.Database.count_pred_id db (D.Symbol.id (D.Symbol.intern "p")));
+  check_int "count missing by id" 0
+    (D.Database.count_pred_id db (D.Symbol.id (D.Symbol.intern "zzz")));
   check_int "predicates" 2 (List.length (D.Database.predicates db))
+
+let database_generation_and_token () =
+  let db = D.Database.create () and db2 = D.Database.create () in
+  check_bool "instances have distinct tokens" true
+    (D.Database.token db <> D.Database.token db2);
+  let g0 = D.Database.generation db in
+  check_bool "add" true (D.Database.add db (atom "p(a)"));
+  check_bool "add bumps generation" true (D.Database.generation db > g0);
+  let g1 = D.Database.generation db in
+  check_bool "duplicate add" false (D.Database.add db (atom "p(a)"));
+  check_int "no-op add keeps generation" g1 (D.Database.generation db);
+  check_bool "remove absent" false (D.Database.remove db (atom "q(a)"));
+  check_int "no-op remove keeps generation" g1 (D.Database.generation db);
+  check_bool "remove" true (D.Database.remove db (atom "p(a)"));
+  check_bool "remove bumps generation" true (D.Database.generation db > g1);
+  check_bool "copy gets a fresh token" true
+    (D.Database.token (D.Database.copy db) <> D.Database.token db)
 
 let database_nonground_rejected () =
   let db = D.Database.create () in
@@ -689,6 +737,8 @@ let suite =
         unify_apply_equalizes;
         case "one-sided match" match_one_sided;
         case "idempotent bindings" subst_idempotent;
+        case "chained bindings walk" subst_walk_chain;
+        case "apply_atom no-alloc on empty" subst_apply_atom_no_alloc;
       ] );
     ( "datalog.clause",
       [ case "safety" clause_safety; case "accessors" clause_accessors ] );
@@ -707,6 +757,7 @@ let suite =
         case "matching" database_matching;
         case "counts" database_counts;
         case "non-ground rejected" database_nonground_rejected;
+        case "generation and token" database_generation_and_token;
         case "copy independence" database_copy_independent;
         case "fold and iter" database_fold_iter;
         database_index_consistent;
