@@ -27,6 +27,7 @@ let experiments =
     ("e18", "serve daemon closed-loop throughput/latency", E18_serve.run);
     ("e19", "tracing overhead on the serve path", E19_trace.run);
     ("e20", "answer caching & memoization on the serve path", E20_cache.run);
+    ("e21", "observability overhead on the serve path", E21_obs.run);
   ]
 
 let () =

@@ -481,7 +481,8 @@ let host_arg =
     & info [ "host" ] ~docv:"ADDR" ~doc:"Address to bind/connect to.")
 
 let run_serve file host port workers queue_depth state_dir snapshot_interval
-    delta learner trace_sample cache_mb no_cache =
+    delta learner trace_sample cache_mb no_cache metrics_port log_level
+    log_file slow_query_ms =
   let rulebase, db, _ = load_kb file in
   let learner_config =
     {
@@ -503,12 +504,18 @@ let run_serve file host port workers queue_depth state_dir snapshot_interval
       learner_config;
       trace_sample;
       cache_mb = (if no_cache then 0 else cache_mb);
+      metrics_port;
+      log_level;
+      log_file;
+      slow_query_us = slow_query_ms *. 1000.0;
     }
   in
   Serve.Server.run ~handle_signals:true
     ~on_listen:(fun port ->
       Fmt.pr "strategem serve: listening on %s:%d (%d workers)@." host port
         workers)
+    ~on_metrics_listen:(fun mport ->
+      Fmt.pr "strategem serve: metrics on %s:%d@." host mport)
     config ~rulebase ~db;
   Fmt.pr "strategem serve: shut down cleanly@."
 
@@ -585,6 +592,50 @@ let serve_cmd =
             "Disable the answer cache and subgoal memoization (same as \
              --cache-mb 0).")
   in
+  let metrics_port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "metrics-port" ] ~docv:"PORT"
+          ~doc:
+            "Serve GET /metrics (Prometheus text format) and GET /healthz \
+             on this port (0 picks one; the bound port is printed at \
+             startup). Off by default.")
+  in
+  let log_level =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("off", None);
+               ("debug", Some Obs.Log.Debug);
+               ("info", Some Obs.Log.Info);
+               ("warn", Some Obs.Log.Warn);
+               ("error", Some Obs.Log.Error);
+             ])
+          (Some Obs.Log.Info)
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:
+            "Structured-log threshold: off, debug, info (default), warn \
+             or error. Logs are JSONL, one object per line.")
+  in
+  let log_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log-file" ] ~docv:"PATH"
+          ~doc:"Append structured logs to PATH instead of stderr.")
+  in
+  let slow_query_ms =
+    Arg.(
+      value & opt float 0.0
+      & info [ "slow-query-ms" ] ~docv:"MS"
+          ~doc:
+            "Log queries at or over MS milliseconds at warn level, with \
+             the query's trace span tree inlined (rate limited to one \
+             record per second). 0 disables.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -593,7 +644,8 @@ let serve_cmd =
     Term.(
       const run_serve $ file_arg $ host_arg $ port $ workers $ queue_depth
       $ state_dir $ snapshot_interval $ delta_arg $ learner $ trace_sample
-      $ cache_mb $ no_cache)
+      $ cache_mb $ no_cache $ metrics_port $ log_level $ log_file
+      $ slow_query_ms)
 
 let run_client host port commands =
   let commands =
@@ -647,6 +699,217 @@ let client_cmd =
           replies.")
     Term.(const run_client $ host_arg $ port $ commands)
 
+(* ---------- scrape / watch ---------- *)
+
+(* One blocking HTTP/1.1 GET against the daemon's metrics responder.
+   Returns (status, body) or an error message. *)
+let http_get ~host ~port path =
+  match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        match
+          Unix.connect fd
+            (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+        with
+        | exception Unix.Unix_error (e, _, _) ->
+          Error
+            (Printf.sprintf "connect %s:%d: %s" host port
+               (Unix.error_message e))
+        | () -> (
+          let req =
+            Printf.sprintf
+              "GET %s HTTP/1.1\r\nHost: %s:%d\r\nConnection: close\r\n\r\n"
+              path host port
+          in
+          ignore (Unix.write_substring fd req 0 (String.length req));
+          let buf = Buffer.create 8192 in
+          let chunk = Bytes.create 8192 in
+          let rec read_all () =
+            match Unix.read fd chunk 0 (Bytes.length chunk) with
+            | 0 -> ()
+            | n ->
+              Buffer.add_subbytes buf chunk 0 n;
+              read_all ()
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_all ()
+          in
+          (try read_all () with Unix.Unix_error _ -> ());
+          let raw = Buffer.contents buf in
+          let sep = "\r\n\r\n" in
+          let rec find i =
+            if i + String.length sep > String.length raw then None
+            else if String.sub raw i (String.length sep) = sep then Some i
+            else find (i + 1)
+          in
+          match find 0 with
+          | None -> Error "malformed HTTP response"
+          | Some i ->
+            let head = String.sub raw 0 i in
+            let body =
+              String.sub raw
+                (i + String.length sep)
+                (String.length raw - i - String.length sep)
+            in
+            let status =
+              match String.split_on_char ' ' head with
+              | _ :: code :: _ ->
+                Option.value ~default:0 (int_of_string_opt code)
+              | _ -> 0
+            in
+            Ok (status, body)))
+
+let metrics_port_arg =
+  Arg.(
+    required
+    & opt (some int) None
+    & info [ "port"; "p" ] ~docv:"PORT"
+        ~doc:"The daemon's --metrics-port.")
+
+let run_scrape host port lint healthz =
+  let path = if healthz then "/healthz" else "/metrics" in
+  match http_get ~host ~port path with
+  | Error msg ->
+    Fmt.epr "strategem scrape: %s@." msg;
+    exit 1
+  | Ok (status, body) ->
+    print_string body;
+    if status <> 200 then begin
+      Fmt.epr "strategem scrape: HTTP %d from %s@." status path;
+      exit 1
+    end;
+    if lint && not healthz then begin
+      match Obs.Expo.lint body with
+      | Ok () -> Fmt.epr "lint: ok@."
+      | Error problems ->
+        List.iter (fun p -> Fmt.epr "lint: %s@." p) problems;
+        exit 1
+    end
+
+let scrape_cmd =
+  let lint =
+    Arg.(
+      value & flag
+      & info [ "lint" ]
+          ~doc:
+            "Check the scraped document against the exposition-format \
+             rules (HELP/TYPE presence, name validity, duplicate series, \
+             histogram consistency) and exit nonzero on any violation.")
+  in
+  let healthz =
+    Arg.(
+      value & flag
+      & info [ "healthz" ]
+          ~doc:
+            "Fetch /healthz instead of /metrics; exits nonzero unless \
+             the daemon answers 200 (ready).")
+  in
+  Cmd.v
+    (Cmd.info "scrape"
+       ~doc:
+         "Fetch a strategem daemon's /metrics (or /healthz) over HTTP \
+          and print it, optionally linting the exposition format.")
+    Term.(const run_scrape $ host_arg $ metrics_port_arg $ lint $ healthz)
+
+(* ---------- watch ---------- *)
+
+let sample_value samples metric form =
+  List.find_opt
+    (fun s ->
+      s.Obs.Expo.metric = metric
+      && List.assoc_opt "form" s.Obs.Expo.labels = Some form)
+    samples
+  |> Option.map (fun s -> s.Obs.Expo.value)
+
+let solo_value samples metric =
+  List.find_opt
+    (fun s -> s.Obs.Expo.metric = metric && s.Obs.Expo.labels = [])
+    samples
+  |> Option.map (fun s -> s.Obs.Expo.value)
+
+let eps_str v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.4g" v
+
+let watch_tick ~host ~port =
+  match http_get ~host ~port "/metrics" with
+  | Error msg ->
+    Fmt.epr "strategem watch: %s@." msg;
+    exit 1
+  | Ok (status, body) when status = 200 -> (
+    match Obs.Expo.parse_samples body with
+    | exception Obs.Expo.Bad_line l ->
+      Fmt.epr "strategem watch: bad exposition line: %s@." l;
+      exit 1
+    | samples ->
+      let forms =
+        List.filter_map
+          (fun s ->
+            if s.Obs.Expo.metric = "strategem_learner_epsilon" then
+              List.assoc_opt "form" s.Obs.Expo.labels
+            else None)
+          samples
+        |> List.sort_uniq String.compare
+      in
+      let v metric form = Option.value ~default:0.0 (sample_value samples metric form) in
+      Fmt.pr "uptime %.0fs  queries %.0f  climbs %.0f  cache hits %.0f  queue %.0f@."
+        (Option.value ~default:0.0 (solo_value samples "strategem_uptime_seconds"))
+        (List.fold_left (fun acc f -> acc +. v "strategem_queries_total" f) 0.0 forms)
+        (List.fold_left (fun acc f -> acc +. v "strategem_climbs_total" f) 0.0 forms)
+        (Option.value ~default:0.0 (solo_value samples "strategem_cache_hits_total"))
+        (Option.value ~default:0.0 (solo_value samples "strategem_queue_depth"));
+      Fmt.pr "%-32s %8s %8s %7s %10s %9s@." "FORM" "QUERIES" "SAMPLES"
+        "CLIMBS" "EPSILON" "FINISHED";
+      List.iter
+        (fun f ->
+          Fmt.pr "%-32s %8.0f %8.0f %7.0f %10s %9s@." f
+            (v "strategem_queries_total" f)
+            (v "strategem_learner_samples" f)
+            (v "strategem_learner_climbs" f)
+            (eps_str (v "strategem_learner_epsilon" f))
+            (if v "strategem_learner_finished" f > 0.0 then "yes" else "no"))
+        forms)
+  | Ok (status, _) ->
+    Fmt.epr "strategem watch: HTTP %d from /metrics@." status;
+    exit 1
+
+let run_watch host port interval count =
+  let clear = Unix.isatty Unix.stdout in
+  let rec loop n =
+    if clear then Fmt.pr "\027[2J\027[H%!";
+    watch_tick ~host ~port;
+    Fmt.pr "%!";
+    if count = 0 || n < count then begin
+      if not clear then Fmt.pr "@.";
+      Thread.delay interval;
+      loop (n + 1)
+    end
+  in
+  loop 1
+
+let watch_cmd =
+  let interval =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval"; "n" ] ~docv:"SECONDS"
+          ~doc:"Seconds between scrapes (default 1).")
+  in
+  let count =
+    Arg.(
+      value & opt int 0
+      & info [ "count"; "c" ] ~docv:"N"
+          ~doc:"Stop after N scrapes (0 = run until interrupted).")
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:
+         "Poll a strategem daemon's /metrics and render a live per-form \
+          learner-convergence table (queries, samples, climbs, the \
+          converging epsilon bound, and whether learning has finished).")
+    Term.(const run_watch $ host_arg $ metrics_port_arg $ interval $ count)
+
 (* ---------- demo ---------- *)
 
 let run_demo () =
@@ -681,7 +944,7 @@ let main_cmd =
           1992).")
     [
       query_cmd; graph_cmd; optimal_cmd; smith_cmd; learn_cmd; eval_cmd;
-      explain_cmd; serve_cmd; client_cmd; demo_cmd;
+      explain_cmd; serve_cmd; client_cmd; scrape_cmd; watch_cmd; demo_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,6 +1,21 @@
 open Infgraph
 open Strategy
 
+(* Convergence telemetry: a point-in-time reading of how far the
+   learner's statistical machinery has progressed. [epsilon] is the
+   learner's own notion of its current accuracy bound — per-sample
+   Equation 6 threshold for PIB, Equation 3 threshold over m for PIB₁,
+   the scaled-target shortfall for PAO, the configured target for PALO;
+   see docs/OBSERVABILITY.md for the exact definitions. *)
+type progress = {
+  samples : int;  (* current sample set |S| where the learner keeps one *)
+  samples_total : int;
+  climbs : int;
+  epsilon : float;  (* +inf before any evidence; shrinks as samples grow *)
+  delta : float;  (* the confidence budget *)
+  finished : bool;
+}
+
 module type S = sig
   type t
 
@@ -10,6 +25,7 @@ module type S = sig
   val conjecture : t -> Spec.dfs option
   val finished : t -> bool
   val serialize : t -> string
+  val progress : t -> progress
 end
 
 module Pib_learner = struct
@@ -33,6 +49,36 @@ module Pib_learner = struct
   let finished _ = false
   let serialize t = Persist.dfs_to_string (current t)
   let pib t = t.pib
+
+  (* ε = Equation 6's per-sample threshold at the current test index:
+     the climb fires when the mean per-sample advantage reaches it, so
+     it is the resolution below which PIB cannot yet distinguish
+     neighbours. Range Λ is the widest candidate's. *)
+  let progress t =
+    let n = Pib.samples_current t.pib in
+    let i = Pib.tests_used t.pib in
+    let cfg = Pib.config t.pib in
+    let range =
+      List.fold_left
+        (fun acc (_, _, lambda) -> Float.max acc lambda)
+        0.0 (Pib.candidates t.pib)
+    in
+    let epsilon =
+      if range = 0.0 then 0.0
+      else if n = 0 || i = 0 then Float.infinity
+      else
+        Stats.Chernoff.switch_threshold_seq ~n ~delta:cfg.Pib.delta
+          ~test_index:i ~range
+        /. float_of_int n
+    in
+    {
+      samples = n;
+      samples_total = Pib.samples_total t.pib;
+      climbs = List.length (Pib.climbs t.pib);
+      epsilon;
+      delta = cfg.Pib.delta;
+      finished = false;
+    }
 end
 
 module Pib1_learner = struct
@@ -40,6 +86,9 @@ module Pib1_learner = struct
     mutable filter : Pib1.t option;  (* None: nothing left to contemplate *)
     mutable cur : Spec.dfs;
     mutable pending : Spec.dfs option;
+    delta : float;
+    mutable switched : bool;
+    mutable seen : int;  (* m, surviving the filter's retirement *)
   }
 
   let name = "pib1"
@@ -53,7 +102,7 @@ module Pib1_learner = struct
       | [] -> None
       | transform :: _ -> Some (Pib1.create start ~transform ~delta)
     in
-    { filter; cur = start; pending = None }
+    { filter; cur = start; pending = None; delta; switched = false; seen = 0 }
 
   let observe t ctx outcome =
     ignore ctx;
@@ -61,10 +110,13 @@ module Pib1_learner = struct
     | None -> ()
     | Some f -> (
       Pib1.observe f outcome;
+      let m, _, _ = Pib1.counts f in
+      t.seen <- m;
       match Pib1.decision f with
       | `Switch ->
         t.cur <- Pib1.theta' f;
         t.pending <- Some t.cur;
+        t.switched <- true;
         t.filter <- None
       | `Keep -> ())
 
@@ -77,6 +129,26 @@ module Pib1_learner = struct
 
   let finished t = t.filter = None
   let serialize t = Persist.dfs_to_string t.cur
+
+  (* ε = Equation 3's threshold spread over the m samples; 0 once the
+     filter has decided (the bound is then certified). *)
+  let progress t =
+    let epsilon =
+      match t.filter with
+      | None -> 0.0
+      | Some f ->
+        let m, _, _ = Pib1.counts f in
+        if m = 0 then Float.infinity
+        else Pib1.threshold f /. float_of_int m
+    in
+    {
+      samples = t.seen;
+      samples_total = t.seen;
+      climbs = (if t.switched then 1 else 0);
+      epsilon;
+      delta = t.delta;
+      finished = t.filter = None;
+    }
 end
 
 (* Shared skeleton of the two PAO observers: per-arc counters against
@@ -90,6 +162,8 @@ module Pao_common = struct
     successes : int array;
     attempts : int array;  (* denominators for p̂ *)
     max_contexts : int;
+    epsilon : float;  (* the configured PAC target, for telemetry *)
+    delta : float;
     mutable contexts : int;
     mutable cur : Spec.dfs;
     mutable pending : Spec.dfs option;
@@ -102,7 +176,7 @@ module Pao_common = struct
         if m = 0 then 0 else max 1 (int_of_float (ceil (float_of_int m *. scale))))
       raw
 
-  let create ~raw_targets ~scale ~max_contexts start =
+  let create ~raw_targets ~scale ~max_contexts ~epsilon ~delta start =
     let g = start.Spec.graph in
     let n = Graph.n_arcs g in
     {
@@ -112,6 +186,8 @@ module Pao_common = struct
       successes = Array.make n 0;
       attempts = Array.make n 0;
       max_contexts;
+      epsilon;
+      delta;
       contexts = 0;
       cur = start;
       pending = None;
@@ -147,6 +223,37 @@ module Pao_common = struct
     let p = t.pending in
     t.pending <- None;
     p
+
+  (* Achieved-so-far accuracy estimate: Hoeffding radii shrink as
+     1/sqrt(samples), so an arc that has met fraction [n/m] of its
+     (scaled) target supports roughly ε·sqrt(m/n); the worst arc
+     dominates. +inf while any targeted arc is unsampled; never below
+     the configured ε. *)
+  let telemetry t =
+    let worst = ref 1.0 and starved = ref false and any = ref false in
+    Array.iteri
+      (fun i m ->
+        if m > 0 then begin
+          any := true;
+          if t.progress.(i) = 0 then starved := true
+          else
+            worst :=
+              Float.max !worst (float_of_int m /. float_of_int t.progress.(i))
+        end)
+      t.targets;
+    let epsilon =
+      if not !any then t.epsilon
+      else if !starved then Float.infinity
+      else t.epsilon *. sqrt !worst
+    in
+    {
+      samples = t.contexts;
+      samples_total = t.contexts;
+      climbs = (if t.done_ then 1 else 0);
+      epsilon;
+      delta = t.delta;
+      finished = t.done_;
+    }
 end
 
 module Pao_learner = struct
@@ -157,7 +264,7 @@ module Pao_learner = struct
   let create ?(epsilon = 0.25) ?(delta = 0.05) ?(scale = 0.01)
       ?(max_contexts = 10_000) start =
     let raw_targets = Pao.sample_targets start.Spec.graph ~epsilon ~delta in
-    Pao_common.create ~raw_targets ~scale ~max_contexts start
+    Pao_common.create ~raw_targets ~scale ~max_contexts ~epsilon ~delta start
 
   let observe (t : t) _ctx outcome =
     if not t.Pao_common.done_ then begin
@@ -176,6 +283,7 @@ module Pao_learner = struct
   let conjecture = Pao_common.conjecture
   let finished (t : t) = t.Pao_common.done_
   let serialize (t : t) = Persist.dfs_to_string t.Pao_common.cur
+  let progress = Pao_common.telemetry
 end
 
 module Pao_adaptive_learner = struct
@@ -188,7 +296,7 @@ module Pao_adaptive_learner = struct
     let raw_targets =
       Pao_adaptive.aim_targets start.Spec.graph ~epsilon ~delta
     in
-    Pao_common.create ~raw_targets ~scale ~max_contexts start
+    Pao_common.create ~raw_targets ~scale ~max_contexts ~epsilon ~delta start
 
   let observe (t : t) _ctx outcome =
     if not t.Pao_common.done_ then begin
@@ -213,6 +321,7 @@ module Pao_adaptive_learner = struct
   let conjecture = Pao_common.conjecture
   let finished (t : t) = t.Pao_common.done_
   let serialize (t : t) = Persist.dfs_to_string t.Pao_common.cur
+  let progress = Pao_common.telemetry
 end
 
 module Palo_learner = struct
@@ -239,6 +348,22 @@ module Palo_learner = struct
 
   let serialize t = Persist.dfs_to_string (current t)
   let palo t = t.palo
+
+  (* PALO's stopping rule certifies the configured ε; until it stops,
+     that target is the only honest bound to report (its internal
+     neighbour UCBs are in the same units but per-neighbour). *)
+  let progress t =
+    let cfg = Palo.config t.palo in
+    {
+      samples = Palo.samples_total t.palo;
+      samples_total = Palo.samples_total t.palo;
+      climbs = List.length (Palo.climbs t.palo);
+      epsilon = cfg.Palo.epsilon;
+      delta = cfg.Palo.delta;
+      finished = (match Palo.status t.palo with
+                 | Palo.Stopped _ -> true
+                 | Palo.Running -> false);
+    }
 end
 
 type kind = [ `Pib | `Pib1 | `Pao | `Pao_adaptive | `Palo ]
@@ -281,6 +406,17 @@ let default_config =
     pao_max_contexts = 10_000;
   }
 
+(* Typed telemetry events, emitted through the hook installed with
+   {!set_hook}. [Observed] fires after every observation and carries
+   the bound-check reading (check_every defaults to 1, so each
+   observation is a bound check); [Climbed] fires when the learner
+   switched strategies internally (or finished); [Conjectured] fires
+   when the consumer polls the switch out. *)
+type event =
+  | Observed of progress
+  | Climbed of progress
+  | Conjectured of progress
+
 type t = {
   name : string;
   observe : Context.t -> Exec.outcome -> unit;
@@ -288,17 +424,42 @@ type t = {
   conjecture : unit -> Spec.dfs option;
   finished : unit -> bool;
   serialize : unit -> string;
+  progress : unit -> progress;
+  hook : (event -> unit) option ref;
   reseed : Spec.dfs -> t;
 }
 
 let pack (type a) (module M : S with type t = a) ~reseed (st : a) =
+  let hook = ref None in
   {
     name = M.name;
-    observe = (fun ctx outcome -> M.observe st ctx outcome);
+    observe =
+      (fun ctx outcome ->
+        (* The no-hook path pays one branch — progress readings (which
+           allocate for PIB) happen only when someone listens. *)
+        match !hook with
+        | None -> M.observe st ctx outcome
+        | Some emit ->
+          let before = M.progress st in
+          M.observe st ctx outcome;
+          let after = M.progress st in
+          emit (Observed after);
+          if after.climbs > before.climbs || (after.finished && not before.finished)
+          then emit (Climbed after));
     current = (fun () -> M.current st);
-    conjecture = (fun () -> M.conjecture st);
+    conjecture =
+      (fun () ->
+        match M.conjecture st with
+        | None -> None
+        | Some d ->
+          (match !hook with
+          | Some emit -> emit (Conjectured (M.progress st))
+          | None -> ());
+          Some d);
     finished = (fun () -> M.finished st);
     serialize = (fun () -> M.serialize st);
+    progress = (fun () -> M.progress st);
+    hook;
     reseed;
   }
 
@@ -330,4 +491,7 @@ let current t = t.current ()
 let conjecture t = t.conjecture ()
 let finished t = t.finished ()
 let serialize t = t.serialize ()
+let progress t = t.progress ()
+let set_hook t f = t.hook := Some f
+let clear_hook t = t.hook := None
 let reseed t d = t.reseed d

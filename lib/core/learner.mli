@@ -21,6 +21,26 @@
 open Infgraph
 open Strategy
 
+(** {1 Convergence telemetry}
+
+    A point-in-time reading of the learner's statistical machinery,
+    surfaced at runtime as the [strategem_learner_*] gauges. [epsilon]
+    is the learner's own accuracy bound: PIB reports Equation 6's
+    per-sample threshold at the current test index (the cost resolution
+    below which it cannot yet distinguish neighbours), PIB₁ Equation 3's
+    threshold over [m] (0 once decided), PAO the configured ε inflated
+    by the worst arc's remaining (scaled) sample-target shortfall, and
+    PALO its configured ε target. See docs/OBSERVABILITY.md. *)
+type progress = {
+  samples : int;
+      (** current sample set [|S|], for learners that keep one *)
+  samples_total : int;
+  climbs : int;
+  epsilon : float;  (** [+inf] before any evidence *)
+  delta : float;  (** the confidence budget *)
+  finished : bool;
+}
+
 (** What a learner must provide. [conjecture] consumes: it returns a
     newly adopted strategy at most once per switch. *)
 module type S = sig
@@ -39,6 +59,8 @@ module type S = sig
   (** The current strategy in {!Strategy.Persist} text form (loadable
       with [Persist.dfs_of_string]); what snapshots store. *)
   val serialize : t -> string
+
+  val progress : t -> progress
 end
 
 (** PIB (Section 3.2): never finishes, climbs forever. *)
@@ -137,11 +159,36 @@ val pack :
   (module S with type t = 'a) -> reseed:(Spec.dfs -> t) -> 'a -> t
 
 val name : t -> string
+
+(** Feed one (context, outcome) pair; emits {!Observed} (and possibly
+    {!Climbed}) through the hook, if one is installed. *)
 val observe : t -> Context.t -> Exec.outcome -> unit
+
 val current : t -> Spec.dfs
+
+(** Poll for a switch; emits {!Conjectured} when it returns [Some]. *)
 val conjecture : t -> Spec.dfs option
+
 val finished : t -> bool
 val serialize : t -> string
+val progress : t -> progress
+
+(** {1 Telemetry events}
+
+    [Observed] fires after every observation with the bound-check
+    reading ([check_every] defaults to 1, so every observation is a
+    bound check); [Climbed] when the learner switched strategies
+    internally (or finished); [Conjectured] when the consumer polls the
+    switch out. The hook runs synchronously on the observing thread —
+    keep it cheap. {!reseed} returns a learner {e without} a hook;
+    re-install after reseeding (as {!Live.on_event} does). *)
+type event =
+  | Observed of progress
+  | Climbed of progress
+  | Conjectured of progress
+
+val set_hook : t -> (event -> unit) -> unit
+val clear_hook : t -> unit
 
 (** A fresh learner of the same kind and configuration, started at the
     given strategy. *)

@@ -73,6 +73,7 @@ let create ?(config = default_config) theta =
   }
 
 let current t = t.theta
+let config t = t.cfg
 let status t = t.status
 let climbs t = List.rev t.history
 let samples_total t = t.total

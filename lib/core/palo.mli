@@ -45,6 +45,7 @@ type t
 
 val create : ?config:config -> Spec.dfs -> t
 val current : t -> Spec.dfs
+val config : t -> config
 val status : t -> status
 val climbs : t -> Pib.climb list
 val samples_total : t -> int

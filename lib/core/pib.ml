@@ -74,6 +74,7 @@ let config t = t.cfg
 let climbs t = List.rev t.history
 let samples_current t = t.n
 let samples_total t = t.total
+let tests_used t = Stats.Sequential.tests_used t.seq
 
 let candidates t = List.map (fun c -> (c.mv, c.sum, c.lambda)) t.cands
 

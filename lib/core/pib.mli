@@ -57,6 +57,10 @@ val samples_current : t -> int
 (** Total contexts processed since creation. *)
 val samples_total : t -> int
 
+(** Elementary sequential tests charged so far (the index [i] of
+    Equation 6) — telemetry for the convergence gauges. *)
+val tests_used : t -> int
+
 (** Feed one execution outcome of the {e current} strategy (Figure 4: the
     QP runs, PIB watches); may climb. *)
 val observe : t -> Exec.outcome -> climb option

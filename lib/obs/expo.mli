@@ -1,0 +1,35 @@
+(** Prometheus text exposition format 0.0.4: rendering, linting, and a
+    small sample parser.
+
+    Rendered output is what [GET /metrics] serves; {!lint} is the
+    checker behind [strategem scrape --lint] and the CI cram test;
+    {!parse_samples} feeds [strategem watch]. *)
+
+(** Run the registry's collect hooks, then render every family as
+    [# HELP] / [# TYPE] plus one sample line per child (histograms as
+    cumulative [_bucket{le="..."}] series ending in [le="+Inf"], then
+    [_sum] and [_count]). *)
+val render : Registry.t -> string
+
+(** Float formatting as Prometheus expects: ["+Inf"], ["-Inf"], ["NaN"],
+    integers without a decimal point, else shortest-ish decimal. *)
+val float_str : float -> string
+
+type parsed_sample = {
+  metric : string;
+  labels : (string * string) list;
+  value : float;
+}
+
+(** Parse the sample lines of an exposition document, skipping comments
+    and blanks. Raises {!Bad_line} on a malformed line. *)
+val parse_samples : string -> parsed_sample list
+
+exception Bad_line of string
+
+(** Check an exposition document: every sampled family has [# HELP] and
+    [# TYPE] (valid and unique), metric/label names are well-formed, no
+    duplicate [(name, labelset)] sample, and histograms are consistent —
+    cumulative non-decreasing buckets, an [le="+Inf"] bucket equal to
+    [_count], and [_sum]/[_count] present. Returns all violations. *)
+val lint : string -> (unit, string list) result

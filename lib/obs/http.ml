@@ -1,0 +1,141 @@
+(* A deliberately minimal HTTP/1.1 responder for /metrics and /healthz:
+   thread per connection, reads one request line (headers are drained
+   and ignored), writes one response, closes. Not a general web server —
+   it exists so a Prometheus scraper can reach the registry without
+   adding an HTTP dependency to the build. *)
+
+type response = { status : int; content_type : string; body : string }
+
+type handler = meth:string -> path:string -> response option
+
+type t = {
+  sock : Unix.file_descr;
+  port : int;
+  stop_r : Unix.file_descr;  (* self-pipe: write side closed to stop *)
+  stop_w : Unix.file_descr;
+  accept_thread : Thread.t;
+}
+
+let status_text = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 503 -> "Service Unavailable"
+  | _ -> "Internal Server Error"
+
+let write_response fd { status; content_type; body } =
+  let head =
+    Printf.sprintf
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
+       Connection: close\r\n\r\n"
+      status (status_text status) content_type (String.length body)
+  in
+  let msg = head ^ body in
+  let n = String.length msg in
+  let pos = ref 0 in
+  (try
+     while !pos < n do
+       pos := !pos + Unix.write_substring fd msg !pos (n - !pos)
+     done
+   with Unix.Unix_error _ -> ())
+
+let text status body =
+  { status; content_type = "text/plain; charset=utf-8"; body }
+
+(* Read until the end of the request head (CRLFCRLF) or EOF/timeout,
+   bounded at 8 KiB — more than enough for a scraper's GET. *)
+let read_head fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 1024 in
+  let rec go () =
+    if Buffer.length buf > 8192 then None
+    else
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 | (exception Unix.Unix_error _) ->
+        if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
+      | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        let s = Buffer.contents buf in
+        let rec has_end i =
+          if i + 3 >= String.length s then false
+          else if s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r'
+                  && s.[i + 3] = '\n' then true
+          else has_end (i + 1)
+        in
+        if has_end 0 then Some s else go ()
+  in
+  go ()
+
+let serve_conn handler fd =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+      Unix.setsockopt_float fd Unix.SO_SNDTIMEO 5.0;
+      match read_head fd with
+      | None -> ()
+      | Some head ->
+        let request_line =
+          match String.index_opt head '\r' with
+          | Some i -> String.sub head 0 i
+          | None -> head
+        in
+        (match String.split_on_char ' ' request_line with
+        | meth :: target :: _ ->
+          (* Strip any query string; the endpoints take none. *)
+          let path =
+            match String.index_opt target '?' with
+            | Some i -> String.sub target 0 i
+            | None -> target
+          in
+          (match handler ~meth ~path with
+          | Some resp -> write_response fd resp
+          | None ->
+            if meth <> "GET" && meth <> "HEAD" then
+              write_response fd (text 405 "method not allowed\n")
+            else write_response fd (text 404 "not found\n"))
+        | _ -> write_response fd (text 400 "bad request\n")))
+
+let accept_loop ~sock ~stop_r handler =
+  let rec loop () =
+    match Unix.select [ sock; stop_r ] [] [] (-1.0) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    | ready, _, _ ->
+      if List.mem stop_r ready then ()
+      else begin
+        (match Unix.accept sock with
+        | exception Unix.Unix_error _ -> ()
+        | fd, _ -> ignore (Thread.create (serve_conn handler) fd));
+        loop ()
+      end
+  in
+  loop ()
+
+let start ?(host = "127.0.0.1") ~port ~handler () =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt sock Unix.SO_REUSEADDR true;
+     Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+     Unix.listen sock 16
+   with e ->
+     (try Unix.close sock with Unix.Unix_error _ -> ());
+     raise e);
+  let port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let stop_r, stop_w = Unix.pipe () in
+  let accept_thread =
+    Thread.create (fun () -> accept_loop ~sock ~stop_r handler) ()
+  in
+  { sock; port; stop_r; stop_w; accept_thread }
+
+let port t = t.port
+
+let stop t =
+  (try Unix.close t.stop_w with Unix.Unix_error _ -> ());
+  Thread.join t.accept_thread;
+  (try Unix.close t.sock with Unix.Unix_error _ -> ());
+  try Unix.close t.stop_r with Unix.Unix_error _ -> ()

@@ -1,0 +1,27 @@
+(** A minimal embedded HTTP/1.1 responder — just enough for a
+    Prometheus scraper: one thread per connection, one request per
+    connection ([Connection: close]), 5 s socket timeouts. *)
+
+type response = { status : int; content_type : string; body : string }
+
+(** Return [Some response] to answer, [None] to fall through to the
+    built-in 404 (or 405 for non-GET/HEAD methods). The query string is
+    stripped from [path] before dispatch. *)
+type handler = meth:string -> path:string -> response option
+
+type t
+
+(** Bind and listen on [host:port] ([port = 0] picks an ephemeral port —
+    read it back with {!port}) and start the accept thread. Raises
+    [Unix.Unix_error] if the bind fails. *)
+val start : ?host:string -> port:int -> handler:handler -> unit -> t
+
+(** The actual bound port. *)
+val port : t -> int
+
+(** A [text/plain] response. *)
+val text : int -> string -> response
+
+(** Stop accepting, close the listening socket, and join the accept
+    thread. In-flight connection threads finish on their own. *)
+val stop : t -> unit

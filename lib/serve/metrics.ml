@@ -1,57 +1,12 @@
-(* Bucket i counts latencies in [2^i, 2^(i+1)) µs; the last bucket is the
-   overflow. 22 doubling buckets reach ~4.2 s, plenty for a query. *)
-let n_buckets = 22
+(* The STATS facade: every counter the daemon reports lives in an
+   Obs.Registry instrument, so the same underlying numbers feed both
+   the TCP STATS/STATS JSON renderers (byte-stable for existing
+   clients) and the Prometheus /metrics endpoint. This module owns the
+   metric-name inventory (everything is prefixed [strategem_]; see
+   docs/OBSERVABILITY.md) plus the few STATS-only bits a scraper has no
+   use for: per-form strategy strings and the sampled-trace ring. *)
 
-type histogram = {
-  mutable count : int;
-  mutable sum_us : float;
-  buckets : int array;  (* length n_buckets + 1 *)
-}
-
-let hist_create () =
-  { count = 0; sum_us = 0.0; buckets = Array.make (n_buckets + 1) 0 }
-
-let bucket_of_us us =
-  let us = int_of_float (Float.max us 0.0) in
-  let rec go i bound = if us < bound then i else go (i + 1) (bound * 2) in
-  Int.min (go 0 2) n_buckets
-
-let hist_record h us =
-  h.count <- h.count + 1;
-  h.sum_us <- h.sum_us +. us;
-  let b = bucket_of_us us in
-  h.buckets.(b) <- h.buckets.(b) + 1
-
-let hist_mean h = if h.count = 0 then 0.0 else h.sum_us /. float_of_int h.count
-
-(* Upper bound (µs) of the smallest bucket that covers quantile [q]. *)
-let hist_quantile h q =
-  if h.count = 0 then 0
-  else begin
-    let target =
-      Int.max 1 (int_of_float (ceil (q *. float_of_int h.count)))
-    in
-    let acc = ref 0 and result = ref (1 lsl (n_buckets + 1)) in
-    (try
-       Array.iteri
-         (fun i n ->
-           acc := !acc + n;
-           if !acc >= target then begin
-             result := 1 lsl (i + 1);
-             raise Exit
-           end)
-         h.buckets
-     with Exit -> ());
-    !result
-  end
-
-type form_stats = {
-  mutable queries : int;
-  mutable answered : int;
-  mutable climbs : int;
-  hist : histogram;
-  mutable strategy : string;
-}
+module R = Obs.Registry
 
 type cache_stats = {
   enabled : bool;
@@ -84,99 +39,292 @@ let no_cache_stats =
     memo_entries = 0;
   }
 
-type t = {
-  lock : Mutex.t;
-  started : float;
-  mutable connections : int;
-  mutable busy : int;
-  mutable errors : int;
-  mutable snapshots : int;
-  mutable snapshot_forms : int;
-  mutable forms_loaded : int;
-  mutable queue_hwm : int;
-  queue_wait : histogram;
-  traces : Trace.Ring.t option;  (* --trace-sample ring; lock-guarded *)
-  forms : (string, form_stats) Hashtbl.t;
-  (* The cache keeps its own (sharded) counters; rendering pulls them
-     through this provider rather than double-counting here. *)
-  mutable cache_provider : (unit -> cache_stats) option;
+type form_handles = {
+  c_queries : R.Counter.t;
+  c_answered : R.Counter.t;
+  c_climbs : R.Counter.t;
+  h_latency : R.Histogram.t;
+  g_eps : R.Gauge.t;
+  g_delta : R.Gauge.t;
+  g_samples : R.Gauge.t;
+  g_samples_total : R.Gauge.t;
+  g_learner_climbs : R.Gauge.t;
+  g_finished : R.Gauge.t;
+  mutable strategy : string;
 }
 
+type t = {
+  reg : R.t;
+  started : float;
+  lock : Mutex.t;  (* guards [forms] creation and [cache_provider] *)
+  forms : (string, form_handles) Hashtbl.t;
+  trace_lock : Mutex.t;
+  traces : Trace.Ring.t option;
+  mutable cache_provider : (unit -> cache_stats) option;
+  (* Window high-water accumulator, consumed (reset) by whichever of
+     STATS or a /metrics scrape reads it first — "max depth since the
+     last read". The all-time high-water gauge never resets. *)
+  window_hwm : float Atomic.t;
+  c_connections : R.Counter.t;
+  c_busy : R.Counter.t;
+  c_errors : R.Counter.t;
+  c_snapshots : R.Counter.t;
+  c_snapshot_forms : R.Counter.t;
+  c_forms_loaded : R.Counter.t;
+  g_uptime : R.Gauge.t;
+  g_forms_active : R.Gauge.t;
+  g_queue_depth : R.Gauge.t;
+  g_queue_hwm : R.Gauge.t;
+  g_queue_hwm_window : R.Gauge.t;
+  h_queue_wait : R.Histogram.t;
+  g_cache_enabled : R.Gauge.t;
+  c_cache_hits : R.Counter.t;
+  c_cache_misses : R.Counter.t;
+  c_cache_evictions : R.Counter.t;
+  c_cache_invalidations : R.Counter.t;
+  g_cache_entries : R.Gauge.t;
+  g_cache_bytes : R.Gauge.t;
+  g_cache_capacity : R.Gauge.t;
+  c_memo_hits : R.Counter.t;
+  c_memo_misses : R.Counter.t;
+  c_memo_invalidations : R.Counter.t;
+  g_memo_entries : R.Gauge.t;
+  f_queries : R.Counter.fam;
+  f_answered : R.Counter.fam;
+  f_climbs : R.Counter.fam;
+  f_latency : R.Histogram.fam;
+  f_learner_eps : R.Gauge.fam;
+  f_learner_delta : R.Gauge.fam;
+  f_learner_samples : R.Gauge.fam;
+  f_learner_samples_total : R.Gauge.fam;
+  f_learner_climbs : R.Gauge.fam;
+  f_learner_finished : R.Gauge.fam;
+}
+
+let mirror_cache t cs =
+  R.Gauge.set t.g_cache_enabled (if cs.enabled then 1.0 else 0.0);
+  R.Counter.set t.c_cache_hits cs.hits;
+  R.Counter.set t.c_cache_misses cs.misses;
+  R.Counter.set t.c_cache_evictions cs.evictions;
+  R.Counter.set t.c_cache_invalidations cs.invalidations;
+  R.Gauge.set t.g_cache_entries (float_of_int cs.entries);
+  R.Gauge.set t.g_cache_bytes (float_of_int cs.bytes);
+  R.Gauge.set t.g_cache_capacity (float_of_int cs.capacity_bytes);
+  R.Counter.set t.c_memo_hits cs.memo_hits;
+  R.Counter.set t.c_memo_misses cs.memo_misses;
+  R.Counter.set t.c_memo_invalidations cs.memo_invalidations;
+  R.Gauge.set t.g_memo_entries (float_of_int cs.memo_entries)
+
 let create ?(trace_capacity = 0) () =
-  {
-    lock = Mutex.create ();
-    started = Unix.gettimeofday ();
-    connections = 0;
-    busy = 0;
-    errors = 0;
-    snapshots = 0;
-    snapshot_forms = 0;
-    forms_loaded = 0;
-    queue_hwm = 0;
-    queue_wait = hist_create ();
-    traces =
-      (if trace_capacity > 0 then
-         Some (Trace.Ring.create ~capacity:trace_capacity)
-       else None);
-    forms = Hashtbl.create 8;
-    cache_provider = None;
-  }
+  let reg = R.create () in
+  let counter help name = R.Counter.solo (R.Counter.v reg ~help name) in
+  let gauge help name = R.Gauge.solo (R.Gauge.v reg ~help name) in
+  let t =
+    {
+      reg;
+      started = Unix.gettimeofday ();
+      lock = Mutex.create ();
+      forms = Hashtbl.create 8;
+      trace_lock = Mutex.create ();
+      traces =
+        (if trace_capacity > 0 then
+           Some (Trace.Ring.create ~capacity:trace_capacity)
+         else None);
+      cache_provider = None;
+      window_hwm = Atomic.make 0.0;
+      c_connections =
+        counter "Connections admitted" "strategem_connections_total";
+      c_busy = counter "Connections shed with BUSY" "strategem_busy_total";
+      c_errors = counter "Protocol-level errors" "strategem_errors_total";
+      c_snapshots =
+        counter "Strategy snapshots written" "strategem_snapshots_total";
+      c_snapshot_forms =
+        counter "Forms written across all snapshots"
+          "strategem_snapshot_forms_total";
+      c_forms_loaded =
+        counter "Forms whose strategies were reloaded at startup"
+          "strategem_forms_loaded_total";
+      g_uptime = gauge "Seconds since the daemon started" "strategem_uptime_seconds";
+      g_forms_active =
+        gauge "Query forms with a live learner" "strategem_forms_active";
+      g_queue_depth =
+        gauge "Admission-queue depth now" "strategem_queue_depth";
+      g_queue_hwm =
+        gauge "All-time admission-queue high water"
+          "strategem_queue_depth_high_water";
+      g_queue_hwm_window =
+        gauge "Admission-queue high water since the last STATS/scrape"
+          "strategem_queue_depth_high_water_window";
+      h_queue_wait =
+        R.Histogram.solo
+          (R.Histogram.v reg ~help:"Admission-queue wait (microseconds)"
+             "strategem_queue_wait_us");
+      g_cache_enabled =
+        gauge "1 when the answer cache is on" "strategem_cache_enabled";
+      c_cache_hits = counter "Answer-cache hits" "strategem_cache_hits_total";
+      c_cache_misses =
+        counter "Answer-cache misses" "strategem_cache_misses_total";
+      c_cache_evictions =
+        counter "Answer-cache LRU evictions" "strategem_cache_evictions_total";
+      c_cache_invalidations =
+        counter "Answer-cache entries dropped after DB mutations"
+          "strategem_cache_invalidations_total";
+      g_cache_entries =
+        gauge "Answer-cache resident entries" "strategem_cache_entries";
+      g_cache_bytes =
+        gauge "Answer-cache resident bytes (estimated)" "strategem_cache_bytes";
+      g_cache_capacity =
+        gauge "Answer-cache capacity in bytes" "strategem_cache_capacity_bytes";
+      c_memo_hits = counter "Subgoal-memo hits" "strategem_memo_hits_total";
+      c_memo_misses =
+        counter "Subgoal-memo misses" "strategem_memo_misses_total";
+      c_memo_invalidations =
+        counter "Subgoal-memo invalidations" "strategem_memo_invalidations_total";
+      g_memo_entries =
+        gauge "Subgoal-memo resident entries" "strategem_memo_entries";
+      f_queries =
+        R.Counter.v reg ~help:"Queries answered" ~labels:[ "form" ]
+          "strategem_queries_total";
+      f_answered =
+        R.Counter.v reg ~help:"Queries that found an answer"
+          ~labels:[ "form" ] "strategem_answers_total";
+      f_climbs =
+        R.Counter.v reg ~help:"Strategy climbs adopted" ~labels:[ "form" ]
+          "strategem_climbs_total";
+      f_latency =
+        R.Histogram.v reg ~help:"Query latency (microseconds)"
+          ~labels:[ "form" ] "strategem_query_latency_us";
+      f_learner_eps =
+        R.Gauge.v reg
+          ~help:
+            "Learner accuracy bound epsilon (per-learner definition; \
+             converges toward 0 as evidence accumulates)"
+          ~labels:[ "form" ] "strategem_learner_epsilon";
+      f_learner_delta =
+        R.Gauge.v reg ~help:"Learner confidence budget delta"
+          ~labels:[ "form" ] "strategem_learner_delta";
+      f_learner_samples =
+        R.Gauge.v reg ~help:"Learner current sample set size"
+          ~labels:[ "form" ] "strategem_learner_samples";
+      f_learner_samples_total =
+        R.Gauge.v reg ~help:"Observations fed to the learner"
+          ~labels:[ "form" ] "strategem_learner_samples_total";
+      f_learner_climbs =
+        R.Gauge.v reg
+          ~help:"Climbs by the current learner (resets on reseed)"
+          ~labels:[ "form" ] "strategem_learner_climbs";
+      f_learner_finished =
+        R.Gauge.v reg ~help:"1 once the learner finished/converged"
+          ~labels:[ "form" ] "strategem_learner_finished";
+    }
+  in
+  R.on_collect reg (fun () ->
+      R.Gauge.set t.g_uptime (Unix.gettimeofday () -. t.started);
+      Mutex.lock t.lock;
+      let n_forms = Hashtbl.length t.forms in
+      let provider = t.cache_provider in
+      Mutex.unlock t.lock;
+      R.Gauge.set t.g_forms_active (float_of_int n_forms);
+      R.Gauge.set t.g_queue_hwm_window (Atomic.exchange t.window_hwm 0.0);
+      (* The provider has its own locks; called outside ours. *)
+      match provider with Some f -> mirror_cache t (f ()) | None -> ());
+  t
+
+let registry t = t.reg
+let render_prometheus t = Obs.Expo.render t.reg
 
 let with_lock t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-let form_stats t key =
-  match Hashtbl.find_opt t.forms key with
-  | Some fs -> fs
-  | None ->
-    let fs =
-      { queries = 0; answered = 0; climbs = 0; hist = hist_create ();
-        strategy = "" }
-    in
-    Hashtbl.add t.forms key fs;
-    fs
+let form_handles t key =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.forms key with
+      | Some fh -> fh
+      | None ->
+        let l = [ key ] in
+        let fh =
+          {
+            c_queries = R.Counter.labels t.f_queries l;
+            c_answered = R.Counter.labels t.f_answered l;
+            c_climbs = R.Counter.labels t.f_climbs l;
+            h_latency = R.Histogram.labels t.f_latency l;
+            g_eps = R.Gauge.labels t.f_learner_eps l;
+            g_delta = R.Gauge.labels t.f_learner_delta l;
+            g_samples = R.Gauge.labels t.f_learner_samples l;
+            g_samples_total = R.Gauge.labels t.f_learner_samples_total l;
+            g_learner_climbs = R.Gauge.labels t.f_learner_climbs l;
+            g_finished = R.Gauge.labels t.f_learner_finished l;
+            strategy = "";
+          }
+        in
+        (* A new form's epsilon starts at +inf: no evidence yet. *)
+        R.Gauge.set fh.g_eps Float.infinity;
+        Hashtbl.add t.forms key fh;
+        fh)
 
-let connection t = with_lock t (fun () -> t.connections <- t.connections + 1)
-let busy t = with_lock t (fun () -> t.busy <- t.busy + 1)
-let error t = with_lock t (fun () -> t.errors <- t.errors + 1)
+let connection t = R.Counter.inc t.c_connections
+let busy t = R.Counter.inc t.c_busy
+let error t = R.Counter.inc t.c_errors
 
 let snapshot_saved t ~forms =
-  with_lock t (fun () ->
-      t.snapshots <- t.snapshots + 1;
-      t.snapshot_forms <- t.snapshot_forms + forms)
+  R.Counter.inc t.c_snapshots;
+  R.Counter.add t.c_snapshot_forms forms
 
-let forms_loaded t n =
-  with_lock t (fun () -> t.forms_loaded <- t.forms_loaded + n)
+let forms_loaded t n = R.Counter.add t.c_forms_loaded n
 
 let observe_queue_depth t d =
-  with_lock t (fun () -> if d > t.queue_hwm then t.queue_hwm <- d)
+  let d = float_of_int d in
+  R.Gauge.set t.g_queue_depth d;
+  R.Gauge.set_max t.g_queue_hwm d;
+  let rec bump () =
+    let cur = Atomic.get t.window_hwm in
+    if d > cur && not (Atomic.compare_and_set t.window_hwm cur d) then bump ()
+  in
+  bump ()
 
-let queue_waited t ~wait_us =
-  with_lock t (fun () -> hist_record t.queue_wait wait_us)
+let queue_waited t ~wait_us = R.Histogram.observe t.h_queue_wait wait_us
 
 let trace_sampling t = t.traces <> None
 
 let trace t json =
   match t.traces with
   | None -> ()
-  | Some ring -> with_lock t (fun () -> Trace.Ring.add ring json)
+  | Some ring ->
+    Mutex.lock t.trace_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.trace_lock)
+      (fun () -> Trace.Ring.add ring json)
 
 let recent_traces t =
   match t.traces with
   | None -> []
-  | Some ring -> with_lock t (fun () -> Trace.Ring.to_list ring)
+  | Some ring ->
+    Mutex.lock t.trace_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.trace_lock)
+      (fun () -> Trace.Ring.to_list ring)
 
 let query t ~form ~latency_us ~answered ~switched =
-  with_lock t (fun () ->
-      let fs = form_stats t form in
-      fs.queries <- fs.queries + 1;
-      if answered then fs.answered <- fs.answered + 1;
-      if switched then fs.climbs <- fs.climbs + 1;
-      hist_record fs.hist latency_us)
+  let fh = form_handles t form in
+  R.Counter.inc fh.c_queries;
+  if answered then R.Counter.inc fh.c_answered;
+  if switched then R.Counter.inc fh.c_climbs;
+  R.Histogram.observe fh.h_latency latency_us
 
 let set_form_strategy t ~form s =
-  with_lock t (fun () -> (form_stats t form).strategy <- s)
+  let fh = form_handles t form in
+  with_lock t (fun () -> fh.strategy <- s)
+
+let learner_progress t ~form ~samples ~samples_total ~climbs ~epsilon ~delta
+    ~finished =
+  let fh = form_handles t form in
+  R.Gauge.set fh.g_eps epsilon;
+  R.Gauge.set fh.g_delta delta;
+  R.Gauge.set fh.g_samples (float_of_int samples);
+  R.Gauge.set fh.g_samples_total (float_of_int samples_total);
+  R.Gauge.set fh.g_learner_climbs (float_of_int climbs);
+  R.Gauge.set fh.g_finished (if finished then 1.0 else 0.0)
 
 let set_cache_provider t f = with_lock t (fun () -> t.cache_provider <- Some f)
 
@@ -185,21 +333,21 @@ let cache_stats t =
   | None -> None
   | Some f -> Some (f ())
 
-let fold_forms t f init =
-  Hashtbl.fold (fun k fs acc -> f k fs acc) t.forms init
+let sorted_forms t =
+  with_lock t (fun () ->
+      Hashtbl.fold (fun k fh acc -> (k, fh) :: acc) t.forms [])
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let sum_forms forms f = List.fold_left (fun n (_, fh) -> n + f fh) 0 forms
 
 let queries_total t =
-  with_lock t (fun () -> fold_forms t (fun _ fs n -> n + fs.queries) 0)
+  sum_forms (sorted_forms t) (fun fh -> R.Counter.value fh.c_queries)
 
 let climbs_total t =
-  with_lock t (fun () -> fold_forms t (fun _ fs n -> n + fs.climbs) 0)
+  sum_forms (sorted_forms t) (fun fh -> R.Counter.value fh.c_climbs)
 
-let busy_total t = with_lock t (fun () -> t.busy)
-let queue_high_water t = with_lock t (fun () -> t.queue_hwm)
-
-let sorted_forms t =
-  fold_forms t (fun k fs acc -> (k, fs) :: acc) []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+let busy_total t = R.Counter.value t.c_busy
+let queue_high_water t = int_of_float (R.Gauge.value t.g_queue_hwm)
 
 let cache_lines cs =
   [
@@ -217,49 +365,63 @@ let cache_lines cs =
     Printf.sprintf "memo_entries %d" cs.memo_entries;
   ]
 
+(* Every STATS field and its order is part of the frozen text contract;
+   values are read out of the registry instruments. New fields are only
+   ever appended next to their kin (queue_depth and
+   queue_high_water_window arrived after queue_high_water). *)
 let render_text t =
-  (* Pull cache counters before taking the metrics lock: the provider has
-     its own locks and must not nest inside ours. *)
   let cache = cache_stats t in
-  with_lock t (fun () ->
-      let totals name f = Printf.sprintf "%s %d" name (fold_forms t f 0) in
-      let counters =
-        [
-          Printf.sprintf "uptime_seconds %d"
-            (int_of_float (Unix.gettimeofday () -. t.started));
-          Printf.sprintf "connections_total %d" t.connections;
-          totals "queries_total" (fun _ fs n -> n + fs.queries);
-          totals "answered_total" (fun _ fs n -> n + fs.answered);
-          totals "climbs_total" (fun _ fs n -> n + fs.climbs);
-          Printf.sprintf "busy_total %d" t.busy;
-          Printf.sprintf "errors_total %d" t.errors;
-          Printf.sprintf "snapshots_total %d" t.snapshots;
-          Printf.sprintf "forms_loaded %d" t.forms_loaded;
-          Printf.sprintf "forms_active %d" (Hashtbl.length t.forms);
-          Printf.sprintf "queue_high_water %d" t.queue_hwm;
-          Printf.sprintf "queue_wait_count %d" t.queue_wait.count;
-          Printf.sprintf "queue_wait_mean_us %.0f" (hist_mean t.queue_wait);
-          Printf.sprintf "queue_wait_p95_us %d"
-            (hist_quantile t.queue_wait 0.95);
-        ]
-      in
-      let counters =
-        match cache with
-        | None -> counters
-        | Some cs -> counters @ cache_lines cs
-      in
-      let form_lines =
-        List.map
-          (fun (key, fs) ->
-            Printf.sprintf
-              "form %s queries %d answered %d climbs %d mean_us %.0f \
-               p50_us %d p95_us %d p99_us %d strategy %s"
-              key fs.queries fs.answered fs.climbs (hist_mean fs.hist)
-              (hist_quantile fs.hist 0.50) (hist_quantile fs.hist 0.95)
-              (hist_quantile fs.hist 0.99) fs.strategy)
-          (sorted_forms t)
-      in
-      counters @ form_lines)
+  let forms = sorted_forms t in
+  let qw = R.Histogram.snapshot t.h_queue_wait in
+  let counters =
+    [
+      Printf.sprintf "uptime_seconds %d"
+        (int_of_float (Unix.gettimeofday () -. t.started));
+      Printf.sprintf "connections_total %d" (R.Counter.value t.c_connections);
+      Printf.sprintf "queries_total %d"
+        (sum_forms forms (fun fh -> R.Counter.value fh.c_queries));
+      Printf.sprintf "answered_total %d"
+        (sum_forms forms (fun fh -> R.Counter.value fh.c_answered));
+      Printf.sprintf "climbs_total %d"
+        (sum_forms forms (fun fh -> R.Counter.value fh.c_climbs));
+      Printf.sprintf "busy_total %d" (R.Counter.value t.c_busy);
+      Printf.sprintf "errors_total %d" (R.Counter.value t.c_errors);
+      Printf.sprintf "snapshots_total %d" (R.Counter.value t.c_snapshots);
+      Printf.sprintf "forms_loaded %d" (R.Counter.value t.c_forms_loaded);
+      Printf.sprintf "forms_active %d" (List.length forms);
+      Printf.sprintf "queue_high_water %d"
+        (int_of_float (R.Gauge.value t.g_queue_hwm));
+      Printf.sprintf "queue_depth %d"
+        (int_of_float (R.Gauge.value t.g_queue_depth));
+      Printf.sprintf "queue_high_water_window %d"
+        (int_of_float (Atomic.exchange t.window_hwm 0.0));
+      Printf.sprintf "queue_wait_count %d" qw.R.Histogram.count;
+      Printf.sprintf "queue_wait_mean_us %.0f" (R.Histogram.mean qw);
+      Printf.sprintf "queue_wait_p95_us %d" (R.Histogram.quantile qw 0.95);
+    ]
+  in
+  let counters =
+    match cache with None -> counters | Some cs -> counters @ cache_lines cs
+  in
+  let form_lines =
+    List.map
+      (fun (key, fh) ->
+        let h = R.Histogram.snapshot fh.h_latency in
+        Printf.sprintf
+          "form %s queries %d answered %d climbs %d mean_us %.0f \
+           p50_us %d p95_us %d p99_us %d strategy %s"
+          key
+          (R.Counter.value fh.c_queries)
+          (R.Counter.value fh.c_answered)
+          (R.Counter.value fh.c_climbs)
+          (R.Histogram.mean h)
+          (R.Histogram.quantile h 0.50)
+          (R.Histogram.quantile h 0.95)
+          (R.Histogram.quantile h 0.99)
+          (with_lock t (fun () -> fh.strategy)))
+      forms
+  in
+  counters @ form_lines
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -293,59 +455,72 @@ let cache_json cs =
     cs.memo_misses cs.memo_invalidations cs.memo_entries
 
 let render_json t =
-  (* Same pre-pull as [render_text]: provider locks must not nest in ours. *)
   let cache = cache_stats t in
-  with_lock t (fun () ->
-      let buf = Buffer.create 512 in
+  let forms = sorted_forms t in
+  let qw = R.Histogram.snapshot t.h_queue_wait in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"schema\":%d,\"uptime_seconds\":%d,\"connections_total\":%d,\
+        \"queries_total\":%d,\"answered_total\":%d,\
+        \"climbs_total\":%d,\"busy_total\":%d,\"errors_total\":%d,\
+        \"snapshots_total\":%d,\"forms_loaded\":%d,\
+        \"forms_active\":%d,\"queue_high_water\":%d,\"queue_depth\":%d,\
+        \"queue_high_water_window\":%d,\
+        \"queue_wait\":{\"count\":%d,\"mean_us\":%.1f,\"p50_us\":%d,\
+        \"p95_us\":%d,\"p99_us\":%d},"
+       schema_version
+       (int_of_float (Unix.gettimeofday () -. t.started))
+       (R.Counter.value t.c_connections)
+       (sum_forms forms (fun fh -> R.Counter.value fh.c_queries))
+       (sum_forms forms (fun fh -> R.Counter.value fh.c_answered))
+       (sum_forms forms (fun fh -> R.Counter.value fh.c_climbs))
+       (R.Counter.value t.c_busy)
+       (R.Counter.value t.c_errors)
+       (R.Counter.value t.c_snapshots)
+       (R.Counter.value t.c_forms_loaded)
+       (List.length forms)
+       (int_of_float (R.Gauge.value t.g_queue_hwm))
+       (int_of_float (R.Gauge.value t.g_queue_depth))
+       (int_of_float (Atomic.exchange t.window_hwm 0.0))
+       qw.R.Histogram.count (R.Histogram.mean qw)
+       (R.Histogram.quantile qw 0.50)
+       (R.Histogram.quantile qw 0.95)
+       (R.Histogram.quantile qw 0.99));
+  (match cache with
+  | None -> ()
+  | Some cs -> Buffer.add_string buf (cache_json cs));
+  Buffer.add_string buf "\"forms\":{";
+  List.iteri
+    (fun i (key, fh) ->
+      if i > 0 then Buffer.add_char buf ',';
+      let h = R.Histogram.snapshot fh.h_latency in
       Buffer.add_string buf
         (Printf.sprintf
-           "{\"schema\":%d,\"uptime_seconds\":%d,\"connections_total\":%d,\
-            \"queries_total\":%d,\"answered_total\":%d,\
-            \"climbs_total\":%d,\"busy_total\":%d,\"errors_total\":%d,\
-            \"snapshots_total\":%d,\"forms_loaded\":%d,\
-            \"forms_active\":%d,\"queue_high_water\":%d,\
-            \"queue_wait\":{\"count\":%d,\"mean_us\":%.1f,\"p50_us\":%d,\
-            \"p95_us\":%d,\"p99_us\":%d},"
-           schema_version
-           (int_of_float (Unix.gettimeofday () -. t.started))
-           t.connections
-           (fold_forms t (fun _ fs n -> n + fs.queries) 0)
-           (fold_forms t (fun _ fs n -> n + fs.answered) 0)
-           (fold_forms t (fun _ fs n -> n + fs.climbs) 0)
-           t.busy t.errors t.snapshots t.forms_loaded
-           (Hashtbl.length t.forms) t.queue_hwm t.queue_wait.count
-           (hist_mean t.queue_wait)
-           (hist_quantile t.queue_wait 0.50)
-           (hist_quantile t.queue_wait 0.95)
-           (hist_quantile t.queue_wait 0.99));
-      (match cache with
-      | None -> ()
-      | Some cs -> Buffer.add_string buf (cache_json cs));
-      Buffer.add_string buf "\"forms\":{";
-      List.iteri
-        (fun i (key, fs) ->
-          if i > 0 then Buffer.add_char buf ',';
-          Buffer.add_string buf
-            (Printf.sprintf
-               "\"%s\":{\"queries\":%d,\"answered\":%d,\"climbs\":%d,\
-                \"mean_us\":%.1f,\"p50_us\":%d,\"p95_us\":%d,\
-                \"p99_us\":%d,\"strategy\":\"%s\"}"
-               (json_escape key) fs.queries fs.answered fs.climbs
-               (hist_mean fs.hist) (hist_quantile fs.hist 0.50)
-               (hist_quantile fs.hist 0.95) (hist_quantile fs.hist 0.99)
-               (json_escape fs.strategy)))
-        (sorted_forms t);
-      Buffer.add_string buf "}";
-      (match t.traces with
-      | None -> ()
-      | Some ring ->
-        Buffer.add_string buf ",\"recent_traces\":[";
-        List.iteri
-          (fun i json ->
-            if i > 0 then Buffer.add_char buf ',';
-            (* Entries are already rendered JSON objects. *)
-            Buffer.add_string buf json)
-          (Trace.Ring.to_list ring);
-        Buffer.add_char buf ']');
-      Buffer.add_char buf '}';
-      Buffer.contents buf)
+           "\"%s\":{\"queries\":%d,\"answered\":%d,\"climbs\":%d,\
+            \"mean_us\":%.1f,\"p50_us\":%d,\"p95_us\":%d,\
+            \"p99_us\":%d,\"strategy\":\"%s\"}"
+           (json_escape key)
+           (R.Counter.value fh.c_queries)
+           (R.Counter.value fh.c_answered)
+           (R.Counter.value fh.c_climbs)
+           (R.Histogram.mean h)
+           (R.Histogram.quantile h 0.50)
+           (R.Histogram.quantile h 0.95)
+           (R.Histogram.quantile h 0.99)
+           (json_escape (with_lock t (fun () -> fh.strategy)))))
+    forms;
+  Buffer.add_string buf "}";
+  (match t.traces with
+  | None -> ()
+  | Some _ ->
+    Buffer.add_string buf ",\"recent_traces\":[";
+    List.iteri
+      (fun i json ->
+        if i > 0 then Buffer.add_char buf ',';
+        (* Entries are already rendered JSON objects. *)
+        Buffer.add_string buf json)
+      (recent_traces t);
+    Buffer.add_char buf ']');
+  Buffer.add_char buf '}';
+  Buffer.contents buf

@@ -1,12 +1,16 @@
-(** Server observability: monotonic counters, per-form latency histograms
-    and strategy-learning event counts, rendered for the [STATS] command
-    (text) and dumpable as JSON.
+(** Server observability: a thin facade over an {!Obs.Registry}. Every
+    number the daemon reports lives in a registry instrument, so the
+    same underlying counters feed the TCP [STATS]/[STATS JSON] renderers
+    (byte-stable for existing clients — new fields are only ever
+    additive) and the Prometheus [/metrics] endpoint
+    ({!render_prometheus}). Metric names and labels are inventoried in
+    [docs/OBSERVABILITY.md].
 
-    All operations are thread-safe (one internal lock). Counters only
-    ever increase; per-form state is created on first use. Latencies go
-    into fixed log-scale buckets — bucket [i] holds observations in
-    [[2^i, 2^(i+1)) µs) — so percentile reads are O(buckets) and never
-    allocate per observation. *)
+    All operations are thread-safe; hot-path updates are lock-sharded
+    per time series (see {!Obs.Registry}). Per-form state is created on
+    first use. Latencies go into fixed log-scale buckets — bucket [i]
+    holds observations in [[2^i, 2^(i+1)) µs) — so percentile reads are
+    O(buckets) and never allocate per observation. *)
 
 type t
 
@@ -17,8 +21,18 @@ type t
 val create : ?trace_capacity:int -> unit -> t
 
 (** Version of the frozen [STATS JSON] schema (the [schema] field;
-    documented field-by-field in [docs/SERVING.md]). *)
+    documented field-by-field in [docs/SERVING.md] — derived from the
+    registry since the observability layer landed). *)
 val schema_version : int
+
+(** The backing registry, for callers that add their own instruments
+    (the server's slow-query counter) or render it directly. *)
+val registry : t -> Obs.Registry.t
+
+(** The whole registry in Prometheus text exposition format 0.0.4 —
+    the [GET /metrics] body. Runs the collect hooks (cache mirror,
+    uptime, windowed high-water). *)
+val render_prometheus : t -> string
 
 (** {1 Events} *)
 
@@ -34,8 +48,11 @@ val snapshot_saved : t -> forms:int -> unit
     startup. *)
 val forms_loaded : t -> int -> unit
 
-(** Record the admission-queue depth observed after an enqueue; the
-    high-water mark is kept. *)
+(** Record the admission-queue depth (observed after an enqueue or a
+    pop). Keeps three readings: the current-depth gauge, an all-time
+    high water ([queue_high_water], never resets), and a windowed high
+    water ([queue_high_water_window]) that resets each time [STATS] or
+    a [/metrics] scrape reads it. *)
 val observe_queue_depth : t -> int -> unit
 
 (** A connection spent [wait_us] in the admission queue before a worker
@@ -60,6 +77,21 @@ val query :
 
 (** The form's current strategy, pre-rendered (shown by [STATS]). *)
 val set_form_strategy : t -> form:string -> string -> unit
+
+(** Update the form's [strategem_learner_*] convergence gauges from a
+    {!Core.Learner.progress} reading (fields passed positionally so this
+    module stays core-agnostic). Called from the learner event hook on
+    every observation. *)
+val learner_progress :
+  t ->
+  form:string ->
+  samples:int ->
+  samples_total:int ->
+  climbs:int ->
+  epsilon:float ->
+  delta:float ->
+  finished:bool ->
+  unit
 
 (** {1 Cache} *)
 

@@ -64,6 +64,26 @@ let with_live (entry : entry) f =
 
 let strategy_string entry = with_live entry render
 
+(* Forward the learner's telemetry into the per-form convergence
+   gauges. The hook fires on every observation (bound check), climb,
+   and adopted conjecture — the gauges always show the latest
+   reading. *)
+let publish_progress metrics ~form (p : Core.Learner.progress) =
+  Metrics.learner_progress metrics ~form
+    ~samples:p.Core.Learner.samples
+    ~samples_total:p.Core.Learner.samples_total
+    ~climbs:p.Core.Learner.climbs ~epsilon:p.Core.Learner.epsilon
+    ~delta:p.Core.Learner.delta ~finished:p.Core.Learner.finished
+
+let install_telemetry metrics ~form live =
+  Core.Live.on_event live (fun ev ->
+      match ev with
+      | Core.Learner.Observed p
+      | Core.Learner.Climbed p
+      | Core.Learner.Conjectured p -> publish_progress metrics ~form p);
+  publish_progress metrics ~form
+    (Core.Learner.progress (Core.Live.learner live))
+
 let find_or_create t atom =
   let form = form_of_query atom in
   let key = key_of_form form in
@@ -80,6 +100,7 @@ let find_or_create t atom =
         in
         let e = { key; form; live; lock = Mutex.create () } in
         Hashtbl.add t.entries key e;
+        install_telemetry t.metrics ~form:key live;
         Metrics.set_form_strategy t.metrics ~form:key (render live);
         e)
 

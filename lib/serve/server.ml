@@ -12,6 +12,10 @@ type config = {
   learner_config : Core.Learner.config;
   trace_sample : int;
   cache_mb : int;  (* answer-cache budget; 0 disables caching + memo *)
+  metrics_port : int option;  (* /metrics + /healthz HTTP port; 0 = ephemeral *)
+  log_level : Obs.Log.level option;  (* None = structured logging off *)
+  log_file : string option;  (* None = stderr *)
+  slow_query_us : float;  (* 0. = slow-query log off *)
 }
 
 let default_config =
@@ -26,6 +30,10 @@ let default_config =
     learner_config = Core.Learner.default_config;
     trace_sample = 0;
     cache_mb = 64;
+    metrics_port = None;
+    log_level = None;
+    log_file = None;
+    slow_query_us = 0.0;
   }
 
 type state = {
@@ -33,9 +41,21 @@ type state = {
   metrics : Metrics.t;
   registry : Registry.t;
   db : D.Database.t;
-  (* each queued connection carries its enqueue time, so the worker that
-     pops it can charge the admission-queue wait *)
-  queue : (Unix.file_descr * float) Admission.t;
+  log : Obs.Log.t;
+  (* at most one slow-query record per second; the rest are counted *)
+  slow_limiter : Obs.Log.Limiter.t;
+  (* one-shot "trace the next query" flag: tracing every query just in
+     case it turns out slow costs ~15% throughput (E21), so instead a
+     slow query detected without a live tracer arms this, and the next
+     query runs traced — a consistently slow workload gets its span
+     tree into the next admitted record at the cost of one traced query
+     per record *)
+  trace_next : bool Atomic.t;
+  c_slow : Obs.Registry.Counter.t;
+  conn_seq : int Atomic.t;  (* connection ids, for log correlation *)
+  (* each queued connection carries its enqueue time (so the worker that
+     pops it can charge the admission-queue wait) and its id *)
+  queue : (Unix.file_descr * float * int) Admission.t;
   cache : Cache.Answers.t option;
   memo : D.Sld.Memo.t option;
   stopping : bool Atomic.t;
@@ -73,7 +93,8 @@ let serve_root tracer ~wait_us atom_text =
   root
 
 (* Answer [q] through the registry, tracing if [tracer] is enabled, and
-   record the query metrics. Returns the answer (exceptions escape). *)
+   record the query metrics. Returns the answer and its latency
+   (exceptions escape). *)
 let answer_traced st ~wait_us ~t0 tracer q =
   let root =
     if Trace.enabled tracer then
@@ -91,11 +112,59 @@ let answer_traced st ~wait_us ~t0 tracer q =
     ~latency_us
     ~answered:(ans.Core.Live.result <> None)
     ~switched:ans.Core.Live.switched;
-  if Trace.enabled tracer then
+  if Metrics.trace_sampling st.metrics && Trace.enabled tracer then
     Option.iter
       (fun sp -> Metrics.trace st.metrics (Trace.to_json sp))
       (Trace.root_span tracer);
-  ans
+  (ans, latency_us)
+
+(* Per-query log records: a debug record for every answered query, plus a
+   rate-limited warn record — with the query's span tree inlined — for
+   queries at or over the slow-query threshold. *)
+let log_query st ~conn ~qid ~latency_us ~tracer atom_text
+    (ans : Core.Live.answer) =
+  if Obs.Log.enabled st.log Obs.Log.Debug then
+    Obs.Log.debug st.log "query answered"
+      ~fields:
+        [
+          ("conn", Obs.Log.I conn);
+          ("query", Obs.Log.I qid);
+          ("q", Obs.Log.S atom_text);
+          ("latency_us", Obs.Log.F latency_us);
+          ("answered", Obs.Log.B (ans.Core.Live.result <> None));
+          ("cached", Obs.Log.B ans.Core.Live.cached);
+          ("switched", Obs.Log.B ans.Core.Live.switched);
+        ];
+  if st.cfg.slow_query_us > 0.0 && latency_us >= st.cfg.slow_query_us then begin
+    Obs.Registry.Counter.inc st.c_slow;
+    match
+      Obs.Log.Limiter.admit st.slow_limiter ~now:(Unix.gettimeofday ())
+    with
+    | None -> ()
+    | Some suppressed ->
+      let span =
+        match Trace.root_span tracer with
+        | Some sp -> Trace.to_json sp
+        | None ->
+          (* no tracer was live for this one — arm a trace for the next
+             query so the next admitted record carries a span tree *)
+          Atomic.set st.trace_next true;
+          "null"
+      in
+      Obs.Log.warn st.log "slow query"
+        ~fields:
+          [
+            ("conn", Obs.Log.I conn);
+            ("query", Obs.Log.I qid);
+            ("q", Obs.Log.S atom_text);
+            ("latency_us", Obs.Log.F latency_us);
+            ("threshold_us", Obs.Log.F st.cfg.slow_query_us);
+            ("suppressed", Obs.Log.I suppressed);
+            ("reductions", Obs.Log.I ans.Core.Live.stats.D.Sld.reductions);
+            ("retrievals", Obs.Log.I ans.Core.Live.stats.D.Sld.retrievals);
+            ("span", Obs.Log.J span);
+          ]
+  end
 
 (* The paper-cost total of the trace's [exec] spans, checked against the
    cost the learner pipeline recorded — the built-in consistency check on
@@ -130,14 +199,24 @@ let with_query st oc atom_text f =
       send oc [ Protocol.err ~code:`Internal msg ]
     | () -> ())
 
-let handle_query st oc ~wait_us atom_text =
+let handle_query st oc ~conn ~qid ~wait_us atom_text =
   let t0 = Unix.gettimeofday () in
   with_query st oc atom_text (fun q ->
+      (* Slow-query mode traces only when armed by a previous slow
+         detection (see [trace_next]) — never speculatively. *)
       let tracer =
-        if Metrics.trace_sampling st.metrics then Trace.make ()
+        if
+          Metrics.trace_sampling st.metrics
+          || st.cfg.slow_query_us > 0.0
+             (* plain read first: the flag is almost always false, and a
+                CAS per query on a shared line costs real throughput *)
+             && Atomic.get st.trace_next
+             && Atomic.compare_and_set st.trace_next true false
+        then Trace.make ()
         else Trace.null
       in
-      let ans = answer_traced st ~wait_us ~t0 tracer q in
+      let ans, latency_us = answer_traced st ~wait_us ~t0 tracer q in
+      log_query st ~conn ~qid ~latency_us ~tracer atom_text ans;
       send oc
         [
           Protocol.answer_line
@@ -147,11 +226,12 @@ let handle_query st oc ~wait_us atom_text =
             ~cached:ans.Core.Live.cached ~switched:ans.Core.Live.switched;
         ])
 
-let handle_trace st oc ~wait_us atom_text =
+let handle_trace st oc ~conn ~qid ~wait_us atom_text =
   let t0 = Unix.gettimeofday () in
   with_query st oc atom_text (fun q ->
       let tracer = Trace.make () in
-      let ans = answer_traced st ~wait_us ~t0 tracer q in
+      let ans, latency_us = answer_traced st ~wait_us ~t0 tracer q in
+      log_query st ~conn ~qid ~latency_us ~tracer atom_text ans;
       let paper_cost = exec_cost_of_trace tracer in
       let monitor_cost = ans.Core.Live.cost in
       let span_json =
@@ -197,6 +277,7 @@ let save_snapshot st =
   | Some dir ->
     let n = Snapshot.save ~dir st.registry in
     Metrics.snapshot_saved st.metrics ~forms:n;
+    Obs.Log.debug st.log "snapshot saved" ~fields:[ ("forms", Obs.Log.I n) ];
     Some n
 
 let handle_snapshot st oc =
@@ -215,10 +296,17 @@ let handle_snapshot st oc =
 
 (* One admitted connection, served to completion by one worker.
    [wait_us] is the admission-queue wait this connection paid before a
-   worker picked it up; queries on it report that wait in their spans. *)
-let serve_conn st ~wait_us fd =
+   worker picked it up; queries on it report that wait in their spans,
+   and log records on it carry [conn] (plus a per-connection query
+   counter) for correlation. *)
+let serve_conn st ~conn ~wait_us fd =
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
+  let qid = ref 0 in
+  let next_qid () =
+    incr qid;
+    !qid
+  in
   let rec loop () =
     match input_line ic with
     | exception End_of_file -> ()
@@ -248,10 +336,10 @@ let serve_conn st ~wait_us fd =
         send oc [ Metrics.render_json st.metrics ];
         loop ()
       | Protocol.Query atom ->
-        handle_query st oc ~wait_us atom;
+        handle_query st oc ~conn ~qid:(next_qid ()) ~wait_us atom;
         loop ()
       | Protocol.Trace atom ->
-        handle_trace st oc ~wait_us atom;
+        handle_trace st oc ~conn ~qid:(next_qid ()) ~wait_us atom;
         loop ()
       | Protocol.Strategy atom ->
         handle_strategy st oc atom;
@@ -274,17 +362,30 @@ let serve_conn st ~wait_us fd =
   in
   (try loop () with Sys_error _ -> ());
   (* flushes and closes [fd]; [ic] shares it and needs no separate close *)
-  close_out_noerr oc
+  close_out_noerr oc;
+  if Obs.Log.enabled st.log Obs.Log.Debug then
+    Obs.Log.debug st.log "connection closed"
+      ~fields:[ ("conn", Obs.Log.I conn); ("queries", Obs.Log.I !qid) ]
 
 let worker_loop st =
   let rec go () =
     match Admission.pop st.queue with
     | None -> ()
-    | Some (fd, enqueued) ->
+    | Some (fd, enqueued, conn) ->
       let wait_us = (Unix.gettimeofday () -. enqueued) *. 1e6 in
       Metrics.queue_waited st.metrics ~wait_us;
-      (try serve_conn st ~wait_us fd
-       with _ -> ( try Unix.close fd with _ -> ()));
+      (* popping shrinks the queue: refresh the depth gauge so it tracks
+         both directions, not just enqueues *)
+      Metrics.observe_queue_depth st.metrics (Admission.length st.queue);
+      (try serve_conn st ~conn ~wait_us fd
+       with exn ->
+         Obs.Log.error st.log "connection handler crashed"
+           ~fields:
+             [
+               ("conn", Obs.Log.I conn);
+               ("exn", Obs.Log.S (Printexc.to_string exn));
+             ];
+         (try Unix.close fd with _ -> ()));
       go ()
   in
   go ()
@@ -304,14 +405,31 @@ let accept_loop st sock stop_r =
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
         | exception Unix.Unix_error _ -> ()
         | fd, _ ->
-          if Admission.try_push st.queue (fd, Unix.gettimeofday ()) then begin
+          let conn = Atomic.fetch_and_add st.conn_seq 1 in
+          if
+            Admission.try_push st.queue (fd, Unix.gettimeofday (), conn)
+          then begin
             Metrics.connection st.metrics;
             Metrics.observe_queue_depth st.metrics
-              (Admission.length st.queue)
+              (Admission.length st.queue);
+            if Obs.Log.enabled st.log Obs.Log.Debug then
+              Obs.Log.debug st.log "connection admitted"
+                ~fields:
+                  [
+                    ("conn", Obs.Log.I conn);
+                    ( "queue_depth",
+                      Obs.Log.I (Admission.length st.queue) );
+                  ]
           end
           else begin
             Metrics.busy st.metrics;
-            shed fd
+            shed fd;
+            Obs.Log.warn st.log "connection shed: queue full"
+              ~fields:
+                [
+                  ("conn", Obs.Log.I conn);
+                  ("queue_depth", Obs.Log.I st.cfg.queue_depth);
+                ]
           end)
       | _ -> ()
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
@@ -334,13 +452,22 @@ let snapshot_loop st =
   in
   go (Unix.gettimeofday () +. interval)
 
-let run ?(handle_signals = false) ?(on_listen = fun _ -> ()) cfg ~rulebase
-    ~db =
+let run ?(handle_signals = false) ?(on_listen = fun _ -> ())
+    ?(on_metrics_listen = fun _ -> ()) cfg ~rulebase ~db =
   if cfg.workers < 1 then invalid_arg "Server.run: workers must be >= 1";
   if cfg.queue_depth < 1 then
     invalid_arg "Server.run: queue_depth must be >= 1";
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ | Sys_error _ -> ());
+  let log =
+    match cfg.log_level with
+    | None -> Obs.Log.null
+    | Some level -> (
+      match cfg.log_file with
+      | Some path -> Obs.Log.open_file ~level path
+      | None -> Obs.Log.to_channel ~level stderr)
+  in
+  if cfg.log_level <> None then Obs.Log.install_logs_reporter log;
   let metrics = Metrics.create ~trace_capacity:cfg.trace_sample () in
   let registry =
     Registry.create ~learner:cfg.learner ~config:cfg.learner_config ~rulebase
@@ -351,7 +478,9 @@ let run ?(handle_signals = false) ?(on_listen = fun _ -> ()) cfg ~rulebase
     let n = Snapshot.load ~dir registry in
     if n > 0 then begin
       Metrics.forms_loaded metrics n;
-      Registry.publish_strategies registry
+      Registry.publish_strategies registry;
+      Obs.Log.info log "strategies restored from snapshots"
+        ~fields:[ ("forms", Obs.Log.I n) ]
     end
   | None -> ());
   let stop_r, stop_w = Unix.pipe () in
@@ -362,12 +491,23 @@ let run ?(handle_signals = false) ?(on_listen = fun _ -> ()) cfg ~rulebase
     else None
   in
   let memo = if cfg.cache_mb > 0 then Some (D.Sld.Memo.create ()) else None in
+  let c_slow =
+    Obs.Registry.Counter.solo
+      (Obs.Registry.Counter.v (Metrics.registry metrics)
+         ~help:"Queries at or over the slow-query threshold"
+         "strategem_slow_queries_total")
+  in
   let st =
     {
       cfg;
       metrics;
       registry;
       db;
+      log;
+      slow_limiter = Obs.Log.Limiter.create ~min_interval_s:1.0;
+      trace_next = Atomic.make false;
+      c_slow;
+      conn_seq = Atomic.make 1;
       queue = Admission.create ~depth:cfg.queue_depth;
       cache;
       memo;
@@ -400,11 +540,17 @@ let run ?(handle_signals = false) ?(on_listen = fun _ -> ()) cfg ~rulebase
           memo_invalidations = m.D.Sld.Memo.invalidations;
           memo_entries = m.D.Sld.Memo.entries;
         });
+  (* The metrics responder is created inside the protected body (after
+     the main socket binds, so a busy serve port can't leak it) but must
+     be torn down on any exit path, hence the ref. *)
+  let http = ref None in
   Fun.protect
     ~finally:(fun () ->
+      Option.iter (fun h -> try Obs.Http.stop h with _ -> ()) !http;
       List.iter
         (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
-        [ sock; stop_r; stop_w ])
+        [ sock; stop_r; stop_w ];
+      Obs.Log.close log)
     (fun () ->
       Unix.setsockopt sock Unix.SO_REUSEADDR true;
       Unix.bind sock
@@ -423,6 +569,27 @@ let run ?(handle_signals = false) ?(on_listen = fun _ -> ()) cfg ~rulebase
                 (Sys.Signal_handle (fun _ -> initiate_shutdown st))
             with Invalid_argument _ | Sys_error _ -> ())
           [ Sys.sigint; Sys.sigterm ];
+      (match cfg.metrics_port with
+      | None -> ()
+      | Some mp ->
+        let handler ~meth:_ ~path =
+          match path with
+          | "/metrics" ->
+            Some
+              {
+                Obs.Http.status = 200;
+                content_type = "text/plain; version=0.0.4; charset=utf-8";
+                body = Metrics.render_prometheus metrics;
+              }
+          | "/healthz" ->
+            Some
+              (if Atomic.get st.stopping then Obs.Http.text 503 "draining\n"
+               else Obs.Http.text 200 "ready\n")
+          | _ -> None
+        in
+        let h = Obs.Http.start ~host:cfg.host ~port:mp ~handler () in
+        http := Some h;
+        on_metrics_listen (Obs.Http.port h));
       let workers =
         List.init cfg.workers (fun _ -> Thread.create worker_loop st)
       in
@@ -432,9 +599,33 @@ let run ?(handle_signals = false) ?(on_listen = fun _ -> ()) cfg ~rulebase
         else None
       in
       on_listen port;
+      Obs.Log.info log "accepting connections"
+        ~fields:
+          [
+            ("host", Obs.Log.S cfg.host);
+            ("port", Obs.Log.I port);
+            ("workers", Obs.Log.I cfg.workers);
+            ("queue_depth", Obs.Log.I cfg.queue_depth);
+            ( "learner",
+              Obs.Log.S (Core.Learner.kind_to_string cfg.learner) );
+            ( "metrics_port",
+              match !http with
+              | Some h -> Obs.Log.I (Obs.Http.port h)
+              | None -> Obs.Log.J "null" );
+          ];
       accept_loop st sock stop_r;
-      (* Shutdown: refuse new connections, serve what is queued, drain. *)
+      (* Shutdown: refuse new connections, serve what is queued, drain.
+         The metrics responder stays up through the drain so /healthz
+         reports "draining" to probes. *)
+      Obs.Log.info log "shutdown initiated: draining"
+        ~fields:[ ("queued", Obs.Log.I (Admission.length st.queue)) ];
       Admission.close st.queue;
       List.iter Thread.join workers;
       Option.iter Thread.join snapshotter;
-      try ignore (save_snapshot st) with _ -> ())
+      (try ignore (save_snapshot st) with _ -> ());
+      Obs.Log.info log "server stopped"
+        ~fields:
+          [
+            ("queries_total", Obs.Log.I (Metrics.queries_total metrics));
+            ("climbs_total", Obs.Log.I (Metrics.climbs_total metrics));
+          ])

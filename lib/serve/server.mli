@@ -30,16 +30,37 @@ type config = {
           disables both the answer cache and subgoal memoization. Cached
           answers skip SLD but the form's learner still observes every
           query, so learning is unaffected. *)
+  metrics_port : int option;
+      (** serve [GET /metrics] (Prometheus text 0.0.4) and
+          [GET /healthz] ([200 ready] / [503 draining]) on this port
+          ([--metrics-port]; [0] picks an ephemeral port, read back via
+          [on_metrics_listen]); [None] = no HTTP responder. *)
+  log_level : Obs.Log.level option;
+      (** JSONL structured-log threshold ([--log-level]); [None] turns
+          structured logging off entirely. *)
+  log_file : string option;
+      (** structured-log destination ([--log-file]); [None] = stderr. *)
+  slow_query_us : float;
+      (** queries at or over this latency are counted
+          ([strategem_slow_queries_total]) and logged at [warn] — rate
+          limited to one record per second ([--slow-query-ms]); [0.] =
+          off. A slow detection arms tracing for the next query, so
+          under consistently slow traffic the admitted records carry
+          the query's span tree inlined, without paying for speculative
+          tracing of every query (see E21). *)
 }
 
 (** 127.0.0.1:4280, 4 workers, queue depth 64, no state dir, periodic
     snapshots off, PIB with {!Core.Learner.default_config}, trace
-    sampling off, 64 MiB answer cache. *)
+    sampling off, 64 MiB answer cache, no metrics responder, structured
+    logging and the slow-query log off. *)
 val default_config : config
 
-(** [run ?handle_signals ?on_listen config ~rulebase ~db] — bind, serve,
-    and block until shutdown. [on_listen] receives the actual bound port
-    (useful with [port = 0]) once the server is accepting.
+(** [run ?handle_signals ?on_listen ?on_metrics_listen config ~rulebase
+    ~db] — bind, serve, and block until shutdown. [on_listen] receives
+    the actual bound port (useful with [port = 0]) once the server is
+    accepting; [on_metrics_listen] likewise receives the metrics
+    responder's bound port when [metrics_port] is set.
     [handle_signals] (default [false]) installs SIGINT/SIGTERM handlers
     that trigger the same graceful shutdown as [SHUTDOWN].
 
@@ -48,6 +69,7 @@ val default_config : config
 val run :
   ?handle_signals:bool ->
   ?on_listen:(int -> unit) ->
+  ?on_metrics_listen:(int -> unit) ->
   config ->
   rulebase:Datalog.Rulebase.t ->
   db:Datalog.Database.t ->

@@ -2,10 +2,11 @@ The serve daemon end to end: start on an ephemeral port, answer queries
 while learning online (and caching answers), snapshot, shut down
 gracefully, and resume the learned strategy after a restart.
 
-  $ ../bin/strategem.exe serve ../examples/data/university.dl --port 0 --workers 2 --state-dir state --trace-sample 4 > serve.log 2>&1 &
+  $ ../bin/strategem.exe serve ../examples/data/university.dl --port 0 --workers 2 --state-dir state --trace-sample 4 --metrics-port 0 > serve.log 2>&1 &
   $ SERVER=$!
   $ for _ in $(seq 1 100); do grep -q listening serve.log && break; sleep 0.1; done
   $ PORT=$(sed -n 's/.*listening on [^:]*:\([0-9]*\).*/\1/p' serve.log)
+  $ MPORT=$(sed -n 's/.*metrics on [^:]*:\([0-9]*\).*/\1/p' serve.log)
 
 A first conversation: the protocol banner, liveness, the three Figure-1
 queries (prof-first rule order: instructor(manolis) costs two retrievals
@@ -48,6 +49,38 @@ entries, the 80 repeats all hit.
   cache_hits 80
   cache_misses 3
   cache_entries 3
+
+The same counters are also served as Prometheus metrics over HTTP
+(--metrics-port): /healthz answers ready, and /metrics is valid text
+exposition format 0.0.4 — the scrape --lint subcommand checks HELP/TYPE
+presence, name validity, duplicate series, and histogram consistency,
+and exits nonzero on any violation.
+
+  $ curl -sf http://127.0.0.1:$MPORT/healthz
+  ready
+  $ curl -sf http://127.0.0.1:$MPORT/metrics > metrics.prom
+  $ grep -c '^# TYPE strategem_queries_total counter$' metrics.prom
+  1
+  $ grep -o 'strategem_queries_total{form="instructor_1_b"} [0-9]*' metrics.prom
+  strategem_queries_total{form="instructor_1_b"} 82
+  $ grep -c '^# TYPE strategem_query_latency_us histogram$' metrics.prom
+  1
+  $ grep -c 'strategem_query_latency_us_bucket{form="instructor_1_b",le="+Inf"} 82' metrics.prom
+  1
+  $ grep '^strategem_cache_hits_total ' metrics.prom
+  strategem_cache_hits_total 80
+  $ grep -o 'strategem_climbs_total{form="instructor_1_b"} [0-9]*' metrics.prom
+  strategem_climbs_total{form="instructor_1_b"} 1
+  $ grep -c 'strategem_learner_epsilon{form="instructor_1_' metrics.prom
+  2
+  $ ../bin/strategem.exe scrape --port $MPORT --lint > /dev/null
+  lint: ok
+
+The watch subcommand polls the same endpoint and renders the per-form
+learner-convergence table (one header plus one row per form):
+
+  $ ../bin/strategem.exe watch --port $MPORT --count 1 | grep -c '^FORM\|^instructor_1_'
+  3
 
 Unknown verbs, malformed arguments, and unparsable queries are answered
 with structured ERR lines (a machine-readable code first):
@@ -113,11 +146,12 @@ shutdown); the state directory holds form, graph, and strategy per form.
 
 A restarted server reloads the snapshots: the bound form resumes at the
 learned grad-first strategy, and the very first query is already cheap.
-This restart also selects a different learner (--learner palo) and turns
-the answer cache off (--no-cache): the query runs real SLD and the
-metrics report the cache as disabled.
+This restart also selects a different learner (--learner palo), turns
+the answer cache off (--no-cache), and silences the structured log
+(--log-level off): the query runs real SLD and the metrics report the
+cache as disabled.
 
-  $ ../bin/strategem.exe serve ../examples/data/university.dl --port 0 --workers 2 --state-dir state --learner palo --no-cache > serve2.log 2>&1 &
+  $ ../bin/strategem.exe serve ../examples/data/university.dl --port 0 --workers 2 --state-dir state --learner palo --no-cache --log-level off > serve2.log 2>&1 &
   $ SERVER=$!
   $ for _ in $(seq 1 100); do grep -q listening serve2.log && break; sleep 0.1; done
   $ PORT=$(sed -n 's/.*listening on [^:]*:\([0-9]*\).*/\1/p' serve2.log)

@@ -1,0 +1,402 @@
+(* The observability layer: the labeled registry's instruments and
+   collect hooks, histogram quantiles against adversarial distributions
+   (the log-bucket "within one bucket boundary" guarantee), Prometheus
+   rendering + the exposition linter, JSONL structured logging with its
+   rate limiter, and the embedded HTTP responder. *)
+
+open Helpers
+module R = Obs.Registry
+
+(* ---------- Registry instruments ---------- *)
+
+let counter_basics () =
+  let reg = R.create () in
+  let fam = R.Counter.v reg ~help:"h" "c_total" in
+  let c = R.Counter.solo fam in
+  R.Counter.inc c;
+  R.Counter.add c 4;
+  check_int "inc + add" 5 (R.Counter.value c);
+  (match R.Counter.add c (-1) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "negative add must raise");
+  R.Counter.set c 3;
+  check_int "set never moves backwards" 5 (R.Counter.value c);
+  R.Counter.set c 9;
+  check_int "set moves forward" 9 (R.Counter.value c)
+
+let labeled_children () =
+  let reg = R.create () in
+  let fam = R.Counter.v reg ~help:"h" ~labels:[ "form" ] "q_total" in
+  let a = R.Counter.labels fam [ "a" ] in
+  let b = R.Counter.labels fam [ "b" ] in
+  R.Counter.inc a;
+  R.Counter.inc a;
+  R.Counter.inc b;
+  check_int "children are distinct series" 2 (R.Counter.value a);
+  check_int "other child unaffected" 1 (R.Counter.value b);
+  let a' = R.Counter.labels fam [ "a" ] in
+  R.Counter.inc a';
+  check_int "same labels, same child" 3 (R.Counter.value a)
+
+let family_name_validation () =
+  let reg = R.create () in
+  (match R.Counter.v reg ~help:"h" "0bad" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "invalid metric name must raise");
+  let _ = R.Counter.v reg ~help:"h" "dup_total" in
+  (match R.Counter.v reg ~help:"h" "dup_total" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate family must raise");
+  check_bool "name regex accepts colons" true (R.name_re_ok "a:b_c9");
+  check_bool "name regex rejects dash" false (R.name_re_ok "a-b");
+  check_bool "label regex rejects colon" false (R.label_re_ok "a:b")
+
+let gauge_ops () =
+  let reg = R.create () in
+  let g = R.Gauge.solo (R.Gauge.v reg ~help:"h" "g") in
+  R.Gauge.set g 2.5;
+  R.Gauge.add g 1.0;
+  check_float "set + add" 3.5 (R.Gauge.value g);
+  R.Gauge.set_max g 1.0;
+  check_float "set_max ignores smaller" 3.5 (R.Gauge.value g);
+  R.Gauge.set_max g 7.0;
+  check_float "set_max takes larger" 7.0 (R.Gauge.value g);
+  check_float "read_reset returns the value" 7.0 (R.Gauge.read_reset g);
+  check_float "and zeroes the window" 0.0 (R.Gauge.value g)
+
+let collect_hooks_in_order () =
+  let reg = R.create () in
+  let order = ref [] in
+  R.on_collect reg (fun () -> order := "first" :: !order);
+  R.on_collect reg (fun () -> order := "second" :: !order);
+  R.collect reg;
+  check_bool "hooks run oldest first" true
+    (List.rev !order = [ "first"; "second" ])
+
+(* ---------- Histogram quantiles ---------- *)
+
+(* The exact percentile at the same rank convention the histogram uses:
+   rank = max 1 (ceil (q * n)), value = sorted.(rank - 1). The log-bucket
+   quantile must return the upper bound of the bucket containing exactly
+   that value — that is what "exact to within one bucket boundary"
+   means. *)
+let exact_percentile values q =
+  let sorted = List.sort compare values in
+  let n = List.length sorted in
+  let rank = Int.max 1 (int_of_float (ceil (q *. float_of_int n))) in
+  List.nth sorted (rank - 1)
+
+let check_quantiles name values =
+  let reg = R.create () in
+  let h = R.Histogram.solo (R.Histogram.v reg ~help:"h" "lat_us") in
+  List.iter (fun v -> R.Histogram.observe h v) values;
+  let s = R.Histogram.snapshot h in
+  List.iter
+    (fun q ->
+      let exact = exact_percentile values q in
+      check_int
+        (Printf.sprintf "%s: p%.0f covers the exact percentile's bucket"
+           name (q *. 100.))
+        (R.bucket_upper (R.bucket_of_value exact))
+        (R.Histogram.quantile s q))
+    [ 0.5; 0.9; 0.99 ]
+
+let hist_all_in_one_bucket () =
+  (* every observation in [64, 128): all percentiles are that bucket *)
+  check_quantiles "one bucket" (List.init 100 (fun i -> 64.0 +. float_of_int (i mod 60)));
+  let s =
+    let reg = R.create () in
+    let h = R.Histogram.solo (R.Histogram.v reg ~help:"h" "x") in
+    R.Histogram.snapshot h
+  in
+  check_int "empty histogram quantile is 0" 0 (R.Histogram.quantile s 0.99)
+
+let hist_bimodal () =
+  (* 90 fast (~8 µs) and 10 slow (~100 ms): p50 in the fast mode, p99 in
+     the slow mode, orders of magnitude apart *)
+  let values =
+    List.init 90 (fun _ -> 8.0) @ List.init 10 (fun _ -> 100_000.0)
+  in
+  check_quantiles "bimodal" values;
+  let reg = R.create () in
+  let h = R.Histogram.solo (R.Histogram.v reg ~help:"h" "x") in
+  List.iter (R.Histogram.observe h) values;
+  let s = R.Histogram.snapshot h in
+  check_bool "p50 stays in the fast mode" true (R.Histogram.quantile s 0.5 <= 16);
+  check_bool "p99 lands in the slow mode" true
+    (R.Histogram.quantile s 0.99 >= 65536)
+
+let hist_monotone_ramp () =
+  check_quantiles "ramp" (List.init 1000 (fun i -> float_of_int (i + 1)))
+
+let hist_overflow () =
+  let reg = R.create () in
+  let h = R.Histogram.solo (R.Histogram.v reg ~help:"h" "x") in
+  R.Histogram.observe h 1e12;
+  let s = R.Histogram.snapshot h in
+  check_int "overflow observation lands in the overflow bucket"
+    (R.bucket_upper R.n_buckets)
+    (R.Histogram.quantile s 0.5);
+  check_int "count still tracks" 1 s.R.Histogram.count
+
+let hist_quantile_qcheck =
+  qcheck ~count:300 "random histograms: quantile within one bucket of exact"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 200) (float_range 0.0 2e6))
+        (float_range 0.01 0.99))
+    (fun (values, q) ->
+      let reg = R.create () in
+      let h = R.Histogram.solo (R.Histogram.v reg ~help:"h" "x") in
+      List.iter (R.Histogram.observe h) values;
+      let s = R.Histogram.snapshot h in
+      R.Histogram.quantile s q
+      = R.bucket_upper (R.bucket_of_value (exact_percentile values q)))
+
+(* ---------- Exposition rendering + lint ---------- *)
+
+let sample_registry () =
+  let reg = R.create () in
+  let c = R.Counter.v reg ~help:"Queries \"answered\"\nso far" ~labels:[ "form" ] "t_queries_total" in
+  R.Counter.add (R.Counter.labels c [ "instructor_1_b" ]) 83;
+  R.Counter.inc (R.Counter.labels c [ "weird\"form\\n" ]);
+  let g = R.Gauge.solo (R.Gauge.v reg ~help:"eps" "t_epsilon") in
+  R.Gauge.set g Float.infinity;
+  let h = R.Histogram.solo (R.Histogram.v reg ~help:"lat" "t_latency_us") in
+  List.iter (R.Histogram.observe h) [ 3.0; 5.0; 900.0 ];
+  reg
+
+let render_lints_clean () =
+  let doc = Obs.Expo.render (sample_registry ()) in
+  (match Obs.Expo.lint doc with
+  | Ok () -> ()
+  | Error problems ->
+    Alcotest.failf "rendered document must lint: %s"
+      (String.concat "; " problems));
+  check_bool "histogram +Inf bucket present" true
+    (let needle = "t_latency_us_bucket{le=\"+Inf\"} 3" in
+     let rec mem i =
+       i + String.length needle <= String.length doc
+       && (String.sub doc i (String.length needle) = needle || mem (i + 1))
+     in
+     mem 0)
+
+let render_parse_roundtrip () =
+  let doc = Obs.Expo.render (sample_registry ()) in
+  let samples = Obs.Expo.parse_samples doc in
+  let find metric labels =
+    List.find_opt
+      (fun s -> s.Obs.Expo.metric = metric && s.Obs.Expo.labels = labels)
+      samples
+  in
+  (match find "t_queries_total" [ ("form", "instructor_1_b") ] with
+  | Some s -> check_float "labeled counter value" 83.0 s.Obs.Expo.value
+  | None -> Alcotest.fail "labeled counter sample missing");
+  (match find "t_queries_total" [ ("form", "weird\"form\\n") ] with
+  | Some s -> check_float "escaped label round-trips" 1.0 s.Obs.Expo.value
+  | None -> Alcotest.fail "escaped label sample missing");
+  (match find "t_epsilon" [] with
+  | Some s -> check_bool "+Inf round-trips" true (s.Obs.Expo.value = Float.infinity)
+  | None -> Alcotest.fail "gauge sample missing");
+  (match find "t_latency_us_sum" [] with
+  | Some s -> check_float "histogram sum" 908.0 s.Obs.Expo.value
+  | None -> Alcotest.fail "histogram _sum missing")
+
+let float_str_forms () =
+  check_string "+Inf" "+Inf" (Obs.Expo.float_str Float.infinity);
+  check_string "-Inf" "-Inf" (Obs.Expo.float_str Float.neg_infinity);
+  check_string "NaN" "NaN" (Obs.Expo.float_str Float.nan);
+  check_string "integral float" "42" (Obs.Expo.float_str 42.0)
+
+let lint_catches_violations () =
+  let check_rejects name doc =
+    match Obs.Expo.lint doc with
+    | Ok () -> Alcotest.failf "%s: lint must reject" name
+    | Error problems -> check_bool (name ^ " reports a problem") true (problems <> [])
+  in
+  check_rejects "missing HELP/TYPE" "a_total 1\n";
+  check_rejects "TYPE without HELP" "# TYPE a_total counter\na_total 1\n";
+  check_rejects "bad type"
+    "# HELP a_total h\n# TYPE a_total widget\na_total 1\n";
+  check_rejects "duplicate sample"
+    "# HELP a_total h\n# TYPE a_total counter\na_total 1\na_total 2\n";
+  check_rejects "invalid metric name"
+    "# HELP 0a h\n# TYPE 0a counter\n0a 1\n";
+  check_rejects "non-cumulative histogram buckets"
+    "# HELP h h\n# TYPE h histogram\n\
+     h_bucket{le=\"2\"} 5\nh_bucket{le=\"4\"} 3\nh_bucket{le=\"+Inf\"} 5\n\
+     h_sum 10\nh_count 5\n";
+  check_rejects "+Inf bucket disagrees with _count"
+    "# HELP h h\n# TYPE h histogram\n\
+     h_bucket{le=\"2\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 2\nh_count 3\n";
+  check_rejects "histogram missing _sum"
+    "# HELP h h\n# TYPE h histogram\n\
+     h_bucket{le=\"+Inf\"} 1\nh_count 1\n";
+  match
+    Obs.Expo.lint
+      "# HELP h h\n# TYPE h histogram\n\
+       h_bucket{le=\"2\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 2\n"
+  with
+  | Ok () -> ()
+  | Error problems ->
+    Alcotest.failf "well-formed histogram must pass: %s"
+      (String.concat "; " problems)
+
+(* ---------- Structured logging ---------- *)
+
+let log_lines f =
+  let path = Filename.temp_file "obs_log" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let t = Obs.Log.open_file ~level:Obs.Log.Debug path in
+      f t;
+      Obs.Log.close t;
+      In_channel.with_open_text path In_channel.input_lines)
+
+let contains hay needle =
+  let rec go i =
+    i + String.length needle <= String.length hay
+    && (String.sub hay i (String.length needle) = needle || go (i + 1))
+  in
+  go 0
+
+let log_record_shape () =
+  let lines =
+    log_lines (fun t ->
+        Obs.Log.info t "query answered"
+          ~fields:
+            [
+              ("conn", Obs.Log.I 7);
+              ("q", Obs.Log.S "instructor(\"x\")\n");
+              ("latency_us", Obs.Log.F 12.5);
+              ("cached", Obs.Log.B false);
+              ("span", Obs.Log.J {|{"name":"root"}|});
+            ])
+  in
+  check_int "one record per call" 1 (List.length lines);
+  let l = List.hd lines in
+  List.iter
+    (fun needle ->
+      check_bool (Printf.sprintf "record has %s" needle) true
+        (contains l needle))
+    [
+      {|"ts":"|};
+      {|"mono_ns":|};
+      {|"level":"info"|};
+      {|"msg":"query answered"|};
+      {|"conn":7|};
+      {|"q":"instructor(\"x\")\n"|};
+      {|"latency_us":12.5|};
+      {|"cached":false|};
+      {|"span":{"name":"root"}|};
+    ]
+
+let log_level_filter () =
+  let lines =
+    log_lines (fun t ->
+        Obs.Log.set_level t Obs.Log.Warn;
+        check_bool "debug disabled at warn" false
+          (Obs.Log.enabled t Obs.Log.Debug);
+        check_bool "error enabled at warn" true
+          (Obs.Log.enabled t Obs.Log.Error);
+        Obs.Log.debug t "dropped";
+        Obs.Log.info t "dropped too";
+        Obs.Log.error t "kept")
+  in
+  check_int "only the error record is written" 1 (List.length lines);
+  check_bool "null sink is never enabled" false
+    (Obs.Log.enabled Obs.Log.null Obs.Log.Error)
+
+let log_levels_roundtrip () =
+  List.iter
+    (fun l ->
+      check_bool "level round-trips" true
+        (Obs.Log.level_of_string (Obs.Log.level_to_string l) = Some l))
+    [ Obs.Log.Debug; Obs.Log.Info; Obs.Log.Warn; Obs.Log.Error ];
+  check_bool "warning is an alias" true
+    (Obs.Log.level_of_string "warning" = Some Obs.Log.Warn)
+
+let limiter_admits_and_counts () =
+  let lim = Obs.Log.Limiter.create ~min_interval_s:10.0 in
+  check_bool "first event admitted" true
+    (Obs.Log.Limiter.admit lim ~now:100.0 = Some 0);
+  check_bool "burst suppressed" true
+    (Obs.Log.Limiter.admit lim ~now:100.1 = None);
+  check_bool "still suppressed" true
+    (Obs.Log.Limiter.admit lim ~now:109.9 = None);
+  check_bool "after the interval, admitted with the suppressed count" true
+    (Obs.Log.Limiter.admit lim ~now:110.5 = Some 2)
+
+(* ---------- HTTP responder ---------- *)
+
+let http_get ~port path =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd
+        (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port));
+      let req =
+        Printf.sprintf "GET %s HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+          path
+      in
+      ignore (Unix.write_substring fd req 0 (String.length req));
+      let buf = Buffer.create 1024 in
+      let chunk = Bytes.create 1024 in
+      let rec go () =
+        match Unix.read fd chunk 0 1024 with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          go ()
+      in
+      go ();
+      Buffer.contents buf)
+
+let http_serves_and_404s () =
+  let handler ~meth:_ ~path =
+    match path with
+    | "/metrics" -> Some (Obs.Http.text 200 "all_good 1\n")
+    | _ -> None
+  in
+  let t = Obs.Http.start ~port:0 ~handler () in
+  Fun.protect
+    ~finally:(fun () -> Obs.Http.stop t)
+    (fun () ->
+      let port = Obs.Http.port t in
+      check_bool "ephemeral port chosen" true (port > 0);
+      let ok = http_get ~port "/metrics" in
+      check_bool "200 status line" true (contains ok "HTTP/1.1 200 OK");
+      check_bool "body served" true (contains ok "all_good 1");
+      check_bool "content-length present" true (contains ok "Content-Length:");
+      let qs = http_get ~port "/metrics?x=1" in
+      check_bool "query string stripped" true (contains qs "all_good 1");
+      let missing = http_get ~port "/nope" in
+      check_bool "unhandled path is 404" true (contains missing "404"))
+
+let suite =
+  [
+    ( "obs",
+      [
+        case "counter inc/add/set semantics" counter_basics;
+        case "labeled children are distinct series" labeled_children;
+        case "family and name validation" family_name_validation;
+        case "gauge set/add/set_max/read_reset" gauge_ops;
+        case "collect hooks run oldest first" collect_hooks_in_order;
+        case "histogram: one-bucket distribution" hist_all_in_one_bucket;
+        case "histogram: bimodal distribution" hist_bimodal;
+        case "histogram: monotone ramp" hist_monotone_ramp;
+        case "histogram: overflow bucket" hist_overflow;
+        hist_quantile_qcheck;
+        case "render lints clean" render_lints_clean;
+        case "render/parse round-trip" render_parse_roundtrip;
+        case "float formatting" float_str_forms;
+        case "lint catches violations" lint_catches_violations;
+        case "log record shape" log_record_shape;
+        case "log level filtering" log_level_filter;
+        case "log level round-trip" log_levels_roundtrip;
+        case "slow-query limiter" limiter_admits_and_counts;
+        case "http responder serves and 404s" http_serves_and_404s;
+      ] );
+  ]
