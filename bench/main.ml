@@ -28,6 +28,7 @@ let experiments =
     ("e19", "tracing overhead on the serve path", E19_trace.run);
     ("e20", "answer caching & memoization on the serve path", E20_cache.run);
     ("e21", "observability overhead on the serve path", E21_obs.run);
+    ("e22", "serve-path scaling over worker domains", E22_scale.run);
   ]
 
 let () =

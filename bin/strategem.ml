@@ -528,7 +528,11 @@ let serve_cmd =
   let workers =
     Arg.(
       value & opt int 4
-      & info [ "workers"; "j" ] ~docv:"N" ~doc:"Worker threads.")
+      & info [ "workers"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker pool size. Workers run as parallel OCaml domains, \
+             clamped to the host's recommended domain count; surplus \
+             workers run as threads inside the worker domains.")
   in
   let queue_depth =
     Arg.(

@@ -13,9 +13,14 @@ module First_tbl = Hashtbl.Make (First_arg)
 type t = {
   by_pred : (int, Atom_set.t ref) Hashtbl.t;
   by_first : Atom_set.t ref First_tbl.t;
-  mutable size : int;
+  (* [size] and [generation] are read by cache-invalidation checks on
+     serve-path worker domains while a mutator may be mid-[add]; atomics
+     make those racing reads well-defined (monotonic, never torn). The
+     index tables themselves still require external synchronization for
+     concurrent mutation. *)
+  size : int Atomic.t;
   token : int;
-  mutable generation : int;
+  generation : int Atomic.t;
 }
 
 (* Unique per instance, so caches can tell two databases apart even when
@@ -26,9 +31,9 @@ let create () =
   {
     by_pred = Hashtbl.create 64;
     by_first = First_tbl.create 256;
-    size = 0;
+    size = Atomic.make 0;
     token = Atomic.fetch_and_add next_token 1;
-    generation = 0;
+    generation = Atomic.make 0;
   }
 
 let first_key fact =
@@ -63,8 +68,8 @@ let add db fact =
       let s = find_first db key in
       s := Atom_set.add fact !s
     | None -> ());
-    db.size <- db.size + 1;
-    db.generation <- db.generation + 1;
+    Atomic.incr db.size;
+    Atomic.incr db.generation;
     true
   end
 
@@ -81,8 +86,8 @@ let remove db fact =
         | Some s -> s := Atom_set.remove fact !s
         | None -> ())
       | None -> ());
-      db.size <- db.size - 1;
-      db.generation <- db.generation + 1;
+      Atomic.decr db.size;
+      Atomic.incr db.generation;
       true
     end
 
@@ -132,9 +137,9 @@ let count_pred_id db pred_id =
   | None -> 0
 
 let count_pred db name = count_pred_id db (Symbol.id (Symbol.intern name))
-let size db = db.size
+let size db = Atomic.get db.size
 let token db = db.token
-let generation db = db.generation
+let generation db = Atomic.get db.generation
 
 let iter f db = Hashtbl.iter (fun _ set -> Atom_set.iter f !set) db.by_pred
 

@@ -49,7 +49,10 @@ val token : t -> int
 
 (** Mutation counter: bumped by every successful [add] or [remove]. Caches
     record the generation an entry was computed at and invalidate lazily
-    when it no longer matches. *)
+    when it no longer matches. [generation] and [size] are atomic, so
+    reading them from another domain while a mutation is in flight is
+    well-defined (monotonic, never torn); mutating the database itself
+    still requires external synchronization. *)
 val generation : t -> int
 
 val of_list : Atom.t list -> t

@@ -2,9 +2,12 @@
 
     Predicate names and constants are interned into a global table so that
     equality and comparison are integer operations; fact stores and rule
-    indexes rely on this. Interning is append-only and guarded by a
-    mutex: the serve daemon's workers parse client-supplied atoms from
-    several threads at once. *)
+    indexes rely on this. Interning is append-only and domain-safe: the
+    serve daemon's workers parse client-supplied atoms from several
+    domains in parallel. Lookups of already-interned names (the hot
+    path) are lock-free and allocation-free — they probe an immutable
+    snapshot published through an [Atomic]; only inserting a new name
+    takes a mutex. *)
 
 type t
 

@@ -32,18 +32,20 @@ type field =
 type sink = Null | Channel of { oc : out_channel; close_on_close : bool }
 
 type t = {
-  mutable min_level : level;
+  (* Atomic: [enabled] reads it on every log call from any worker
+     domain, racing a possible [set_level]. *)
+  min_level : level Atomic.t;
   sink : sink;
   lock : Mutex.t;
   t0 : float;  (* gettimeofday at creation; origin for mono_ns *)
 }
 
 let null =
-  { min_level = Error; sink = Null; lock = Mutex.create (); t0 = 0.0 }
+  { min_level = Atomic.make Error; sink = Null; lock = Mutex.create (); t0 = 0.0 }
 
 let to_channel ?(level = Info) oc =
   {
-    min_level = level;
+    min_level = Atomic.make level;
     sink = Channel { oc; close_on_close = false };
     lock = Mutex.create ();
     t0 = Unix.gettimeofday ();
@@ -54,19 +56,19 @@ let open_file ?(level = Info) path =
     open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
   in
   {
-    min_level = level;
+    min_level = Atomic.make level;
     sink = Channel { oc; close_on_close = true };
     lock = Mutex.create ();
     t0 = Unix.gettimeofday ();
   }
 
-let set_level t l = t.min_level <- l
-let level t = t.min_level
+let set_level t l = Atomic.set t.min_level l
+let level t = Atomic.get t.min_level
 
 let enabled t l =
   match t.sink with
   | Null -> false
-  | Channel _ -> level_rank l >= level_rank t.min_level
+  | Channel _ -> level_rank l >= level_rank (Atomic.get t.min_level)
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -220,7 +222,7 @@ let install_logs_reporter t =
   Logs.set_reporter (logs_reporter t);
   Logs.set_level ~all:true
     (Some
-       (match t.min_level with
+       (match Atomic.get t.min_level with
        | Debug -> Logs.Debug
        | Info -> Logs.Info
        | Warn -> Logs.Warning

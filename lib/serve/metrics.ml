@@ -65,6 +65,9 @@ type t = {
      STATS or a /metrics scrape reads it first — "max depth since the
      last read". The all-time high-water gauge never resets. *)
   window_hwm : float Atomic.t;
+  g_domains : R.Gauge.t;
+  f_domain_conns : R.Counter.fam;
+  f_domain_busy_us : R.Counter.fam;
   c_connections : R.Counter.t;
   c_busy : R.Counter.t;
   c_errors : R.Counter.t;
@@ -132,6 +135,16 @@ let create ?(trace_capacity = 0) () =
          else None);
       cache_provider = None;
       window_hwm = Atomic.make 0.0;
+      g_domains =
+        gauge "Worker domains running (after clamping to the host's \
+               recommended domain count)" "strategem_domains";
+      f_domain_conns =
+        R.Counter.v reg ~help:"Connections served, per worker domain"
+          ~labels:[ "domain" ] "strategem_domain_connections_total";
+      f_domain_busy_us =
+        R.Counter.v reg
+          ~help:"Microseconds spent serving connections, per worker domain"
+          ~labels:[ "domain" ] "strategem_domain_busy_us_total";
       c_connections =
         counter "Connections admitted" "strategem_connections_total";
       c_busy = counter "Connections shed with BUSY" "strategem_busy_total";
@@ -262,6 +275,27 @@ let form_handles t key =
         R.Gauge.set fh.g_eps Float.infinity;
         Hashtbl.add t.forms key fh;
         fh)
+
+let set_domains t n = R.Gauge.set t.g_domains (float_of_int n)
+let domains t = int_of_float (R.Gauge.value t.g_domains)
+
+type domain_handles = {
+  dh_connections : R.Counter.t;
+  dh_busy_us : R.Counter.t;
+}
+
+(* Cached by each worker at spawn, so the per-connection updates touch
+   only the two (uncontended, per-domain) counters. *)
+let domain_handles t ~domain =
+  let l = [ string_of_int domain ] in
+  {
+    dh_connections = R.Counter.labels t.f_domain_conns l;
+    dh_busy_us = R.Counter.labels t.f_domain_busy_us l;
+  }
+
+let domain_served dh ~busy_us =
+  R.Counter.inc dh.dh_connections;
+  R.Counter.add dh.dh_busy_us (int_of_float busy_us)
 
 let connection t = R.Counter.inc t.c_connections
 let busy t = R.Counter.inc t.c_busy
@@ -398,6 +432,8 @@ let render_text t =
       Printf.sprintf "queue_wait_count %d" qw.R.Histogram.count;
       Printf.sprintf "queue_wait_mean_us %.0f" (R.Histogram.mean qw);
       Printf.sprintf "queue_wait_p95_us %d" (R.Histogram.quantile qw 0.95);
+      (* Additive (multicore serving): worker domains after clamping. *)
+      Printf.sprintf "domains %d" (domains t);
     ]
   in
   let counters =
@@ -468,7 +504,7 @@ let render_json t =
         \"forms_active\":%d,\"queue_high_water\":%d,\"queue_depth\":%d,\
         \"queue_high_water_window\":%d,\
         \"queue_wait\":{\"count\":%d,\"mean_us\":%.1f,\"p50_us\":%d,\
-        \"p95_us\":%d,\"p99_us\":%d},"
+        \"p95_us\":%d,\"p99_us\":%d},\"domains\":%d,"
        schema_version
        (int_of_float (Unix.gettimeofday () -. t.started))
        (R.Counter.value t.c_connections)
@@ -486,7 +522,8 @@ let render_json t =
        qw.R.Histogram.count (R.Histogram.mean qw)
        (R.Histogram.quantile qw 0.50)
        (R.Histogram.quantile qw 0.95)
-       (R.Histogram.quantile qw 0.99));
+       (R.Histogram.quantile qw 0.99)
+       (domains t));
   (match cache with
   | None -> ()
   | Some cs -> Buffer.add_string buf (cache_json cs));

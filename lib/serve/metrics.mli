@@ -34,6 +34,27 @@ val registry : t -> Obs.Registry.t
     uptime, windowed high-water). *)
 val render_prometheus : t -> string
 
+(** {1 Worker domains} *)
+
+(** Record the effective worker-domain count (after clamping the
+    requested [--workers] to the host's recommended domain count).
+    Rendered as the [strategem_domains] gauge and the additive
+    [domains] STATS field. *)
+val set_domains : t -> int -> unit
+
+val domains : t -> int
+
+(** Per-domain hot-path handles, obtained once by each worker at spawn:
+    [strategem_domain_connections_total{domain}] and
+    [strategem_domain_busy_us_total{domain}]. *)
+type domain_handles
+
+val domain_handles : t -> domain:int -> domain_handles
+
+(** One connection served to completion by this domain, which spent
+    [busy_us] on it (queue wait excluded). *)
+val domain_served : domain_handles -> busy_us:float -> unit
+
 (** {1 Events} *)
 
 val connection : t -> unit

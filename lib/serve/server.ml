@@ -367,12 +367,14 @@ let serve_conn st ~conn ~wait_us fd =
     Obs.Log.debug st.log "connection closed"
       ~fields:[ ("conn", Obs.Log.I conn); ("queries", Obs.Log.I !qid) ]
 
-let worker_loop st =
+let worker_loop st ~domain =
+  let dh = Metrics.domain_handles st.metrics ~domain in
   let rec go () =
     match Admission.pop st.queue with
     | None -> ()
     | Some (fd, enqueued, conn) ->
-      let wait_us = (Unix.gettimeofday () -. enqueued) *. 1e6 in
+      let t0 = Unix.gettimeofday () in
+      let wait_us = (t0 -. enqueued) *. 1e6 in
       Metrics.queue_waited st.metrics ~wait_us;
       (* popping shrinks the queue: refresh the depth gauge so it tracks
          both directions, not just enqueues *)
@@ -386,9 +388,51 @@ let worker_loop st =
                ("exn", Obs.Log.S (Printexc.to_string exn));
              ];
          (try Unix.close fd with _ -> ()));
+      Metrics.domain_served dh
+        ~busy_us:((Unix.gettimeofday () -. t0) *. 1e6);
       go ()
   in
   go ()
+
+(* The worker pool: one OCaml 5 domain per worker, up to the runtime's
+   recommended domain count — beyond that, extra parallelism cannot
+   help, so surplus workers run as systhreads *inside* the domains
+   (round-robin), preserving the configured I/O concurrency (each
+   worker owns one connection at a time) without oversubscribing cores.
+   All workers, wherever they live, drain the one shared [Admission]
+   queue; its Mutex/Condition pair is domain-safe.
+
+   Returns the spawned domains and the effective domain count. *)
+let spawn_workers st =
+  let requested = st.cfg.workers in
+  let n_domains = Int.min requested (Int.max 1 (Domain.recommended_domain_count ())) in
+  if n_domains < requested then
+    Obs.Log.info st.log "workers exceed recommended domain count"
+      ~fields:
+        [
+          ("workers", Obs.Log.I requested);
+          ("domains", Obs.Log.I n_domains);
+          ( "note",
+            Obs.Log.S
+              "surplus workers run as systhreads inside the worker domains"
+          );
+        ];
+  Metrics.set_domains st.metrics n_domains;
+  let share slot =
+    (* workers are dealt round-robin: slot s runs worker s, s+D, ... *)
+    ((requested - slot - 1) / n_domains) + 1
+  in
+  let domains =
+    List.init n_domains (fun slot ->
+        Domain.spawn (fun () ->
+            match share slot with
+            | 1 -> worker_loop st ~domain:slot
+            | k ->
+              List.init k (fun _ ->
+                  Thread.create (fun () -> worker_loop st ~domain:slot) ())
+              |> List.iter Thread.join))
+  in
+  (domains, n_domains)
 
 let shed fd =
   let line = Protocol.busy ^ "\n" in
@@ -438,16 +482,27 @@ let accept_loop st sock stop_r =
   in
   go ()
 
-let snapshot_loop st =
+(* Sleep the full interval in one timed wait on the shutdown self-pipe
+   (the stdlib has no timed [Condition] wait; a [select] with a timeout
+   on [stop_r] has the same semantics — it returns early the moment
+   [initiate_shutdown] writes its wake-up byte, which is never drained).
+   An idle daemon therefore wakes once per interval instead of 5×/s,
+   and drain never waits out a residual sleep. *)
+let snapshot_loop st stop_r =
   let interval = st.cfg.snapshot_interval in
   let rec go deadline =
     if not (Atomic.get st.stopping) then begin
-      Thread.delay (Float.min 0.2 interval);
-      if Unix.gettimeofday () >= deadline then begin
+      let remaining = deadline -. Unix.gettimeofday () in
+      if remaining > 0.0 then begin
+        (match Unix.select [ stop_r ] [] [] remaining with
+        | _ -> ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        go deadline
+      end
+      else begin
         (try ignore (save_snapshot st) with _ -> ());
         go (Unix.gettimeofday () +. interval)
       end
-      else go deadline
     end
   in
   go (Unix.gettimeofday () +. interval)
@@ -590,12 +645,10 @@ let run ?(handle_signals = false) ?(on_listen = fun _ -> ())
         let h = Obs.Http.start ~host:cfg.host ~port:mp ~handler () in
         http := Some h;
         on_metrics_listen (Obs.Http.port h));
-      let workers =
-        List.init cfg.workers (fun _ -> Thread.create worker_loop st)
-      in
+      let workers, n_domains = spawn_workers st in
       let snapshotter =
         if cfg.snapshot_interval > 0.0 && cfg.state_dir <> None then
-          Some (Thread.create snapshot_loop st)
+          Some (Thread.create (fun () -> snapshot_loop st stop_r) ())
         else None
       in
       on_listen port;
@@ -605,6 +658,7 @@ let run ?(handle_signals = false) ?(on_listen = fun _ -> ())
             ("host", Obs.Log.S cfg.host);
             ("port", Obs.Log.I port);
             ("workers", Obs.Log.I cfg.workers);
+            ("domains", Obs.Log.I n_domains);
             ("queue_depth", Obs.Log.I cfg.queue_depth);
             ( "learner",
               Obs.Log.S (Core.Learner.kind_to_string cfg.learner) );
@@ -620,7 +674,7 @@ let run ?(handle_signals = false) ?(on_listen = fun _ -> ())
       Obs.Log.info log "shutdown initiated: draining"
         ~fields:[ ("queued", Obs.Log.I (Admission.length st.queue)) ];
       Admission.close st.queue;
-      List.iter Thread.join workers;
+      List.iter Domain.join workers;
       Option.iter Thread.join snapshotter;
       (try ignore (save_snapshot st) with _ -> ());
       Obs.Log.info log "server stopped"

@@ -1,7 +1,20 @@
 (** The `strategem serve` daemon: a TCP listener whose accept loop feeds
-    a bounded {!Admission} queue drained by a fixed pool of worker
-    threads, each speaking {!Protocol} over its connection and answering
+    a bounded {!Admission} queue drained by a fixed pool of workers,
+    each speaking {!Protocol} over its connection and answering
     queries through the {!Registry} of per-form {!Core.Live} learners.
+
+    Workers are OCaml 5 domains: [--workers N] spawns
+    [min N (Domain.recommended_domain_count ())] domains, so the SLD +
+    exec + learn hot path runs on real cores in parallel. Surplus
+    workers beyond the clamp run as systhreads inside the worker
+    domains (round-robin), preserving N-way connection concurrency on
+    small machines. The effective domain count is exported as the
+    [strategem_domains] gauge and the additive [domains] STATS field;
+    each domain also exports served-connection and busy-time counters
+    labelled [{domain="i"}]. Learning stays sequentially consistent per
+    query form — every form's learner is driven under its per-entry
+    mutex — so multicore serving provably does not change what is
+    learned (see the multi-domain conformance test).
 
     Load shedding: a connection arriving while the admission queue is
     full is answered [BUSY] and closed instead of stalling the accept
@@ -14,7 +27,9 @@
 type config = {
   host : string;            (** bind address (default ["127.0.0.1"]) *)
   port : int;               (** [0] picks an ephemeral port *)
-  workers : int;            (** worker threads (≥ 1) *)
+  workers : int;            (** worker pool size (≥ 1); spread over
+                                [min workers recommended_domain_count]
+                                domains *)
   queue_depth : int;        (** admission queue bound (≥ 1) *)
   state_dir : string option;      (** snapshot directory *)
   snapshot_interval : float;      (** seconds; [0.] = periodic off *)

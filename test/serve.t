@@ -50,6 +50,13 @@ entries, the 80 repeats all hit.
   cache_misses 3
   cache_entries 3
 
+The worker pool reports how many OCaml domains it spawned. The value
+is the requested worker count clamped to the host's core count, so
+only its presence is stable across machines:
+
+  $ ../bin/strategem.exe client --port $PORT STATS | grep -c '^domains [0-9]*$'
+  1
+
 The same counters are also served as Prometheus metrics over HTTP
 (--metrics-port): /healthz answers ready, and /metrics is valid text
 exposition format 0.0.4 — the scrape --lint subcommand checks HELP/TYPE
@@ -71,6 +78,10 @@ and exits nonzero on any violation.
   strategem_cache_hits_total 80
   $ grep -o 'strategem_climbs_total{form="instructor_1_b"} [0-9]*' metrics.prom
   strategem_climbs_total{form="instructor_1_b"} 1
+  $ grep -c '^strategem_domains [0-9]*$' metrics.prom
+  1
+  $ grep -c '^strategem_domain_connections_total{domain="0"} [0-9]*$' metrics.prom
+  1
   $ grep -c 'strategem_learner_epsilon{form="instructor_1_' metrics.prom
   2
   $ ../bin/strategem.exe scrape --port $MPORT --lint > /dev/null

@@ -293,6 +293,69 @@ let learner_trajectory_unchanged () =
   check_bool "cache served most queries" true (cs.Cache.Answers.hits > 250);
   check_int "three distinct fills" 3 cs.Cache.Answers.entries
 
+(* The acceptance criterion of the domain pool: serving a stream from
+   four worker domains must leave every form's learner exactly where
+   one domain would have left it. Each form's queries are textually
+   identical, so its observation sequence is order-insensitive — any
+   divergence means a race (lost update, torn strategy, double climb),
+   not an interleaving artifact. *)
+let learner_conformance_across_domains () =
+  let kb_text =
+    "instructor(X) :- prof(X).\n\
+     instructor(X) :- grad(X).\n\
+     prof(russ).\n\
+     grad(manolis).\n"
+  in
+  let mk () =
+    let rules, facts, _ = D.Parser.parse_kb kb_text in
+    (D.Rulebase.of_list rules, D.Database.of_list facts)
+  in
+  (* 300 queries over two forms: bound (instructor_1_b) and free
+     (instructor_1_f), interleaved 2:1. *)
+  let queries =
+    Array.init 300 (fun i ->
+        atom (if i mod 3 = 2 then "instructor(X)" else "instructor(manolis)"))
+  in
+  let rulebase, db = mk () in
+  let seq = Serve.Registry.create ~rulebase (Serve.Metrics.create ()) in
+  Array.iter (fun q -> ignore (Serve.Registry.answer seq ~db q)) queries;
+  let rulebase', db' = mk () in
+  let par = Serve.Registry.create ~rulebase:rulebase' (Serve.Metrics.create ()) in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < Array.length queries then begin
+        ignore (Serve.Registry.answer par ~db:db' queries.(i));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let domains = List.init 4 (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join domains;
+  let summarize reg =
+    List.map
+      (fun e ->
+        ( Serve.Registry.key e,
+          Serve.Registry.strategy_string e,
+          Serve.Registry.with_live e Core.Live.climbs,
+          Serve.Registry.with_live e Core.Live.queries,
+          Serve.Registry.with_live e (fun live ->
+              Core.Learner.serialize (Core.Live.learner live)) ))
+      (Serve.Registry.entries reg)
+  in
+  let a = summarize seq and b = summarize par in
+  check_int "same number of forms" (List.length a) (List.length b);
+  List.iter2
+    (fun (ka, sa, ca, qa, la) (kb, sb, cb, qb, lb) ->
+      check_string "same form key" ka kb;
+      check_string (ka ^ ": same final strategy") sa sb;
+      check_int (ka ^ ": same climb count") ca cb;
+      check_int (ka ^ ": same query count") qa qb;
+      check_string (ka ^ ": same serialized learner") la lb)
+    a b
+
 let suite =
   [
     ( "cache.key",
@@ -314,6 +377,9 @@ let suite =
         case "truncated results never recorded" memo_never_caches_truncated;
       ] );
     ( "cache.conformance",
-      [ slow_case "learner trajectory unchanged" learner_trajectory_unchanged ]
-    );
+      [
+        slow_case "learner trajectory unchanged" learner_trajectory_unchanged;
+        slow_case "learning identical across worker domains"
+          learner_conformance_across_domains;
+      ] );
   ]

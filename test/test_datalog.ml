@@ -15,6 +15,62 @@ let symbol_interning () =
   check_bool "distinct" false (D.Symbol.equal a c);
   check_string "round trip" "foo" (D.Symbol.to_string a)
 
+(* The interned fast path is the per-atom cost every parsed query pays on
+   every worker domain: it must not allocate (no Some boxing, no closure)
+   so it cannot contend on the minor heap or the symbol mutex. Warm the
+   names, then meter a re-intern loop with the GC's own allocation
+   counter; the slack absorbs the two boxed floats the meter itself
+   allocates. *)
+let symbol_fast_path_no_alloc () =
+  let names = Array.init 64 (fun i -> Printf.sprintf "alloc_probe_%d" i) in
+  Array.iter (fun n -> ignore (D.Symbol.intern n)) names;
+  let rounds = 10_000 in
+  let before = Gc.minor_words () in
+  for i = 0 to rounds - 1 do
+    ignore (Sys.opaque_identity (D.Symbol.intern names.(i land 63)))
+  done;
+  let allocated = Gc.minor_words () -. before in
+  check_bool
+    (Printf.sprintf "re-interning allocates nothing (%.0f words for %d ops)"
+       allocated rounds)
+    true
+    (allocated < 64.0)
+
+(* Concurrent intern of the same names from several domains must yield
+   exactly one symbol per name: every domain agrees on each id, and the
+   ids are pairwise distinct. *)
+let symbol_concurrent_intern () =
+  let n_domains = 4 and n_names = 400 in
+  let names =
+    List.init n_names (fun i -> Printf.sprintf "ccintern_%d" i)
+  in
+  let started = Atomic.make 0 in
+  let run () =
+    Atomic.incr started;
+    (* start line: maximize overlap so racing inserts actually race *)
+    while Atomic.get started < n_domains do
+      Domain.cpu_relax ()
+    done;
+    List.map (fun n -> D.Symbol.id (D.Symbol.intern n)) names
+  in
+  let domains = List.init n_domains (fun _ -> Domain.spawn run) in
+  let results = List.map Domain.join domains in
+  let first = List.hd results in
+  List.iteri
+    (fun i ids ->
+      check_bool (Printf.sprintf "domain %d agrees on every id" (i + 1)) true
+        (ids = first))
+    (List.tl results);
+  check_int "one id per name" n_names
+    (List.length (List.sort_uniq Int.compare first));
+  check_bool "count covers them all" true
+    (D.Symbol.count () > List.fold_left Int.max 0 first);
+  List.iter2
+    (fun name id ->
+      check_int ("re-intern of " ^ name ^ " is stable") id
+        (D.Symbol.id (D.Symbol.intern name)))
+    names first
+
 let term_compare () =
   let c1 = D.Term.const "a" and c2 = D.Term.const "a" in
   check_bool "const equal" true (D.Term.equal c1 c2);
@@ -268,6 +324,41 @@ let database_generation_and_token () =
   check_bool "remove bumps generation" true (D.Database.generation db > g1);
   check_bool "copy gets a fresh token" true
     (D.Database.token (D.Database.copy db) <> D.Database.token db)
+
+(* Serve-path cache invalidation reads [generation]/[size] from worker
+   domains while the owner may be mid-[add]; both are atomics, so a
+   racing reader must only ever see monotonic, untorn values. One domain
+   adds [n] facts while the other spins on the counters; [size] is
+   bumped before [generation], so with reads ordered size-then-
+   generation the reader must always observe generation >= size - 1. *)
+let database_concurrent_generation () =
+  let db = D.Database.create () in
+  let n = 2_000 in
+  let facts =
+    Array.init n (fun i -> atom (Printf.sprintf "cgen(x%d)" i))
+  in
+  let stop = Atomic.make false in
+  let reader =
+    Domain.spawn (fun () ->
+        let ok = ref true and last_gen = ref 0 and reads = ref 0 in
+        while not (Atomic.get stop) do
+          let s = D.Database.size db in
+          let g = D.Database.generation db in
+          incr reads;
+          if g < !last_gen then ok := false; (* torn or non-monotonic *)
+          if g < 0 || g > n || s < 0 || s > n then ok := false;
+          if g < s - 1 then ok := false;
+          last_gen := Int.max !last_gen g
+        done;
+        (!ok, !reads))
+  in
+  Array.iter (fun f -> ignore (D.Database.add db f)) facts;
+  Atomic.set stop true;
+  let ok, reads = Domain.join reader in
+  check_bool "reader saw only monotonic, in-range values" true ok;
+  check_bool "reader actually raced the writer" true (reads > 0);
+  check_int "final generation" n (D.Database.generation db);
+  check_int "final size" n (D.Database.size db)
 
 let database_nonground_rejected () =
   let db = D.Database.create () in
@@ -725,6 +816,9 @@ let suite =
     ( "datalog.syntax",
       [
         case "symbol interning" symbol_interning;
+        case "symbol fast path allocates nothing" symbol_fast_path_no_alloc;
+        slow_case "symbol concurrent intern across domains"
+          symbol_concurrent_intern;
         case "term compare" term_compare;
         case "atom basics" atom_basics;
         case "atom adornment" atom_adornment;
@@ -758,6 +852,8 @@ let suite =
         case "counts" database_counts;
         case "non-ground rejected" database_nonground_rejected;
         case "generation and token" database_generation_and_token;
+        slow_case "concurrent add and generation reads across domains"
+          database_concurrent_generation;
         case "copy independence" database_copy_independent;
         case "fold and iter" database_fold_iter;
         database_index_consistent;
