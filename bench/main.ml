@@ -29,6 +29,7 @@ let experiments =
     ("e20", "answer caching & memoization on the serve path", E20_cache.run);
     ("e21", "observability overhead on the serve path", E21_obs.run);
     ("e22", "serve-path scaling over worker domains", E22_scale.run);
+    ("e23", "paged store vs in-memory retrieval", E23_store.run);
   ]
 
 let () =

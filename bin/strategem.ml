@@ -482,8 +482,26 @@ let host_arg =
 
 let run_serve file host port workers queue_depth state_dir snapshot_interval
     delta learner trace_sample cache_mb no_cache metrics_port log_level
-    log_file slow_query_ms =
+    log_file slow_query_ms data_dir buffer_pages =
   let rulebase, db, _ = load_kb file in
+  let db =
+    match data_dir with
+    | None -> db
+    | Some dir ->
+      let paged = D.Database.open_paged ~dir ?buffer_pages () in
+      if D.Database.size paged = 0 then begin
+        (* Cold start: bulk-load the program's facts, then checkpoint so
+           restarts replay a compact image instead of the load's WAL. *)
+        D.Database.iter (fun fact -> ignore (D.Database.add paged fact)) db;
+        D.Database.checkpoint paged;
+        Fmt.pr "strategem serve: store: loaded %d fact(s)@."
+          (D.Database.size paged)
+      end
+      else
+        Fmt.pr "strategem serve: store: warm start (%d fact(s))@."
+          (D.Database.size paged);
+      paged
+  in
   let learner_config =
     {
       Core.Learner.default_config with
@@ -517,6 +535,7 @@ let run_serve file host port workers queue_depth state_dir snapshot_interval
     ~on_metrics_listen:(fun mport ->
       Fmt.pr "strategem serve: metrics on %s:%d@." host mport)
     config ~rulebase ~db;
+  D.Database.close db;
   Fmt.pr "strategem serve: shut down cleanly@."
 
 let serve_cmd =
@@ -640,6 +659,28 @@ let serve_cmd =
              the query's trace span tree inlined (rate limited to one \
              record per second). 0 disables.")
   in
+  let data_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "data-dir" ] ~docv:"DIR"
+          ~doc:
+            "Serve facts from a paged persistent store rooted at DIR \
+             instead of in-memory sets. An empty store is bulk-loaded \
+             from FILE's facts and checkpointed; a populated one starts \
+             warm (FILE's facts are not re-added) after WAL recovery. \
+             See docs/STORAGE.md.")
+  in
+  let buffer_pages =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "buffer-pages" ] ~docv:"N"
+          ~doc:
+            "Buffer-pool frames for --data-dir (default 256, min 2); \
+             each frame holds one 4 KiB page. Databases larger than the \
+             pool page in from disk on access.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -649,7 +690,7 @@ let serve_cmd =
       const run_serve $ file_arg $ host_arg $ port $ workers $ queue_depth
       $ state_dir $ snapshot_interval $ delta_arg $ learner $ trace_sample
       $ cache_mb $ no_cache $ metrics_port $ log_level $ log_file
-      $ slow_query_ms)
+      $ slow_query_ms $ data_dir $ buffer_pages)
 
 let run_client host port commands =
   let commands =
@@ -864,6 +905,27 @@ let watch_tick ~host ~port =
         (List.fold_left (fun acc f -> acc +. v "strategem_climbs_total" f) 0.0 forms)
         (Option.value ~default:0.0 (solo_value samples "strategem_cache_hits_total"))
         (Option.value ~default:0.0 (solo_value samples "strategem_queue_depth"));
+      (* Paged-store line, only when the daemon serves from one. *)
+      (match solo_value samples "strategem_store_enabled" with
+      | Some v when v > 0.0 ->
+        let sv m = Option.value ~default:0.0 (solo_value samples m) in
+        let hits = sv "strategem_store_pool_hits_total" in
+        let misses = sv "strategem_store_pool_misses_total" in
+        let hit_rate =
+          if hits +. misses > 0.0 then 100.0 *. hits /. (hits +. misses)
+          else 0.0
+        in
+        Fmt.pr
+          "store facts %.0f  pages %.0f/%.0f pool  hit %.1f%%  \
+           evictions %.0f  wal %.0fB  ckpt age %.0fs@."
+          (sv "strategem_store_facts")
+          (sv "strategem_store_pages")
+          (sv "strategem_store_pool_pages")
+          hit_rate
+          (sv "strategem_store_pool_evictions_total")
+          (sv "strategem_store_wal_bytes")
+          (sv "strategem_store_checkpoint_age_seconds")
+      | _ -> ());
       Fmt.pr "%-32s %8s %8s %7s %10s %9s@." "FORM" "QUERIES" "SAMPLES"
         "CLIMBS" "EPSILON" "FINISHED";
       List.iter

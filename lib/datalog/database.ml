@@ -10,7 +10,9 @@ end
 
 module First_tbl = Hashtbl.Make (First_arg)
 
-type t = {
+(* ---------- the in-memory backend ---------- *)
+
+type mem = {
   by_pred : (int, Atom_set.t ref) Hashtbl.t;
   by_first : Atom_set.t ref First_tbl.t;
   (* [size] and [generation] are read by cache-invalidation checks on
@@ -24,10 +26,11 @@ type t = {
 }
 
 (* Unique per instance, so caches can tell two databases apart even when
-   their generation counters coincide. *)
+   their generation counters coincide. Always nonnegative — a paged
+   store's persistent token is negative, so the two can never collide. *)
 let next_token = Atomic.make 0
 
-let create () =
+let m_create () =
   {
     by_pred = Hashtbl.create 64;
     by_first = First_tbl.create 256;
@@ -41,40 +44,40 @@ let first_key fact =
   | Term.Const c :: _ -> Some (Symbol.id fact.Atom.pred, Symbol.id c)
   | _ -> None
 
-let find_pred db pred_id =
-  match Hashtbl.find_opt db.by_pred pred_id with
+let find_pred m pred_id =
+  match Hashtbl.find_opt m.by_pred pred_id with
   | Some r -> r
   | None ->
     let r = ref Atom_set.empty in
-    Hashtbl.add db.by_pred pred_id r;
+    Hashtbl.add m.by_pred pred_id r;
     r
 
-let find_first db key =
-  match First_tbl.find_opt db.by_first key with
+let find_first m key =
+  match First_tbl.find_opt m.by_first key with
   | Some r -> r
   | None ->
     let r = ref Atom_set.empty in
-    First_tbl.add db.by_first key r;
+    First_tbl.add m.by_first key r;
     r
 
-let add db fact =
+let m_add m fact =
   if not (Atom.is_ground fact) then invalid_arg "Database.add: non-ground fact";
-  let set = find_pred db (Symbol.id fact.Atom.pred) in
+  let set = find_pred m (Symbol.id fact.Atom.pred) in
   if Atom_set.mem fact !set then false
   else begin
     set := Atom_set.add fact !set;
     (match first_key fact with
     | Some key ->
-      let s = find_first db key in
+      let s = find_first m key in
       s := Atom_set.add fact !s
     | None -> ());
-    Atomic.incr db.size;
-    Atomic.incr db.generation;
+    Atomic.incr m.size;
+    Atomic.incr m.generation;
     true
   end
 
-let remove db fact =
-  match Hashtbl.find_opt db.by_pred (Symbol.id fact.Atom.pred) with
+let m_remove m fact =
+  match Hashtbl.find_opt m.by_pred (Symbol.id fact.Atom.pred) with
   | None -> false
   | Some set ->
     if not (Atom_set.mem fact !set) then false
@@ -82,69 +85,301 @@ let remove db fact =
       set := Atom_set.remove fact !set;
       (match first_key fact with
       | Some key -> (
-        match First_tbl.find_opt db.by_first key with
+        match First_tbl.find_opt m.by_first key with
         | Some s -> s := Atom_set.remove fact !s
         | None -> ())
       | None -> ());
-      Atomic.decr db.size;
-      Atomic.incr db.generation;
+      Atomic.decr m.size;
+      Atomic.incr m.generation;
       true
     end
 
-let mem db fact =
-  match Hashtbl.find_opt db.by_pred (Symbol.id fact.Atom.pred) with
+let m_mem m fact =
+  match Hashtbl.find_opt m.by_pred (Symbol.id fact.Atom.pred) with
   | None -> false
   | Some set -> Atom_set.mem fact !set
 
-let candidates db pattern =
+let m_candidates m pattern =
   match pattern.Atom.args with
   | Term.Const c :: _ -> (
     match
-      First_tbl.find_opt db.by_first
-        (Symbol.id pattern.Atom.pred, Symbol.id c)
+      First_tbl.find_opt m.by_first (Symbol.id pattern.Atom.pred, Symbol.id c)
     with
     | Some s -> !s
     | None -> Atom_set.empty)
   | _ -> (
-    match Hashtbl.find_opt db.by_pred (Symbol.id pattern.Atom.pred) with
+    match Hashtbl.find_opt m.by_pred (Symbol.id pattern.Atom.pred) with
     | Some s -> !s
     | None -> Atom_set.empty)
 
+let m_count_pred_id m pred_id =
+  match Hashtbl.find_opt m.by_pred pred_id with
+  | Some s -> Atom_set.cardinal !s
+  | None -> 0
+
+(* ---------- the paged backend ---------- *)
+
+(* A paged database is a [Store.t] plus the two-way mapping between
+   process-run [Symbol] ids and the store's persistent sids. The mapping
+   is complete at all times: every sid in the store is entered at open
+   (or at intern time for new symbols), so a missing entry means "this
+   symbol is not in the store" — read paths never touch strings. *)
+type paged = {
+  store : Store.t;
+  mutable sym_to_sid : int array; (* Symbol.id -> sid, -1 unmapped *)
+  mutable sid_syms : Symbol.t array; (* sid -> symbol *)
+  mutable sid_terms : Term.t array; (* sid -> shared Const (hot path) *)
+  mutable sid_n : int;
+}
+
+let dummy_sym = Symbol.intern ""
+let dummy_term = Term.Const dummy_sym
+
+let record_mapping p sym sid =
+  let id = Symbol.id sym in
+  if id >= Array.length p.sym_to_sid then begin
+    let cap = Int.max (2 * Array.length p.sym_to_sid) (id + 64) in
+    let a = Array.make cap (-1) in
+    Array.blit p.sym_to_sid 0 a 0 (Array.length p.sym_to_sid);
+    p.sym_to_sid <- a
+  end;
+  p.sym_to_sid.(id) <- sid;
+  if sid >= Array.length p.sid_syms then begin
+    let cap = Int.max (2 * Array.length p.sid_syms) (sid + 64) in
+    let a = Array.make cap dummy_sym in
+    Array.blit p.sid_syms 0 a 0 (Array.length p.sid_syms);
+    p.sid_syms <- a
+  end;
+  p.sid_syms.(sid) <- sym;
+  if sid >= Array.length p.sid_terms then begin
+    let cap = Int.max (2 * Array.length p.sid_terms) (sid + 64) in
+    let a = Array.make cap dummy_term in
+    Array.blit p.sid_terms 0 a 0 (Array.length p.sid_terms);
+    p.sid_terms <- a
+  end;
+  p.sid_terms.(sid) <- Term.Const sym;
+  if sid >= p.sid_n then p.sid_n <- sid + 1
+
+let sid_intern p sym =
+  let id = Symbol.id sym in
+  if id < Array.length p.sym_to_sid && p.sym_to_sid.(id) >= 0 then
+    p.sym_to_sid.(id)
+  else begin
+    let sid = Store.sid_intern p.store (Symbol.to_string sym) in
+    record_mapping p sym sid;
+    sid
+  end
+
+let sid_ro p sym =
+  let id = Symbol.id sym in
+  if id < Array.length p.sym_to_sid then p.sym_to_sid.(id) else -1
+
+let sym_of_sid p sid = p.sid_syms.(sid)
+
+(* Materialize a stored record as an atom. The per-sid [Const] terms
+   are shared (terms are immutable), so this allocates only the arg
+   list spine and the atom itself — it runs once per candidate on the
+   retrieval hot path. *)
+let atom_of p pred_sid args =
+  let rec build i acc =
+    if i < 0 then acc else build (i - 1) (p.sid_terms.(args.(i)) :: acc)
+  in
+  Atom.make_sym (sym_of_sid p pred_sid) (build (Array.length args - 1) [])
+
+let fact_sids_intern p fact =
+  let pred = sid_intern p fact.Atom.pred in
+  let args =
+    List.map
+      (function
+        | Term.Const c -> sid_intern p c
+        | Term.Var _ -> invalid_arg "Database: non-ground fact")
+      fact.Atom.args
+  in
+  (pred, Array.of_list args)
+
+(* [None] when some symbol is not in the store — the fact cannot be
+   present. Also [None] for non-ground atoms. *)
+let fact_sids_ro p fact =
+  match sid_ro p fact.Atom.pred with
+  | -1 -> None
+  | pred ->
+    let rec go acc = function
+      | [] -> Some (pred, Array.of_list (List.rev acc))
+      | Term.Const c :: rest -> (
+        match sid_ro p c with -1 -> None | s -> go (s :: acc) rest)
+      | Term.Var _ :: _ -> None
+    in
+    go [] fact.Atom.args
+
+let p_add p fact =
+  if not (Atom.is_ground fact) then invalid_arg "Database.add: non-ground fact";
+  let pred, args = fact_sids_intern p fact in
+  Store.insert p.store ~pred args
+
+let p_remove p fact =
+  match fact_sids_ro p fact with
+  | None -> false
+  | Some (pred, args) -> Store.delete p.store ~pred args
+
+let p_mem p fact =
+  match fact_sids_ro p fact with
+  | None -> false
+  | Some (pred, args) -> Store.mem p.store ~pred args
+
+(* Candidate retrieval mirrors the in-memory indexes: bound first
+   argument goes through the store's (pred, first) hash access method;
+   otherwise a page-sequential predicate scan. *)
+let p_iter_candidates p pattern k =
+  match sid_ro p pattern.Atom.pred with
+  | -1 -> ()
+  | pred -> (
+    match pattern.Atom.args with
+    | Term.Const c :: _ -> (
+      match sid_ro p c with
+      | -1 -> ()
+      | first ->
+        Store.iter_bucket p.store ~pred ~first (fun args ->
+            k (atom_of p pred args)))
+    | [] ->
+      Store.iter_bucket p.store ~pred ~first:(-1) (fun args ->
+          k (atom_of p pred args))
+    | _ -> Store.iter_pred p.store ~pred (fun args -> k (atom_of p pred args)))
+
+(* ---------- the database: a backend seam ---------- *)
+
+(* [Overlay] is the copy-on-write view a [copy] of a paged database
+   returns: the base store is shared untouched (clean pages stay
+   shared); mutations land in private in-memory deltas. Reads see
+   (base \ removed) ∪ added. The overlay assumes its base is not
+   mutated behind it — the repo's [copy] call sites (seminaive, magic)
+   mutate only the copy. *)
+type t =
+  | Mem of mem
+  | Paged of paged
+  | Overlay of overlay
+
+and overlay = {
+  base : t;
+  added : mem;
+  removed : mem;
+  o_token : int;
+  o_generation : int Atomic.t;
+}
+
+let create () = Mem (m_create ())
+
+let rec size = function
+  | Mem m -> Atomic.get m.size
+  | Paged p -> Store.fact_count p.store
+  | Overlay o ->
+    size o.base - Atomic.get o.removed.size + Atomic.get o.added.size
+
+let token = function
+  | Mem m -> m.token
+  | Paged p -> Store.token p.store
+  | Overlay o -> o.o_token
+
+(* An overlay's generation includes its base's, so a (token, generation)
+   cache key stays invalidation-correct even if the base mutates. *)
+let rec generation = function
+  | Mem m -> Atomic.get m.generation
+  | Paged p -> Store.generation p.store
+  | Overlay o -> generation o.base + Atomic.get o.o_generation
+
+let rec mem db fact =
+  match db with
+  | Mem m -> m_mem m fact
+  | Paged p -> p_mem p fact
+  | Overlay o ->
+    m_mem o.added fact || (mem o.base fact && not (m_mem o.removed fact))
+
+let add db fact =
+  match db with
+  | Mem m -> m_add m fact
+  | Paged p -> p_add p fact
+  | Overlay o ->
+    if not (Atom.is_ground fact) then
+      invalid_arg "Database.add: non-ground fact";
+    if mem db fact then false
+    else begin
+      (if m_mem o.removed fact then ignore (m_remove o.removed fact)
+       else ignore (m_add o.added fact));
+      Atomic.incr o.o_generation;
+      true
+    end
+
+let remove db fact =
+  match db with
+  | Mem m -> m_remove m fact
+  | Paged p -> p_remove p fact
+  | Overlay o ->
+    if m_mem o.added fact then begin
+      ignore (m_remove o.added fact);
+      Atomic.incr o.o_generation;
+      true
+    end
+    else if mem o.base fact && not (m_mem o.removed fact) then begin
+      ignore (m_add o.removed fact);
+      Atomic.incr o.o_generation;
+      true
+    end
+    else false
+
+let rec iter_candidates db pattern k =
+  match db with
+  | Mem m -> Atom_set.iter k (m_candidates m pattern)
+  | Paged p -> p_iter_candidates p pattern k
+  | Overlay o ->
+    iter_candidates o.base pattern (fun fact ->
+        if not (m_mem o.removed fact) then k fact);
+    Atom_set.iter k (m_candidates o.added pattern)
+
 let matching db pattern =
-  Atom_set.fold
-    (fun fact acc ->
+  let acc = ref [] in
+  iter_candidates db pattern (fun fact ->
       match Subst.match_atom ~pattern ~ground:fact Subst.empty with
-      | Some s -> (fact, s) :: acc
-      | None -> acc)
-    (candidates db pattern) []
+      | Some s -> acc := (fact, s) :: !acc
+      | None -> ());
+  !acc
 
 exception Found of Atom.t * Subst.t
 
 let first_match db pattern =
   try
-    Atom_set.iter
-      (fun fact ->
+    iter_candidates db pattern (fun fact ->
         match Subst.match_atom ~pattern ~ground:fact Subst.empty with
         | Some s -> raise (Found (fact, s))
-        | None -> ())
-      (candidates db pattern);
+        | None -> ());
     None
   with Found (fact, s) -> Some (fact, s)
 
-let count_pred_id db pred_id =
-  match Hashtbl.find_opt db.by_pred pred_id with
-  | Some s -> Atom_set.cardinal !s
-  | None -> 0
+let rec count_pred_id db pred_id =
+  match db with
+  | Mem m -> m_count_pred_id m pred_id
+  | Paged p ->
+    if pred_id < Array.length p.sym_to_sid && p.sym_to_sid.(pred_id) >= 0 then
+      Store.count_pred p.store ~pred:p.sym_to_sid.(pred_id)
+    else 0
+  | Overlay o ->
+    count_pred_id o.base pred_id
+    - m_count_pred_id o.removed pred_id
+    + m_count_pred_id o.added pred_id
 
 let count_pred db name = count_pred_id db (Symbol.id (Symbol.intern name))
-let size db = Atomic.get db.size
-let token db = db.token
-let generation db = Atomic.get db.generation
 
-let iter f db = Hashtbl.iter (fun _ set -> Atom_set.iter f !set) db.by_pred
+let rec iter f db =
+  match db with
+  | Mem m -> Hashtbl.iter (fun _ set -> Atom_set.iter f !set) m.by_pred
+  | Paged p ->
+    Store.iter_all p.store (fun ~pred args -> f (atom_of p pred args))
+  | Overlay o ->
+    iter (fun fact -> if not (m_mem o.removed fact) then f fact) o.base;
+    Hashtbl.iter (fun _ set -> Atom_set.iter f !set) o.added.by_pred
 
 let fold f db init =
-  Hashtbl.fold (fun _ set acc -> Atom_set.fold f !set acc) db.by_pred init
+  let acc = ref init in
+  iter (fun fact -> acc := f fact !acc) db;
+  !acc
 
 let to_list db = fold (fun fact acc -> fact :: acc) db []
 
@@ -153,16 +388,44 @@ let of_list facts =
   List.iter (fun fact -> ignore (add db fact)) facts;
   db
 
-let copy db = of_list (to_list db)
+let copy db =
+  match db with
+  | Mem _ | Overlay _ -> of_list (to_list db)
+  | Paged _ ->
+    Overlay
+      {
+        base = db;
+        added = m_create ();
+        removed = m_create ();
+        o_token = Atomic.fetch_and_add next_token 1;
+        o_generation = Atomic.make 0;
+      }
 
 let predicates db =
-  Hashtbl.fold
-    (fun _ set acc ->
-      match Atom_set.choose_opt !set with
-      | None -> acc
-      | Some fact -> (fact.Atom.pred, Atom_set.cardinal !set) :: acc)
-    db.by_pred []
-  |> List.sort (fun (a, _) (b, _) -> Symbol.compare a b)
+  match db with
+  | Mem m ->
+    Hashtbl.fold
+      (fun _ set acc ->
+        match Atom_set.choose_opt !set with
+        | None -> acc
+        | Some fact -> (fact.Atom.pred, Atom_set.cardinal !set) :: acc)
+      m.by_pred []
+    |> List.sort (fun (a, _) (b, _) -> Symbol.compare a b)
+  | Paged p ->
+    Store.pred_counts p.store
+    |> List.map (fun (sid, n) -> (sym_of_sid p sid, n))
+    |> List.sort (fun (a, _) (b, _) -> Symbol.compare a b)
+  | Overlay _ ->
+    let tbl = Hashtbl.create 32 in
+    iter
+      (fun fact ->
+        let id = Symbol.id fact.Atom.pred in
+        match Hashtbl.find_opt tbl id with
+        | Some (_, n) -> Hashtbl.replace tbl id (fact.Atom.pred, n + 1)
+        | None -> Hashtbl.add tbl id (fact.Atom.pred, 1))
+      db;
+    Hashtbl.fold (fun _ pair acc -> pair :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> Symbol.compare a b)
 
 let pp ppf db =
   let facts = List.sort Atom.compare (to_list db) in
@@ -170,3 +433,43 @@ let pp ppf db =
     ~pp_sep:(fun ppf () -> Format.pp_print_cut ppf ())
     (fun ppf a -> Format.fprintf ppf "%a." Atom.pp a)
     ppf facts
+
+(* ---------- paged backend management ---------- *)
+
+let open_paged ~dir ?page_size ?buffer_pages ?wal_sync () =
+  let store =
+    Store.open_ ~dir ?page_size ?pool_pages:buffer_pages ?sync:wal_sync ()
+  in
+  let p =
+    { store; sym_to_sid = [||]; sid_syms = [||]; sid_terms = [||]; sid_n = 0 }
+  in
+  let n = Store.n_syms store in
+  for sid = 0 to n - 1 do
+    record_mapping p (Symbol.intern (Store.sid_name store sid)) sid
+  done;
+  Paged p
+
+let rec store_stats = function
+  | Mem _ -> None
+  | Paged p -> Some (Store.stats p.store)
+  | Overlay o -> store_stats o.base
+
+let rec close = function
+  | Mem _ -> ()
+  | Paged p -> Store.close p.store
+  | Overlay o -> close o.base
+
+let rec checkpoint = function
+  | Mem _ -> ()
+  | Paged p -> Store.checkpoint p.store
+  | Overlay o -> checkpoint o.base
+
+let rec sync = function
+  | Mem _ -> ()
+  | Paged p -> Store.sync p.store
+  | Overlay o -> sync o.base
+
+let backend_name = function
+  | Mem _ -> "mem"
+  | Paged _ -> "paged"
+  | Overlay _ -> "overlay"

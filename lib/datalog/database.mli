@@ -7,9 +7,15 @@
 
 type t
 
+(** A fresh in-memory database. *)
 val create : unit -> t
 
-(** Shallow-copy the database (indexes are rebuilt; facts are shared). *)
+(** Copy the database. For an in-memory database this rebuilds the
+    indexes (facts are shared). For a paged database it returns a
+    copy-on-write overlay: the on-disk store stays shared and untouched;
+    mutations of the copy land in private in-memory deltas, so they
+    never perturb the original's contents, generation, or query results.
+    The overlay assumes the {e original} is not mutated afterwards. *)
 val copy : t -> t
 
 (** [add db fact] inserts a ground atom. Returns [true] if it was new.
@@ -64,3 +70,40 @@ val fold : (Atom.t -> 'a -> 'a) -> t -> 'a -> 'a
 val predicates : t -> (Symbol.t * int) list
 
 val pp : Format.formatter -> t -> unit
+
+(** {1 Persistence}
+
+    A database backed by the paged persistent store ({!Store}) instead
+    of in-memory sets. The rest of the API is backend-transparent: SLD
+    resolution, caching, and the learners operate on either. *)
+
+(** Open (or create) a paged database rooted at [dir]. [page_size]
+    (creation only) and [buffer_pages] (buffer-pool frames) tune the
+    store; [wal_sync] sets the WAL group-commit policy (default: 20 ms
+    interval). The persistent [token] and [generation] survive restarts,
+    so cache invalidation stays correct across them. *)
+val open_paged :
+  dir:string ->
+  ?page_size:int ->
+  ?buffer_pages:int ->
+  ?wal_sync:Store.sync_mode ->
+  unit ->
+  t
+
+(** Release the paged backend's file handles (no-op for in-memory).
+    Unflushed mutations are recovered from the WAL on the next open. *)
+val close : t -> unit
+
+(** Compact the paged backend into a fresh checkpoint image and reset
+    the WAL (no-op for in-memory). *)
+val checkpoint : t -> unit
+
+(** Force a WAL group-commit fsync (no-op for in-memory). *)
+val sync : t -> unit
+
+(** Store counters when the database (or, for a copy, its base) is
+    paged; [None] for in-memory. *)
+val store_stats : t -> Store.stats option
+
+(** ["mem"], ["paged"], or ["overlay"]. *)
+val backend_name : t -> string

@@ -39,6 +39,11 @@ let no_cache_stats =
     memo_entries = 0;
   }
 
+(* The paged store's counters, pulled straight from [Store.stats] (the
+   store keeps its own counters under its own lock; metrics never
+   double-count). *)
+type store_stats = Store.stats
+
 type form_handles = {
   c_queries : R.Counter.t;
   c_answered : R.Counter.t;
@@ -61,6 +66,7 @@ type t = {
   trace_lock : Mutex.t;
   traces : Trace.Ring.t option;
   mutable cache_provider : (unit -> cache_stats) option;
+  mutable store_provider : (unit -> store_stats) option;
   (* Window high-water accumulator, consumed (reset) by whichever of
      STATS or a /metrics scrape reads it first — "max depth since the
      last read". The all-time high-water gauge never resets. *)
@@ -92,6 +98,23 @@ type t = {
   c_memo_misses : R.Counter.t;
   c_memo_invalidations : R.Counter.t;
   g_memo_entries : R.Gauge.t;
+  g_store_enabled : R.Gauge.t;
+  g_store_page_size : R.Gauge.t;
+  g_store_pages : R.Gauge.t;
+  g_store_pool_pages : R.Gauge.t;
+  c_store_pool_hits : R.Counter.t;
+  c_store_pool_misses : R.Counter.t;
+  c_store_pool_evictions : R.Counter.t;
+  c_store_page_reads : R.Counter.t;
+  c_store_page_writes : R.Counter.t;
+  g_store_wal_bytes : R.Gauge.t;
+  c_store_wal_appends : R.Counter.t;
+  c_store_wal_syncs : R.Counter.t;
+  c_store_checkpoints : R.Counter.t;
+  g_store_checkpoint_age : R.Gauge.t;
+  g_store_facts : R.Gauge.t;
+  g_store_symbols : R.Gauge.t;
+  g_store_generation : R.Gauge.t;
   f_queries : R.Counter.fam;
   f_answered : R.Counter.fam;
   f_climbs : R.Counter.fam;
@@ -118,6 +141,26 @@ let mirror_cache t cs =
   R.Counter.set t.c_memo_invalidations cs.memo_invalidations;
   R.Gauge.set t.g_memo_entries (float_of_int cs.memo_entries)
 
+let mirror_store t (ss : store_stats) =
+  R.Gauge.set t.g_store_enabled 1.0;
+  R.Gauge.set t.g_store_page_size (float_of_int ss.Store.page_size);
+  R.Gauge.set t.g_store_pages (float_of_int ss.Store.pages);
+  R.Gauge.set t.g_store_pool_pages (float_of_int ss.Store.pool_pages);
+  R.Counter.set t.c_store_pool_hits ss.Store.pool_hits;
+  R.Counter.set t.c_store_pool_misses ss.Store.pool_misses;
+  R.Counter.set t.c_store_pool_evictions ss.Store.pool_evictions;
+  R.Counter.set t.c_store_page_reads ss.Store.page_reads;
+  R.Counter.set t.c_store_page_writes ss.Store.page_writes;
+  R.Gauge.set t.g_store_wal_bytes (float_of_int ss.Store.wal_bytes);
+  R.Counter.set t.c_store_wal_appends ss.Store.wal_appends;
+  R.Counter.set t.c_store_wal_syncs ss.Store.wal_syncs;
+  R.Counter.set t.c_store_checkpoints ss.Store.checkpoints;
+  R.Gauge.set t.g_store_checkpoint_age
+    (Float.max 0.0 (Unix.gettimeofday () -. ss.Store.checkpoint_unix));
+  R.Gauge.set t.g_store_facts (float_of_int ss.Store.facts);
+  R.Gauge.set t.g_store_symbols (float_of_int ss.Store.symbols);
+  R.Gauge.set t.g_store_generation (float_of_int ss.Store.generation)
+
 let create ?(trace_capacity = 0) () =
   let reg = R.create () in
   let counter help name = R.Counter.solo (R.Counter.v reg ~help name) in
@@ -134,6 +177,7 @@ let create ?(trace_capacity = 0) () =
            Some (Trace.Ring.create ~capacity:trace_capacity)
          else None);
       cache_provider = None;
+      store_provider = None;
       window_hwm = Atomic.make 0.0;
       g_domains =
         gauge "Worker domains running (after clamping to the host's \
@@ -195,6 +239,43 @@ let create ?(trace_capacity = 0) () =
         counter "Subgoal-memo invalidations" "strategem_memo_invalidations_total";
       g_memo_entries =
         gauge "Subgoal-memo resident entries" "strategem_memo_entries";
+      g_store_enabled =
+        gauge "1 when the database is backed by the paged store"
+          "strategem_store_enabled";
+      g_store_page_size =
+        gauge "Paged-store page size" "strategem_store_page_size_bytes";
+      g_store_pages =
+        gauge "Pages allocated (checkpoint image plus growth)"
+          "strategem_store_pages";
+      g_store_pool_pages =
+        gauge "Buffer-pool frames" "strategem_store_pool_pages";
+      c_store_pool_hits =
+        counter "Buffer-pool hits" "strategem_store_pool_hits_total";
+      c_store_pool_misses =
+        counter "Buffer-pool misses" "strategem_store_pool_misses_total";
+      c_store_pool_evictions =
+        counter "Buffer-pool evictions" "strategem_store_pool_evictions_total";
+      c_store_page_reads =
+        counter "Pages read from disk" "strategem_store_page_reads_total";
+      c_store_page_writes =
+        counter "Dirty pages spilled to disk"
+          "strategem_store_page_writes_total";
+      g_store_wal_bytes =
+        gauge "WAL bytes since the last checkpoint" "strategem_store_wal_bytes";
+      c_store_wal_appends =
+        counter "WAL records appended" "strategem_store_wal_appends_total";
+      c_store_wal_syncs =
+        counter "WAL group-commit fsyncs" "strategem_store_wal_syncs_total";
+      c_store_checkpoints =
+        counter "Checkpoints taken this run" "strategem_store_checkpoints_total";
+      g_store_checkpoint_age =
+        gauge "Seconds since the last checkpoint (or open)"
+          "strategem_store_checkpoint_age_seconds";
+      g_store_facts = gauge "Facts in the paged store" "strategem_store_facts";
+      g_store_symbols =
+        gauge "Symbols in the persistent catalog" "strategem_store_symbols";
+      g_store_generation =
+        gauge "Persistent database generation" "strategem_store_generation";
       f_queries =
         R.Counter.v reg ~help:"Queries answered" ~labels:[ "form" ]
           "strategem_queries_total";
@@ -236,11 +317,13 @@ let create ?(trace_capacity = 0) () =
       Mutex.lock t.lock;
       let n_forms = Hashtbl.length t.forms in
       let provider = t.cache_provider in
+      let sprovider = t.store_provider in
       Mutex.unlock t.lock;
       R.Gauge.set t.g_forms_active (float_of_int n_forms);
       R.Gauge.set t.g_queue_hwm_window (Atomic.exchange t.window_hwm 0.0);
-      (* The provider has its own locks; called outside ours. *)
-      match provider with Some f -> mirror_cache t (f ()) | None -> ());
+      (* The providers have their own locks; called outside ours. *)
+      (match provider with Some f -> mirror_cache t (f ()) | None -> ());
+      match sprovider with Some f -> mirror_store t (f ()) | None -> ());
   t
 
 let registry t = t.reg
@@ -367,6 +450,14 @@ let cache_stats t =
   | None -> None
   | Some f -> Some (f ())
 
+let set_store_provider t f =
+  with_lock t (fun () -> t.store_provider <- Some f)
+
+let store_stats t =
+  match with_lock t (fun () -> t.store_provider) with
+  | None -> None
+  | Some f -> Some (f ())
+
 let sorted_forms t =
   with_lock t (fun () ->
       Hashtbl.fold (fun k fh acc -> (k, fh) :: acc) t.forms [])
@@ -399,12 +490,38 @@ let cache_lines cs =
     Printf.sprintf "memo_entries %d" cs.memo_entries;
   ]
 
+(* Additive, like [cache_lines]: present only when serving from a paged
+   store. *)
+let store_lines (ss : store_stats) =
+  [
+    Printf.sprintf "store_enabled 1";
+    Printf.sprintf "store_page_size_bytes %d" ss.Store.page_size;
+    Printf.sprintf "store_pages %d" ss.Store.pages;
+    Printf.sprintf "store_pool_pages %d" ss.Store.pool_pages;
+    Printf.sprintf "store_pool_hits %d" ss.Store.pool_hits;
+    Printf.sprintf "store_pool_misses %d" ss.Store.pool_misses;
+    Printf.sprintf "store_pool_evictions %d" ss.Store.pool_evictions;
+    Printf.sprintf "store_page_reads %d" ss.Store.page_reads;
+    Printf.sprintf "store_page_writes %d" ss.Store.page_writes;
+    Printf.sprintf "store_wal_bytes %d" ss.Store.wal_bytes;
+    Printf.sprintf "store_wal_appends %d" ss.Store.wal_appends;
+    Printf.sprintf "store_wal_syncs %d" ss.Store.wal_syncs;
+    Printf.sprintf "store_checkpoints %d" ss.Store.checkpoints;
+    Printf.sprintf "store_checkpoint_age_seconds %d"
+      (int_of_float
+         (Float.max 0.0 (Unix.gettimeofday () -. ss.Store.checkpoint_unix)));
+    Printf.sprintf "store_facts %d" ss.Store.facts;
+    Printf.sprintf "store_symbols %d" ss.Store.symbols;
+    Printf.sprintf "store_generation %d" ss.Store.generation;
+  ]
+
 (* Every STATS field and its order is part of the frozen text contract;
    values are read out of the registry instruments. New fields are only
    ever appended next to their kin (queue_depth and
    queue_high_water_window arrived after queue_high_water). *)
 let render_text t =
   let cache = cache_stats t in
+  let store = store_stats t in
   let forms = sorted_forms t in
   let qw = R.Histogram.snapshot t.h_queue_wait in
   let counters =
@@ -438,6 +555,9 @@ let render_text t =
   in
   let counters =
     match cache with None -> counters | Some cs -> counters @ cache_lines cs
+  in
+  let counters =
+    match store with None -> counters | Some ss -> counters @ store_lines ss
   in
   let form_lines =
     List.map
@@ -490,8 +610,29 @@ let cache_json cs =
     cs.invalidations cs.entries cs.bytes cs.capacity_bytes cs.memo_hits
     cs.memo_misses cs.memo_invalidations cs.memo_entries
 
+(* Like the [cache] block: additive under schema 1, independently
+   versioned. *)
+let store_block_version = 1
+
+let store_json (ss : store_stats) =
+  Printf.sprintf
+    "\"store\":{\"version\":%d,\"page_size_bytes\":%d,\"pages\":%d,\
+     \"pool_pages\":%d,\"pool_hits\":%d,\"pool_misses\":%d,\
+     \"pool_evictions\":%d,\"page_reads\":%d,\"page_writes\":%d,\
+     \"wal_bytes\":%d,\"wal_appends\":%d,\"wal_syncs\":%d,\
+     \"checkpoints\":%d,\"checkpoint_age_seconds\":%d,\"facts\":%d,\
+     \"symbols\":%d,\"generation\":%d},"
+    store_block_version ss.Store.page_size ss.Store.pages ss.Store.pool_pages
+    ss.Store.pool_hits ss.Store.pool_misses ss.Store.pool_evictions
+    ss.Store.page_reads ss.Store.page_writes ss.Store.wal_bytes
+    ss.Store.wal_appends ss.Store.wal_syncs ss.Store.checkpoints
+    (int_of_float
+       (Float.max 0.0 (Unix.gettimeofday () -. ss.Store.checkpoint_unix)))
+    ss.Store.facts ss.Store.symbols ss.Store.generation
+
 let render_json t =
   let cache = cache_stats t in
+  let store = store_stats t in
   let forms = sorted_forms t in
   let qw = R.Histogram.snapshot t.h_queue_wait in
   let buf = Buffer.create 512 in
@@ -527,6 +668,9 @@ let render_json t =
   (match cache with
   | None -> ()
   | Some cs -> Buffer.add_string buf (cache_json cs));
+  (match store with
+  | None -> ()
+  | Some ss -> Buffer.add_string buf (store_json ss));
   Buffer.add_string buf "\"forms\":{";
   List.iteri
     (fun i (key, fh) ->

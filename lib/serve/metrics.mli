@@ -148,6 +148,27 @@ val cache_stats : t -> cache_stats option
     {!schema_version}; the block is additive). *)
 val cache_block_version : int
 
+(** {1 Paged store}
+
+    When the daemon serves from a paged database ([--data-dir]), its
+    {!Store.stats} counters are mirrored into [strategem_store_*]
+    instruments on every collect, appended as additive [store_*] lines
+    to [STATS], and rendered as the [store] block in [STATS JSON]. An
+    in-memory daemon installs no provider and reports none of them. *)
+
+type store_stats = Store.stats
+
+(** Install the provider the renderers pull {!store_stats} through
+    (typically [Database.store_stats] partially applied). Called outside
+    the metrics lock. *)
+val set_store_provider : t -> (unit -> store_stats) -> unit
+
+(** Current store stats via the provider, if one is installed. *)
+val store_stats : t -> store_stats option
+
+(** Version of the [store] block inside [STATS JSON]. *)
+val store_block_version : int
+
 (** {1 Reads} *)
 
 val queries_total : t -> int

@@ -570,6 +570,15 @@ let run ?(handle_signals = false) ?(on_listen = fun _ -> ())
       stop_w;
     }
   in
+  (* A paged (or copy-of-paged) database exposes its store counters;
+     an in-memory one reports no store block at all. *)
+  (match D.Database.store_stats st.db with
+  | Some _ ->
+    Metrics.set_store_provider metrics (fun () ->
+        match D.Database.store_stats st.db with
+        | Some ss -> ss
+        | None -> assert false)
+  | None -> ());
   Metrics.set_cache_provider metrics (fun () ->
       match st.cache with
       | None -> Metrics.no_cache_stats

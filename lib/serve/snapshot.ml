@@ -8,43 +8,12 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-(* Atomic + durable write: the snapshot thread may run while a SNAPSHOT
-   command does; last rename wins and readers never see a torn file. The
-   temp file is fsynced before the rename and the directory after it —
-   without the first, a crash shortly after rename can leave the final
-   name pointing at truncated data (the rename is metadata and can reach
-   disk before the data blocks); without the second, the rename itself
-   may be lost. *)
-let fsync_dir dir =
-  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
-  | exception Unix.Unix_error _ -> ()
-  | dirfd ->
-    Fun.protect
-      ~finally:(fun () -> try Unix.close dirfd with Unix.Unix_error _ -> ())
-      (fun () -> try Unix.fsync dirfd with Unix.Unix_error _ -> ())
-
-let write_file path content =
-  let tmp = path ^ ".tmp" in
-  let fd =
-    Unix.openfile tmp
-      [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ]
-      0o644
-  in
-  Fun.protect
-    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-    (fun () ->
-      let len = String.length content in
-      let written = ref 0 in
-      while !written < len do
-        written :=
-          !written + Unix.write_substring fd content !written (len - !written)
-      done;
-      Unix.fsync fd);
-  Sys.rename tmp path;
-  fsync_dir (Filename.dirname path)
-
-let ensure_dir dir =
-  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+(* Atomic + durable writes via the shared [Store.Fsync] discipline
+   (temp file fsynced, renamed, directory fsynced): the snapshot thread
+   may run while a SNAPSHOT command does; last rename wins and readers
+   never see a torn file. *)
+let write_file = Store.Fsync.write_file
+let ensure_dir = Store.Fsync.ensure_dir
 
 let save ~dir registry =
   ensure_dir dir;

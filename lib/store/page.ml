@@ -1,0 +1,54 @@
+let header_bytes = 12
+let record_bytes ~nargs = 2 + (4 * nargs)
+
+let get_u32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xFFFFFFFF
+let set_u32 b off v = Bytes.set_int32_le b off (Int32.of_int v)
+
+let init b ~pred =
+  Bytes.fill b 0 (Bytes.length b) '\000';
+  set_u32 b 0 pred;
+  set_u32 b 4 0;
+  set_u32 b 8 header_bytes
+
+let pred b = get_u32 b 0
+let count b = get_u32 b 4
+let free_off b = get_u32 b 8
+
+let has_room b ~nargs = free_off b + record_bytes ~nargs <= Bytes.length b
+
+let append b args =
+  let off = free_off b in
+  let nargs = Array.length args in
+  if nargs > 255 then invalid_arg "Page.append: arity > 255";
+  Bytes.set_uint8 b off 0;
+  Bytes.set_uint8 b (off + 1) nargs;
+  Array.iteri (fun i a -> set_u32 b (off + 2 + (4 * i)) a) args;
+  set_u32 b 4 (count b + 1);
+  set_u32 b 8 (off + record_bytes ~nargs);
+  off
+
+let kill b off = Bytes.set_uint8 b off (Bytes.get_uint8 b off lor 1)
+let live b off = Bytes.get_uint8 b off land 1 = 0
+
+let args_at b off =
+  let nargs = Bytes.get_uint8 b (off + 1) in
+  Array.init nargs (fun i -> get_u32 b (off + 2 + (4 * i)))
+
+let matches_at b off args =
+  live b off
+  && Bytes.get_uint8 b (off + 1) = Array.length args
+  &&
+  let rec eq i =
+    i >= Array.length args
+    || (get_u32 b (off + 2 + (4 * i)) = args.(i) && eq (i + 1))
+  in
+  eq 0
+
+let iter b f =
+  let stop = free_off b in
+  let off = ref header_bytes in
+  while !off < stop do
+    let nargs = Bytes.get_uint8 b (!off + 1) in
+    if live b !off then f !off (args_at b !off);
+    off := !off + record_bytes ~nargs
+  done

@@ -1,0 +1,54 @@
+(** Fixed-size page layout for packed ground facts.
+
+    A page belongs to one predicate (its store symbol id is in the page
+    header), and holds a sequence of packed fact records — the argument
+    tuples only, as store symbol ids, so a page is position-independent:
+    nothing in it depends on process-run symbol numbering or on where
+    the page sits in the file.
+
+    Layout (all integers little-endian):
+
+    {v
+      offset 0   u32  pred sid
+      offset 4   u32  record count (including tombstones)
+      offset 8   u32  free offset (next append position)
+      offset 12  records...
+
+      record:    u8   flags (bit 0 = tombstone)
+                 u8   arity (nargs <= 255)
+                 u32 x nargs  argument sids
+    v}
+
+    Tombstoning a record flips its flag in place; space is reclaimed by
+    the store's checkpoint compaction, never in place. *)
+
+val header_bytes : int
+
+(** Bytes a record with [nargs] arguments occupies. *)
+val record_bytes : nargs:int -> int
+
+(** Initialize an all-zero buffer as an empty page for predicate
+    [pred]. *)
+val init : Bytes.t -> pred:int -> unit
+
+val pred : Bytes.t -> int
+val count : Bytes.t -> int
+val free_off : Bytes.t -> int
+val has_room : Bytes.t -> nargs:int -> bool
+
+(** Append a record; returns its offset. The caller must have checked
+    [has_room]. *)
+val append : Bytes.t -> int array -> int
+
+(** Tombstone the record at [off]. *)
+val kill : Bytes.t -> int -> unit
+
+val live : Bytes.t -> int -> bool
+val args_at : Bytes.t -> int -> int array
+
+(** [matches_at page off args] — the record at [off] is live and its
+    argument tuple equals [args] (no allocation). *)
+val matches_at : Bytes.t -> int -> int array -> bool
+
+(** Iterate the live records (offset and argument tuple). *)
+val iter : Bytes.t -> (int -> int array -> unit) -> unit

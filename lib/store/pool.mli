@@ -1,0 +1,50 @@
+(** The buffer pool: a fixed set of page frames over the checkpoint
+    image, with pin counts and clock (second-chance) eviction, so the
+    resident working set can be far smaller than the database.
+
+    Disk layout discipline: the checkpoint image ([base]) is immutable —
+    it is only ever replaced wholesale by an atomic rename at checkpoint
+    time, never written in place, so a crash can never tear it. Dirty
+    pages evicted between checkpoints are therefore written to a
+    separate {e spill} file, a per-run scratch that recovery never
+    reads: after a crash the store rebuilds from checkpoint image + WAL
+    alone. A page is read back from the spill file iff it was evicted
+    dirty ([spilled] tracks that), from the base image otherwise.
+
+    The pool is not synchronized; the store engine serializes access. *)
+
+type t
+
+(** [create ~page_size ~frames ~spill_path] — [frames >= 2] (one pinned
+    reader plus one eviction victim must coexist). The spill file is
+    created (truncated) immediately. *)
+val create : page_size:int -> frames:int -> spill_path:string -> t
+
+val page_size : t -> int
+val frames : t -> int
+
+(** Point the pool at a (new) checkpoint image: drops every cached
+    frame, truncates the spill file, forgets spilled pages. [fd] is
+    closed by the next [set_base] or [close]; [None] means no base image
+    (fresh store). *)
+val set_base : t -> Unix.file_descr option -> base_pages:int -> unit
+
+(** [with_page t n f] — pin page [n] (faulting it in if needed), run [f]
+    on its bytes, unpin. The bytes must not escape [f]. *)
+val with_page : t -> int -> (Bytes.t -> 'a) -> 'a
+
+(** Like {!with_page} but marks the frame dirty. [fresh] asserts the
+    page is brand new — its frame is zeroed instead of read from disk
+    (the caller must [Page.init] it). *)
+val with_dirty : ?fresh:bool -> t -> int -> (Bytes.t -> 'a) -> 'a
+
+type stats = {
+  hits : int;        (** pin found the page resident *)
+  misses : int;      (** pin faulted the page in *)
+  evictions : int;   (** frames reclaimed by the clock *)
+  page_reads : int;  (** pages read from base or spill *)
+  page_writes : int; (** dirty pages written to the spill file *)
+}
+
+val stats : t -> stats
+val close : t -> unit

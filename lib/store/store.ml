@@ -1,0 +1,9 @@
+(* The paged persistent fact store. [Engine] is the store proper; the
+   submodules are its layers, exposed for tests and for sharing (the
+   serve snapshotter reuses [Fsync]). *)
+
+module Fsync = Fsync
+module Page = Page
+module Pool = Pool
+module Wal = Wal
+include Engine

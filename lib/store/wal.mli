@@ -1,0 +1,54 @@
+(** The append-only write-ahead log: every mutation ([add]/[remove]) and
+    every new symbol is appended as a self-delimiting, CRC-framed record
+    before the store's in-memory or paged state changes.
+
+    Frame layout: [u32 len | body | u32 crc32(body)]. Replay walks
+    frames from the start and stops at the first short or corrupt frame,
+    so a torn tail (crash mid-append) yields exactly the longest valid
+    prefix — no torn facts. [Add]/[Del] records carry the generation
+    {e after} the mutation, so replay recovers the exact pre-crash
+    generation counter (monotone in the length of the surviving prefix)
+    even when some effects already reached the page files.
+
+    Group commit: in [Interval s] mode an append [write]s promptly but
+    only [fsync]s when [s] seconds have passed since the last sync, so
+    a burst of mutations shares one fsync. [Always] syncs every append;
+    [Never] leaves syncing to the OS (bulk loads that end in a
+    checkpoint). *)
+
+type op =
+  | Sym of { sid : int; name : string }
+  | Add of { gen : int; pred : int; args : int array }
+  | Del of { gen : int; pred : int; args : int array }
+
+type sync_mode = Always | Interval of float | Never
+
+(** [replay path f] — apply [f] to each valid record in order; returns
+    the byte length of the valid prefix. A missing file is an empty
+    log. *)
+val replay : string -> (op -> unit) -> int
+
+type t
+
+(** [open_append path ~valid ~sync] — open for appending, first
+    truncating to [valid] bytes (discarding any torn tail found by
+    {!replay}) so new records extend the valid prefix. *)
+val open_append : string -> valid:int -> sync:sync_mode -> t
+
+val append : t -> op -> unit
+
+(** Force an fsync now (no-op if nothing was appended since the last). *)
+val sync : t -> unit
+
+(** Truncate the log to empty (checkpoint has absorbed it) and sync. *)
+val reset : t -> unit
+
+val size : t -> int
+
+type stats = { bytes : int; appends : int; syncs : int }
+
+val stats : t -> stats
+val close : t -> unit
+
+(** CRC-32 (IEEE, reflected) of a byte range — exposed for tests. *)
+val crc32 : Bytes.t -> int -> int -> int

@@ -338,9 +338,11 @@ let database_concurrent_generation () =
     Array.init n (fun i -> atom (Printf.sprintf "cgen(x%d)" i))
   in
   let stop = Atomic.make false in
+  let started = Atomic.make false in
   let reader =
     Domain.spawn (fun () ->
         let ok = ref true and last_gen = ref 0 and reads = ref 0 in
+        Atomic.set started true;
         while not (Atomic.get stop) do
           let s = D.Database.size db in
           let g = D.Database.generation db in
@@ -352,6 +354,9 @@ let database_concurrent_generation () =
         done;
         (!ok, !reads))
   in
+  (* Don't start writing until the reader is live, or a slow
+     [Domain.spawn] lets the writer finish unobserved. *)
+  while not (Atomic.get started) do Domain.cpu_relax () done;
   Array.iter (fun f -> ignore (D.Database.add db f)) facts;
   Atomic.set stop true;
   let ok, reads = Domain.join reader in
