@@ -31,39 +31,28 @@ let start_server () =
   done;
   (thread, Atomic.get port, Array.of_list (Workload.Genealogy.people pop))
 
-let connect port =
-  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
-  (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
-
-let request ic oc line =
-  output_string oc line;
-  output_char oc '\n';
-  flush oc;
-  input_line ic
-
-(* One closed-loop client: [n] queries, per-request latencies in ms. *)
+(* One closed-loop client: [n] queries, per-request latencies in ms.
+   The line dialect keeps this row comparable with historical runs
+   (pipelined v4 load is E24's subject). *)
 let client port people ~seed ~n =
   let rng = Stats.Rng.create (Int64.of_int seed) in
-  let fd, ic, oc = connect port in
+  let c = Serve.Client.connect ~proto:`Lines ~port () in
   let lat = Array.make n 0.0 in
   for i = 0 to n - 1 do
     let name = people.(Stats.Rng.int rng (Array.length people)) in
     let t0 = Unix.gettimeofday () in
-    ignore (request ic oc (Printf.sprintf "QUERY relative(%s)" name));
+    ignore
+      (Serve.Client.request c (Printf.sprintf "QUERY relative(%s)" name));
     lat.(i) <- (Unix.gettimeofday () -. t0) *. 1e3
   done;
-  Unix.shutdown fd Unix.SHUTDOWN_SEND;
-  close_in_noerr ic;
+  Serve.Client.close c;
   lat
 
 let climbs_of_stats port =
-  let fd, ic, oc = connect port in
-  output_string oc "STATS\nSHUTDOWN\n";
-  flush oc;
-  Unix.shutdown fd Unix.SHUTDOWN_SEND;
-  let lines = In_channel.input_lines ic in
-  close_in_noerr ic;
+  let c = Serve.Client.connect ~proto:`Lines ~port () in
+  let lines = Serve.Client.command c "STATS" in
+  ignore (Serve.Client.command c "SHUTDOWN");
+  Serve.Client.close c;
   List.fold_left
     (fun acc l ->
       match String.split_on_char ' ' l with

@@ -62,40 +62,26 @@ let start_server ~cache ~db ~rulebase =
   done;
   (thread, Atomic.get port)
 
-let connect port =
-  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
-  (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
-
-let request ic oc line =
-  output_string oc line;
-  output_char oc '\n';
-  flush oc;
-  input_line ic
-
 (* One closed-loop client: [n] Zipf-drawn queries, latencies in ms. *)
 let client port pool ~seed ~n =
   let rng = Stats.Rng.create (Int64.of_int seed) in
-  let fd, ic, oc = connect port in
+  let c = Serve.Client.connect ~proto:`Lines ~port () in
   let lat = Array.make n 0.0 in
   for i = 0 to n - 1 do
     let q = pool.(Stats.Rng.categorical rng zipf_weights) in
     let t0 = Unix.gettimeofday () in
-    ignore (request ic oc q);
+    ignore (Serve.Client.request c q);
     lat.(i) <- (Unix.gettimeofday () -. t0) *. 1e3
   done;
-  Unix.shutdown fd Unix.SHUTDOWN_SEND;
-  close_in_noerr ic;
+  Serve.Client.close c;
   lat
 
 (* Pull the integer counters out of STATS, then shut the server down. *)
 let stats_of_server port =
-  let fd, ic, oc = connect port in
-  output_string oc "STATS\nSHUTDOWN\n";
-  flush oc;
-  Unix.shutdown fd Unix.SHUTDOWN_SEND;
-  let lines = In_channel.input_lines ic in
-  close_in_noerr ic;
+  let c = Serve.Client.connect ~proto:`Lines ~port () in
+  let lines = Serve.Client.command c "STATS" in
+  ignore (Serve.Client.command c "SHUTDOWN");
+  Serve.Client.close c;
   let get name =
     List.fold_left
       (fun acc l ->

@@ -89,37 +89,32 @@ let start_server ~mode ~log_path ~db ~rulebase =
   done;
   (thread, Atomic.get port, Atomic.get mport)
 
-let connect port =
-  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
-  (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
-
-let request ic oc line =
-  output_string oc line;
-  output_char oc '\n';
-  flush oc;
-  input_line ic
-
 let client port pool ~seed ~n =
   let rng = Stats.Rng.create (Int64.of_int seed) in
-  let fd, ic, oc = connect port in
+  let c = Serve.Client.connect ~proto:`Lines ~port () in
   let lat = Array.make n 0.0 in
   for i = 0 to n - 1 do
     let q = pool.(Stats.Rng.categorical rng zipf_weights) in
     let t0 = Unix.gettimeofday () in
-    ignore (request ic oc q);
+    ignore (Serve.Client.request c q);
     lat.(i) <- (Unix.gettimeofday () -. t0) *. 1e3
   done;
-  Unix.shutdown fd Unix.SHUTDOWN_SEND;
-  close_in_noerr ic;
+  Serve.Client.close c;
   lat
 
 (* One GET /metrics, returning the body length (0 on any failure — the
-   scraper must never kill the benchmark). *)
+   scraper must never kill the benchmark). This is plain HTTP against
+   the metrics responder, not the query protocol, so it stays a raw
+   socket. *)
 let scrape_once mport =
-  match connect mport with
-  | exception Unix.Unix_error _ -> 0
-  | fd, ic, oc ->
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, mport)) with
+  | exception Unix.Unix_error _ ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    0
+  | () ->
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
     let n = ref 0 in
     (try
        output_string oc "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n";
@@ -130,16 +125,13 @@ let scrape_once mport =
          done
        with End_of_file -> ()
      with Sys_error _ -> ());
-    (try Unix.close fd with Unix.Unix_error _ -> ());
+    close_in_noerr ic;
     !n
 
 let shutdown_server port =
-  let fd, ic, oc = connect port in
-  output_string oc "SHUTDOWN\n";
-  flush oc;
-  Unix.shutdown fd Unix.SHUTDOWN_SEND;
-  ignore (In_channel.input_lines ic);
-  close_in_noerr ic
+  let c = Serve.Client.connect ~proto:`Lines ~port () in
+  ignore (Serve.Client.command c "SHUTDOWN");
+  Serve.Client.close c
 
 type row = {
   mode : mode;

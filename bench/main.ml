@@ -30,6 +30,7 @@ let experiments =
     ("e21", "observability overhead on the serve path", E21_obs.run);
     ("e22", "serve-path scaling over worker domains", E22_scale.run);
     ("e23", "paged store vs in-memory retrieval", E23_store.run);
+    ("e24", "protocol v4 pipelining vs the v3 line protocol", E24_pipeline.run);
   ]
 
 let () =

@@ -480,9 +480,9 @@ let host_arg =
     & opt string "127.0.0.1"
     & info [ "host" ] ~docv:"ADDR" ~doc:"Address to bind/connect to.")
 
-let run_serve file host port workers queue_depth state_dir snapshot_interval
-    delta learner trace_sample cache_mb no_cache metrics_port log_level
-    log_file slow_query_ms data_dir buffer_pages =
+let run_serve file host port workers queue_depth max_conns state_dir
+    snapshot_interval delta learner trace_sample cache_mb no_cache
+    metrics_port log_level log_file slow_query_ms data_dir buffer_pages =
   let rulebase, db, _ = load_kb file in
   let db =
     match data_dir with
@@ -516,6 +516,7 @@ let run_serve file host port workers queue_depth state_dir snapshot_interval
       port;
       workers;
       queue_depth;
+      max_conns;
       state_dir;
       snapshot_interval;
       learner;
@@ -558,8 +559,16 @@ let serve_cmd =
       value & opt int 64
       & info [ "queue-depth" ] ~docv:"N"
           ~doc:
-            "Admission queue bound; connections beyond it are shed with \
-             BUSY.")
+            "Admission queue bound, in requests; requests dispatched \
+             beyond it are shed with BUSY.")
+  in
+  let max_conns =
+    Arg.(
+      value & opt int 10_000
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:
+            "Open-connection cap; connections past it are answered BUSY \
+             and closed at accept.")
   in
   let state_dir =
     Arg.(
@@ -688,39 +697,75 @@ let serve_cmd =
           answered query.")
     Term.(
       const run_serve $ file_arg $ host_arg $ port $ workers $ queue_depth
-      $ state_dir $ snapshot_interval $ delta_arg $ learner $ trace_sample
-      $ cache_mb $ no_cache $ metrics_port $ log_level $ log_file
-      $ slow_query_ms $ data_dir $ buffer_pages)
+      $ max_conns $ state_dir $ snapshot_interval $ delta_arg $ learner
+      $ trace_sample $ cache_mb $ no_cache $ metrics_port $ log_level
+      $ log_file $ slow_query_ms $ data_dir $ buffer_pages)
 
-let run_client host port commands =
+let client_lines c commands =
+  (* Historical CLI behaviour, byte for byte: write every line, half-close
+     so the server sees EOF after the last command and closes once every
+     reply is out, then "read to EOF" prints exactly the replies. *)
+  List.iter (Serve.Client.send_line c) commands;
+  Serve.Client.half_close c;
+  Serve.Client.drain c print_endline;
+  Serve.Client.close c
+
+let client_v4 c commands =
+  (* Pipelined: post every request before reading any response, then
+     print the replies sorted by request id, each line prefixed with
+     "#<id> " so out-of-order arrival is observable but the output is
+     deterministic. Lines the framed dialect cannot carry are answered
+     locally under id 0 — the same ERR text the server's line dialect
+     would send. *)
+  let local = ref [] in
+  let expected =
+    List.fold_left
+      (fun acc line ->
+        match Serve.Client.post c line with
+        | _id -> acc + 1
+        | exception Invalid_argument _ ->
+          (match Serve.Protocol.parse line with
+          | Serve.Protocol.Empty -> ()
+          | Serve.Protocol.Malformed msg ->
+            local := Serve.Protocol.err ~code:`Malformed msg :: !local
+          | Serve.Protocol.Unknown verb ->
+            local := Serve.Protocol.err ~code:`Unknown_verb verb :: !local
+          | _ -> ());
+          acc)
+      0 commands
+  in
+  (* [local] is reversed; [replies] is reversed again before the sort,
+     so seeding it with the once-reversed list restores command order. *)
+  let replies = ref (List.map (fun l -> (0, [ l ])) !local) in
+  (try
+     for _ = 1 to expected do
+       replies := Serve.Client.recv c :: !replies
+     done
+   with End_of_file | Failure _ -> ());
+  List.stable_sort (fun (a, _) (b, _) -> Int.compare a b) (List.rev !replies)
+  |> List.iter (fun (id, lines) ->
+         List.iter (fun l -> Fmt.pr "#%d %s@." id l) lines);
+  Serve.Client.close c
+
+let run_client host port proto commands =
   let commands =
     match commands with
     | [ "-" ] -> In_channel.input_lines In_channel.stdin
     | cs -> cs
   in
-  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
-   with Unix.Unix_error (e, _, _) ->
-     Fmt.epr "connect %s:%d: %s@." host port (Unix.error_message e);
-     exit 1);
-  let oc = Unix.out_channel_of_descr fd in
-  let ic = Unix.in_channel_of_descr fd in
-  List.iter
-    (fun c ->
-      output_string oc c;
-      output_char oc '\n')
-    commands;
-  flush oc;
-  (* Half-close: the server sees EOF after the last command and closes
-     once every reply is out, so "read to EOF" prints exactly the
-     replies. *)
-  Unix.shutdown fd Unix.SHUTDOWN_SEND;
-  (try
-     while true do
-       print_endline (input_line ic)
-     done
-   with End_of_file -> ());
-  close_in_noerr ic
+  let c =
+    try Serve.Client.connect ~proto ~host ~port ()
+    with
+    | Unix.Unix_error (e, _, _) ->
+      Fmt.epr "connect %s:%d: %s@." host port (Unix.error_message e);
+      exit 1
+    | Failure msg ->
+      Fmt.epr "connect %s:%d: %s@." host port msg;
+      exit 1
+  in
+  match Serve.Client.protocol c with
+  | `Lines -> client_lines c commands
+  | `V4 -> client_v4 c commands
 
 let client_cmd =
   let port =
@@ -728,6 +773,19 @@ let client_cmd =
       required
       & opt (some int) None
       & info [ "port"; "p" ] ~docv:"PORT" ~doc:"Server port.")
+  in
+  let proto =
+    Arg.(
+      value
+      & opt (enum [ ("lines", `Lines); ("v4", `V4); ("auto", `Auto) ]) `Lines
+      & info [ "proto" ] ~docv:"PROTO"
+          ~doc:
+            "Wire dialect: lines (default, the v2/v3 line protocol, \
+             replies printed verbatim), v4 (framed protocol v4 — all \
+             requests are pipelined before any response is read, and \
+             replies print as '#<id> <line>' sorted by request id), or \
+             auto (negotiate v4, falling back to lines on an older \
+             server).")
   in
   let commands =
     Arg.(
@@ -742,7 +800,7 @@ let client_cmd =
        ~doc:
          "Send protocol lines to a strategem serve daemon and print the \
           replies.")
-    Term.(const run_client $ host_arg $ port $ commands)
+    Term.(const run_client $ host_arg $ port $ proto $ commands)
 
 (* ---------- scrape / watch ---------- *)
 

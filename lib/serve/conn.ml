@@ -1,0 +1,267 @@
+type mode = Sniff | Lines | Frames
+
+type incoming =
+  | Line_req of Protocol.request
+  | Frame_req of Frame.t
+  | Upgrade
+  | Junk of string
+
+type read_status = Continue | Eof | Rerror of string
+
+let initial_buf = 4096
+let max_line = 1 lsl 20
+let max_rbuf = Frame.header_size + Frame.max_payload
+let max_output = 64 * 1024 * 1024
+
+type t = {
+  fd : Unix.file_descr;
+  id : int;
+  peer : string;
+  mutable mode : mode;
+  (* read side: loop thread only. [rpos, rend) is the unparsed span. *)
+  mutable rbuf : Bytes.t;
+  mutable rpos : int;
+  mutable rend : int;
+  mutable read_closed : bool;
+  pending : Protocol.request Queue.t;
+  (* write side: appended by workers, drained by the loop, under lock.
+     [opos, oend) is the unwritten span. *)
+  wlock : Mutex.t;
+  mutable obuf : Bytes.t;
+  mutable opos : int;
+  mutable oend : int;
+  mutable closing : bool;
+  mutable dead : bool;
+  inflight : int Atomic.t;
+  mutable hwm : int;
+  mutable rseq : int;
+}
+
+let create ~id ~peer fd =
+  {
+    fd;
+    id;
+    peer;
+    mode = Sniff;
+    rbuf = Bytes.create initial_buf;
+    rpos = 0;
+    rend = 0;
+    read_closed = false;
+    pending = Queue.create ();
+    wlock = Mutex.create ();
+    obuf = Bytes.create initial_buf;
+    opos = 0;
+    oend = 0;
+    closing = false;
+    dead = false;
+    inflight = Atomic.make 0;
+    hwm = 0;
+    rseq = 0;
+  }
+
+let fd t = t.fd
+let id t = t.id
+let peer t = t.peer
+let framed t = t.mode = Frames
+let read_closed t = t.read_closed
+let set_read_closed t = t.read_closed <- true
+let closing t = t.closing
+let set_closing t = t.closing <- true
+let dead t = t.dead
+
+let kill t =
+  Mutex.lock t.wlock;
+  t.dead <- true;
+  t.opos <- 0;
+  t.oend <- 0;
+  Mutex.unlock t.wlock
+
+let push_pending t r = Queue.push r t.pending
+let pop_pending t = Queue.take_opt t.pending
+let pending_count t = Queue.length t.pending
+
+let incr_inflight t =
+  let n = 1 + Atomic.fetch_and_add t.inflight 1 in
+  if n > t.hwm then t.hwm <- n
+
+let decr_inflight t = ignore (Atomic.fetch_and_add t.inflight (-1))
+let inflight t = Atomic.get t.inflight
+let pipeline_hwm t = t.hwm
+
+let next_rid t =
+  t.rseq <- t.rseq + 1;
+  t.rseq
+
+(* --- read side --- *)
+
+let compact t =
+  if t.rpos > 0 then begin
+    Bytes.blit t.rbuf t.rpos t.rbuf 0 (t.rend - t.rpos);
+    t.rend <- t.rend - t.rpos;
+    t.rpos <- 0
+  end
+
+(* Make room for at least one more byte; false only when a single
+   message already fills the whole capped buffer (the parse-side guards
+   fire first in practice). *)
+let ensure_read_space t =
+  if t.rend < Bytes.length t.rbuf then true
+  else begin
+    compact t;
+    if t.rend < Bytes.length t.rbuf then true
+    else if Bytes.length t.rbuf >= max_rbuf then false
+    else begin
+      let bigger = Bytes.create (min max_rbuf (2 * Bytes.length t.rbuf)) in
+      Bytes.blit t.rbuf 0 bigger 0 t.rend;
+      t.rbuf <- bigger;
+      true
+    end
+  end
+
+let find_nl b pos limit =
+  match Bytes.index_from_opt b pos '\n' with
+  | Some i when i < limit -> Some i
+  | _ -> None
+
+let stopped t = t.closing || t.dead
+
+let rec parse_all t ~emit =
+  if not (stopped t) then
+    match t.mode with
+    | Sniff ->
+      if t.rend > t.rpos then begin
+        t.mode <-
+          (if Bytes.get t.rbuf t.rpos = Frame.magic then Frames else Lines);
+        parse_all t ~emit
+      end
+    | Lines -> parse_lines t ~emit
+    | Frames -> parse_frames t ~emit
+
+and parse_lines t ~emit =
+  match find_nl t.rbuf t.rpos t.rend with
+  | Some nl -> (
+    let req = Protocol.parse_sub t.rbuf ~pos:t.rpos ~len:(nl - t.rpos) in
+    t.rpos <- nl + 1;
+    match req with
+    | Protocol.Hello_v4 ->
+      (* the rest of the buffer — bytes that arrived with the upgrade
+         line — already speaks frames *)
+      t.mode <- Frames;
+      emit Upgrade;
+      parse_all t ~emit
+    | r ->
+      emit (Line_req r);
+      if not (stopped t) then parse_lines t ~emit)
+  | None ->
+    if t.rend - t.rpos > max_line then
+      emit (Junk "line exceeds the 1 MiB limit")
+
+and parse_frames t ~emit =
+  match Frame.decode t.rbuf ~pos:t.rpos ~limit:t.rend with
+  | Frame.Frame (f, consumed) ->
+    t.rpos <- t.rpos + consumed;
+    emit (Frame_req f);
+    if not (stopped t) then parse_frames t ~emit
+  | Frame.Need_more _ -> ()
+  | Frame.Corrupt msg -> emit (Junk msg)
+
+let on_readable t ~emit =
+  if not (ensure_read_space t) then begin
+    emit (Junk "read buffer overflow");
+    Continue
+  end
+  else
+    match
+      Unix.read t.fd t.rbuf t.rend (Bytes.length t.rbuf - t.rend)
+    with
+    | 0 -> Eof
+    | n ->
+      t.rend <- t.rend + n;
+      parse_all t ~emit;
+      Continue
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+      Continue
+    | exception Unix.Unix_error (e, _, _) -> Rerror (Unix.error_message e)
+
+let finish_read t ~emit =
+  if t.rend > t.rpos && not (stopped t) then
+    match t.mode with
+    | Frames -> () (* partial frame torn by EOF: nothing to honor *)
+    | Sniff when Bytes.get t.rbuf t.rpos = Frame.magic -> ()
+    | Sniff | Lines -> (
+      let req = Protocol.parse_sub t.rbuf ~pos:t.rpos ~len:(t.rend - t.rpos) in
+      t.rpos <- t.rend;
+      match req with
+      | Protocol.Hello_v4 ->
+        t.mode <- Frames;
+        emit Upgrade
+      | r -> emit (Line_req r))
+
+(* --- write side --- *)
+
+let ensure_write_space t len =
+  let used = t.oend - t.opos in
+  if t.oend + len > Bytes.length t.obuf then begin
+    if t.opos > 0 then begin
+      Bytes.blit t.obuf t.opos t.obuf 0 used;
+      t.opos <- 0;
+      t.oend <- used
+    end;
+    if t.oend + len > Bytes.length t.obuf then begin
+      let cap = ref (Bytes.length t.obuf) in
+      while !cap < t.oend + len do
+        cap := 2 * !cap
+      done;
+      let bigger = Bytes.create !cap in
+      Bytes.blit t.obuf 0 bigger 0 t.oend;
+      t.obuf <- bigger
+    end
+  end
+
+let send t s =
+  Mutex.lock t.wlock;
+  (if not t.dead then
+     let len = String.length s in
+     if t.oend - t.opos + len > max_output then
+       (* a consumer that never reads: poison rather than buffer without
+          bound; the loop reaps the fd when it next looks *)
+       t.dead <- true
+     else begin
+       ensure_write_space t len;
+       Bytes.blit_string s 0 t.obuf t.oend len;
+       t.oend <- t.oend + len
+     end);
+  Mutex.unlock t.wlock
+
+let flush t =
+  Mutex.lock t.wlock;
+  let r =
+    if t.dead then `Error
+    else if t.opos >= t.oend then `Flushed
+    else
+      match Unix.write t.fd t.obuf t.opos (t.oend - t.opos) with
+      | n ->
+        t.opos <- t.opos + n;
+        if t.opos >= t.oend then begin
+          t.opos <- 0;
+          t.oend <- 0;
+          (* a burst can balloon the buffer; give it back *)
+          if Bytes.length t.obuf > 1 lsl 16 then
+            t.obuf <- Bytes.create initial_buf;
+          `Flushed
+        end
+        else `Partial
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+        `Partial
+      | exception Unix.Unix_error (_, _, _) ->
+        t.dead <- true;
+        `Error
+  in
+  Mutex.unlock t.wlock;
+  r
+
+let has_output t =
+  Mutex.lock t.wlock;
+  let r = t.opos < t.oend in
+  Mutex.unlock t.wlock;
+  r

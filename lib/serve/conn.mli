@@ -1,0 +1,98 @@
+(** Reactor connection state: one value per accepted socket, owned by
+    the event-loop thread except where noted.
+
+    Each connection starts in sniff mode: the first byte decides the
+    dialect ({!Frame.magic} means framed v4, anything else the v2/v3
+    line protocol), and a line-mode [HELLO V4] upgrades mid-stream. The
+    read side (buffering, dialect detection, incremental parsing) lives
+    here; dispatch policy — FIFO stop-and-wait for line mode, free
+    pipelining for frames — lives in [server.ml].
+
+    Thread model: the loop thread calls {!on_readable} / {!flush} /
+    {!finish_read} and owns the pending queue; worker domains may only
+    call {!send}, {!kill}, and the inflight counters. *)
+
+type t
+
+(** What the read buffer yielded. *)
+type incoming =
+  | Line_req of Protocol.request
+      (** one line-dialect request, parsed in place from the buffer *)
+  | Frame_req of Frame.t  (** one complete v4 frame *)
+  | Upgrade
+      (** a [HELLO V4] line: the mode has already switched to frames;
+          the caller must reply with the v4 banner {e before} any
+          response to frames that followed in the same buffer *)
+  | Junk of string
+      (** unrecoverable input (bad magic, oversized line or frame): the
+          caller should answer with an error and close *)
+
+type read_status = Continue | Eof | Rerror of string
+
+val create : id:int -> peer:string -> Unix.file_descr -> t
+val fd : t -> Unix.file_descr
+val id : t -> int
+val peer : t -> string
+
+val framed : t -> bool
+(** True once the connection has sniffed (or upgraded) into v4. *)
+
+(** {2 Read side — loop thread only} *)
+
+val on_readable : t -> emit:(incoming -> unit) -> read_status
+(** One non-blocking [read] plus a parse of every complete message now
+    buffered, emitted in arrival order. [Continue] covers both progress
+    and a spurious wakeup ([EAGAIN]). *)
+
+val finish_read : t -> emit:(incoming -> unit) -> unit
+(** Call on EOF: flushes an unterminated trailing line (the blocking
+    server honored those — [input_line] yields a final line without a
+    newline) and discards any partial frame. *)
+
+val read_closed : t -> bool
+val set_read_closed : t -> unit
+
+(** {2 Line-mode FIFO — loop thread only} *)
+
+val push_pending : t -> Protocol.request -> unit
+val pop_pending : t -> Protocol.request option
+val pending_count : t -> int
+
+(** {2 Write side — any thread} *)
+
+val send : t -> string -> unit
+(** Append bytes to the output buffer (dropped once the connection is
+    dead). The caller is responsible for waking the loop. *)
+
+val flush : t -> [ `Flushed | `Partial | `Error ]
+(** Write as much buffered output as the socket accepts. Loop thread
+    only. [`Error] covers both socket errors and an output buffer past
+    its cap (a consumer that never reads). *)
+
+val has_output : t -> bool
+
+(** {2 Lifecycle} *)
+
+val set_closing : t -> unit
+(** Close once in-flight responses have been written; stop reading. *)
+
+val closing : t -> bool
+
+val kill : t -> unit
+(** Poison: drop buffered and future output. The loop thread reaps the
+    fd when it next services the connection. *)
+
+val dead : t -> bool
+
+(** {2 Pipeline accounting} *)
+
+val incr_inflight : t -> unit
+val decr_inflight : t -> unit
+val inflight : t -> int
+val pipeline_hwm : t -> int
+(** High-water mark of requests simultaneously in flight on this
+    connection. *)
+
+val next_rid : t -> int
+(** Sequence numbers for line-mode requests (v4 requests carry the
+    client's id instead). Loop thread only. *)

@@ -1,0 +1,132 @@
+/* Minimal epoll bindings for the serve reactor (lib/serve/eventloop.ml).
+ *
+ * Level-triggered only: the OCaml side re-arms nothing and simply reacts
+ * to whatever is still readable/writable, which keeps the state machine
+ * in conn.ml trivial. On non-Linux hosts `strategem_epoll_available`
+ * returns false and the loop falls back to Unix.select.
+ *
+ * File descriptors cross the boundary as ints: on Unix, OCaml's
+ * Unix.file_descr is the raw fd int, so Int_val/Val_int are exact.
+ */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <caml/fail.h>
+#include <caml/threads.h>
+
+#ifdef __linux__
+
+#include <sys/epoll.h>
+#include <unistd.h>
+#include <errno.h>
+#include <string.h>
+#include <stdio.h>
+
+#define STRATEGEM_EPOLL_MAX_EVENTS 512
+
+static void strategem_epoll_error(const char *what)
+{
+  char msg[256];
+  snprintf(msg, sizeof(msg), "%s: %s", what, strerror(errno));
+  caml_failwith(msg);
+}
+
+CAMLprim value strategem_epoll_available(value unit)
+{
+  (void)unit;
+  return Val_true;
+}
+
+CAMLprim value strategem_epoll_create(value unit)
+{
+  (void)unit;
+  int fd = epoll_create1(EPOLL_CLOEXEC);
+  if (fd == -1) strategem_epoll_error("epoll_create1");
+  return Val_int(fd);
+}
+
+/* op: 0 = add, 1 = modify, 2 = delete.
+ * flags: bit 0 = want readable, bit 1 = want writable. */
+CAMLprim value strategem_epoll_ctl(value epfd, value op, value fd,
+                                   value flags)
+{
+  struct epoll_event ev;
+  int f = Int_val(flags);
+  int cop;
+  memset(&ev, 0, sizeof(ev));
+  ev.events = 0;
+  if (f & 1) ev.events |= EPOLLIN | EPOLLRDHUP;
+  if (f & 2) ev.events |= EPOLLOUT;
+  ev.data.fd = Int_val(fd);
+  switch (Int_val(op)) {
+    case 0: cop = EPOLL_CTL_ADD; break;
+    case 1: cop = EPOLL_CTL_MOD; break;
+    default: cop = EPOLL_CTL_DEL; break;
+  }
+  if (epoll_ctl(Int_val(epfd), cop, Int_val(fd), &ev) == -1)
+    strategem_epoll_error("epoll_ctl");
+  return Val_unit;
+}
+
+/* Fills out_fds/out_evs (bit 0 readable, bit 1 writable) and returns the
+ * event count. Releases the OCaml runtime while blocked so worker
+ * domains keep running. */
+CAMLprim value strategem_epoll_wait(value epfd, value timeout_ms,
+                                    value out_fds, value out_evs)
+{
+  CAMLparam4(epfd, timeout_ms, out_fds, out_evs);
+  struct epoll_event evs[STRATEGEM_EPOLL_MAX_EVENTS];
+  int max = Wosize_val(out_fds);
+  int i, n;
+  if (max > STRATEGEM_EPOLL_MAX_EVENTS) max = STRATEGEM_EPOLL_MAX_EVENTS;
+  if (max > (int)Wosize_val(out_evs)) max = Wosize_val(out_evs);
+  int ep = Int_val(epfd);
+  int tmo = Int_val(timeout_ms);
+  caml_enter_blocking_section();
+  n = epoll_wait(ep, evs, max, tmo);
+  caml_leave_blocking_section();
+  if (n == -1) {
+    if (errno == EINTR) CAMLreturn(Val_int(0));
+    strategem_epoll_error("epoll_wait");
+  }
+  for (i = 0; i < n; i++) {
+    int bits = 0;
+    if (evs[i].events & (EPOLLIN | EPOLLRDHUP | EPOLLERR | EPOLLHUP))
+      bits |= 1;
+    if (evs[i].events & (EPOLLOUT | EPOLLERR | EPOLLHUP)) bits |= 2;
+    Store_field(out_fds, i, Val_int(evs[i].data.fd));
+    Store_field(out_evs, i, Val_int(bits));
+  }
+  CAMLreturn(Val_int(n));
+}
+
+#else /* !__linux__ */
+
+CAMLprim value strategem_epoll_available(value unit)
+{
+  (void)unit;
+  return Val_false;
+}
+
+CAMLprim value strategem_epoll_create(value unit)
+{
+  (void)unit;
+  caml_failwith("epoll unavailable on this platform");
+}
+
+CAMLprim value strategem_epoll_ctl(value epfd, value op, value fd,
+                                   value flags)
+{
+  (void)epfd; (void)op; (void)fd; (void)flags;
+  caml_failwith("epoll unavailable on this platform");
+}
+
+CAMLprim value strategem_epoll_wait(value epfd, value timeout_ms,
+                                    value out_fds, value out_evs)
+{
+  (void)epfd; (void)timeout_ms; (void)out_fds; (void)out_evs;
+  caml_failwith("epoll unavailable on this platform");
+}
+
+#endif

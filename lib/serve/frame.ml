@@ -1,0 +1,154 @@
+let version = 4
+let magic = '\x84'
+let header_size = 10
+let max_payload = 4 * 1024 * 1024
+let max_id = 0xFFFF_FFFF
+
+type kind =
+  | Hello
+  | Query
+  | Trace
+  | Strategy
+  | Stats
+  | Stats_json
+  | Snapshot
+  | Ping
+  | Help
+  | Quit
+  | Shutdown
+  | Ok
+  | Err
+  | Busy
+  | Bye
+  | Unknown of int
+
+type t = { id : int; kind : kind; payload : string }
+
+let kind_code = function
+  | Hello -> 0x01
+  | Query -> 0x02
+  | Trace -> 0x03
+  | Strategy -> 0x04
+  | Stats -> 0x05
+  | Stats_json -> 0x06
+  | Snapshot -> 0x07
+  | Ping -> 0x08
+  | Quit -> 0x09
+  | Shutdown -> 0x0A
+  | Help -> 0x0B
+  | Ok -> 0x81
+  | Err -> 0x82
+  | Busy -> 0x83
+  | Bye -> 0x84
+  | Unknown c -> c land 0xFF
+
+let kind_of_code = function
+  | 0x01 -> Hello
+  | 0x02 -> Query
+  | 0x03 -> Trace
+  | 0x04 -> Strategy
+  | 0x05 -> Stats
+  | 0x06 -> Stats_json
+  | 0x07 -> Snapshot
+  | 0x08 -> Ping
+  | 0x09 -> Quit
+  | 0x0A -> Shutdown
+  | 0x0B -> Help
+  | 0x81 -> Ok
+  | 0x82 -> Err
+  | 0x83 -> Busy
+  | 0x84 -> Bye
+  | c -> Unknown c
+
+let is_request k = kind_code k < 0x80
+
+let kind_name = function
+  | Hello -> "HELLO"
+  | Query -> "QUERY"
+  | Trace -> "TRACE"
+  | Strategy -> "STRATEGY"
+  | Stats -> "STATS"
+  | Stats_json -> "STATS_JSON"
+  | Snapshot -> "SNAPSHOT"
+  | Ping -> "PING"
+  | Help -> "HELP"
+  | Quit -> "QUIT"
+  | Shutdown -> "SHUTDOWN"
+  | Ok -> "OK"
+  | Err -> "ERR"
+  | Busy -> "BUSY"
+  | Bye -> "BYE"
+  | Unknown c -> Printf.sprintf "0x%02X" (c land 0xFF)
+
+let add_u32_be buf v =
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let encode buf { id; kind; payload } =
+  if id < 0 || id > max_id then
+    invalid_arg (Printf.sprintf "Frame.encode: id %d out of u32 range" id);
+  let len = String.length payload in
+  if len > max_payload then
+    invalid_arg (Printf.sprintf "Frame.encode: payload %d > max %d" len
+                   max_payload);
+  Buffer.add_char buf magic;
+  Buffer.add_char buf (Char.chr (kind_code kind));
+  add_u32_be buf id;
+  add_u32_be buf len;
+  Buffer.add_string buf payload
+
+let encode_string f =
+  let buf = Buffer.create (header_size + String.length f.payload) in
+  encode buf f;
+  Buffer.contents buf
+
+let u32_be b pos =
+  (Char.code (Bytes.get b pos) lsl 24)
+  lor (Char.code (Bytes.get b (pos + 1)) lsl 16)
+  lor (Char.code (Bytes.get b (pos + 2)) lsl 8)
+  lor Char.code (Bytes.get b (pos + 3))
+
+type decoded = Frame of t * int | Need_more of int | Corrupt of string
+
+let decode b ~pos ~limit =
+  let avail = limit - pos in
+  if avail <= 0 then Need_more header_size
+  else if Bytes.get b pos <> magic then
+    Corrupt
+      (Printf.sprintf "bad magic 0x%02X (expected 0x84)"
+         (Char.code (Bytes.get b pos)))
+  else if avail < header_size then Need_more header_size
+  else
+    let kind = kind_of_code (Char.code (Bytes.get b (pos + 1))) in
+    let id = u32_be b (pos + 2) in
+    let len = u32_be b (pos + 6) in
+    if len > max_payload then
+      Corrupt (Printf.sprintf "frame length %d exceeds max %d" len max_payload)
+    else if avail < header_size + len then Need_more (header_size + len)
+    else
+      let payload = Bytes.sub_string b (pos + header_size) len in
+      Frame ({ id; kind; payload }, header_size + len)
+
+let read ic =
+  let hdr = Bytes.create header_size in
+  (* A clean EOF before the first header byte is a normal close; anything
+     torn mid-frame is a protocol error. *)
+  (try really_input ic hdr 0 1
+   with End_of_file -> raise End_of_file);
+  (try really_input ic hdr 1 (header_size - 1)
+   with End_of_file -> failwith "Frame.read: truncated header");
+  if Bytes.get hdr 0 <> magic then
+    failwith
+      (Printf.sprintf "Frame.read: bad magic 0x%02X"
+         (Char.code (Bytes.get hdr 0)));
+  let kind = kind_of_code (Char.code (Bytes.get hdr 1)) in
+  let id = u32_be hdr 2 in
+  let len = u32_be hdr 6 in
+  if len > max_payload then
+    failwith (Printf.sprintf "Frame.read: frame length %d exceeds max" len);
+  let payload = Bytes.create len in
+  (try really_input ic payload 0 len
+   with End_of_file -> failwith "Frame.read: truncated payload");
+  { id; kind; payload = Bytes.unsafe_to_string payload }

@@ -85,6 +85,10 @@ type t = {
   g_queue_depth : R.Gauge.t;
   g_queue_hwm : R.Gauge.t;
   g_queue_hwm_window : R.Gauge.t;
+  g_conns_open : R.Gauge.t;
+  g_pipeline_depth : R.Gauge.t;
+  g_pipeline_hwm : R.Gauge.t;
+  mutable backend : string;  (* reactor backend: "epoll" / "select" *)
   h_queue_wait : R.Histogram.t;
   g_cache_enabled : R.Gauge.t;
   c_cache_hits : R.Counter.t;
@@ -212,6 +216,16 @@ let create ?(trace_capacity = 0) () =
       g_queue_hwm_window =
         gauge "Admission-queue high water since the last STATS/scrape"
           "strategem_queue_depth_high_water_window";
+      g_conns_open = gauge "Connections currently open" "strategem_conns_open";
+      g_pipeline_depth =
+        gauge
+          "Requests in flight across all connections (dispatched, \
+           response not yet enqueued)"
+          "strategem_pipeline_depth";
+      g_pipeline_hwm =
+        gauge "All-time high water of in-flight requests"
+          "strategem_pipeline_depth_high_water";
+      backend = "";
       h_queue_wait =
         R.Histogram.solo
           (R.Histogram.v reg ~help:"Admission-queue wait (microseconds)"
@@ -383,6 +397,16 @@ let domain_served dh ~busy_us =
 let connection t = R.Counter.inc t.c_connections
 let busy t = R.Counter.inc t.c_busy
 let error t = R.Counter.inc t.c_errors
+let conn_opened t = R.Gauge.add t.g_conns_open 1.0
+let conn_closed t = R.Gauge.add t.g_conns_open (-1.0)
+let conns_open t = int_of_float (R.Gauge.value t.g_conns_open)
+
+let set_pipeline_depth t d =
+  let d = float_of_int d in
+  R.Gauge.set t.g_pipeline_depth d;
+  R.Gauge.set_max t.g_pipeline_hwm d
+
+let set_backend t s = t.backend <- s
 
 let snapshot_saved t ~forms =
   R.Counter.inc t.c_snapshots;
@@ -551,6 +575,13 @@ let render_text t =
       Printf.sprintf "queue_wait_p95_us %d" (R.Histogram.quantile qw 0.95);
       (* Additive (multicore serving): worker domains after clamping. *)
       Printf.sprintf "domains %d" (domains t);
+      (* Additive (event-loop front end): reactor connection and
+         pipelining state. *)
+      Printf.sprintf "conns_open %d" (conns_open t);
+      Printf.sprintf "pipeline_depth %d"
+        (int_of_float (R.Gauge.value t.g_pipeline_depth));
+      Printf.sprintf "pipeline_depth_high_water %d"
+        (int_of_float (R.Gauge.value t.g_pipeline_hwm));
     ]
   in
   let counters =
@@ -665,6 +696,16 @@ let render_json t =
        (R.Histogram.quantile qw 0.95)
        (R.Histogram.quantile qw 0.99)
        (domains t));
+  (* Additive block (schema stays 1): the v4 reactor's transport-level
+     state, absent only from pre-v4 builds. *)
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\"protocol\":{\"backend\":\"%s\",\"frame_version\":%d,\
+        \"conns_open\":%d,\"pipeline_depth\":%d,\
+        \"pipeline_depth_high_water\":%d},"
+       (json_escape t.backend) Frame.version (conns_open t)
+       (int_of_float (R.Gauge.value t.g_pipeline_depth))
+       (int_of_float (R.Gauge.value t.g_pipeline_hwm)));
   (match cache with
   | None -> ()
   | Some cs -> Buffer.add_string buf (cache_json cs));

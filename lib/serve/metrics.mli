@@ -51,15 +51,18 @@ type domain_handles
 
 val domain_handles : t -> domain:int -> domain_handles
 
-(** One connection served to completion by this domain, which spent
-    [busy_us] on it (queue wait excluded). *)
+(** One request served by this domain, which spent [busy_us] on it
+    (queue wait excluded). Before the event-loop front end the unit was
+    a whole connection; the metric names are frozen, the granularity is
+    not. *)
 val domain_served : domain_handles -> busy_us:float -> unit
 
 (** {1 Events} *)
 
 val connection : t -> unit
 
-(** A connection shed with [BUSY]. *)
+(** A connection or request shed with [BUSY] (connections at the
+    [max_conns] cap, requests when the admission queue is full). *)
 val busy : t -> unit
 
 val error : t -> unit
@@ -70,15 +73,35 @@ val snapshot_saved : t -> forms:int -> unit
 val forms_loaded : t -> int -> unit
 
 (** Record the admission-queue depth (observed after an enqueue or a
-    pop). Keeps three readings: the current-depth gauge, an all-time
-    high water ([queue_high_water], never resets), and a windowed high
-    water ([queue_high_water_window]) that resets each time [STATS] or
-    a [/metrics] scrape reads it. *)
+    pop; since the event-loop front end the queue holds individual
+    requests, not connections). Keeps three readings: the current-depth
+    gauge, an all-time high water ([queue_high_water], never resets),
+    and a windowed high water ([queue_high_water_window]) that resets
+    each time [STATS] or a [/metrics] scrape reads it. *)
 val observe_queue_depth : t -> int -> unit
 
-(** A connection spent [wait_us] in the admission queue before a worker
+(** A request spent [wait_us] in the admission queue before a worker
     picked it up. *)
 val queue_waited : t -> wait_us:float -> unit
+
+(** {1 Reactor (protocol v4)} *)
+
+(** The [strategem_conns_open] gauge: sockets the reactor currently
+    holds open (also the additive [conns_open] STATS field). *)
+val conn_opened : t -> unit
+
+val conn_closed : t -> unit
+val conns_open : t -> int
+
+(** The [strategem_pipeline_depth] gauge: requests dispatched to the
+    worker pool whose responses have not yet been enqueued, across all
+    connections; an all-time high water is kept as
+    [strategem_pipeline_depth_high_water]. *)
+val set_pipeline_depth : t -> int -> unit
+
+(** The reactor backend ("epoll" / "select"), surfaced in the STATS JSON
+    [protocol] block. *)
+val set_backend : t -> string -> unit
 
 (** Is trace sampling on ([trace_capacity > 0])? *)
 val trace_sampling : t -> bool

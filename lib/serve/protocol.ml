@@ -1,5 +1,6 @@
 type request =
   | Hello
+  | Hello_v4
   | Query of string
   | Trace of string
   | Stats
@@ -16,43 +17,79 @@ type request =
 
 let version = 3
 
-let split_command line =
-  match String.index_opt line ' ' with
-  | None -> (line, "")
-  | Some i ->
-    ( String.sub line 0 i,
-      String.trim (String.sub line i (String.length line - i)) )
+(* The characters [String.trim] strips; the in-place parser must agree
+   with it byte for byte so [parse] and [parse_sub] cannot drift. *)
+let is_ws = function
+  | ' ' | '\012' | '\n' | '\r' | '\t' -> true
+  | _ -> false
+
+(* Case-insensitive match of [b.[pos .. pos+len-1]] against the
+   (uppercase) literal [s], without allocating the span. *)
+let span_is b ~pos ~len s =
+  String.length s = len
+  &&
+  let rec go k =
+    k = len
+    || Char.uppercase_ascii (Bytes.get b (pos + k)) = s.[k] && go (k + 1)
+  in
+  go 0
+
+(* Total parser over a byte range: the verb is matched in place (no line
+   or verb string is allocated on the happy path) and only the argument
+   — when the verb takes one — is copied out. Semantically identical to
+   trimming the line, splitting at the first ' ', and uppercasing the
+   verb. *)
+let parse_sub b ~pos ~len =
+  let i = ref pos and j = ref (pos + len) in
+  while !i < !j && is_ws (Bytes.get b !i) do incr i done;
+  while !j > !i && is_ws (Bytes.get b (!j - 1)) do decr j done;
+  if !i >= !j then Empty
+  else begin
+    let sp = ref !i in
+    while !sp < !j && Bytes.get b !sp <> ' ' do incr sp done;
+    let v0 = !i and v1 = !sp in
+    let vlen = v1 - v0 in
+    let a0 = ref v1 in
+    while !a0 < !j && is_ws (Bytes.get b !a0) do incr a0 done;
+    let alen = !j - !a0 in
+    let arg () = Bytes.sub_string b !a0 alen in
+    let verb s = span_is b ~pos:v0 ~len:vlen s in
+    let no_arg req name =
+      if alen = 0 then req else Malformed (name ^ " takes no argument")
+    in
+    if verb "QUERY" then
+      if alen = 0 then Malformed "QUERY needs an atom" else Query (arg ())
+    else if verb "TRACE" then
+      if alen = 0 then Malformed "TRACE needs an atom" else Trace (arg ())
+    else if verb "STRATEGY" then
+      if alen = 0 then Malformed "STRATEGY needs an atom"
+      else Strategy (arg ())
+    else if verb "STATS" then
+      if alen = 0 then Stats
+      else if span_is b ~pos:!a0 ~len:alen "JSON" then Stats_json
+      else Malformed "STATS takes no argument"
+    else if verb "HELLO" then
+      if alen = 0 then Hello
+      else if span_is b ~pos:!a0 ~len:alen "V4" then Hello_v4
+      else Malformed "HELLO takes no argument"
+    else if verb "SNAPSHOT" then no_arg Snapshot "SNAPSHOT"
+    else if verb "PING" then no_arg Ping "PING"
+    else if verb "HELP" then no_arg Help "HELP"
+    else if verb "QUIT" then no_arg Quit "QUIT"
+    else if verb "SHUTDOWN" then no_arg Shutdown "SHUTDOWN"
+    else Unknown (Bytes.sub_string b v0 vlen)
+  end
 
 let parse line =
-  let line = String.trim line in
-  if line = "" then Empty
-  else
-    let cmd, rest = split_command line in
-    match (String.uppercase_ascii cmd, rest) with
-    | "HELLO", "" -> Hello
-    | "QUERY", "" -> Malformed "QUERY needs an atom"
-    | "QUERY", atom -> Query atom
-    | "TRACE", "" -> Malformed "TRACE needs an atom"
-    | "TRACE", atom -> Trace atom
-    | "STATS", "" -> Stats
-    | "STATS", arg when String.uppercase_ascii arg = "JSON" -> Stats_json
-    | "SNAPSHOT", "" -> Snapshot
-    | "STRATEGY", "" -> Malformed "STRATEGY needs an atom"
-    | "STRATEGY", atom -> Strategy atom
-    | "PING", "" -> Ping
-    | "HELP", "" -> Help
-    | "QUIT", "" -> Quit
-    | "SHUTDOWN", "" -> Shutdown
-    | ( ("HELLO" | "STATS" | "SNAPSHOT" | "PING" | "HELP" | "QUIT" | "SHUTDOWN"),
-        _ ) ->
-      Malformed (String.uppercase_ascii cmd ^ " takes no argument")
-    | _ -> Unknown cmd
+  (* Safe: [parse_sub] never mutates the buffer. *)
+  parse_sub (Bytes.unsafe_of_string line) ~pos:0 ~len:(String.length line)
 
 let terminator = "END"
 
 let help_lines =
   [
     "HELLO            protocol banner (version, learner)";
+    "HELLO V4         upgrade this connection to framed protocol v4";
     "QUERY <atom>     answer a Datalog query, learning from it";
     "TRACE <atom>     answer a query and return its span tree as JSON";
     "STATS            server metrics (text; terminated by END)";
@@ -74,8 +111,8 @@ let answer_line ~result ~reductions ~retrievals ~cached ~switched =
     (if cached then " cached" else "")
     (if switched then " switched" else "")
 
-let hello_line ~learner =
-  Printf.sprintf "HELLO strategem/%d learner=%s" version learner
+let hello_line ?version:(v = version) ~learner () =
+  Printf.sprintf "HELLO strategem/%d learner=%s" v learner
 
 let trace_line json = "TRACE " ^ one_line json
 

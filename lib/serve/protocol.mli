@@ -15,6 +15,10 @@
 
 type request =
   | Hello               (** [HELLO] — protocol banner *)
+  | Hello_v4
+      (** [HELLO V4] — upgrade this connection to the framed v4 dialect
+          ({!Frame}). A v3 server answers [ERR malformed ...], which is
+          how a client discovers it must fall back to lines. *)
   | Query of string     (** [QUERY <atom>] — answer one query, learning *)
   | Trace of string
       (** [TRACE <atom>] — answer one query and return its span tree *)
@@ -35,6 +39,14 @@ val version : int
 
 val parse : string -> request
 
+val parse_sub : Bytes.t -> pos:int -> len:int -> request
+(** [parse_sub b ~pos ~len] parses one request from
+    [b.[pos .. pos+len-1]] without allocating the line: the verb is
+    matched in place and only the argument (when the verb takes one) is
+    copied out. The reactor calls this directly on connection read
+    buffers. Total — never raises, never mutates [b] — and agrees with
+    {!parse} on every byte sequence (property-tested). *)
+
 (** Terminator line for multi-line replies. *)
 val terminator : string
 
@@ -51,8 +63,10 @@ val answer_line :
   result:string -> reductions:int -> retrievals:int -> cached:bool ->
   switched:bool -> string
 
-(** [HELLO strategem/<version> learner=<learner>]. *)
-val hello_line : learner:string -> string
+(** [HELLO strategem/<version> learner=<learner>]. [?version] defaults
+    to the line-dialect {!version}; the server passes {!Frame.version}
+    when answering over an upgraded (framed) connection. *)
+val hello_line : ?version:int -> learner:string -> unit -> string
 
 val trace_line : string -> string
 

@@ -6,6 +6,7 @@ type config = {
   port : int;
   workers : int;
   queue_depth : int;
+  max_conns : int;
   state_dir : string option;
   snapshot_interval : float;
   learner : Core.Learner.kind;
@@ -24,6 +25,7 @@ let default_config =
     port = 4280;
     workers = 4;
     queue_depth = 64;
+    max_conns = 10_000;
     state_dir = None;
     snapshot_interval = 0.0;
     learner = `Pib;
@@ -35,6 +37,24 @@ let default_config =
     log_file = None;
     slow_query_us = 0.0;
   }
+
+(* A worker's verdict on one request. [R_lines (lines, multi)] renders as
+   the lines (END-terminated when [multi]) on a line connection and as
+   one [Ok] frame with the lines joined by '\n' on a v4 connection. *)
+type reply =
+  | R_lines of string list * bool
+  | R_err of Protocol.err_code * string
+  | R_busy
+  | R_bye
+  | R_none  (* nothing on the wire (never produced for v4 requests) *)
+
+type job = {
+  conn : Conn.t;
+  rid : int;  (* v4: the client's frame id; lines: a per-conn sequence *)
+  framed : bool;  (* captured at dispatch — upgrades don't retitle jobs *)
+  req : Protocol.request;
+  enqueued : float;
+}
 
 type state = {
   cfg : config;
@@ -53,38 +73,102 @@ type state = {
   trace_next : bool Atomic.t;
   c_slow : Obs.Registry.Counter.t;
   conn_seq : int Atomic.t;  (* connection ids, for log correlation *)
-  (* each queued connection carries its enqueue time (so the worker that
-     pops it can charge the admission-queue wait) and its id *)
-  queue : (Unix.file_descr * float * int) Admission.t;
+  queue : job Admission.t;
   cache : Cache.Answers.t option;
   memo : D.Sld.Memo.t option;
   stopping : bool Atomic.t;
-  stop_w : Unix.file_descr;  (* self-pipe: wakes the accept loop *)
+  stop_w : Unix.file_descr;  (* self-pipe: wakes the snapshot loop *)
+  loop : Eventloop.t;
+  (* loop-thread state: every open connection, by connection id *)
+  conns : (int, Conn.t) Hashtbl.t;
+  (* worker → loop handoff: connections with a freshly enqueued response
+     (or other state change) the loop should service *)
+  attention : Conn.t list ref;
+  attn_lock : Mutex.t;
+  (* requests dispatched whose response is not yet enqueued; the drain
+     condition and the pipeline-depth gauge *)
+  inflight_total : int Atomic.t;
 }
 
 (* Callable from worker threads and from signal handlers, so it must not
-   take locks: flip the flag and wake the accept loop, which does the
-   actual teardown. *)
+   take locks beyond the wake pipe: flip the flag and wake both loops
+   (event loop and snapshotter); the event loop does the teardown. *)
 let initiate_shutdown st =
-  if not (Atomic.exchange st.stopping true) then
-    try ignore (Unix.write_substring st.stop_w "x" 0 1)
-    with Unix.Unix_error _ -> ()
+  if not (Atomic.exchange st.stopping true) then begin
+    (try ignore (Unix.write_substring st.stop_w "x" 0 1)
+     with Unix.Unix_error _ -> ());
+    Eventloop.wake st.loop
+  end
 
-let send oc lines =
-  List.iter
-    (fun l ->
-      output_string oc l;
-      output_char oc '\n')
-    lines;
-  flush oc
+let learner_string st =
+  Core.Learner.kind_to_string (Registry.learner_kind st.registry)
 
 let result_string = function
   | None -> "no"
   | Some s when D.Subst.is_empty s -> "yes"
   | Some s -> Format.asprintf "%a" D.Subst.pp s
 
+(* --- response encoding --- *)
+
+let encode_reply ~framed ~rid reply =
+  if framed then
+    let kind, payload =
+      match reply with
+      | R_lines (lines, _) -> (Frame.Ok, String.concat "\n" lines)
+      | R_err (code, msg) ->
+        (Frame.Err, Protocol.err_code_to_string code ^ " " ^ msg)
+      | R_busy -> (Frame.Busy, "")
+      | R_bye -> (Frame.Bye, "")
+      | R_none -> assert false
+    in
+    Frame.encode_string { Frame.id = rid; kind; payload }
+  else
+    match reply with
+    | R_lines (lines, multi) ->
+      let b = Buffer.create 64 in
+      List.iter
+        (fun l ->
+          Buffer.add_string b l;
+          Buffer.add_char b '\n')
+        lines;
+      if multi then (
+        Buffer.add_string b Protocol.terminator;
+        Buffer.add_char b '\n');
+      Buffer.contents b
+    | R_err (code, msg) -> Protocol.err ~code msg ^ "\n"
+    | R_busy -> Protocol.busy ^ "\n"
+    | R_bye -> Protocol.bye ^ "\n"
+    | R_none -> assert false
+
+let request_attention st c =
+  Mutex.lock st.attn_lock;
+  st.attention := c :: !(st.attention);
+  Mutex.unlock st.attn_lock;
+  Eventloop.wake st.loop
+
+(* Enqueue the encoded response on the job's connection and hand the
+   connection back to the loop. Called from worker domains and (for
+   inline BUSY) from the loop itself. *)
+let respond st job reply =
+  (match reply with
+  | R_none -> ()
+  | _ -> Conn.send job.conn (encode_reply ~framed:job.framed ~rid:job.rid reply));
+  (match reply with
+  | R_bye -> Conn.set_closing job.conn
+  | R_busy when not job.framed ->
+    (* line dialect has no id to tie BUSY to a request, so it keeps the
+       v1..v3 semantics: BUSY then close *)
+    Conn.set_closing job.conn
+  | _ -> ());
+  Conn.decr_inflight job.conn;
+  let now = Atomic.fetch_and_add st.inflight_total (-1) - 1 in
+  Metrics.set_pipeline_depth st.metrics now;
+  request_attention st job.conn
+
+(* --- request handlers (worker side, pure of socket I/O) --- *)
+
 (* Root a [serve] span covering this query's whole worker-side handling;
-   the admission wait the connection already paid is attached as an
+   the admission wait the request already paid is attached as an
    attribute (it happened before the span could exist). *)
 let serve_root tracer ~wait_us atom_text =
   let root = Trace.root tracer ~kind:"serve" atom_text in
@@ -178,30 +262,26 @@ let exec_cost_of_trace tracer =
       0.0
       (Trace.find_kind root "exec")
 
-let with_query st oc atom_text f =
+let with_query st atom_text f =
   match D.Parser.parse_atom atom_text with
   | exception D.Parser.Parse_error (msg, _) ->
     Metrics.error st.metrics;
-    send oc [ Protocol.err ~code:`Parse msg ]
+    R_err (`Parse, msg)
   | q -> (
     match f q with
     | exception Build.Not_disjunctive clause ->
       Metrics.error st.metrics;
-      send oc
-        [
-          Protocol.err ~code:`Unsupported
-            (Format.asprintf
-               "cannot serve this form: rule %a is conjunctive" D.Clause.pp
-               clause);
-        ]
+      R_err
+        ( `Unsupported,
+          Format.asprintf "cannot serve this form: rule %a is conjunctive"
+            D.Clause.pp clause )
     | exception Invalid_argument msg | exception Failure msg ->
       Metrics.error st.metrics;
-      send oc [ Protocol.err ~code:`Internal msg ]
-    | () -> ())
+      R_err (`Internal, msg)
+    | reply -> reply)
 
-let handle_query st oc ~conn ~qid ~wait_us atom_text =
-  let t0 = Unix.gettimeofday () in
-  with_query st oc atom_text (fun q ->
+let handle_query st ~conn ~qid ~wait_us ~t0 atom_text =
+  with_query st atom_text (fun q ->
       (* Slow-query mode traces only when armed by a previous slow
          detection (see [trace_next]) — never speculatively. *)
       let tracer =
@@ -217,18 +297,18 @@ let handle_query st oc ~conn ~qid ~wait_us atom_text =
       in
       let ans, latency_us = answer_traced st ~wait_us ~t0 tracer q in
       log_query st ~conn ~qid ~latency_us ~tracer atom_text ans;
-      send oc
-        [
-          Protocol.answer_line
-            ~result:(result_string ans.Core.Live.result)
-            ~reductions:ans.Core.Live.stats.D.Sld.reductions
-            ~retrievals:ans.Core.Live.stats.D.Sld.retrievals
-            ~cached:ans.Core.Live.cached ~switched:ans.Core.Live.switched;
-        ])
+      R_lines
+        ( [
+            Protocol.answer_line
+              ~result:(result_string ans.Core.Live.result)
+              ~reductions:ans.Core.Live.stats.D.Sld.reductions
+              ~retrievals:ans.Core.Live.stats.D.Sld.retrievals
+              ~cached:ans.Core.Live.cached ~switched:ans.Core.Live.switched;
+          ],
+          false ))
 
-let handle_trace st oc ~conn ~qid ~wait_us atom_text =
-  let t0 = Unix.gettimeofday () in
-  with_query st oc atom_text (fun q ->
+let handle_trace st ~conn ~qid ~wait_us ~t0 atom_text =
+  with_query st atom_text (fun q ->
       let tracer = Trace.make () in
       let ans, latency_us = answer_traced st ~wait_us ~t0 tracer q in
       log_query st ~conn ~qid ~latency_us ~tracer atom_text ans;
@@ -251,25 +331,25 @@ let handle_trace st oc ~conn ~qid ~wait_us atom_text =
           (Float.abs (paper_cost -. monitor_cost) <= 1e-9)
           span_json
       in
-      send oc [ Protocol.trace_line reply ])
+      R_lines ([ Protocol.trace_line reply ], false))
 
-let handle_strategy st oc atom_text =
+let handle_strategy st atom_text =
   match D.Parser.parse_atom atom_text with
   | exception D.Parser.Parse_error (msg, _) ->
     Metrics.error st.metrics;
-    send oc [ Protocol.err ~code:`Parse msg ]
+    R_err (`Parse, msg)
   | q -> (
     match Registry.find_or_create st.registry q with
     | exception Build.Not_disjunctive _ | exception Invalid_argument _ ->
       Metrics.error st.metrics;
-      send oc
-        [ Protocol.err ~code:`Unsupported "cannot build a learner for this form" ]
+      R_err (`Unsupported, "cannot build a learner for this form")
     | entry ->
-      send oc
-        [
-          Printf.sprintf "OK %s %s" (Registry.key entry)
-            (Registry.strategy_string entry);
-        ])
+      R_lines
+        ( [
+            Printf.sprintf "OK %s %s" (Registry.key entry)
+              (Registry.strategy_string entry);
+          ],
+          false ))
 
 let save_snapshot st =
   match st.cfg.state_dir with
@@ -280,114 +360,72 @@ let save_snapshot st =
     Obs.Log.debug st.log "snapshot saved" ~fields:[ ("forms", Obs.Log.I n) ];
     Some n
 
-let handle_snapshot st oc =
+let handle_snapshot st =
   match save_snapshot st with
   | None ->
     Metrics.error st.metrics;
-    send oc
-      [
-        Protocol.err ~code:`No_state_dir
-          "no state directory configured (--state-dir)";
-      ]
-  | Some n -> send oc [ Printf.sprintf "OK snapshot saved %d form(s)" n ]
+    R_err (`No_state_dir, "no state directory configured (--state-dir)")
+  | Some n -> R_lines ([ Printf.sprintf "OK snapshot saved %d form(s)" n ], false)
   | exception Sys_error msg | exception Failure msg ->
     Metrics.error st.metrics;
-    send oc [ Protocol.err ~code:`Internal msg ]
+    R_err (`Internal, msg)
 
-(* One admitted connection, served to completion by one worker.
-   [wait_us] is the admission-queue wait this connection paid before a
-   worker picked it up; queries on it report that wait in their spans,
-   and log records on it carry [conn] (plus a per-connection query
-   counter) for correlation. *)
-let serve_conn st ~conn ~wait_us fd =
-  let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
-  let qid = ref 0 in
-  let next_qid () =
-    incr qid;
-    !qid
-  in
-  let rec loop () =
-    match input_line ic with
-    | exception End_of_file -> ()
-    | exception Sys_error _ -> ()
-    | line -> (
-      match Protocol.parse line with
-      | Protocol.Empty -> loop ()
-      | Protocol.Hello ->
-        send oc
-          [
-            Protocol.hello_line
-              ~learner:
-                (Core.Learner.kind_to_string
-                   (Registry.learner_kind st.registry));
-          ];
-        loop ()
-      | Protocol.Ping ->
-        send oc [ Protocol.pong ];
-        loop ()
-      | Protocol.Help ->
-        send oc (Protocol.help_lines @ [ Protocol.terminator ]);
-        loop ()
-      | Protocol.Stats ->
-        send oc (Metrics.render_text st.metrics @ [ Protocol.terminator ]);
-        loop ()
-      | Protocol.Stats_json ->
-        send oc [ Metrics.render_json st.metrics ];
-        loop ()
-      | Protocol.Query atom ->
-        handle_query st oc ~conn ~qid:(next_qid ()) ~wait_us atom;
-        loop ()
-      | Protocol.Trace atom ->
-        handle_trace st oc ~conn ~qid:(next_qid ()) ~wait_us atom;
-        loop ()
-      | Protocol.Strategy atom ->
-        handle_strategy st oc atom;
-        loop ()
-      | Protocol.Snapshot ->
-        handle_snapshot st oc;
-        loop ()
-      | Protocol.Quit -> send oc [ Protocol.bye ]
-      | Protocol.Shutdown ->
-        send oc [ Protocol.bye ];
-        initiate_shutdown st
-      | Protocol.Malformed msg ->
-        Metrics.error st.metrics;
-        send oc [ Protocol.err ~code:`Malformed msg ];
-        loop ()
-      | Protocol.Unknown verb ->
-        Metrics.error st.metrics;
-        send oc [ Protocol.err ~code:`Unknown_verb verb ];
-        loop ())
-  in
-  (try loop () with Sys_error _ -> ());
-  (* flushes and closes [fd]; [ic] shares it and needs no separate close *)
-  close_out_noerr oc;
-  if Obs.Log.enabled st.log Obs.Log.Debug then
-    Obs.Log.debug st.log "connection closed"
-      ~fields:[ ("conn", Obs.Log.I conn); ("queries", Obs.Log.I !qid) ]
+let process st ~wait_us ~t0 job =
+  match job.req with
+  (* Empty is never dispatched; Hello_v4 is answered inline by the loop *)
+  | Protocol.Empty | Protocol.Hello_v4 -> R_none
+  | Protocol.Hello ->
+    let version =
+      if job.framed then Frame.version else Protocol.version
+    in
+    R_lines ([ Protocol.hello_line ~version ~learner:(learner_string st) () ], false)
+  | Protocol.Ping -> R_lines ([ Protocol.pong ], false)
+  | Protocol.Help -> R_lines (Protocol.help_lines, true)
+  | Protocol.Stats -> R_lines (Metrics.render_text st.metrics, true)
+  | Protocol.Stats_json -> R_lines ([ Metrics.render_json st.metrics ], false)
+  | Protocol.Query atom ->
+    handle_query st ~conn:(Conn.id job.conn) ~qid:job.rid ~wait_us ~t0 atom
+  | Protocol.Trace atom ->
+    handle_trace st ~conn:(Conn.id job.conn) ~qid:job.rid ~wait_us ~t0 atom
+  | Protocol.Strategy atom -> handle_strategy st atom
+  | Protocol.Snapshot -> handle_snapshot st
+  | Protocol.Quit -> R_bye
+  | Protocol.Shutdown -> R_bye
+  | Protocol.Malformed msg ->
+    Metrics.error st.metrics;
+    R_err (`Malformed, msg)
+  | Protocol.Unknown verb ->
+    Metrics.error st.metrics;
+    R_err (`Unknown_verb, verb)
+
+(* --- worker pool --- *)
 
 let worker_loop st ~domain =
   let dh = Metrics.domain_handles st.metrics ~domain in
   let rec go () =
     match Admission.pop st.queue with
     | None -> ()
-    | Some (fd, enqueued, conn) ->
+    | Some job ->
       let t0 = Unix.gettimeofday () in
-      let wait_us = (t0 -. enqueued) *. 1e6 in
+      let wait_us = (t0 -. job.enqueued) *. 1e6 in
       Metrics.queue_waited st.metrics ~wait_us;
       (* popping shrinks the queue: refresh the depth gauge so it tracks
          both directions, not just enqueues *)
       Metrics.observe_queue_depth st.metrics (Admission.length st.queue);
-      (try serve_conn st ~conn ~wait_us fd
-       with exn ->
-         Obs.Log.error st.log "connection handler crashed"
-           ~fields:
-             [
-               ("conn", Obs.Log.I conn);
-               ("exn", Obs.Log.S (Printexc.to_string exn));
-             ];
-         (try Unix.close fd with _ -> ()));
+      let reply =
+        try process st ~wait_us ~t0 job
+        with exn ->
+          Metrics.error st.metrics;
+          Obs.Log.error st.log "request handler crashed"
+            ~fields:
+              [
+                ("conn", Obs.Log.I (Conn.id job.conn));
+                ("exn", Obs.Log.S (Printexc.to_string exn));
+              ];
+          R_err (`Internal, Printexc.to_string exn)
+      in
+      respond st job reply;
+      if job.req = Protocol.Shutdown then initiate_shutdown st;
       Metrics.domain_served dh
         ~busy_us:((Unix.gettimeofday () -. t0) *. 1e6);
       go ()
@@ -397,10 +435,10 @@ let worker_loop st ~domain =
 (* The worker pool: one OCaml 5 domain per worker, up to the runtime's
    recommended domain count — beyond that, extra parallelism cannot
    help, so surplus workers run as systhreads *inside* the domains
-   (round-robin), preserving the configured I/O concurrency (each
-   worker owns one connection at a time) without oversubscribing cores.
-   All workers, wherever they live, drain the one shared [Admission]
-   queue; its Mutex/Condition pair is domain-safe.
+   (round-robin), preserving the configured request concurrency without
+   oversubscribing cores. All workers, wherever they live, drain the one
+   shared [Admission] queue of requests; its Mutex/Condition pair is
+   domain-safe.
 
    Returns the spawned domains and the effective domain count. *)
 let spawn_workers st =
@@ -434,53 +472,205 @@ let spawn_workers st =
   in
   (domains, n_domains)
 
+(* --- reactor (loop thread) --- *)
+
+let request_of_frame (f : Frame.t) =
+  let no_arg req =
+    if f.Frame.payload = "" then req
+    else Protocol.Malformed (Frame.kind_name f.Frame.kind ^ " takes no argument")
+  in
+  let atom mk =
+    if f.Frame.payload = "" then
+      Protocol.Malformed (Frame.kind_name f.Frame.kind ^ " needs an atom")
+    else mk f.Frame.payload
+  in
+  match f.Frame.kind with
+  | Frame.Hello -> no_arg Protocol.Hello
+  | Frame.Query -> atom (fun a -> Protocol.Query a)
+  | Frame.Trace -> atom (fun a -> Protocol.Trace a)
+  | Frame.Strategy -> atom (fun a -> Protocol.Strategy a)
+  | Frame.Stats -> no_arg Protocol.Stats
+  | Frame.Stats_json -> no_arg Protocol.Stats_json
+  | Frame.Snapshot -> no_arg Protocol.Snapshot
+  | Frame.Ping -> no_arg Protocol.Ping
+  | Frame.Help -> no_arg Protocol.Help
+  | Frame.Quit -> no_arg Protocol.Quit
+  | Frame.Shutdown -> no_arg Protocol.Shutdown
+  | Frame.Ok | Frame.Err | Frame.Busy | Frame.Bye ->
+    Protocol.Malformed
+      ("unexpected response frame " ^ Frame.kind_name f.Frame.kind)
+  | Frame.Unknown c -> Protocol.Unknown (Printf.sprintf "0x%02X" c)
+
+(* Hand one request to the worker pool; a full queue sheds it with BUSY
+   right here on the loop thread. *)
+let dispatch st c ~framed ~rid req =
+  Conn.incr_inflight c;
+  let d = Atomic.fetch_and_add st.inflight_total 1 + 1 in
+  Metrics.set_pipeline_depth st.metrics d;
+  let job = { conn = c; rid; framed; req; enqueued = Unix.gettimeofday () } in
+  if Admission.try_push st.queue job then
+    Metrics.observe_queue_depth st.metrics (Admission.length st.queue)
+  else begin
+    Metrics.busy st.metrics;
+    if Obs.Log.enabled st.log Obs.Log.Debug then
+      Obs.Log.debug st.log "request shed: queue full"
+        ~fields:
+          [
+            ("conn", Obs.Log.I (Conn.id c));
+            ("queue_depth", Obs.Log.I st.cfg.queue_depth);
+          ];
+    respond st job R_busy
+  end
+
+let on_incoming st c inc =
+  match inc with
+  | Conn.Line_req Protocol.Empty -> ()  (* blank lines never dispatch *)
+  | Conn.Line_req req -> Conn.push_pending c req
+  | Conn.Upgrade ->
+    (* acknowledge on the line dialect before any response to frames
+       that followed the upgrade in the same buffer *)
+    Conn.send c
+      (Protocol.hello_line ~version:Frame.version
+         ~learner:(learner_string st) ()
+      ^ "\n")
+  | Conn.Frame_req f ->
+    dispatch st c ~framed:true ~rid:f.Frame.id (request_of_frame f)
+  | Conn.Junk msg ->
+    Metrics.error st.metrics;
+    if Conn.framed c then
+      Conn.send c
+        (Frame.encode_string
+           { Frame.id = 0; kind = Frame.Err; payload = "malformed " ^ msg })
+    else Conn.send c (Protocol.err ~code:`Malformed msg ^ "\n");
+    Conn.set_closing c
+
+let reap st c =
+  if Hashtbl.mem st.conns (Conn.id c) then begin
+    Hashtbl.remove st.conns (Conn.id c);
+    Eventloop.remove st.loop (Conn.fd c);
+    Conn.kill c;
+    (try Unix.close (Conn.fd c) with Unix.Unix_error _ -> ());
+    Metrics.conn_closed st.metrics;
+    if Obs.Log.enabled st.log Obs.Log.Debug then
+      Obs.Log.debug st.log "connection closed"
+        ~fields:
+          [
+            ("conn", Obs.Log.I (Conn.id c));
+            ("pipeline_hwm", Obs.Log.I (Conn.pipeline_hwm c));
+          ]
+  end
+
+let update_interest st c =
+  let read =
+    not (Conn.read_closed c)
+    && not (Conn.closing c)
+    && not (Atomic.get st.stopping)
+  in
+  Eventloop.modify st.loop (Conn.fd c) ~read ~write:(Conn.has_output c)
+
+(* The per-connection maintenance step, run whenever anything might have
+   changed (socket event, worker completion, shutdown): flush pending
+   output, keep the line-mode stop-and-wait pipeline fed, close when
+   drained. Idempotent. *)
+let service st c =
+  if Conn.dead c then reap st c
+  else begin
+    ignore (Conn.flush c);
+    if Conn.dead c then reap st c
+    else begin
+      (if not (Conn.framed c) && not (Conn.closing c) && Conn.inflight c = 0
+       then
+         match Conn.pop_pending c with
+         | Some req -> dispatch st c ~framed:false ~rid:(Conn.next_rid c) req
+         | None -> ());
+      let idle =
+        Conn.inflight c = 0
+        && Conn.pending_count c = 0
+        && not (Conn.has_output c)
+      in
+      if
+        idle
+        && (Conn.closing c || Conn.read_closed c || Atomic.get st.stopping)
+      then reap st c
+      else update_interest st c
+    end
+  end
+
+let on_conn_event st c ~readable ~writable:_ =
+  (if
+     readable && not (Conn.read_closed c) && not (Conn.closing c)
+     && not (Conn.dead c)
+   then
+     match Conn.on_readable c ~emit:(on_incoming st c) with
+     | Conn.Continue -> ()
+     | Conn.Eof ->
+       (* honor a final unterminated line, like the blocking server's
+          [input_line] did *)
+       Conn.finish_read c ~emit:(on_incoming st c);
+       Conn.set_read_closed c
+     | Conn.Rerror msg ->
+       if Obs.Log.enabled st.log Obs.Log.Debug then
+         Obs.Log.debug st.log "connection read error"
+           ~fields:
+             [
+               ("conn", Obs.Log.I (Conn.id c));
+               ("error", Obs.Log.S msg);
+             ];
+       Conn.kill c);
+  service st c
+
 let shed fd =
   let line = Protocol.busy ^ "\n" in
   (try ignore (Unix.write_substring fd line 0 (String.length line))
    with Unix.Unix_error _ -> ());
   try Unix.close fd with Unix.Unix_error _ -> ()
 
-let accept_loop st sock stop_r =
-  let rec go () =
-    if not (Atomic.get st.stopping) then begin
-      (match Unix.select [ sock; stop_r ] [] [] (-1.0) with
-      | readable, _, _ when List.mem sock readable -> (
-        match Unix.accept sock with
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-        | exception Unix.Unix_error _ -> ()
-        | fd, _ ->
-          let conn = Atomic.fetch_and_add st.conn_seq 1 in
-          if
-            Admission.try_push st.queue (fd, Unix.gettimeofday (), conn)
-          then begin
-            Metrics.connection st.metrics;
-            Metrics.observe_queue_depth st.metrics
-              (Admission.length st.queue);
-            if Obs.Log.enabled st.log Obs.Log.Debug then
-              Obs.Log.debug st.log "connection admitted"
-                ~fields:
-                  [
-                    ("conn", Obs.Log.I conn);
-                    ( "queue_depth",
-                      Obs.Log.I (Admission.length st.queue) );
-                  ]
-          end
-          else begin
-            Metrics.busy st.metrics;
-            shed fd;
-            Obs.Log.warn st.log "connection shed: queue full"
+let string_of_sockaddr = function
+  | Unix.ADDR_INET (a, p) ->
+    Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+  | Unix.ADDR_UNIX p -> p
+
+let on_accept st sock ~readable ~writable:_ =
+  if readable && not (Atomic.get st.stopping) then
+    let rec go () =
+      match Unix.accept ~cloexec:true sock with
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+      | exception Unix.Unix_error _ -> ()
+      | fd, addr ->
+        let id = Atomic.fetch_and_add st.conn_seq 1 in
+        if Hashtbl.length st.conns >= st.cfg.max_conns then begin
+          Metrics.busy st.metrics;
+          shed fd;
+          Obs.Log.warn st.log "connection shed: at max-conns"
+            ~fields:
+              [
+                ("conn", Obs.Log.I id);
+                ("max_conns", Obs.Log.I st.cfg.max_conns);
+              ]
+        end
+        else begin
+          Unix.set_nonblock fd;
+          (try Unix.setsockopt fd Unix.TCP_NODELAY true
+           with Unix.Unix_error _ -> ());
+          let c = Conn.create ~id ~peer:(string_of_sockaddr addr) fd in
+          Hashtbl.replace st.conns id c;
+          Metrics.connection st.metrics;
+          Metrics.conn_opened st.metrics;
+          Eventloop.add st.loop fd ~read:true ~write:false
+            (fun ~readable ~writable ->
+              on_conn_event st c ~readable ~writable);
+          if Obs.Log.enabled st.log Obs.Log.Debug then
+            Obs.Log.debug st.log "connection accepted"
               ~fields:
                 [
-                  ("conn", Obs.Log.I conn);
-                  ("queue_depth", Obs.Log.I st.cfg.queue_depth);
+                  ("conn", Obs.Log.I id);
+                  ("peer", Obs.Log.S (Conn.peer c));
+                  ("conns_open", Obs.Log.I (Hashtbl.length st.conns));
                 ]
-          end)
-      | _ -> ()
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
-      go ()
-    end
-  in
-  go ()
+        end;
+        go ()
+    in
+    go ()
 
 (* Sleep the full interval in one timed wait on the shutdown self-pipe
    (the stdlib has no timed [Condition] wait; a [select] with a timeout
@@ -512,6 +702,7 @@ let run ?(handle_signals = false) ?(on_listen = fun _ -> ())
   if cfg.workers < 1 then invalid_arg "Server.run: workers must be >= 1";
   if cfg.queue_depth < 1 then
     invalid_arg "Server.run: queue_depth must be >= 1";
+  if cfg.max_conns < 1 then invalid_arg "Server.run: max_conns must be >= 1";
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ | Sys_error _ -> ());
   let log =
@@ -540,6 +731,8 @@ let run ?(handle_signals = false) ?(on_listen = fun _ -> ())
   | None -> ());
   let stop_r, stop_w = Unix.pipe () in
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let loop = Eventloop.create () in
+  Metrics.set_backend metrics (Eventloop.backend loop);
   let cache =
     if cfg.cache_mb > 0 then
       Some (Cache.Answers.create ~capacity_bytes:(cfg.cache_mb * 1024 * 1024) ())
@@ -568,6 +761,11 @@ let run ?(handle_signals = false) ?(on_listen = fun _ -> ())
       memo;
       stopping = Atomic.make false;
       stop_w;
+      loop;
+      conns = Hashtbl.create 64;
+      attention = ref [];
+      attn_lock = Mutex.create ();
+      inflight_total = Atomic.make 0;
     }
   in
   (* A paged (or copy-of-paged) database exposes its store counters;
@@ -611,6 +809,7 @@ let run ?(handle_signals = false) ?(on_listen = fun _ -> ())
   Fun.protect
     ~finally:(fun () ->
       Option.iter (fun h -> try Obs.Http.stop h with _ -> ()) !http;
+      Eventloop.close loop;
       List.iter
         (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
         [ sock; stop_r; stop_w ];
@@ -619,7 +818,8 @@ let run ?(handle_signals = false) ?(on_listen = fun _ -> ())
       Unix.setsockopt sock Unix.SO_REUSEADDR true;
       Unix.bind sock
         (Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port));
-      Unix.listen sock 64;
+      Unix.listen sock 256;
+      Unix.set_nonblock sock;
       let port =
         match Unix.getsockname sock with
         | Unix.ADDR_INET (_, p) -> p
@@ -660,15 +860,53 @@ let run ?(handle_signals = false) ?(on_listen = fun _ -> ())
           Some (Thread.create (fun () -> snapshot_loop st stop_r) ())
         else None
       in
+      (* Loop plumbing: the listener is one more registered socket, and
+         the wake hook drains the worker→loop attention list. On the
+         first wake after [stopping] flips, the hook also kicks off the
+         drain: close the listener, close the queue (workers finish
+         what's dispatched, then exit), and service every connection so
+         idle ones close immediately. *)
+      Eventloop.add loop sock ~read:true ~write:false
+        (fun ~readable ~writable -> on_accept st sock ~readable ~writable);
+      let listener_open = ref true in
+      let draining = ref false in
+      Eventloop.on_wake loop (fun () ->
+          let batch =
+            Mutex.lock st.attn_lock;
+            let b = !(st.attention) in
+            st.attention := [];
+            Mutex.unlock st.attn_lock;
+            b
+          in
+          List.iter (service st) batch;
+          if Atomic.get st.stopping && not !draining then begin
+            draining := true;
+            Obs.Log.info log "shutdown initiated: draining"
+              ~fields:
+                [
+                  ("inflight", Obs.Log.I (Atomic.get st.inflight_total));
+                  ("conns_open", Obs.Log.I (Hashtbl.length st.conns));
+                ];
+            if !listener_open then begin
+              listener_open := false;
+              Eventloop.remove loop sock;
+              try Unix.close sock with Unix.Unix_error _ -> ()
+            end;
+            Admission.close st.queue;
+            Hashtbl.fold (fun _ c acc -> c :: acc) st.conns []
+            |> List.iter (service st)
+          end);
       on_listen port;
       Obs.Log.info log "accepting connections"
         ~fields:
           [
             ("host", Obs.Log.S cfg.host);
             ("port", Obs.Log.I port);
+            ("backend", Obs.Log.S (Eventloop.backend loop));
             ("workers", Obs.Log.I cfg.workers);
             ("domains", Obs.Log.I n_domains);
             ("queue_depth", Obs.Log.I cfg.queue_depth);
+            ("max_conns", Obs.Log.I cfg.max_conns);
             ( "learner",
               Obs.Log.S (Core.Learner.kind_to_string cfg.learner) );
             ( "metrics_port",
@@ -676,12 +914,20 @@ let run ?(handle_signals = false) ?(on_listen = fun _ -> ())
               | Some h -> Obs.Log.I (Obs.Http.port h)
               | None -> Obs.Log.J "null" );
           ];
-      accept_loop st sock stop_r;
-      (* Shutdown: refuse new connections, serve what is queued, drain.
-         The metrics responder stays up through the drain so /healthz
-         reports "draining" to probes. *)
-      Obs.Log.info log "shutdown initiated: draining"
-        ~fields:[ ("queued", Obs.Log.I (Admission.length st.queue)) ];
+      Eventloop.run loop ~stop:(fun () ->
+          Atomic.get st.stopping
+          && Atomic.get st.inflight_total = 0
+          && Hashtbl.length st.conns = 0);
+      (* Belt and braces: on any exit path make sure the survivors are
+         released and the pool drains. The metrics responder stays up
+         through the drain so /healthz reports "draining" to probes. *)
+      Hashtbl.iter
+        (fun _ c ->
+          Eventloop.remove loop (Conn.fd c);
+          Conn.kill c;
+          try Unix.close (Conn.fd c) with Unix.Unix_error _ -> ())
+        st.conns;
+      Hashtbl.reset st.conns;
       Admission.close st.queue;
       List.iter Domain.join workers;
       Option.iter Thread.join snapshotter;

@@ -1,7 +1,18 @@
-(** The `strategem serve` daemon: a TCP listener whose accept loop feeds
-    a bounded {!Admission} queue drained by a fixed pool of workers,
-    each speaking {!Protocol} over its connection and answering
-    queries through the {!Registry} of per-form {!Core.Live} learners.
+(** The `strategem serve` daemon: an {!Eventloop} reactor (epoll on
+    Linux, [select] elsewhere) owns every socket and feeds individual
+    requests through a bounded {!Admission} queue to a fixed pool of
+    workers, which answer queries through the {!Registry} of per-form
+    {!Core.Live} learners and hand encoded responses back to the loop
+    for batched, non-blocking writes.
+
+    Connections speak either dialect of {!Protocol} on the same port,
+    told apart by sniffing the first byte: {!Frame.magic} (0x84) selects
+    the framed v4 protocol — length-prefixed frames with client-chosen
+    request ids, so one connection can pipeline many requests and
+    receive responses out of order — while printable ASCII selects the
+    v2/v3 line protocol, served request-at-a-time in arrival order
+    exactly as before (a line client can also upgrade mid-stream with
+    [HELLO V4]).
 
     Workers are OCaml 5 domains: [--workers N] spawns
     [min N (Domain.recommended_domain_count ())] domains, so the SLD +
@@ -16,13 +27,17 @@
     mutex — so multicore serving provably does not change what is
     learned (see the multi-domain conformance test).
 
-    Load shedding: a connection arriving while the admission queue is
-    full is answered [BUSY] and closed instead of stalling the accept
-    loop. Graceful shutdown (the [SHUTDOWN] command, or SIGINT/SIGTERM
-    when [handle_signals]): the listener stops accepting, queued
-    connections are still served to completion, workers drain and join,
-    and — when a state directory is configured — a final snapshot is
-    written, so nothing learned is lost. *)
+    Load shedding is request-granular: a request dispatched while the
+    admission queue is full is answered [BUSY] — a v4 client sees a
+    [Busy] frame carrying the request's id and keeps its connection; a
+    line client keeps the v1..v3 contract of [BUSY] then close. A
+    connection arriving past the [max_conns] cap is likewise shed with
+    [BUSY] and closed at accept. Graceful shutdown (the [SHUTDOWN]
+    command, or SIGINT/SIGTERM when [handle_signals]): the listener
+    closes, dispatched requests are still served and their responses
+    flushed, workers drain and join, and — when a state directory is
+    configured — a final snapshot is written, so nothing learned is
+    lost. *)
 
 type config = {
   host : string;            (** bind address (default ["127.0.0.1"]) *)
@@ -30,7 +45,9 @@ type config = {
   workers : int;            (** worker pool size (≥ 1); spread over
                                 [min workers recommended_domain_count]
                                 domains *)
-  queue_depth : int;        (** admission queue bound (≥ 1) *)
+  queue_depth : int;        (** admission queue bound, in requests (≥ 1) *)
+  max_conns : int;          (** open-connection cap (≥ 1); connections
+                                past it are shed with [BUSY] at accept *)
   state_dir : string option;      (** snapshot directory *)
   snapshot_interval : float;      (** seconds; [0.] = periodic off *)
   learner : Core.Learner.kind;    (** per-form learner ([--learner]) *)
@@ -65,7 +82,8 @@ type config = {
           tracing of every query (see E21). *)
 }
 
-(** 127.0.0.1:4280, 4 workers, queue depth 64, no state dir, periodic
+(** 127.0.0.1:4280, 4 workers, queue depth 64, max 10_000 connections,
+    no state dir, periodic
     snapshots off, PIB with {!Core.Learner.default_config}, trace
     sampling off, 64 MiB answer cache, no metrics responder, structured
     logging and the slow-query log off. *)

@@ -138,6 +138,50 @@ with the versioned cache block:
   $ ../bin/strategem.exe client --port $PORT 'STATS JSON' | grep -c '"cache":{"version":1,"enabled":true'
   1
 
+The same daemon speaks protocol v4 on the same port: length-prefixed
+frames with client-chosen request ids, negotiated per connection by the
+HELLO V4 upgrade line. With --proto v4 the CLI pipelines every command
+before reading any response and prints each reply line as
+'#<id> <line>', sorted by id, so out-of-order arrival stays observable
+but the output is deterministic. The banner carries the framed
+dialect's version, everything else is the same reply text the line
+protocol prints.
+
+  $ ../bin/strategem.exe client --port $PORT --proto v4 HELLO PING 'QUERY instructor(manolis)' 'QUERY instructor(fred)'
+  #1 HELLO strategem/4 learner=pib
+  #2 PONG
+  #3 ANSWER yes reductions=0 retrievals=0 cached
+  #4 ANSWER no reductions=0 retrievals=0 cached
+
+Lines the framed dialect cannot carry are answered locally under id 0
+with the same structured ERR the server would send:
+
+  $ ../bin/strategem.exe client --port $PORT --proto v4 FROBNICATE 'PING now' PING
+  #0 ERR unknown-verb FROBNICATE
+  #0 ERR malformed PING takes no argument
+  #1 PONG
+
+A multi-line reply (STATS) arrives as one frame under one id; the
+reactor's transport gauges are in it, counting this very connection:
+
+  $ ../bin/strategem.exe client --port $PORT --proto v4 STATS | grep -E '^#1 (conns_open|pipeline_depth) '
+  #1 conns_open 1
+  #1 pipeline_depth 1
+
+...and STATS JSON carries the additive protocol block (schema
+unchanged — pre-v4 scrapers are not broken):
+
+  $ ../bin/strategem.exe client --port $PORT 'STATS JSON' | grep -o '"schema":1'
+  "schema":1
+  $ ../bin/strategem.exe client --port $PORT 'STATS JSON' | grep -oE '"protocol":\{"backend":"[a-z]+","frame_version":4'
+  "protocol":{"backend":"epoll","frame_version":4
+
+--proto auto negotiates v4 against this server (same #id output), and
+falls back to the plain line dialect against anything older:
+
+  $ ../bin/strategem.exe client --port $PORT --proto auto PING
+  #1 PONG
+
 Snapshot both learned forms and shut down (the daemon also snapshots on
 shutdown); the state directory holds form, graph, and strategy per form.
 

@@ -1,7 +1,8 @@
-(* The serve subsystem: protocol parsing, the admission queue's
-   shed/drain semantics, metrics, the per-form registry (lazy creation,
-   sharing, online climbs), snapshot save/load resumption, and the TCP
-   server end to end in-process — concurrent clients, load shedding,
+(* The serve subsystem: protocol parsing (both the line dialect and v4
+   framing), the admission queue's shed/drain semantics, metrics, the
+   per-form registry (lazy creation, sharing, online climbs), snapshot
+   save/load resumption, and the TCP server end to end in-process —
+   concurrent clients, pipelining, slow/partial frames, load shedding,
    graceful shutdown. *)
 
 open Helpers
@@ -36,6 +37,10 @@ let protocol_parse () =
   check "shutdown" Serve.Protocol.Shutdown "SHUTDOWN";
   check "empty" Serve.Protocol.Empty "   ";
   check "hello" Serve.Protocol.Hello "HELLO";
+  check "hello v4 upgrade" Serve.Protocol.Hello_v4 "HELLO V4";
+  check "hello v4 case-insensitive" Serve.Protocol.Hello_v4 "hello v4";
+  check "hello with junk is malformed"
+    (Serve.Protocol.Malformed "HELLO takes no argument") "HELLO V5";
   check "trace" (Serve.Protocol.Trace "p(a)") "TRACE p(a)";
   check "bare query is malformed"
     (Serve.Protocol.Malformed "QUERY needs an atom") "QUERY";
@@ -54,11 +59,102 @@ let protocol_parse () =
        ~cached:true ~switched:true);
   check_string "hello line carries version and learner"
     (Printf.sprintf "HELLO strategem/%d learner=pib" Serve.Protocol.version)
-    (Serve.Protocol.hello_line ~learner:"pib");
+    (Serve.Protocol.hello_line ~learner:"pib" ());
+  check_string "hello line takes a version override"
+    "HELLO strategem/4 learner=pib"
+    (Serve.Protocol.hello_line ~version:4 ~learner:"pib" ());
   check_string "err is structured and flattens newlines" "ERR internal a b"
     (Serve.Protocol.err ~code:`Internal "a\nb");
   check_string "err code renders" "ERR unknown-verb FROBNICATE"
     (Serve.Protocol.err ~code:`Unknown_verb "FROBNICATE")
+
+(* The in-place parser must behave identically at any buffer offset, and
+   never raise on any byte sequence. *)
+let protocol_parse_sub_agrees =
+  let gen =
+    QCheck2.Gen.(
+      string_size ~gen:(map Char.chr (int_range 1 255)) (int_bound 40))
+  in
+  qcheck ~count:500 "parse_sub agrees with parse at any offset" gen
+    (fun line ->
+      let reference = Serve.Protocol.parse line in
+      let padded = Bytes.of_string ("XX" ^ line ^ "YY") in
+      Serve.Protocol.parse_sub padded ~pos:2 ~len:(String.length line)
+      = reference)
+
+let protocol_parse_total =
+  let gen =
+    QCheck2.Gen.(string_size ~gen:(map Char.chr (int_bound 255)) (int_bound 60))
+  in
+  qcheck ~count:500 "parse never raises" gen (fun line ->
+      match Serve.Protocol.parse line with _ -> true)
+
+(* ---------- Frame (protocol v4) ---------- *)
+
+let frame_kinds =
+  [
+    Serve.Frame.Hello; Serve.Frame.Query; Serve.Frame.Trace;
+    Serve.Frame.Strategy; Serve.Frame.Stats; Serve.Frame.Stats_json;
+    Serve.Frame.Snapshot; Serve.Frame.Ping; Serve.Frame.Help;
+    Serve.Frame.Quit; Serve.Frame.Shutdown; Serve.Frame.Ok;
+    Serve.Frame.Err; Serve.Frame.Busy; Serve.Frame.Bye;
+  ]
+
+let frame_roundtrip =
+  let gen =
+    QCheck2.Gen.(
+      triple (int_bound 0xFFFF_FFFF)
+        (oneofl frame_kinds)
+        (string_size (int_bound 80)))
+  in
+  qcheck ~count:500 "v4 frame encode/decode round-trips" gen
+    (fun (id, kind, payload) ->
+      let f = { Serve.Frame.id; kind; payload } in
+      let s = Serve.Frame.encode_string f in
+      match
+        Serve.Frame.decode (Bytes.of_string s) ~pos:0 ~limit:(String.length s)
+      with
+      | Serve.Frame.Frame (f', used) -> f' = f && used = String.length s
+      | _ -> false)
+
+(* A truncated frame must never decode, raise, or be misread: every
+   strict prefix is Need_more, and decode at an offset inside a stream
+   of two frames finds the second one. *)
+let frame_truncation () =
+  let f =
+    { Serve.Frame.id = 42; kind = Serve.Frame.Query; payload = "relative(bob)" }
+  in
+  let s = Serve.Frame.encode_string f in
+  for len = 0 to String.length s - 1 do
+    match
+      Serve.Frame.decode (Bytes.of_string (String.sub s 0 len)) ~pos:0
+        ~limit:len
+    with
+    | Serve.Frame.Need_more need ->
+      check_bool "need covers the missing bytes" true (need > len)
+    | Serve.Frame.Frame _ -> Alcotest.fail "decoded a truncated frame"
+    | Serve.Frame.Corrupt _ -> Alcotest.fail "truncation is not corruption"
+  done;
+  let two = s ^ s in
+  (match
+     Serve.Frame.decode (Bytes.of_string two) ~pos:(String.length s)
+       ~limit:(String.length two)
+   with
+  | Serve.Frame.Frame (f', _) -> check_bool "second frame found" true (f' = f)
+  | _ -> Alcotest.fail "offset decode failed");
+  (* corruption is detected, not decoded *)
+  (match Serve.Frame.decode (Bytes.of_string "garbage") ~pos:0 ~limit:7 with
+  | Serve.Frame.Corrupt _ -> ()
+  | _ -> Alcotest.fail "bad magic accepted");
+  let b = Bytes.of_string s in
+  (* length field = max_payload + 1 *)
+  Bytes.set b 6 '\x00';
+  Bytes.set b 7 '\x40';
+  Bytes.set b 8 '\x00';
+  Bytes.set b 9 '\x01';
+  match Serve.Frame.decode b ~pos:0 ~limit:(Bytes.length b) with
+  | Serve.Frame.Corrupt _ -> ()
+  | _ -> Alcotest.fail "hostile length accepted"
 
 (* ---------- Admission ---------- *)
 
@@ -194,16 +290,18 @@ let snapshot_roundtrip () =
 
 (* ---------- Server end to end (in-process TCP) ---------- *)
 
-let server_config ?(workers = 2) ?(queue_depth = 8) ?state_dir () =
+let server_config ?(workers = 2) ?(queue_depth = 8) ?max_conns ?state_dir () =
   {
     Serve.Server.default_config with
     port = 0;
     workers;
     queue_depth;
+    max_conns =
+      Option.value max_conns ~default:Serve.Server.default_config.max_conns;
     state_dir;
   }
 
-let start_server ?workers ?queue_depth ?state_dir () =
+let start_server ?workers ?queue_depth ?max_conns ?state_dir () =
   let rulebase, db = kb () in
   let port = Atomic.make 0 in
   let thread =
@@ -211,7 +309,7 @@ let start_server ?workers ?queue_depth ?state_dir () =
       (fun () ->
         Serve.Server.run
           ~on_listen:(fun p -> Atomic.set port p)
-          (server_config ?workers ?queue_depth ?state_dir ())
+          (server_config ?workers ?queue_depth ?max_conns ?state_dir ())
           ~rulebase ~db)
       ()
   in
@@ -285,24 +383,209 @@ let server_concurrent_clients () =
   Thread.join thread
 
 let server_sheds_when_full () =
-  let thread, port = start_server ~workers:1 ~queue_depth:1 () in
-  (* occupy the single worker ... *)
+  (* connection-granular shedding: past [max_conns] the accept itself is
+     refused with BUSY and the socket closed; established connections
+     are untouched. *)
+  let thread, port = start_server ~max_conns:1 () in
   let fd_a, ic_a, oc_a = connect port in
   send oc_a "PING";
-  check_string "worker busy with A" "PONG" (input_line ic_a);
-  (* ... fill the queue ... *)
-  let fd_b, _ic_b, _oc_b = connect port in
-  Thread.delay 0.2;
-  (* ... so the next connection is shed with BUSY. *)
-  let _fd_c, ic_c, _oc_c = connect port in
-  check_string "shed" "BUSY" (input_line ic_c);
-  close_in_noerr ic_c;
-  Unix.close fd_b;
+  check_string "first conn served" "PONG" (input_line ic_a);
+  let _fd_b, ic_b, _oc_b = connect port in
+  check_string "second conn shed" "BUSY" (input_line ic_b);
+  check_bool "and closed" true
+    (match input_line ic_b with
+    | _ -> false
+    | exception End_of_file -> true);
+  close_in_noerr ic_b;
   send oc_a "SHUTDOWN";
-  check_string "bye" "BYE" (input_line ic_a);
+  check_string "survivor still served" "BYE" (input_line ic_a);
   close_in_noerr ic_a;
   ignore fd_a;
   Thread.join thread
+
+(* A server over the genealogy workload, whose free query
+   [relative(X)] is slow enough to park a worker for a while. *)
+let start_genealogy_server ~workers ~queue_depth () =
+  let rulebase = Workload.Genealogy.rulebase () in
+  let pop = Workload.Genealogy.populate (Stats.Rng.create 5L) ~n_people:2_000 in
+  let db = Workload.Genealogy.db pop in
+  let people = Workload.Genealogy.people pop in
+  let port = Atomic.make 0 in
+  let thread =
+    Thread.create
+      (fun () ->
+        Serve.Server.run
+          ~on_listen:(fun p -> Atomic.set port p)
+          (server_config ~workers ~queue_depth ())
+          ~rulebase ~db)
+      ()
+  in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while Atomic.get port = 0 && Unix.gettimeofday () < deadline do
+    Thread.delay 0.01
+  done;
+  if Atomic.get port = 0 then Alcotest.fail "server did not start";
+  (thread, Atomic.get port, people)
+
+let server_v4_busy_keeps_conn () =
+  (* request-granular shedding on a framed connection: a shed request
+     answers with a Busy frame carrying its id, and the connection
+     stays open. *)
+  let thread, port, people =
+    start_genealogy_server ~workers:1 ~queue_depth:1 ()
+  in
+  let c = Serve.Client.connect ~proto:`V4 ~port () in
+  (* park the single worker on the slow free query ... *)
+  let slow = Serve.Client.post c "QUERY relative(X)" in
+  Thread.delay 0.05;
+  (* ... then overflow the depth-1 queue *)
+  let bound =
+    List.init 6 (fun i ->
+        Serve.Client.post c
+          (Printf.sprintf "QUERY relative(%s)" (List.nth people i)))
+  in
+  let posted = slow :: bound in
+  let responses = List.map (fun _ -> Serve.Client.recv c) posted in
+  check_bool "every response id was posted" true
+    (List.sort compare (List.map fst responses) = List.sort compare posted);
+  check_bool "at least one request shed" true
+    (List.exists (fun (_, lines) -> lines = [ "BUSY" ]) responses);
+  check_bool "the slow query still answered" true
+    (List.exists
+       (fun (id, lines) ->
+         id = slow
+         &&
+         match lines with
+         | [ l ] -> String.length l >= 6 && String.sub l 0 6 = "ANSWER"
+         | _ -> false)
+       responses);
+  (* shedding did not cost the connection *)
+  check_string "conn still usable" "PONG" (Serve.Client.request c "PING");
+  check_string "drains on shutdown" "BYE" (Serve.Client.request c "SHUTDOWN");
+  Serve.Client.close c;
+  Thread.join thread
+
+let server_v4_pipelining () =
+  (* the queue must hold the whole window, or shedding kicks in (that
+     path has its own test) *)
+  let thread, port = start_server ~workers:2 ~queue_depth:64 () in
+  let c = Serve.Client.connect ~proto:`Auto ~port () in
+  check_bool "auto negotiated v4" true (Serve.Client.protocol c = `V4);
+  let banner = Serve.Client.request c "HELLO" in
+  check_bool "framed banner carries the v4 version" true
+    (String.length banner >= 18
+    && String.sub banner 0 18
+       = Printf.sprintf "HELLO strategem/%d " Serve.Frame.version);
+  let n = 32 in
+  let ids =
+    List.init n (fun _ -> Serve.Client.post c "QUERY instructor(manolis)")
+  in
+  let got = List.init n (fun _ -> Serve.Client.recv c) in
+  check_bool "all 32 ids answered exactly once" true
+    (List.sort compare (List.map fst got) = List.sort compare ids);
+  check_bool "every reply is an answer" true
+    (List.for_all
+       (fun (_, lines) ->
+         match lines with
+         | [ l ] -> String.length l >= 6 && String.sub l 0 6 = "ANSWER"
+         | _ -> false)
+       got);
+  let stats = Serve.Client.command c "STATS" in
+  let has prefix l =
+    String.length l >= String.length prefix
+    && String.sub l 0 (String.length prefix) = prefix
+  in
+  check_bool "stats reports conns_open" true
+    (List.exists (has "conns_open ") stats);
+  check_bool "stats reports the pipeline high water" true
+    (List.exists (has "pipeline_depth_high_water ") stats);
+  check_string "quit closes the framed conn" "BYE"
+    (Serve.Client.request c "QUIT");
+  Serve.Client.close c;
+  let c2 = Serve.Client.connect ~proto:`Lines ~port () in
+  ignore (Serve.Client.command c2 "SHUTDOWN");
+  Serve.Client.close c2;
+  Thread.join thread
+
+let server_slow_frame () =
+  (* slowloris: one frame dripped in three installments must not block
+     the loop (other connections stay live) and must still be answered;
+     junk after it on the same (now framed) connection draws a
+     structured error, then close. *)
+  let thread, port = start_server ~workers:2 () in
+  let fd, ic, oc = connect port in
+  let frame =
+    Serve.Frame.encode_string
+      { Serve.Frame.id = 9; kind = Serve.Frame.Query;
+        payload = "instructor(russ)" }
+  in
+  let len = String.length frame in
+  output_string oc (String.sub frame 0 3);
+  flush oc;
+  Thread.delay 0.05;
+  check_bool "server responsive mid-frame" true (talk port [ "PING" ] = [ "PONG" ]);
+  output_string oc (String.sub frame 3 4);
+  flush oc;
+  Thread.delay 0.05;
+  output_string oc (String.sub frame 7 (len - 7));
+  flush oc;
+  let reply = Serve.Frame.read ic in
+  check_int "dripped frame id echoed" 9 reply.Serve.Frame.id;
+  check_bool "dripped frame answered" true
+    (reply.Serve.Frame.kind = Serve.Frame.Ok
+    && String.length reply.Serve.Frame.payload >= 6
+    && String.sub reply.Serve.Frame.payload 0 6 = "ANSWER");
+  send oc "garbage";
+  (match Serve.Frame.read ic with
+  | f -> check_bool "junk drew an error frame" true (f.Serve.Frame.kind = Serve.Frame.Err)
+  | exception (End_of_file | Failure _) -> ());
+  close_in_noerr ic;
+  ignore fd;
+  ignore (talk port [ "SHUTDOWN" ]);
+  Thread.join thread
+
+let client_falls_back_to_lines () =
+  (* a fake pre-v4 daemon: line protocol only, where HELLO V4 parses as
+     a malformed HELLO — exactly what a historical server answers. *)
+  let srv = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt srv Unix.SO_REUSEADDR true;
+  Unix.bind srv (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen srv 1;
+  let port =
+    match Unix.getsockname srv with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  let server =
+    Thread.create
+      (fun () ->
+        let fd, _ = Unix.accept srv in
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        (try
+           while true do
+             let line = String.trim (input_line ic) in
+             (match String.uppercase_ascii line with
+             | "HELLO V4" ->
+               output_string oc "ERR malformed HELLO takes no argument\n"
+             | "PING" -> output_string oc "PONG\n"
+             | "QUIT" -> output_string oc "BYE\n"
+             | _ -> output_string oc "ERR unknown-verb\n");
+             flush oc
+           done
+         with End_of_file | Sys_error _ -> ());
+        close_in_noerr ic)
+      ()
+  in
+  let c = Serve.Client.connect ~proto:`Auto ~port () in
+  check_bool "fell back to the line dialect" true
+    (Serve.Client.protocol c = `Lines);
+  check_string "and the fallback conn works" "PONG"
+    (Serve.Client.request c "PING");
+  check_string "bye" "BYE" (Serve.Client.request c "QUIT");
+  Serve.Client.close c;
+  Thread.join server;
+  Unix.close srv
 
 let server_snapshot_restart () =
   let dir = temp_dir () in
@@ -339,6 +622,10 @@ let suite =
     ( "serve",
       [
         case "protocol parse and render" protocol_parse;
+        protocol_parse_sub_agrees;
+        protocol_parse_total;
+        frame_roundtrip;
+        case "frame truncation and corruption" frame_truncation;
         case "admission queue sheds and drains" admission_shed_and_drain;
         case "admission pop blocks until push" admission_blocking_pop;
         case "metrics counters and histogram" metrics_counters_and_histogram;
@@ -346,7 +633,15 @@ let suite =
         case "registry shares learners and climbs" registry_shares_and_learns;
         case "snapshot save/load resumes the strategy" snapshot_roundtrip;
         slow_case "server answers concurrent clients" server_concurrent_clients;
-        slow_case "server sheds with BUSY when saturated" server_sheds_when_full;
+        slow_case "server sheds connections past max-conns"
+          server_sheds_when_full;
+        slow_case "v4 sheds requests with Busy, conn survives"
+          server_v4_busy_keeps_conn;
+        slow_case "v4 pipelines 32 requests on one conn" server_v4_pipelining;
+        slow_case "slow partial frame neither blocks nor breaks"
+          server_slow_frame;
+        slow_case "client auto-negotiation falls back to lines"
+          client_falls_back_to_lines;
         slow_case "server restart resumes the snapshot" server_snapshot_restart;
       ] );
   ]
