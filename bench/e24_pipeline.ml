@@ -25,6 +25,7 @@
 
    Knobs (environment): E24_QUERIES (default 2000), E24_WINDOW
    (default 32), E24_PEOPLE (default 5000), E24_WORKERS (default 4),
+   E24_LOOPS (reactor fleet size; default 0 = match worker domains),
    E24_JSON (path for machine-readable results), E24_REQUIRE_GATE
    (non-empty: exit 1 when either gate fails — the CI smoke gate),
    E24_SPEEDUP_MIN, E24_P99_FACTOR, E24_P99_FLOOR_MS (the p99 bar is
@@ -50,6 +51,7 @@ let total_queries () = env_int "E24_QUERIES" 2_000
 let window () = Int.max 1 (env_int "E24_WINDOW" 32)
 let n_people () = env_int "E24_PEOPLE" 5_000
 let n_workers () = Int.max 1 (env_int "E24_WORKERS" 4)
+let n_loops () = env_int "E24_LOOPS" 0
 let pool_size = 32
 let zipf_s = 1.1
 
@@ -69,7 +71,12 @@ let start_server ~db ~rulebase =
       (fun () ->
         Serve.Server.run
           ~on_listen:(fun p -> Atomic.set port p)
-          { Serve.Server.default_config with port = 0; workers = n_workers () }
+          {
+            Serve.Server.default_config with
+            port = 0;
+            workers = n_workers ();
+            loops = n_loops ();
+          }
           ~rulebase ~db)
       ()
   in

@@ -31,6 +31,7 @@ let experiments =
     ("e22", "serve-path scaling over worker domains", E22_scale.run);
     ("e23", "paged store vs in-memory retrieval", E23_store.run);
     ("e24", "protocol v4 pipelining vs the v3 line protocol", E24_pipeline.run);
+    ("e25", "reactor-fleet fan-in over concurrent connections", E25_fleet.run);
   ]
 
 let () =

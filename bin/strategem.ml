@@ -482,7 +482,8 @@ let host_arg =
 
 let run_serve file host port workers queue_depth max_conns state_dir
     snapshot_interval delta learner trace_sample cache_mb no_cache
-    metrics_port log_level log_file slow_query_ms data_dir buffer_pages =
+    metrics_port log_level log_file slow_query_ms data_dir buffer_pages loops
+    idle_timeout_s max_conns_per_ip max_write_buf_mb max_write_total_mb =
   let rulebase, db, _ = load_kb file in
   let db =
     match data_dir with
@@ -527,6 +528,11 @@ let run_serve file host port workers queue_depth max_conns state_dir
       log_level;
       log_file;
       slow_query_us = slow_query_ms *. 1000.0;
+      loops;
+      max_write_buf = max_write_buf_mb * 1024 * 1024;
+      max_write_total = max_write_total_mb * 1024 * 1024;
+      idle_timeout_s;
+      max_conns_per_ip;
     }
   in
   Serve.Server.run ~handle_signals:true
@@ -690,6 +696,52 @@ let serve_cmd =
              each frame holds one 4 KiB page. Databases larger than the \
              pool page in from disk on access.")
   in
+  let loops =
+    Arg.(
+      value & opt int 0
+      & info [ "loops" ] ~docv:"N"
+          ~doc:
+            "Event loops in the reactor fleet, one domain each with a \
+             private epoll instance; new connections are distributed by \
+             least connections. 0 (the default) matches the effective \
+             worker-domain count.")
+  in
+  let idle_timeout_s =
+    Arg.(
+      value & opt float 0.0
+      & info [ "idle-timeout-s" ] ~docv:"SECONDS"
+          ~doc:
+            "Close connections with no traffic for SECONDS (swept once \
+             per second per loop; in-flight requests hold a connection \
+             open). 0 (the default) disables.")
+  in
+  let max_conns_per_ip =
+    Arg.(
+      value & opt int 0
+      & info [ "max-conns-per-ip" ] ~docv:"N"
+          ~doc:
+            "Accept-time cap on open connections per peer IP; \
+             connections past it are answered BUSY and closed. 0 (the \
+             default) disables.")
+  in
+  let max_write_buf_mb =
+    Arg.(
+      value & opt int 64
+      & info [ "max-write-buf-mb" ] ~docv:"MB"
+          ~doc:
+            "Per-connection write-buffer cap; a connection that buffers \
+             past it (a reader that never drains) is answered one BUSY \
+             and disconnected. 0 uncaps.")
+  in
+  let max_write_total_mb =
+    Arg.(
+      value & opt int 0
+      & info [ "max-write-total-mb" ] ~docv:"MB"
+          ~doc:
+            "Global cap on the sum of all buffered response bytes; \
+             breaching it sheds the offending connection like \
+             --max-write-buf-mb. 0 (the default) uncaps.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -699,7 +751,9 @@ let serve_cmd =
       const run_serve $ file_arg $ host_arg $ port $ workers $ queue_depth
       $ max_conns $ state_dir $ snapshot_interval $ delta_arg $ learner
       $ trace_sample $ cache_mb $ no_cache $ metrics_port $ log_level
-      $ log_file $ slow_query_ms $ data_dir $ buffer_pages)
+      $ log_file $ slow_query_ms $ data_dir $ buffer_pages $ loops
+      $ idle_timeout_s $ max_conns_per_ip $ max_write_buf_mb
+      $ max_write_total_mb)
 
 let client_lines c commands =
   (* Historical CLI behaviour, byte for byte: write every line, half-close

@@ -1,19 +1,28 @@
 type 'a t = {
   lock : Mutex.t;
   nonempty : Condition.t;
-  items : 'a Queue.t;
+  items : (int * 'a) Queue.t;  (* (producer, item) *)
   depth : int;
+  quota : int;  (* per-producer in-queue cap *)
+  in_queue : int array;  (* per-producer in-queue counts *)
   mutable is_closed : bool;
   mutable high_water : int;
 }
 
-let create ~depth =
+let create ?(producers = 1) ~depth () =
   if depth < 1 then invalid_arg "Admission.create: depth must be >= 1";
+  if producers < 1 then
+    invalid_arg "Admission.create: producers must be >= 1";
   {
     lock = Mutex.create ();
     nonempty = Condition.create ();
     items = Queue.create ();
     depth;
+    (* one producer keeps the historical whole-queue semantics; several
+       split the depth evenly so a flooding producer sheds at its own
+       share and never starves its peers *)
+    quota = (if producers = 1 then depth else Int.max 1 ((depth + producers - 1) / producers));
+    in_queue = Array.make producers 0;
     is_closed = false;
     high_water = 0;
   }
@@ -22,11 +31,16 @@ let with_lock t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-let try_push t x =
+let try_push ?(producer = 0) t x =
   with_lock t (fun () ->
-      if t.is_closed || Queue.length t.items >= t.depth then false
+      if
+        t.is_closed
+        || Queue.length t.items >= t.depth
+        || t.in_queue.(producer) >= t.quota
+      then false
       else begin
-        Queue.push x t.items;
+        Queue.push (producer, x) t.items;
+        t.in_queue.(producer) <- t.in_queue.(producer) + 1;
         let n = Queue.length t.items in
         if n > t.high_water then t.high_water <- n;
         Condition.signal t.nonempty;
@@ -38,7 +52,11 @@ let pop t =
       while Queue.is_empty t.items && not t.is_closed do
         Condition.wait t.nonempty t.lock
       done;
-      Queue.take_opt t.items)
+      match Queue.take_opt t.items with
+      | None -> None
+      | Some (producer, x) ->
+        t.in_queue.(producer) <- t.in_queue.(producer) - 1;
+        Some x)
 
 let close t =
   with_lock t (fun () ->
@@ -47,4 +65,6 @@ let close t =
 
 let closed t = with_lock t (fun () -> t.is_closed)
 let length t = with_lock t (fun () -> Queue.length t.items)
+let producer_length t producer = with_lock t (fun () -> t.in_queue.(producer))
+let quota t = t.quota
 let high_water t = with_lock t (fun () -> t.high_water)

@@ -1,20 +1,32 @@
-(** Bounded admission queue between the accept loop and the worker pool.
+(** Bounded admission queue between the reactor fleet and the worker
+    pool.
 
-    The producer never blocks: {!try_push} refuses immediately when the
-    queue is at capacity (the caller sheds the connection with a [BUSY]
+    Producers never block: {!try_push} refuses immediately when the
+    queue is at capacity (the caller sheds the request with a [BUSY]
     reply) or after {!close}. Consumers block in {!pop} until an item or
     until the queue is closed {e and} drained — close-then-drain is what
     gives the server its graceful shutdown: queued work is still served,
-    only new work is refused. *)
+    only new work is refused.
+
+    Back-pressure is per-producer: with [producers = n > 1] (one per
+    event loop), the depth is split into even quotas of
+    [ceil (depth / n)], and a producer whose in-queue count is at its
+    quota is refused even when the queue as a whole has room — a
+    flooding loop sheds at its own share and never starves its peers.
+    With the default single producer the quota is the whole depth, i.e.
+    the historical semantics. *)
 
 type 'a t
 
-(** [create ~depth] — a queue admitting at most [depth] items at once.
-    Raises [Invalid_argument] if [depth < 1]. *)
-val create : depth:int -> 'a t
+(** [create ?producers ~depth ()] — a queue admitting at most [depth]
+    items at once, at most [ceil (depth / producers)] of them from any
+    one producer (when [producers > 1]). Raises [Invalid_argument] if
+    [depth < 1] or [producers < 1]. *)
+val create : ?producers:int -> depth:int -> unit -> 'a t
 
-(** Enqueue, or refuse: [false] when full or closed. Never blocks. *)
-val try_push : 'a t -> 'a -> bool
+(** Enqueue, or refuse: [false] when full, when [producer] (default
+    [0]) is at its quota, or when closed. Never blocks. *)
+val try_push : ?producer:int -> 'a t -> 'a -> bool
 
 (** Dequeue, blocking while the queue is empty but open. [None] once the
     queue is closed and every queued item has been consumed. *)
@@ -27,6 +39,12 @@ val closed : 'a t -> bool
 
 (** Items queued right now. *)
 val length : 'a t -> int
+
+(** Items queued right now from this producer. *)
+val producer_length : 'a t -> int -> int
+
+(** The per-producer in-queue cap. *)
+val quota : 'a t -> int
 
 (** The most items ever queued at once (the load-shedding headroom
     actually used). *)

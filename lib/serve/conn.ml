@@ -11,12 +11,28 @@ type read_status = Continue | Eof | Rerror of string
 let initial_buf = 4096
 let max_line = 1 lsl 20
 let max_rbuf = Frame.header_size + Frame.max_payload
-let max_output = 64 * 1024 * 1024
+let default_max_output = 64 * 1024 * 1024
+
+(* Write-buffer budget, shared by every connection of a server: a
+   per-connection cap plus a global cap over the sum of all buffered
+   response bytes ([global_bytes] is the shared accounting cell). Either
+   cap at 0 means unlimited. *)
+type limits = {
+  max_buf : int;
+  global_max : int;
+  global_bytes : int Atomic.t;
+}
+
+let limits ?(max_buf = default_max_output) ?(global_max = 0) () =
+  { max_buf; global_max; global_bytes = Atomic.make 0 }
 
 type t = {
   fd : Unix.file_descr;
   id : int;
+  loop : int;  (* owning event loop; never changes, so lock-free *)
   peer : string;
+  ip : string;  (* peer address without the port, for per-IP caps *)
+  limits : limits;
   mutable mode : mode;
   (* read side: loop thread only. [rpos, rend) is the unparsed span. *)
   mutable rbuf : Bytes.t;
@@ -32,16 +48,27 @@ type t = {
   mutable oend : int;
   mutable closing : bool;
   mutable dead : bool;
+  (* a send ran into a write cap: buffered output was shed, a BUSY went
+     in its place, and the loop must disconnect after one flush try *)
+  mutable overflowed : bool;
+  mutable shed_bytes : int;  (* bytes dropped by the overflow, under wlock *)
+  (* bytes of [opos, oend) counted in [limits.global_bytes]; equal to
+     the buffered span except for the tiny unaccounted BUSY notice *)
+  mutable accounted : int;
   inflight : int Atomic.t;
   mutable hwm : int;
   mutable rseq : int;
+  mutable last_active : float;  (* loop thread only; for idle timeouts *)
 }
 
-let create ~id ~peer fd =
+let create ~id ~loop ~peer ~ip ~limits fd =
   {
     fd;
     id;
+    loop;
     peer;
+    ip;
+    limits;
     mode = Sniff;
     rbuf = Bytes.create initial_buf;
     rpos = 0;
@@ -54,14 +81,22 @@ let create ~id ~peer fd =
     oend = 0;
     closing = false;
     dead = false;
+    overflowed = false;
+    shed_bytes = 0;
+    accounted = 0;
     inflight = Atomic.make 0;
     hwm = 0;
     rseq = 0;
+    last_active = 0.0;
   }
 
 let fd t = t.fd
 let id t = t.id
+let loop t = t.loop
 let peer t = t.peer
+let ip t = t.ip
+let touch t ~now = t.last_active <- now
+let last_active t = t.last_active
 let framed t = t.mode = Frames
 let read_closed t = t.read_closed
 let set_read_closed t = t.read_closed <- true
@@ -69,9 +104,19 @@ let closing t = t.closing
 let set_closing t = t.closing <- true
 let dead t = t.dead
 
+(* Release [n] of this connection's globally accounted bytes. Under
+   wlock. *)
+let release_global t n =
+  let n = Int.min n t.accounted in
+  if n > 0 then begin
+    t.accounted <- t.accounted - n;
+    ignore (Atomic.fetch_and_add t.limits.global_bytes (-n))
+  end
+
 let kill t =
   Mutex.lock t.wlock;
   t.dead <- true;
+  release_global t t.accounted;
   t.opos <- 0;
   t.oend <- 0;
   Mutex.unlock t.wlock
@@ -218,18 +263,51 @@ let ensure_write_space t len =
     end
   end
 
+(* The overflow notice is tiny and constant, so it is buffered outside
+   the caps (and outside the global accounting — [shed] compensates by
+   releasing the whole discarded span first). *)
+let busy_bytes t =
+  if t.mode = Frames then
+    Frame.encode_string { Frame.id = 0; kind = Frame.Busy; payload = "" }
+  else Protocol.busy ^ "\n"
+
+(* Busy-then-disconnect: drop everything buffered for this slow reader,
+   leave one BUSY in its place, and flag the connection for the loop to
+   tear down after a single best-effort flush. Under wlock. *)
+let shed t ~extra =
+  let buffered = t.oend - t.opos in
+  release_global t t.accounted;
+  t.shed_bytes <- t.shed_bytes + buffered + extra;
+  t.opos <- 0;
+  t.oend <- 0;
+  if Bytes.length t.obuf > initial_buf then t.obuf <- Bytes.create initial_buf;
+  let notice = busy_bytes t in
+  let len = String.length notice in
+  ensure_write_space t len;
+  Bytes.blit_string notice 0 t.obuf 0 len;
+  t.oend <- len;
+  t.overflowed <- true;
+  t.closing <- true
+
 let send t s =
   Mutex.lock t.wlock;
-  (if not t.dead then
+  (if not t.dead && not t.overflowed then
      let len = String.length s in
-     if t.oend - t.opos + len > max_output then
-       (* a consumer that never reads: poison rather than buffer without
-          bound; the loop reaps the fd when it next looks *)
-       t.dead <- true
+     let used = t.oend - t.opos in
+     let { max_buf; global_max; global_bytes } = t.limits in
+     if
+       (max_buf > 0 && used + len > max_buf)
+       || (global_max > 0 && Atomic.get global_bytes + len > global_max)
+     then
+       (* a consumer that never reads: shed rather than buffer without
+          bound; the loop disconnects the fd when it next looks *)
+       shed t ~extra:len
      else begin
        ensure_write_space t len;
        Bytes.blit_string s 0 t.obuf t.oend len;
-       t.oend <- t.oend + len
+       t.oend <- t.oend + len;
+       t.accounted <- t.accounted + len;
+       ignore (Atomic.fetch_and_add global_bytes len)
      end);
   Mutex.unlock t.wlock
 
@@ -242,6 +320,7 @@ let flush t =
       match Unix.write t.fd t.obuf t.opos (t.oend - t.opos) with
       | n ->
         t.opos <- t.opos + n;
+        release_global t n;
         if t.opos >= t.oend then begin
           t.opos <- 0;
           t.oend <- 0;
@@ -255,6 +334,7 @@ let flush t =
         `Partial
       | exception Unix.Unix_error (_, _, _) ->
         t.dead <- true;
+        release_global t t.accounted;
         `Error
   in
   Mutex.unlock t.wlock;
@@ -263,5 +343,18 @@ let flush t =
 let has_output t =
   Mutex.lock t.wlock;
   let r = t.opos < t.oend in
+  Mutex.unlock t.wlock;
+  r
+
+let overflowed t =
+  Mutex.lock t.wlock;
+  let r = t.overflowed in
+  Mutex.unlock t.wlock;
+  r
+
+let take_shed_bytes t =
+  Mutex.lock t.wlock;
+  let r = t.shed_bytes in
+  t.shed_bytes <- 0;
   Mutex.unlock t.wlock;
   r

@@ -8,11 +8,34 @@
     here; dispatch policy — FIFO stop-and-wait for line mode, free
     pipelining for frames — lives in [server.ml].
 
-    Thread model: the loop thread calls {!on_readable} / {!flush} /
-    {!finish_read} and owns the pending queue; worker domains may only
-    call {!send}, {!kill}, and the inflight counters. *)
+    Thread model: each connection is owned by exactly one event loop of
+    the reactor fleet (its {!loop} tag, fixed at accept); that loop's
+    thread calls {!on_readable} / {!flush} / {!finish_read} and owns the
+    pending queue. Worker domains may only call {!send}, {!kill}, and
+    the inflight counters. No [Conn.t] is ever shared between loops, so
+    all per-connection state stays lock-free apart from the write
+    buffer's own mutex. *)
 
 type t
+
+(** {2 Write-buffer budget}
+
+    Shared by every connection of a server: a per-connection cap plus a
+    global cap over the sum of all buffered response bytes. A {!send}
+    that would breach either cap sheds the connection's whole buffered
+    output, leaves one [BUSY] in its place, and flags the connection
+    ({!overflowed}) for the owning loop to disconnect after one
+    best-effort flush — a reader that never drains its socket costs a
+    bounded number of bytes and one connection, not the server's
+    memory. *)
+
+type limits
+
+(** [limits ?max_buf ?global_max ()] — [max_buf] caps one connection's
+    buffered output (default 64 MiB), [global_max] the sum across all
+    connections sharing this value (default [0] = unlimited); [0]
+    disables either cap. *)
+val limits : ?max_buf:int -> ?global_max:int -> unit -> limits
 
 (** What the read buffer yielded. *)
 type incoming =
@@ -29,10 +52,26 @@ type incoming =
 
 type read_status = Continue | Eof | Rerror of string
 
-val create : id:int -> peer:string -> Unix.file_descr -> t
+val create :
+  id:int -> loop:int -> peer:string -> ip:string -> limits:limits ->
+  Unix.file_descr -> t
+
 val fd : t -> Unix.file_descr
 val id : t -> int
+
+val loop : t -> int
+(** Index of the event loop that owns this connection. *)
+
 val peer : t -> string
+
+val ip : t -> string
+(** The peer address without the port — the per-IP accounting key. *)
+
+val touch : t -> now:float -> unit
+(** Record activity (a read, or write progress) for the idle-timeout
+    sweep. Loop thread only. *)
+
+val last_active : t -> float
 
 val framed : t -> bool
 (** True once the connection has sniffed (or upgraded) into v4. *)
@@ -83,6 +122,14 @@ val kill : t -> unit
     fd when it next services the connection. *)
 
 val dead : t -> bool
+
+val overflowed : t -> bool
+(** A {!send} hit a write cap: the buffered output was shed and the
+    owning loop must disconnect after one flush attempt. *)
+
+val take_shed_bytes : t -> int
+(** Bytes dropped by write-cap overflows since the last call (read-and-
+    reset, so the caller can feed a monotonic counter). *)
 
 (** {2 Pipeline accounting} *)
 

@@ -18,6 +18,7 @@
 #ifdef __linux__
 
 #include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <unistd.h>
 #include <errno.h>
 #include <string.h>
@@ -101,12 +102,44 @@ CAMLprim value strategem_epoll_wait(value epfd, value timeout_ms,
   CAMLreturn(Val_int(n));
 }
 
+/* Per-loop wake channel for the reactor fleet: each event loop owns one
+ * eventfd instead of a pipe pair, so a fleet of N loops spends N wake
+ * fds rather than 2N, and the kernel coalesces the counter (any number
+ * of wakes between two polls is one readable event, one 8-byte read to
+ * drain). Nonblocking: the OCaml side treats EAGAIN on either end as
+ * "already delivered". */
+CAMLprim value strategem_eventfd_available(value unit)
+{
+  (void)unit;
+  return Val_true;
+}
+
+CAMLprim value strategem_eventfd_create(value unit)
+{
+  (void)unit;
+  int fd = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (fd == -1) strategem_epoll_error("eventfd");
+  return Val_int(fd);
+}
+
 #else /* !__linux__ */
 
 CAMLprim value strategem_epoll_available(value unit)
 {
   (void)unit;
   return Val_false;
+}
+
+CAMLprim value strategem_eventfd_available(value unit)
+{
+  (void)unit;
+  return Val_false;
+}
+
+CAMLprim value strategem_eventfd_create(value unit)
+{
+  (void)unit;
+  caml_failwith("eventfd unavailable on this platform");
 }
 
 CAMLprim value strategem_epoll_create(value unit)

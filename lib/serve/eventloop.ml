@@ -8,6 +8,9 @@ external epoll_wait :
   Unix.file_descr -> int -> int array -> int array -> int
   = "strategem_epoll_wait"
 
+external eventfd_available : unit -> bool = "strategem_eventfd_available"
+external eventfd_create : unit -> Unix.file_descr = "strategem_eventfd_create"
+
 (* On Unix, Unix.file_descr is the raw fd int; we need the int to key
    the handler table (and the C stubs hand fds back as ints). *)
 external fd_int : Unix.file_descr -> int = "%identity"
@@ -26,9 +29,15 @@ type backend = Epoll of Unix.file_descr | Select
 type t = {
   backend : backend;
   handlers : (int, entry) Hashtbl.t;
+  (* Wake channel: an eventfd where the platform has one (one fd per
+     loop — halves the descriptor budget of a reactor fleet — and the
+     kernel coalesces the counter for us), a pipe elsewhere. With an
+     eventfd, [wake_r == wake_w]. *)
   wake_r : Unix.file_descr;
   wake_w : Unix.file_descr;
+  wake_is_eventfd : bool;
   wake_flag : bool Atomic.t;
+  mutable wakeups : int;  (* loop thread only: wake deliveries seen *)
   mutable hook : unit -> unit;
   out_fds : int array;
   out_evs : int array;
@@ -39,9 +48,17 @@ let flags_of ~read ~write = (if read then 1 else 0) lor (if write then 2 else 0)
 
 let create () =
   let backend = if epoll_available () then Epoll (epoll_create ()) else Select in
-  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
-  Unix.set_nonblock wake_r;
-  Unix.set_nonblock wake_w;
+  let wake_r, wake_w, wake_is_eventfd =
+    if eventfd_available () then
+      let efd = eventfd_create () in
+      (efd, efd, true)
+    else begin
+      let r, w = Unix.pipe ~cloexec:true () in
+      Unix.set_nonblock r;
+      Unix.set_nonblock w;
+      (r, w, false)
+    end
+  in
   (match backend with
   | Epoll ep -> epoll_ctl ep 0 wake_r 1
   | Select -> ());
@@ -50,7 +67,9 @@ let create () =
     handlers = Hashtbl.create 64;
     wake_r;
     wake_w;
+    wake_is_eventfd;
     wake_flag = Atomic.make false;
+    wakeups = 0;
     hook = (fun () -> ());
     out_fds = Array.make max_events 0;
     out_evs = Array.make max_events 0;
@@ -86,9 +105,25 @@ let remove t fd =
     | Select -> ()
   end
 
+(* An eventfd wants an 8-byte counter increment; a pipe any byte. Both
+   payloads are constant, so neither write allocates. *)
+let eventfd_one =
+  let b = Bytes.make 8 '\000' in
+  Bytes.set b 0 '\001';
+  (* eventfd counters are host-endian u64; value 1 on a big-endian host
+     puts the 1 in the last byte instead *)
+  if Sys.big_endian then begin
+    Bytes.set b 0 '\000';
+    Bytes.set b 7 '\001'
+  end;
+  b
+
+let pipe_one = Bytes.make 1 '!'
+
 let wake t =
   if not (Atomic.exchange t.wake_flag true) then
-    try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1) with
+    let buf = if t.wake_is_eventfd then eventfd_one else pipe_one in
+    try ignore (Unix.write t.wake_w buf 0 (Bytes.length buf)) with
     | Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EPIPE | EBADF), _, _) -> ()
 
 (* Drain the pipe BEFORE resetting the flag. The reverse order loses
@@ -100,14 +135,23 @@ let wake t =
    — and therefore a hook run — still ahead in this iteration; both
    deliver the wakeup. *)
 let drain_wake t =
-  let rec go () =
-    match Unix.read t.wake_r t.drain_buf 0 (Bytes.length t.drain_buf) with
-    | n when n = Bytes.length t.drain_buf -> go ()
-    | _ -> ()
-    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
-  in
-  go ();
+  t.wakeups <- t.wakeups + 1;
+  (if t.wake_is_eventfd then
+     (* one read returns and resets the whole counter *)
+     match Unix.read t.wake_r t.drain_buf 0 8 with
+     | _ -> ()
+     | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+   else
+     let rec go () =
+       match Unix.read t.wake_r t.drain_buf 0 (Bytes.length t.drain_buf) with
+       | n when n = Bytes.length t.drain_buf -> go ()
+       | _ -> ()
+       | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+     in
+     go ());
   Atomic.set t.wake_flag false
+
+let wakeups t = t.wakeups
 
 let dispatch t fd bits =
   if fd = fd_int t.wake_r then drain_wake t
@@ -165,4 +209,5 @@ let close t =
   | Epoll ep -> ( try Unix.close ep with Unix.Unix_error _ -> ())
   | Select -> ());
   (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
-  try Unix.close t.wake_w with Unix.Unix_error _ -> ()
+  if not t.wake_is_eventfd then
+    try Unix.close t.wake_w with Unix.Unix_error _ -> ()

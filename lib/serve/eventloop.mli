@@ -8,6 +8,12 @@
     how worker domains hand completed responses back: append to a
     connection's write buffer, then [wake] the loop so it flushes.
 
+    A process may run many loops (the sharded reactor fleet runs one per
+    worker domain): each {!create} owns a private poller instance and a
+    private wake channel — an eventfd on Linux (one fd per loop, kernel-
+    coalesced), a pipe elsewhere — so loops share no state and never
+    contend.
+
     Level-triggered semantics on both backends: a callback that does not
     drain its socket is simply called again on the next iteration. *)
 
@@ -41,6 +47,11 @@ val on_wake : t -> (unit -> unit) -> unit
 (** Install the post-poll hook. {!iterate} runs it exactly once per
     iteration, whether or not a wake arrived — the hook owns checking
     its own work queues. *)
+
+val wakeups : t -> int
+(** Wake deliveries this loop has drained so far (coalesced: a burst of
+    {!wake} calls between two polls counts once). Loop thread only —
+    feeds the per-loop [strategem_loop_wakeups_total] series. *)
 
 val iterate : t -> timeout_ms:int -> unit
 (** One poll + dispatch + [on_wake] round. *)

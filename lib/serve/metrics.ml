@@ -44,6 +44,16 @@ let no_cache_stats =
    double-count). *)
 type store_stats = Store.stats
 
+(* Per-loop hot-path handles, obtained once by each event loop of the
+   reactor fleet at spawn — the loop updates only its own (uncontended)
+   series. *)
+type loop_handles = {
+  loop_id : int;
+  lg_conns : R.Gauge.t;
+  lc_wakeups : R.Counter.t;
+  lg_pipeline : R.Gauge.t;
+}
+
 type form_handles = {
   c_queries : R.Counter.t;
   c_answered : R.Counter.t;
@@ -88,6 +98,15 @@ type t = {
   g_conns_open : R.Gauge.t;
   g_pipeline_depth : R.Gauge.t;
   g_pipeline_hwm : R.Gauge.t;
+  g_loops : R.Gauge.t;
+  f_loop_conns : R.Gauge.fam;
+  f_loop_wakeups : R.Counter.fam;
+  f_loop_pipeline : R.Gauge.fam;
+  mutable loop_list : loop_handles list;  (* guarded by [lock] *)
+  c_write_overflow : R.Counter.t;
+  c_write_shed_bytes : R.Counter.t;
+  c_idle_closed : R.Counter.t;
+  c_ip_limited : R.Counter.t;
   mutable backend : string;  (* reactor backend: "epoll" / "select" *)
   h_queue_wait : R.Histogram.t;
   g_cache_enabled : R.Gauge.t;
@@ -225,6 +244,33 @@ let create ?(trace_capacity = 0) () =
       g_pipeline_hwm =
         gauge "All-time high water of in-flight requests"
           "strategem_pipeline_depth_high_water";
+      g_loops =
+        gauge "Event loops in the reactor fleet" "strategem_loops";
+      f_loop_conns =
+        R.Gauge.v reg ~help:"Connections currently owned, per event loop"
+          ~labels:[ "loop" ] "strategem_loop_conns_open";
+      f_loop_wakeups =
+        R.Counter.v reg
+          ~help:"Coalesced wake deliveries drained, per event loop"
+          ~labels:[ "loop" ] "strategem_loop_wakeups_total";
+      f_loop_pipeline =
+        R.Gauge.v reg
+          ~help:"Requests in flight on this loop's connections"
+          ~labels:[ "loop" ] "strategem_loop_pipeline_depth";
+      loop_list = [];
+      c_write_overflow =
+        counter
+          "Connections disconnected for breaching a write-buffer cap"
+          "strategem_write_overflow_total";
+      c_write_shed_bytes =
+        counter "Buffered response bytes dropped by write-cap overflows"
+          "strategem_write_shed_bytes_total";
+      c_idle_closed =
+        counter "Connections closed by the idle timeout"
+          "strategem_idle_closed_total";
+      c_ip_limited =
+        counter "Connections refused by the per-IP cap"
+          "strategem_ip_limited_total";
       backend = "";
       h_queue_wait =
         R.Histogram.solo
@@ -393,6 +439,43 @@ let domain_handles t ~domain =
 let domain_served dh ~busy_us =
   R.Counter.inc dh.dh_connections;
   R.Counter.add dh.dh_busy_us (int_of_float busy_us)
+
+let set_loops t n = R.Gauge.set t.g_loops (float_of_int n)
+let loops t = int_of_float (R.Gauge.value t.g_loops)
+
+let loop_handles t ~loop =
+  let l = [ string_of_int loop ] in
+  let lh =
+    {
+      loop_id = loop;
+      lg_conns = R.Gauge.labels t.f_loop_conns l;
+      lc_wakeups = R.Counter.labels t.f_loop_wakeups l;
+      lg_pipeline = R.Gauge.labels t.f_loop_pipeline l;
+    }
+  in
+  with_lock t (fun () -> t.loop_list <- lh :: t.loop_list);
+  lh
+
+let loop_conn_opened lh = R.Gauge.add lh.lg_conns 1.0
+let loop_conn_closed lh = R.Gauge.add lh.lg_conns (-1.0)
+let loop_conns lh = int_of_float (R.Gauge.value lh.lg_conns)
+
+(* The loop owns the monotonic count (Eventloop.wakeups); the series
+   mirrors it. *)
+let set_loop_wakeups lh n = R.Counter.set lh.lc_wakeups n
+let set_loop_pipeline_depth lh n = R.Gauge.set lh.lg_pipeline (float_of_int n)
+
+let write_overflow t ~shed_bytes =
+  R.Counter.inc t.c_write_overflow;
+  R.Counter.add t.c_write_shed_bytes shed_bytes
+
+let write_shed_bytes t n = R.Counter.add t.c_write_shed_bytes n
+let idle_closed t = R.Counter.inc t.c_idle_closed
+let ip_limited t = R.Counter.inc t.c_ip_limited
+
+let sorted_loops t =
+  with_lock t (fun () -> t.loop_list)
+  |> List.sort (fun a b -> compare a.loop_id b.loop_id)
 
 let connection t = R.Counter.inc t.c_connections
 let busy t = R.Counter.inc t.c_busy
@@ -582,6 +665,15 @@ let render_text t =
         (int_of_float (R.Gauge.value t.g_pipeline_depth));
       Printf.sprintf "pipeline_depth_high_water %d"
         (int_of_float (R.Gauge.value t.g_pipeline_hwm));
+      (* Additive (reactor fleet): loop count plus the write-cap, idle
+         and per-IP shedding counters. *)
+      Printf.sprintf "loops %d" (loops t);
+      Printf.sprintf "write_overflow_total %d"
+        (R.Counter.value t.c_write_overflow);
+      Printf.sprintf "write_shed_bytes_total %d"
+        (R.Counter.value t.c_write_shed_bytes);
+      Printf.sprintf "idle_closed_total %d" (R.Counter.value t.c_idle_closed);
+      Printf.sprintf "ip_limited_total %d" (R.Counter.value t.c_ip_limited);
     ]
   in
   let counters =
@@ -706,6 +798,30 @@ let render_json t =
        (json_escape t.backend) Frame.version (conns_open t)
        (int_of_float (R.Gauge.value t.g_pipeline_depth))
        (int_of_float (R.Gauge.value t.g_pipeline_hwm)));
+  (* Additive block (schema stays 1): the reactor fleet — per-loop
+     connection/wakeup/pipeline readings plus the shedding counters. *)
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\"loops\":{\"count\":%d,\"write_overflow_total\":%d,\
+        \"write_shed_bytes_total\":%d,\"idle_closed_total\":%d,\
+        \"ip_limited_total\":%d,\"per_loop\":["
+       (loops t)
+       (R.Counter.value t.c_write_overflow)
+       (R.Counter.value t.c_write_shed_bytes)
+       (R.Counter.value t.c_idle_closed)
+       (R.Counter.value t.c_ip_limited));
+  List.iteri
+    (fun i lh ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"id\":%d,\"conns\":%d,\"wakeups\":%d,\"pipeline_depth\":%d}"
+           lh.loop_id
+           (int_of_float (R.Gauge.value lh.lg_conns))
+           (R.Counter.value lh.lc_wakeups)
+           (int_of_float (R.Gauge.value lh.lg_pipeline))))
+    (sorted_loops t);
+  Buffer.add_string buf "]},";
   (match cache with
   | None -> ()
   | Some cs -> Buffer.add_string buf (cache_json cs));

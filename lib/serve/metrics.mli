@@ -103,6 +103,52 @@ val set_pipeline_depth : t -> int -> unit
     [protocol] block. *)
 val set_backend : t -> string -> unit
 
+(** {1 Reactor fleet}
+
+    One event loop per worker domain: each loop registers its handles at
+    spawn and updates only its own [{loop="i"}] series, so the hot path
+    never contends. Rendered as the additive [loops] STATS field and the
+    [loops] block ([count] plus a [per_loop] array) in [STATS JSON]. *)
+
+(** Record the fleet size ([strategem_loops] gauge, [loops] STATS
+    field). *)
+val set_loops : t -> int -> unit
+
+val loops : t -> int
+
+(** Per-loop hot-path handles: [strategem_loop_conns_open{loop}],
+    [strategem_loop_wakeups_total{loop}],
+    [strategem_loop_pipeline_depth{loop}]. *)
+type loop_handles
+
+val loop_handles : t -> loop:int -> loop_handles
+val loop_conn_opened : loop_handles -> unit
+val loop_conn_closed : loop_handles -> unit
+val loop_conns : loop_handles -> int
+
+(** Mirror the loop's monotonic coalesced-wake count
+    ({!Eventloop.wakeups}) into its counter series. *)
+val set_loop_wakeups : loop_handles -> int -> unit
+
+(** Requests in flight on this loop's connections right now. *)
+val set_loop_pipeline_depth : loop_handles -> int -> unit
+
+(** A connection breached a write-buffer cap: its buffered output
+    ([shed_bytes]) was dropped, one [BUSY] took its place, and the loop
+    disconnected it ([strategem_write_overflow_total],
+    [strategem_write_shed_bytes_total]). *)
+val write_overflow : t -> shed_bytes:int -> unit
+
+(** Late-reported shed bytes (flushed after the overflow was counted). *)
+val write_shed_bytes : t -> int -> unit
+
+(** A connection hit [--idle-timeout-s] ([strategem_idle_closed_total]). *)
+val idle_closed : t -> unit
+
+(** An accept was refused by [--max-conns-per-ip]
+    ([strategem_ip_limited_total]). *)
+val ip_limited : t -> unit
+
 (** Is trace sampling on ([trace_capacity > 0])? *)
 val trace_sampling : t -> bool
 

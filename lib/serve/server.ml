@@ -17,6 +17,11 @@ type config = {
   log_level : Obs.Log.level option;  (* None = structured logging off *)
   log_file : string option;  (* None = stderr *)
   slow_query_us : float;  (* 0. = slow-query log off *)
+  loops : int;  (* event loops in the reactor fleet; 0 = match domains *)
+  max_write_buf : int;  (* per-conn write-buffer cap, bytes; 0 = off *)
+  max_write_total : int;  (* global write-buffer cap, bytes; 0 = off *)
+  idle_timeout_s : float;  (* close idle connections after; 0. = off *)
+  max_conns_per_ip : int;  (* accept-time per-IP cap; 0 = off *)
 }
 
 let default_config =
@@ -36,6 +41,11 @@ let default_config =
     log_level = None;
     log_file = None;
     slow_query_us = 0.0;
+    loops = 0;
+    max_write_buf = 64 * 1024 * 1024;
+    max_write_total = 0;
+    idle_timeout_s = 0.0;
+    max_conns_per_ip = 0;
   }
 
 (* A worker's verdict on one request. [R_lines (lines, multi)] renders as
@@ -54,6 +64,39 @@ type job = {
   framed : bool;  (* captured at dispatch — upgrades don't retitle jobs *)
   req : Protocol.request;
   enqueued : float;
+}
+
+(* One event loop of the reactor fleet. Each loop is its own domain
+   owning a private {!Eventloop.t} (its own epoll instance and wake
+   channel) and a private connection table — no [Conn.t] is ever shared
+   between loops, so everything here is either loop-thread-only or one
+   of the two explicit handoff queues. *)
+type loop_state = {
+  lid : int;
+  ev : Eventloop.t;
+  lh : Metrics.loop_handles;
+  (* loop-thread state: every connection this loop owns, by id *)
+  conns : (int, Conn.t) Hashtbl.t;
+  (* acceptor → loop handoff: freshly accepted sockets
+     [(fd, peer, ip, id)]. The loop materializes the [Conn.t] and
+     registers the fd itself — {!Eventloop.add} is loop-thread-only. *)
+  inc_lock : Mutex.t;
+  incoming : (Unix.file_descr * string * string * int) Queue.t;
+  (* worker → loop handoff: connections with a freshly enqueued response
+     (or other state change) the loop should service *)
+  attn_lock : Mutex.t;
+  attention : Conn.t list ref;
+  (* connections owned (including queued handoffs), read by the acceptor
+     for least-connections placement and the max-conns cap *)
+  n_conns : int Atomic.t;
+  (* requests dispatched from this loop's connections whose response is
+     not yet enqueued — the loop's drain condition *)
+  inflight : int Atomic.t;
+  mutable draining : bool;
+  (* loop-thread timestamp, refreshed once per iteration when the idle
+     timeout is on — per-event [Conn.touch] never calls gettimeofday *)
+  mutable now : float;
+  mutable last_sweep : float;
 }
 
 type state = {
@@ -77,27 +120,30 @@ type state = {
   cache : Cache.Answers.t option;
   memo : D.Sld.Memo.t option;
   stopping : bool Atomic.t;
-  stop_w : Unix.file_descr;  (* self-pipe: wakes the snapshot loop *)
-  loop : Eventloop.t;
-  (* loop-thread state: every open connection, by connection id *)
-  conns : (int, Conn.t) Hashtbl.t;
-  (* worker → loop handoff: connections with a freshly enqueued response
-     (or other state change) the loop should service *)
-  attention : Conn.t list ref;
-  attn_lock : Mutex.t;
-  (* requests dispatched whose response is not yet enqueued; the drain
-     condition and the pipeline-depth gauge *)
+  stop_w : Unix.file_descr;  (* self-pipe: wakes acceptor + snapshotter *)
+  (* the reactor fleet, one entry per event loop *)
+  loops : loop_state array;
+  (* write-buffer budget shared by every connection (per-conn + global
+     caps; see {!Conn.limits}) *)
+  limits : Conn.limits;
+  (* accept-time per-IP counts, shared by acceptor (incr) and loops
+     (decr at reap) *)
+  ip_lock : Mutex.t;
+  ip_counts : (string, int) Hashtbl.t;
+  (* requests dispatched whose response is not yet enqueued, across all
+     loops: the pipeline-depth gauge *)
   inflight_total : int Atomic.t;
 }
 
 (* Callable from worker threads and from signal handlers, so it must not
-   take locks beyond the wake pipe: flip the flag and wake both loops
-   (event loop and snapshotter); the event loop does the teardown. *)
+   take locks beyond the wake channels: flip the flag and wake the
+   acceptor, the snapshotter, and every event loop; they do their own
+   teardown. *)
 let initiate_shutdown st =
   if not (Atomic.exchange st.stopping true) then begin
     (try ignore (Unix.write_substring st.stop_w "x" 0 1)
      with Unix.Unix_error _ -> ());
-    Eventloop.wake st.loop
+    Array.iter (fun ls -> Eventloop.wake ls.ev) st.loops
   end
 
 let learner_string st =
@@ -140,15 +186,21 @@ let encode_reply ~framed ~rid reply =
     | R_bye -> Protocol.bye ^ "\n"
     | R_none -> assert false
 
+(* Hand [c] back to its owning loop: every connection carries its loop
+   id, so a worker completing a request finds the one wake channel to
+   write. Push before the inflight decrement — the loop's drain
+   predicate must not observe zero in flight with the handoff still
+   unpublished. *)
 let request_attention st c =
-  Mutex.lock st.attn_lock;
-  st.attention := c :: !(st.attention);
-  Mutex.unlock st.attn_lock;
-  Eventloop.wake st.loop
+  let ls = st.loops.(Conn.loop c) in
+  Mutex.lock ls.attn_lock;
+  ls.attention := c :: !(ls.attention);
+  Mutex.unlock ls.attn_lock;
+  ls
 
 (* Enqueue the encoded response on the job's connection and hand the
-   connection back to the loop. Called from worker domains and (for
-   inline BUSY) from the loop itself. *)
+   connection back to its owning loop. Called from worker domains and
+   (for inline BUSY) from the loop itself. *)
 let respond st job reply =
   (match reply with
   | R_none -> ()
@@ -161,9 +213,11 @@ let respond st job reply =
     Conn.set_closing job.conn
   | _ -> ());
   Conn.decr_inflight job.conn;
+  let ls = request_attention st job.conn in
+  ignore (Atomic.fetch_and_add ls.inflight (-1));
   let now = Atomic.fetch_and_add st.inflight_total (-1) - 1 in
   Metrics.set_pipeline_depth st.metrics now;
-  request_attention st job.conn
+  Eventloop.wake ls.ev
 
 (* --- request handlers (worker side, pure of socket I/O) --- *)
 
@@ -440,10 +494,12 @@ let worker_loop st ~domain =
    shared [Admission] queue of requests; its Mutex/Condition pair is
    domain-safe.
 
-   Returns the spawned domains and the effective domain count. *)
-let spawn_workers st =
+   Returns the spawned domains. *)
+let effective_domains workers =
+  Int.min workers (Int.max 1 (Domain.recommended_domain_count ()))
+
+let spawn_workers st ~n_domains =
   let requested = st.cfg.workers in
-  let n_domains = Int.min requested (Int.max 1 (Domain.recommended_domain_count ())) in
   if n_domains < requested then
     Obs.Log.info st.log "workers exceed recommended domain count"
       ~fields:
@@ -460,17 +516,14 @@ let spawn_workers st =
     (* workers are dealt round-robin: slot s runs worker s, s+D, ... *)
     ((requested - slot - 1) / n_domains) + 1
   in
-  let domains =
-    List.init n_domains (fun slot ->
-        Domain.spawn (fun () ->
-            match share slot with
-            | 1 -> worker_loop st ~domain:slot
-            | k ->
-              List.init k (fun _ ->
-                  Thread.create (fun () -> worker_loop st ~domain:slot) ())
-              |> List.iter Thread.join))
-  in
-  (domains, n_domains)
+  List.init n_domains (fun slot ->
+      Domain.spawn (fun () ->
+          match share slot with
+          | 1 -> worker_loop st ~domain:slot
+          | k ->
+            List.init k (fun _ ->
+                Thread.create (fun () -> worker_loop st ~domain:slot) ())
+            |> List.iter Thread.join))
 
 (* --- reactor (loop thread) --- *)
 
@@ -501,14 +554,18 @@ let request_of_frame (f : Frame.t) =
       ("unexpected response frame " ^ Frame.kind_name f.Frame.kind)
   | Frame.Unknown c -> Protocol.Unknown (Printf.sprintf "0x%02X" c)
 
-(* Hand one request to the worker pool; a full queue sheds it with BUSY
-   right here on the loop thread. *)
+(* Hand one request to the worker pool; a full queue — or this loop's
+   share of it exhausted — sheds it with BUSY right here on the loop
+   thread. The producer tag makes back-pressure per-loop: a flooding
+   loop sheds at its own quota and never starves its peers' slots. *)
 let dispatch st c ~framed ~rid req =
   Conn.incr_inflight c;
+  let ls = st.loops.(Conn.loop c) in
+  ignore (Atomic.fetch_and_add ls.inflight 1);
   let d = Atomic.fetch_and_add st.inflight_total 1 + 1 in
   Metrics.set_pipeline_depth st.metrics d;
   let job = { conn = c; rid; framed; req; enqueued = Unix.gettimeofday () } in
-  if Admission.try_push st.queue job then
+  if Admission.try_push ~producer:ls.lid st.queue job then
     Metrics.observe_queue_depth st.metrics (Admission.length st.queue)
   else begin
     Metrics.busy st.metrics;
@@ -517,6 +574,7 @@ let dispatch st c ~framed ~rid req =
         ~fields:
           [
             ("conn", Obs.Log.I (Conn.id c));
+            ("loop", Obs.Log.I ls.lid);
             ("queue_depth", Obs.Log.I st.cfg.queue_depth);
           ];
     respond st job R_busy
@@ -544,39 +602,65 @@ let on_incoming st c inc =
     else Conn.send c (Protocol.err ~code:`Malformed msg ^ "\n");
     Conn.set_closing c
 
-let reap st c =
-  if Hashtbl.mem st.conns (Conn.id c) then begin
-    Hashtbl.remove st.conns (Conn.id c);
-    Eventloop.remove st.loop (Conn.fd c);
+(* Release one accept-time per-IP slot (loop thread, at reap). *)
+let release_ip st ip =
+  if st.cfg.max_conns_per_ip > 0 then begin
+    Mutex.lock st.ip_lock;
+    (match Hashtbl.find_opt st.ip_counts ip with
+    | Some n when n > 1 -> Hashtbl.replace st.ip_counts ip (n - 1)
+    | Some _ -> Hashtbl.remove st.ip_counts ip
+    | None -> ());
+    Mutex.unlock st.ip_lock
+  end
+
+let reap st ls c =
+  if Hashtbl.mem ls.conns (Conn.id c) then begin
+    Hashtbl.remove ls.conns (Conn.id c);
+    Eventloop.remove ls.ev (Conn.fd c);
     Conn.kill c;
     (try Unix.close (Conn.fd c) with Unix.Unix_error _ -> ());
+    ignore (Atomic.fetch_and_add ls.n_conns (-1));
+    (* the overflow counters bump exactly once, here: [overflowed] is
+       sticky and a shed connection reaches reap exactly once *)
+    if Conn.overflowed c then
+      Metrics.write_overflow st.metrics ~shed_bytes:(Conn.take_shed_bytes c);
+    release_ip st (Conn.ip c);
     Metrics.conn_closed st.metrics;
+    Metrics.loop_conn_closed ls.lh;
     if Obs.Log.enabled st.log Obs.Log.Debug then
       Obs.Log.debug st.log "connection closed"
         ~fields:
           [
             ("conn", Obs.Log.I (Conn.id c));
+            ("loop", Obs.Log.I ls.lid);
             ("pipeline_hwm", Obs.Log.I (Conn.pipeline_hwm c));
           ]
   end
 
-let update_interest st c =
+let update_interest st ls c =
   let read =
     not (Conn.read_closed c)
     && not (Conn.closing c)
     && not (Atomic.get st.stopping)
   in
-  Eventloop.modify st.loop (Conn.fd c) ~read ~write:(Conn.has_output c)
+  Eventloop.modify ls.ev (Conn.fd c) ~read ~write:(Conn.has_output c)
 
 (* The per-connection maintenance step, run whenever anything might have
    changed (socket event, worker completion, shutdown): flush pending
    output, keep the line-mode stop-and-wait pipeline fed, close when
-   drained. Idempotent. *)
-let service st c =
-  if Conn.dead c then reap st c
+   drained. Idempotent. Loop thread of the owning loop only. *)
+let service st ls c =
+  if Conn.dead c then reap st ls c
+  else if Conn.overflowed c then begin
+    (* write cap breached: one best-effort flush of the BUSY notice,
+       then disconnect — a reader that never drains costs one buffer,
+       not the server's memory *)
+    ignore (Conn.flush c);
+    reap st ls c
+  end
   else begin
     ignore (Conn.flush c);
-    if Conn.dead c then reap st c
+    if Conn.dead c then reap st ls c
     else begin
       (if not (Conn.framed c) && not (Conn.closing c) && Conn.inflight c = 0
        then
@@ -591,16 +675,17 @@ let service st c =
       if
         idle
         && (Conn.closing c || Conn.read_closed c || Atomic.get st.stopping)
-      then reap st c
-      else update_interest st c
+      then reap st ls c
+      else update_interest st ls c
     end
   end
 
-let on_conn_event st c ~readable ~writable:_ =
+let on_conn_event st ls c ~readable ~writable:_ =
   (if
      readable && not (Conn.read_closed c) && not (Conn.closing c)
      && not (Conn.dead c)
-   then
+   then begin
+     if st.cfg.idle_timeout_s > 0.0 then Conn.touch c ~now:ls.now;
      match Conn.on_readable c ~emit:(on_incoming st c) with
      | Conn.Continue -> ()
      | Conn.Eof ->
@@ -616,8 +701,126 @@ let on_conn_event st c ~readable ~writable:_ =
                ("conn", Obs.Log.I (Conn.id c));
                ("error", Obs.Log.S msg);
              ];
-       Conn.kill c);
-  service st c
+       Conn.kill c
+   end);
+  service st ls c
+
+(* --- the loop fleet (one domain per loop) --- *)
+
+(* Adopt sockets the acceptor handed over: materialize the [Conn.t] and
+   register the fd, both loop-thread-only operations. *)
+let adopt_incoming st ls =
+  let batch =
+    Mutex.lock ls.inc_lock;
+    let rec go acc =
+      match Queue.take_opt ls.incoming with
+      | None -> List.rev acc
+      | Some x -> go (x :: acc)
+    in
+    let b = go [] in
+    Mutex.unlock ls.inc_lock;
+    b
+  in
+  List.iter
+    (fun (fd, peer, ip, id) ->
+      let c = Conn.create ~id ~loop:ls.lid ~peer ~ip ~limits:st.limits fd in
+      if st.cfg.idle_timeout_s > 0.0 then Conn.touch c ~now:ls.now;
+      Hashtbl.replace ls.conns id c;
+      Metrics.loop_conn_opened ls.lh;
+      Eventloop.add ls.ev fd ~read:true ~write:false
+        (fun ~readable ~writable -> on_conn_event st ls c ~readable ~writable);
+      if Obs.Log.enabled st.log Obs.Log.Debug then
+        Obs.Log.debug st.log "connection accepted"
+          ~fields:
+            [
+              ("conn", Obs.Log.I id);
+              ("loop", Obs.Log.I ls.lid);
+              ("peer", Obs.Log.S peer);
+              ("loop_conns", Obs.Log.I (Hashtbl.length ls.conns));
+            ];
+      (* a straggler adopted mid-drain is serviced (and so closed once
+         idle) immediately *)
+      if Atomic.get st.stopping then service st ls c)
+    batch
+
+(* Close connections with no traffic for [idle_timeout_s]. At most one
+   table scan per second per loop, tied to the poll deadline (the loop
+   wakes at least every 250 ms); in-flight requests hold a connection
+   open regardless. Zero cost when the timeout is off. *)
+let idle_sweep st ls =
+  let timeout = st.cfg.idle_timeout_s in
+  if timeout > 0.0 && ls.now -. ls.last_sweep >= 1.0 then begin
+    ls.last_sweep <- ls.now;
+    Hashtbl.fold
+      (fun _ c acc ->
+        if Conn.inflight c = 0 && ls.now -. Conn.last_active c > timeout then
+          c :: acc
+        else acc)
+      ls.conns []
+    |> List.iter (fun c ->
+           Metrics.idle_closed st.metrics;
+           if Obs.Log.enabled st.log Obs.Log.Debug then
+             Obs.Log.debug st.log "connection closed: idle timeout"
+               ~fields:
+                 [
+                   ("conn", Obs.Log.I (Conn.id c));
+                   ("loop", Obs.Log.I ls.lid);
+                   ("idle_timeout_s", Obs.Log.F timeout);
+                 ];
+           Conn.kill c;
+           reap st ls c)
+  end
+
+(* The loop's post-poll hook, run once per iteration: adopt handoffs,
+   service completions, start the drain once stopping flips, sweep for
+   idle connections, refresh this loop's metric series. *)
+let loop_tick st ls =
+  if st.cfg.idle_timeout_s > 0.0 then ls.now <- Unix.gettimeofday ();
+  adopt_incoming st ls;
+  let batch =
+    Mutex.lock ls.attn_lock;
+    let b = !(ls.attention) in
+    ls.attention := [];
+    Mutex.unlock ls.attn_lock;
+    b
+  in
+  List.iter (service st ls) batch;
+  if Atomic.get st.stopping && not ls.draining then begin
+    ls.draining <- true;
+    Hashtbl.fold (fun _ c acc -> c :: acc) ls.conns []
+    |> List.iter (service st ls)
+  end;
+  idle_sweep st ls;
+  Metrics.set_loop_wakeups ls.lh (Eventloop.wakeups ls.ev);
+  Metrics.set_loop_pipeline_depth ls.lh (Atomic.get ls.inflight)
+
+let incoming_empty ls =
+  Mutex.lock ls.inc_lock;
+  let e = Queue.is_empty ls.incoming in
+  Mutex.unlock ls.inc_lock;
+  e
+
+(* A loop domain's whole life: poll until told to stop and fully
+   drained. The loop's [Eventloop.t] stays open after exit — late
+   worker wakes must hit a live eventfd, not a recycled descriptor —
+   and is closed by the main thread once every domain has joined. *)
+let loop_main st ls =
+  Eventloop.on_wake ls.ev (fun () -> loop_tick st ls);
+  Eventloop.run ls.ev ~stop:(fun () ->
+      Atomic.get st.stopping
+      && Hashtbl.length ls.conns = 0
+      && Atomic.get ls.inflight = 0
+      && incoming_empty ls);
+  (* belt and braces for exceptional exits: release any survivors *)
+  Hashtbl.iter
+    (fun _ c ->
+      Eventloop.remove ls.ev (Conn.fd c);
+      Conn.kill c;
+      try Unix.close (Conn.fd c) with Unix.Unix_error _ -> ())
+    ls.conns;
+  Hashtbl.reset ls.conns
+
+(* --- acceptor (main thread) --- *)
 
 let shed fd =
   let line = Protocol.busy ^ "\n" in
@@ -630,47 +833,95 @@ let string_of_sockaddr = function
     Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
   | Unix.ADDR_UNIX p -> p
 
-let on_accept st sock ~readable ~writable:_ =
-  if readable && not (Atomic.get st.stopping) then
-    let rec go () =
-      match Unix.accept ~cloexec:true sock with
-      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
-      | exception Unix.Unix_error _ -> ()
-      | fd, addr ->
-        let id = Atomic.fetch_and_add st.conn_seq 1 in
-        if Hashtbl.length st.conns >= st.cfg.max_conns then begin
-          Metrics.busy st.metrics;
-          shed fd;
-          Obs.Log.warn st.log "connection shed: at max-conns"
-            ~fields:
-              [
-                ("conn", Obs.Log.I id);
-                ("max_conns", Obs.Log.I st.cfg.max_conns);
-              ]
-        end
-        else begin
-          Unix.set_nonblock fd;
-          (try Unix.setsockopt fd Unix.TCP_NODELAY true
-           with Unix.Unix_error _ -> ());
-          let c = Conn.create ~id ~peer:(string_of_sockaddr addr) fd in
-          Hashtbl.replace st.conns id c;
-          Metrics.connection st.metrics;
-          Metrics.conn_opened st.metrics;
-          Eventloop.add st.loop fd ~read:true ~write:false
-            (fun ~readable ~writable ->
-              on_conn_event st c ~readable ~writable);
-          if Obs.Log.enabled st.log Obs.Log.Debug then
-            Obs.Log.debug st.log "connection accepted"
-              ~fields:
-                [
-                  ("conn", Obs.Log.I id);
-                  ("peer", Obs.Log.S (Conn.peer c));
-                  ("conns_open", Obs.Log.I (Hashtbl.length st.conns));
-                ]
-        end;
-        go ()
-    in
-    go ()
+let ip_of_sockaddr = function
+  | Unix.ADDR_INET (a, _) -> Unix.string_of_inet_addr a
+  | Unix.ADDR_UNIX p -> p
+
+(* Least connections, lowest loop id on ties — deterministic, so four
+   connections against an idle two-loop fleet land 2/2. *)
+let pick_loop st =
+  let best = ref st.loops.(0) in
+  Array.iter
+    (fun ls ->
+      if Atomic.get ls.n_conns < Atomic.get !best.n_conns then best := ls)
+    st.loops;
+  !best
+
+let total_conns st =
+  Array.fold_left (fun acc ls -> acc + Atomic.get ls.n_conns) 0 st.loops
+
+(* Claim a per-IP slot; the matching release happens at reap. *)
+let try_admit_ip st ip =
+  let cap = st.cfg.max_conns_per_ip in
+  cap = 0
+  ||
+  (Mutex.lock st.ip_lock;
+   let n = Option.value ~default:0 (Hashtbl.find_opt st.ip_counts ip) in
+   let ok = n < cap in
+   if ok then Hashtbl.replace st.ip_counts ip (n + 1);
+   Mutex.unlock st.ip_lock;
+   ok)
+
+let accept_burst st sock =
+  let rec go () =
+    match Unix.accept ~cloexec:true sock with
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    | exception Unix.Unix_error _ -> ()
+    | fd, addr ->
+      let id = Atomic.fetch_and_add st.conn_seq 1 in
+      let ip = ip_of_sockaddr addr in
+      if total_conns st >= st.cfg.max_conns then begin
+        Metrics.busy st.metrics;
+        shed fd;
+        Obs.Log.warn st.log "connection shed: at max-conns"
+          ~fields:
+            [
+              ("conn", Obs.Log.I id);
+              ("max_conns", Obs.Log.I st.cfg.max_conns);
+            ]
+      end
+      else if not (try_admit_ip st ip) then begin
+        Metrics.ip_limited st.metrics;
+        Metrics.busy st.metrics;
+        shed fd;
+        Obs.Log.warn st.log "connection shed: per-ip cap"
+          ~fields:
+            [
+              ("conn", Obs.Log.I id);
+              ("ip", Obs.Log.S ip);
+              ("max_conns_per_ip", Obs.Log.I st.cfg.max_conns_per_ip);
+            ]
+      end
+      else begin
+        Unix.set_nonblock fd;
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true
+         with Unix.Unix_error _ -> ());
+        let ls = pick_loop st in
+        ignore (Atomic.fetch_and_add ls.n_conns 1);
+        Mutex.lock ls.inc_lock;
+        Queue.push (fd, string_of_sockaddr addr, ip, id) ls.incoming;
+        Mutex.unlock ls.inc_lock;
+        Metrics.connection st.metrics;
+        Metrics.conn_opened st.metrics;
+        Eventloop.wake ls.ev
+      end;
+      go ()
+  in
+  go ()
+
+(* The dedicated acceptor: a two-fd select needs no reactor of its own.
+   [stop_r] becomes readable the moment {!initiate_shutdown} writes its
+   never-drained byte, so shutdown never waits out a poll interval. *)
+let acceptor st sock stop_r =
+  let rec go () =
+    if not (Atomic.get st.stopping) then begin
+      (match Unix.select [ sock; stop_r ] [] [] (-1.0) with
+      | ready, _, _ -> if List.memq sock ready then accept_burst st sock
+      | exception Unix.Unix_error (EINTR, _, _) -> ());
+      go ()
+    end
+  in
+  go ()
 
 (* Sleep the full interval in one timed wait on the shutdown self-pipe
    (the stdlib has no timed [Condition] wait; a [select] with a timeout
@@ -703,6 +954,13 @@ let run ?(handle_signals = false) ?(on_listen = fun _ -> ())
   if cfg.queue_depth < 1 then
     invalid_arg "Server.run: queue_depth must be >= 1";
   if cfg.max_conns < 1 then invalid_arg "Server.run: max_conns must be >= 1";
+  if cfg.loops < 0 then invalid_arg "Server.run: loops must be >= 0";
+  if cfg.max_write_buf < 0 || cfg.max_write_total < 0 then
+    invalid_arg "Server.run: write-buffer caps must be >= 0";
+  if cfg.idle_timeout_s < 0.0 then
+    invalid_arg "Server.run: idle_timeout_s must be >= 0";
+  if cfg.max_conns_per_ip < 0 then
+    invalid_arg "Server.run: max_conns_per_ip must be >= 0";
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ | Sys_error _ -> ());
   let log =
@@ -731,8 +989,31 @@ let run ?(handle_signals = false) ?(on_listen = fun _ -> ())
   | None -> ());
   let stop_r, stop_w = Unix.pipe () in
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  let loop = Eventloop.create () in
-  Metrics.set_backend metrics (Eventloop.backend loop);
+  let n_domains = effective_domains cfg.workers in
+  Metrics.set_domains metrics n_domains;
+  (* The fleet: one event loop per worker domain unless pinned by
+     --loops. Each loop owns a private epoll instance and wake channel. *)
+  let n_loops = if cfg.loops = 0 then n_domains else cfg.loops in
+  let fleet =
+    Array.init n_loops (fun lid ->
+        {
+          lid;
+          ev = Eventloop.create ();
+          lh = Metrics.loop_handles metrics ~loop:lid;
+          conns = Hashtbl.create 64;
+          inc_lock = Mutex.create ();
+          incoming = Queue.create ();
+          attn_lock = Mutex.create ();
+          attention = ref [];
+          n_conns = Atomic.make 0;
+          inflight = Atomic.make 0;
+          draining = false;
+          now = 0.0;
+          last_sweep = 0.0;
+        })
+  in
+  Metrics.set_loops metrics n_loops;
+  Metrics.set_backend metrics (Eventloop.backend fleet.(0).ev);
   let cache =
     if cfg.cache_mb > 0 then
       Some (Cache.Answers.create ~capacity_bytes:(cfg.cache_mb * 1024 * 1024) ())
@@ -756,15 +1037,17 @@ let run ?(handle_signals = false) ?(on_listen = fun _ -> ())
       trace_next = Atomic.make false;
       c_slow;
       conn_seq = Atomic.make 1;
-      queue = Admission.create ~depth:cfg.queue_depth;
+      queue = Admission.create ~producers:n_loops ~depth:cfg.queue_depth ();
       cache;
       memo;
       stopping = Atomic.make false;
       stop_w;
-      loop;
-      conns = Hashtbl.create 64;
-      attention = ref [];
-      attn_lock = Mutex.create ();
+      loops = fleet;
+      limits =
+        Conn.limits ~max_buf:cfg.max_write_buf ~global_max:cfg.max_write_total
+          ();
+      ip_lock = Mutex.create ();
+      ip_counts = Hashtbl.create 16;
       inflight_total = Atomic.make 0;
     }
   in
@@ -806,13 +1089,28 @@ let run ?(handle_signals = false) ?(on_listen = fun _ -> ())
      the main socket binds, so a busy serve port can't leak it) but must
      be torn down on any exit path, hence the ref. *)
   let http = ref None in
+  (* The listener closes at drain start (so clients see refusals, not
+     hangs) but also on every exceptional path; the ref keeps the close
+     single-shot — a second close of a recycled fd number would hit an
+     innocent bystander. *)
+  let sock_open = ref true in
+  let close_sock () =
+    if !sock_open then begin
+      sock_open := false;
+      try Unix.close sock with Unix.Unix_error _ -> ()
+    end
+  in
   Fun.protect
     ~finally:(fun () ->
       Option.iter (fun h -> try Obs.Http.stop h with _ -> ()) !http;
-      Eventloop.close loop;
+      (* loops have joined (or never started) by now: their eventloops
+         are closed here, centrally, so a worker's late wake can never
+         hit a recycled descriptor *)
+      Array.iter (fun ls -> Eventloop.close ls.ev) fleet;
+      close_sock ();
       List.iter
         (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
-        [ sock; stop_r; stop_w ];
+        [ stop_r; stop_w ];
       Obs.Log.close log)
     (fun () ->
       Unix.setsockopt sock Unix.SO_REUSEADDR true;
@@ -854,55 +1152,26 @@ let run ?(handle_signals = false) ?(on_listen = fun _ -> ())
         let h = Obs.Http.start ~host:cfg.host ~port:mp ~handler () in
         http := Some h;
         on_metrics_listen (Obs.Http.port h));
-      let workers, n_domains = spawn_workers st in
+      let workers = spawn_workers st ~n_domains in
       let snapshotter =
         if cfg.snapshot_interval > 0.0 && cfg.state_dir <> None then
           Some (Thread.create (fun () -> snapshot_loop st stop_r) ())
         else None
       in
-      (* Loop plumbing: the listener is one more registered socket, and
-         the wake hook drains the worker→loop attention list. On the
-         first wake after [stopping] flips, the hook also kicks off the
-         drain: close the listener, close the queue (workers finish
-         what's dispatched, then exit), and service every connection so
-         idle ones close immediately. *)
-      Eventloop.add loop sock ~read:true ~write:false
-        (fun ~readable ~writable -> on_accept st sock ~readable ~writable);
-      let listener_open = ref true in
-      let draining = ref false in
-      Eventloop.on_wake loop (fun () ->
-          let batch =
-            Mutex.lock st.attn_lock;
-            let b = !(st.attention) in
-            st.attention := [];
-            Mutex.unlock st.attn_lock;
-            b
-          in
-          List.iter (service st) batch;
-          if Atomic.get st.stopping && not !draining then begin
-            draining := true;
-            Obs.Log.info log "shutdown initiated: draining"
-              ~fields:
-                [
-                  ("inflight", Obs.Log.I (Atomic.get st.inflight_total));
-                  ("conns_open", Obs.Log.I (Hashtbl.length st.conns));
-                ];
-            if !listener_open then begin
-              listener_open := false;
-              Eventloop.remove loop sock;
-              try Unix.close sock with Unix.Unix_error _ -> ()
-            end;
-            Admission.close st.queue;
-            Hashtbl.fold (fun _ c acc -> c :: acc) st.conns []
-            |> List.iter (service st)
-          end);
+      (* Spawn the fleet: one domain per event loop. The loops mostly
+         block in epoll_wait (which releases the runtime), so fleet
+         domains on top of worker domains don't oversubscribe cores. *)
+      let loop_domains =
+        Array.map (fun ls -> Domain.spawn (fun () -> loop_main st ls)) fleet
+      in
       on_listen port;
       Obs.Log.info log "accepting connections"
         ~fields:
           [
             ("host", Obs.Log.S cfg.host);
             ("port", Obs.Log.I port);
-            ("backend", Obs.Log.S (Eventloop.backend loop));
+            ("backend", Obs.Log.S (Eventloop.backend fleet.(0).ev));
+            ("loops", Obs.Log.I n_loops);
             ("workers", Obs.Log.I cfg.workers);
             ("domains", Obs.Log.I n_domains);
             ("queue_depth", Obs.Log.I cfg.queue_depth);
@@ -914,21 +1183,22 @@ let run ?(handle_signals = false) ?(on_listen = fun _ -> ())
               | Some h -> Obs.Log.I (Obs.Http.port h)
               | None -> Obs.Log.J "null" );
           ];
-      Eventloop.run loop ~stop:(fun () ->
-          Atomic.get st.stopping
-          && Atomic.get st.inflight_total = 0
-          && Hashtbl.length st.conns = 0);
-      (* Belt and braces: on any exit path make sure the survivors are
-         released and the pool drains. The metrics responder stays up
-         through the drain so /healthz reports "draining" to probes. *)
-      Hashtbl.iter
-        (fun _ c ->
-          Eventloop.remove loop (Conn.fd c);
-          Conn.kill c;
-          try Unix.close (Conn.fd c) with Unix.Unix_error _ -> ())
-        st.conns;
-      Hashtbl.reset st.conns;
+      (* The main thread is the dedicated acceptor until shutdown. *)
+      acceptor st sock stop_r;
+      (* Drain: stop accepting, close the queue (workers finish what's
+         dispatched, then exit), and wake every loop so each drains its
+         own connections. The metrics responder stays up through the
+         drain so /healthz reports "draining" to probes. *)
+      Obs.Log.info log "shutdown initiated: draining"
+        ~fields:
+          [
+            ("inflight", Obs.Log.I (Atomic.get st.inflight_total));
+            ("conns_open", Obs.Log.I (total_conns st));
+          ];
+      close_sock ();
       Admission.close st.queue;
+      Array.iter (fun ls -> Eventloop.wake ls.ev) fleet;
+      Array.iter Domain.join loop_domains;
       List.iter Domain.join workers;
       Option.iter Thread.join snapshotter;
       (try ignore (save_snapshot st) with _ -> ());

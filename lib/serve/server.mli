@@ -1,9 +1,22 @@
-(** The `strategem serve` daemon: an {!Eventloop} reactor (epoll on
-    Linux, [select] elsewhere) owns every socket and feeds individual
-    requests through a bounded {!Admission} queue to a fixed pool of
-    workers, which answer queries through the {!Registry} of per-form
-    {!Core.Live} learners and hand encoded responses back to the loop
-    for batched, non-blocking writes.
+(** The `strategem serve` daemon: a sharded reactor fleet — one
+    {!Eventloop} (epoll on Linux, [select] elsewhere) per worker domain
+    — owns every socket and feeds individual requests through a bounded
+    {!Admission} queue to a fixed pool of workers, which answer queries
+    through the {!Registry} of per-form {!Core.Live} learners and hand
+    encoded responses back to the owning loop for batched, non-blocking
+    writes.
+
+    A dedicated acceptor (the main thread) distributes new connections
+    across the fleet by least connections (lowest loop id on ties).
+    Each loop owns its epoll instance, wake channel, and connection
+    table outright — no [Conn.t] is ever shared between loops — so the
+    read/parse/flush half of serving scales across cores instead of
+    single-threading on one reactor. A worker completing a request finds
+    the owning loop by the connection's loop tag and wakes exactly that
+    loop. Per-loop [{loop="i"}] conns/wakeups/pipeline-depth series and
+    the additive [loops] STATS-JSON block expose the fleet's balance;
+    admission back-pressure is per-loop (each loop gets an even share of
+    the queue depth), so one flooding loop cannot starve its peers.
 
     Connections speak either dialect of {!Protocol} on the same port,
     told apart by sniffing the first byte: {!Frame.magic} (0x84) selects
@@ -80,10 +93,35 @@ type config = {
           under consistently slow traffic the admitted records carry
           the query's span tree inlined, without paying for speculative
           tracing of every query (see E21). *)
+  loops : int;
+      (** event loops in the reactor fleet ([--loops]); [0] (the
+          default) matches the effective worker-domain count. Each loop
+          is its own domain with a private epoll instance and wake
+          channel. *)
+  max_write_buf : int;
+      (** per-connection write-buffer cap in bytes
+          ([--max-write-buf-mb]); a {!Conn.send} that would buffer past
+          it sheds the connection's output, answers one [BUSY], and
+          disconnects. [0] = uncapped; default 64 MiB. *)
+  max_write_total : int;
+      (** global cap on the sum of all buffered response bytes
+          ([--max-write-total-mb]); breaching it sheds the offending
+          connection the same way. [0] (the default) = uncapped. *)
+  idle_timeout_s : float;
+      (** close connections with no traffic for this long
+          ([--idle-timeout-s]); swept at most once per second per loop,
+          off the poll deadline. In-flight requests hold a connection
+          open. [0.] (the default) = off, at zero per-request cost. *)
+  max_conns_per_ip : int;
+      (** accept-time cap on open connections per peer IP
+          ([--max-conns-per-ip]); connections past it are shed with
+          [BUSY] and counted in [strategem_ip_limited_total]. [0] (the
+          default) = off. *)
 }
 
-(** 127.0.0.1:4280, 4 workers, queue depth 64, max 10_000 connections,
-    no state dir, periodic
+(** 127.0.0.1:4280, 4 workers, loops matching the worker domains, queue
+    depth 64, max 10_000 connections, no per-IP cap, 64 MiB per-conn
+    write cap (global cap and idle timeout off), no state dir, periodic
     snapshots off, PIB with {!Core.Learner.default_config}, trace
     sampling off, 64 MiB answer cache, no metrics responder, structured
     logging and the slow-query log off. *)

@@ -159,7 +159,7 @@ let frame_truncation () =
 (* ---------- Admission ---------- *)
 
 let admission_shed_and_drain () =
-  let q = Serve.Admission.create ~depth:2 in
+  let q = Serve.Admission.create ~depth:2 () in
   check_bool "push 1" true (Serve.Admission.try_push q 1);
   check_bool "push 2" true (Serve.Admission.try_push q 2);
   check_bool "full refuses" false (Serve.Admission.try_push q 3);
@@ -173,8 +173,37 @@ let admission_shed_and_drain () =
   check_bool "then None" true (Serve.Admission.pop q = None);
   check_int "high water" 2 (Serve.Admission.high_water q)
 
+let admission_per_producer_quota () =
+  (* two producers split depth 4 into quotas of 2: a flooding producer
+     is refused at its own share while its peer's slots stay free *)
+  let q = Serve.Admission.create ~producers:2 ~depth:4 () in
+  check_int "quota is the even split" 2 (Serve.Admission.quota q);
+  check_bool "p0 push 1" true (Serve.Admission.try_push ~producer:0 q 1);
+  check_bool "p0 push 2" true (Serve.Admission.try_push ~producer:0 q 2);
+  check_bool "p0 at quota refused" false
+    (Serve.Admission.try_push ~producer:0 q 3);
+  check_bool "p1 unaffected" true (Serve.Admission.try_push ~producer:1 q 4);
+  check_bool "p1 push 2" true (Serve.Admission.try_push ~producer:1 q 5);
+  check_bool "p1 at quota refused" false
+    (Serve.Admission.try_push ~producer:1 q 6);
+  check_int "p0 in queue" 2 (Serve.Admission.producer_length q 0);
+  (* popping p0's head frees one of p0's slots, not p1's *)
+  check_bool "pop fifo" true (Serve.Admission.pop q = Some 1);
+  check_int "p0 released" 1 (Serve.Admission.producer_length q 0);
+  check_bool "p0 has room again" true
+    (Serve.Admission.try_push ~producer:0 q 7);
+  check_bool "p1 still at quota" false
+    (Serve.Admission.try_push ~producer:1 q 8);
+  (* a single producer keeps the historical whole-queue semantics *)
+  let q1 = Serve.Admission.create ~depth:3 () in
+  check_int "solo quota is the depth" 3 (Serve.Admission.quota q1);
+  check_bool "solo fills the queue" true
+    (List.for_all
+       (fun x -> Serve.Admission.try_push q1 x)
+       [ 1; 2; 3 ])
+
 let admission_blocking_pop () =
-  let q = Serve.Admission.create ~depth:4 in
+  let q = Serve.Admission.create ~depth:4 () in
   let got = Atomic.make (-1) in
   let consumer =
     Thread.create
@@ -290,7 +319,9 @@ let snapshot_roundtrip () =
 
 (* ---------- Server end to end (in-process TCP) ---------- *)
 
-let server_config ?(workers = 2) ?(queue_depth = 8) ?max_conns ?state_dir () =
+let server_config ?(workers = 2) ?(queue_depth = 8) ?max_conns ?state_dir
+    ?(loops = 0) ?(idle_timeout_s = 0.0) ?(max_conns_per_ip = 0) ?max_write_buf
+    () =
   {
     Serve.Server.default_config with
     port = 0;
@@ -299,9 +330,16 @@ let server_config ?(workers = 2) ?(queue_depth = 8) ?max_conns ?state_dir () =
     max_conns =
       Option.value max_conns ~default:Serve.Server.default_config.max_conns;
     state_dir;
+    loops;
+    idle_timeout_s;
+    max_conns_per_ip;
+    max_write_buf =
+      Option.value max_write_buf
+        ~default:Serve.Server.default_config.max_write_buf;
   }
 
-let start_server ?workers ?queue_depth ?max_conns ?state_dir () =
+let start_server ?workers ?queue_depth ?max_conns ?state_dir ?loops
+    ?idle_timeout_s ?max_conns_per_ip ?max_write_buf () =
   let rulebase, db = kb () in
   let port = Atomic.make 0 in
   let thread =
@@ -309,7 +347,8 @@ let start_server ?workers ?queue_depth ?max_conns ?state_dir () =
       (fun () ->
         Serve.Server.run
           ~on_listen:(fun p -> Atomic.set port p)
-          (server_config ?workers ?queue_depth ?max_conns ?state_dir ())
+          (server_config ?workers ?queue_depth ?max_conns ?state_dir ?loops
+             ?idle_timeout_s ?max_conns_per_ip ?max_write_buf ())
           ~rulebase ~db)
       ()
   in
@@ -405,7 +444,7 @@ let server_sheds_when_full () =
 
 (* A server over the genealogy workload, whose free query
    [relative(X)] is slow enough to park a worker for a while. *)
-let start_genealogy_server ~workers ~queue_depth () =
+let start_genealogy_server ?loops ~workers ~queue_depth () =
   let rulebase = Workload.Genealogy.rulebase () in
   let pop = Workload.Genealogy.populate (Stats.Rng.create 5L) ~n_people:2_000 in
   let db = Workload.Genealogy.db pop in
@@ -416,7 +455,7 @@ let start_genealogy_server ~workers ~queue_depth () =
       (fun () ->
         Serve.Server.run
           ~on_listen:(fun p -> Atomic.set port p)
-          (server_config ~workers ~queue_depth ())
+          (server_config ~workers ~queue_depth ?loops ())
           ~rulebase ~db)
       ()
   in
@@ -617,6 +656,228 @@ let server_snapshot_restart () =
     (List.mem "ANSWER yes reductions=1 retrievals=1" replies);
   Thread.join thread
 
+(* ---------- Reactor fleet ---------- *)
+
+let contains needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+(* Read a multi-line (END-terminated) reply off a persistent line conn. *)
+let read_until_end ic =
+  let rec go acc =
+    let line = input_line ic in
+    if line = "END" then List.rev acc else go (line :: acc)
+  in
+  go []
+
+let conn_write_cap_sheds () =
+  (* per-conn cap: the send that would breach it sheds the whole
+     buffered output, leaves one BUSY, and flags the conn for teardown *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let limits = Serve.Conn.limits ~max_buf:32 () in
+  let c = Serve.Conn.create ~id:1 ~loop:0 ~peer:"t" ~ip:"t" ~limits a in
+  Serve.Conn.send c (String.make 16 'x');
+  check_bool "under the cap buffers" false (Serve.Conn.overflowed c);
+  Serve.Conn.send c (String.make 20 'y');
+  check_bool "over the cap sheds" true (Serve.Conn.overflowed c);
+  check_bool "shedding means closing" true (Serve.Conn.closing c);
+  check_int "shed bytes count buffered + refused" 36
+    (Serve.Conn.take_shed_bytes c);
+  check_int "take_shed_bytes resets" 0 (Serve.Conn.take_shed_bytes c);
+  (* output after the overflow is dropped, never buffered *)
+  Serve.Conn.send c "more";
+  check_bool "flush delivers the notice" true (Serve.Conn.flush c = `Flushed);
+  let buf = Bytes.create 64 in
+  let n = Unix.read b buf 0 64 in
+  check_string "peer sees one BUSY, nothing else" "BUSY\n"
+    (Bytes.sub_string buf 0 n);
+  Serve.Conn.kill c;
+  Unix.close a;
+  Unix.close b;
+  (* global cap: the breaching conn is shed, its peers are spared, and
+     draining a survivor gives the budget back *)
+  let shared = Serve.Conn.limits ~global_max:50 () in
+  let mk id =
+    let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (Serve.Conn.create ~id ~loop:0 ~peer:"t" ~ip:"t" ~limits:shared a, a, b)
+  in
+  let c1, a1, b1 = mk 2 in
+  let c2, a2, b2 = mk 3 in
+  Serve.Conn.send c1 (String.make 40 'x');
+  Serve.Conn.send c2 (String.make 20 'y');
+  check_bool "breaching conn shed" true (Serve.Conn.overflowed c2);
+  check_bool "innocent conn spared" false (Serve.Conn.overflowed c1);
+  check_bool "survivor drains" true (Serve.Conn.flush c1 = `Flushed);
+  let c3, a3, b3 = mk 4 in
+  Serve.Conn.send c3 (String.make 20 'z');
+  check_bool "drained budget admits new output" false
+    (Serve.Conn.overflowed c3);
+  List.iter Serve.Conn.kill [ c1; c2; c3 ];
+  List.iter Unix.close [ a1; b1; a2; b2; a3; b3 ]
+
+let server_fleet_balances_conns () =
+  let thread, port = start_server ~loops:2 () in
+  let conns = List.init 4 (fun _ -> connect port) in
+  (* a round trip on each conn guarantees every fd has been adopted by
+     its loop before we read the per-loop gauges *)
+  List.iter
+    (fun (_, ic, oc) ->
+      send oc "PING";
+      check_string "conn served" "PONG" (input_line ic))
+    conns;
+  let _, ic0, oc0 = List.hd conns in
+  send oc0 "STATS json";
+  let json = input_line ic0 in
+  check_bool "json reports the fleet size" true
+    (contains "\"loops\":{\"count\":2" json);
+  check_bool "loop 0 took half the conns" true
+    (contains "\"id\":0,\"conns\":2" json);
+  check_bool "loop 1 took the other half" true
+    (contains "\"id\":1,\"conns\":2" json);
+  (* the text rendering carries the additive fleet line *)
+  send oc0 "STATS";
+  check_bool "text reports the fleet size" true
+    (List.mem "loops 2" (read_until_end ic0));
+  List.iter (fun (_, ic, _) -> close_in_noerr ic) (List.tl conns);
+  send oc0 "SHUTDOWN";
+  check_string "bye" "BYE" (input_line ic0);
+  close_in_noerr ic0;
+  Thread.join thread
+
+let server_fleet_drains_every_loop () =
+  (* graceful shutdown with a slow query in flight on each loop of a
+     2-loop fleet: every response must still be flushed by its owner *)
+  let thread, port, _people =
+    start_genealogy_server ~loops:2 ~workers:2 ~queue_depth:8 ()
+  in
+  let c1 = Serve.Client.connect ~proto:`V4 ~port () in
+  let c2 = Serve.Client.connect ~proto:`V4 ~port () in
+  let s1 = Serve.Client.post c1 "QUERY relative(X)" in
+  let s2 = Serve.Client.post c2 "QUERY relative(X)" in
+  Thread.delay 0.05;
+  let sd = Serve.Client.post c1 "SHUTDOWN" in
+  let r1 = List.init 2 (fun _ -> Serve.Client.recv c1) in
+  let answered id rs =
+    List.exists
+      (fun (i, lines) ->
+        i = id
+        &&
+        match lines with
+        | [ l ] -> String.length l >= 6 && String.sub l 0 6 = "ANSWER"
+        | _ -> false)
+      rs
+  in
+  check_bool "loop 0's in-flight query answered through the drain" true
+    (answered s1 r1);
+  check_bool "shutdown acknowledged" true
+    (List.exists (fun (i, lines) -> i = sd && lines = [ "BYE" ]) r1);
+  check_bool "loop 1's in-flight query answered through the drain" true
+    (answered s2 [ Serve.Client.recv c2 ]);
+  Serve.Client.close c1;
+  Serve.Client.close c2;
+  Thread.join thread
+
+let server_fleet_isolates_slow_peer () =
+  (* slowloris on loop 0 must not stall loop 1: with a partial frame
+     wedged on the first conn, a conn on the other loop stays live *)
+  let thread, port = start_server ~loops:2 () in
+  let fd, ic, oc = connect port in
+  let frame =
+    Serve.Frame.encode_string
+      { Serve.Frame.id = 7; kind = Serve.Frame.Query;
+        payload = "instructor(russ)" }
+  in
+  output_string oc (String.sub frame 0 3);
+  flush oc;
+  Thread.delay 0.05;
+  (* second conn lands on loop 1 (least connections) *)
+  let fd_b, ic_b, oc_b = connect port in
+  send oc_b "PING";
+  check_string "loop 1 live while loop 0 holds a partial frame" "PONG"
+    (input_line ic_b);
+  output_string oc (String.sub frame 3 (String.length frame - 3));
+  flush oc;
+  let reply = Serve.Frame.read ic in
+  check_int "the dripped frame still answered" 7 reply.Serve.Frame.id;
+  check_bool "with an answer" true (reply.Serve.Frame.kind = Serve.Frame.Ok);
+  send oc_b "SHUTDOWN";
+  check_string "bye" "BYE" (input_line ic_b);
+  close_in_noerr ic;
+  close_in_noerr ic_b;
+  ignore fd;
+  ignore fd_b;
+  Thread.join thread
+
+let server_write_cap_disconnects () =
+  (* a 64-byte write cap: PONG fits, a STATS reply does not — the conn
+     is answered BUSY and disconnected, the server survives *)
+  let thread, port = start_server ~max_write_buf:64 () in
+  let _fd, ic, oc = connect port in
+  send oc "PING";
+  check_string "small reply fits the cap" "PONG" (input_line ic);
+  send oc "STATS";
+  check_string "oversized reply shed as BUSY" "BUSY" (input_line ic);
+  check_bool "then disconnected" true
+    (match input_line ic with
+    | _ -> false
+    | exception End_of_file -> true);
+  close_in_noerr ic;
+  check_bool "server survives the shed conn" true
+    (talk port [ "PING" ] = [ "PONG" ]);
+  ignore (talk port [ "SHUTDOWN" ]);
+  Thread.join thread
+
+let server_per_ip_cap () =
+  let thread, port = start_server ~max_conns_per_ip:1 () in
+  let _fd, ic_a, oc_a = connect port in
+  send oc_a "PING";
+  check_string "first conn from the ip served" "PONG" (input_line ic_a);
+  let _fd_b, ic_b, _oc_b = connect port in
+  check_string "second conn from the same ip shed" "BUSY" (input_line ic_b);
+  check_bool "and closed" true
+    (match input_line ic_b with
+    | _ -> false
+    | exception End_of_file -> true);
+  close_in_noerr ic_b;
+  send oc_a "STATS";
+  check_bool "the shed accept was counted" true
+    (List.mem "ip_limited_total 1" (read_until_end ic_a));
+  send oc_a "QUIT";
+  check_string "bye" "BYE" (input_line ic_a);
+  close_in_noerr ic_a;
+  (* closing the survivor frees the ip slot (asynchronously: retry) *)
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let rec admitted () =
+    talk port [ "PING" ] = [ "PONG" ]
+    || (Unix.gettimeofday () < deadline
+       && (Thread.delay 0.02; admitted ()))
+  in
+  check_bool "slot released after close" true (admitted ());
+  let rec shutdown () =
+    List.mem "BYE" (talk port [ "SHUTDOWN" ])
+    || (Unix.gettimeofday () < deadline
+       && (Thread.delay 0.02; shutdown ()))
+  in
+  check_bool "shutdown admitted" true (shutdown ());
+  Thread.join thread
+
+let server_idle_timeout_closes () =
+  let thread, port = start_server ~idle_timeout_s:0.2 () in
+  let _fd, ic, oc = connect port in
+  send oc "PING";
+  check_string "served while active" "PONG" (input_line ic);
+  (* no traffic past the timeout: the sweep (≤ 1 s cadence) closes it *)
+  check_bool "idle conn closed by the server" true
+    (match input_line ic with
+    | _ -> false
+    | exception End_of_file -> true);
+  close_in_noerr ic;
+  let replies = talk port [ "STATS"; "SHUTDOWN" ] in
+  check_bool "the idle close was counted" true
+    (List.mem "idle_closed_total 1" replies);
+  Thread.join thread
+
 let suite =
   [
     ( "serve",
@@ -627,7 +888,10 @@ let suite =
         frame_roundtrip;
         case "frame truncation and corruption" frame_truncation;
         case "admission queue sheds and drains" admission_shed_and_drain;
+        case "admission splits depth into per-producer quotas"
+          admission_per_producer_quota;
         case "admission pop blocks until push" admission_blocking_pop;
+        case "write caps shed with BUSY-then-disconnect" conn_write_cap_sheds;
         case "metrics counters and histogram" metrics_counters_and_histogram;
         case "registry canonical forms" registry_forms;
         case "registry shares learners and climbs" registry_shares_and_learns;
@@ -643,5 +907,16 @@ let suite =
         slow_case "client auto-negotiation falls back to lines"
           client_falls_back_to_lines;
         slow_case "server restart resumes the snapshot" server_snapshot_restart;
+        slow_case "fleet balances conns across loops"
+          server_fleet_balances_conns;
+        slow_case "fleet drains in-flight work on every loop"
+          server_fleet_drains_every_loop;
+        slow_case "slowloris on loop 0 does not stall loop 1"
+          server_fleet_isolates_slow_peer;
+        slow_case "write cap answers BUSY and disconnects"
+          server_write_cap_disconnects;
+        slow_case "per-ip cap sheds at accept and releases on close"
+          server_per_ip_cap;
+        slow_case "idle timeout closes quiet conns" server_idle_timeout_closes;
       ] );
   ]
