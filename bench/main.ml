@@ -32,6 +32,9 @@ let experiments =
     ("e23", "paged store vs in-memory retrieval", E23_store.run);
     ("e24", "protocol v4 pipelining vs the v3 line protocol", E24_pipeline.run);
     ("e25", "reactor-fleet fan-in over concurrent connections", E25_fleet.run);
+    ( "e26",
+      "lifecycle tracing + flight-recorder overhead on/off",
+      E26_overhead.run );
   ]
 
 let () =

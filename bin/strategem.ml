@@ -483,7 +483,8 @@ let host_arg =
 let run_serve file host port workers queue_depth max_conns state_dir
     snapshot_interval delta learner trace_sample cache_mb no_cache
     metrics_port log_level log_file slow_query_ms data_dir buffer_pages loops
-    idle_timeout_s max_conns_per_ip max_write_buf_mb max_write_total_mb =
+    idle_timeout_s max_conns_per_ip max_write_buf_mb max_write_total_mb
+    no_lifecycle flight_capacity retain =
   let rulebase, db, _ = load_kb file in
   let db =
     match data_dir with
@@ -533,6 +534,9 @@ let run_serve file host port workers queue_depth max_conns state_dir
       max_write_total = max_write_total_mb * 1024 * 1024;
       idle_timeout_s;
       max_conns_per_ip;
+      lifecycle = not no_lifecycle;
+      flight_capacity;
+      retain;
     }
   in
   Serve.Server.run ~handle_signals:true
@@ -742,6 +746,35 @@ let serve_cmd =
              breaching it sheds the offending connection like \
              --max-write-buf-mb. 0 (the default) uncaps.")
   in
+  let no_lifecycle =
+    Arg.(
+      value & flag
+      & info [ "no-lifecycle" ]
+          ~doc:
+            "Turn off per-request lifecycle tracking (on by default): \
+             stage latency histograms, tail-based trace retention, and \
+             flight-ring request events. The flight ring still records \
+             accepts and closes.")
+  in
+  let flight_capacity =
+    Arg.(
+      value & opt int 4096
+      & info [ "flight-capacity" ] ~docv:"N"
+          ~doc:
+            "Per-loop flight-recorder ring capacity in events (rounded \
+             up to a power of two; about 48 bytes each). 0 disables the \
+             ring. Dump it with the FLIGHT verb, GET /debug/flight, or \
+             SIGQUIT.")
+  in
+  let retain =
+    Arg.(
+      value & opt int 64
+      & info [ "retain" ] ~docv:"N"
+          ~doc:
+            "Tail-retained trace buffer size per loop: the full span \
+             trees of the last N slow / error / shed requests, served \
+             by FLIGHT and /debug/flight. 0 disables retention.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -753,7 +786,7 @@ let serve_cmd =
       $ trace_sample $ cache_mb $ no_cache $ metrics_port $ log_level
       $ log_file $ slow_query_ms $ data_dir $ buffer_pages $ loops
       $ idle_timeout_s $ max_conns_per_ip $ max_write_buf_mb
-      $ max_write_total_mb)
+      $ max_write_total_mb $ no_lifecycle $ flight_capacity $ retain)
 
 let client_lines c commands =
   (* Historical CLI behaviour, byte for byte: write every line, half-close
@@ -1038,6 +1071,34 @@ let watch_tick ~host ~port =
           (sv "strategem_store_wal_bytes")
           (sv "strategem_store_checkpoint_age_seconds")
       | _ -> ());
+      (* Per-loop fleet columns, present once a fleet server is scraped. *)
+      let loop_ids =
+        List.filter_map
+          (fun s ->
+            if s.Obs.Expo.metric = "strategem_loop_conns_open" then
+              Option.bind
+                (List.assoc_opt "loop" s.Obs.Expo.labels)
+                int_of_string_opt
+            else None)
+          samples
+        |> List.sort_uniq Int.compare
+      in
+      let lv metric loop =
+        List.find_opt
+          (fun s ->
+            s.Obs.Expo.metric = metric
+            && List.assoc_opt "loop" s.Obs.Expo.labels
+               = Some (string_of_int loop))
+          samples
+        |> Option.fold ~none:0.0 ~some:(fun s -> s.Obs.Expo.value)
+      in
+      List.iter
+        (fun l ->
+          Fmt.pr "loop %-3d conns %.0f  wakeups %.0f  inflight %.0f@." l
+            (lv "strategem_loop_conns_open" l)
+            (lv "strategem_loop_wakeups_total" l)
+            (lv "strategem_loop_pipeline_depth" l))
+        loop_ids;
       Fmt.pr "%-32s %8s %8s %7s %10s %9s@." "FORM" "QUERIES" "SAMPLES"
         "CLIMBS" "EPSILON" "FINISHED";
       List.iter
@@ -1088,6 +1149,166 @@ let watch_cmd =
           converging epsilon bound, and whether learning has finished).")
     Term.(const run_watch $ host_arg $ metrics_port_arg $ interval $ count)
 
+(* ---------- flight / tail ---------- *)
+
+let fetch_flight ~host ~port =
+  match http_get ~host ~port "/debug/flight" with
+  | Error msg -> Error msg
+  | Ok (200, body) -> Ok body
+  | Ok (status, _) ->
+    Error (Printf.sprintf "HTTP %d from /debug/flight" status)
+
+(* The retained entries of a parsed /debug/flight envelope, as
+   (seq, summary fields, span) triples sorted by retention sequence. *)
+let retained_entries doc =
+  let entries =
+    match doc with
+    | Trace.Json.Obj fields -> (
+      match List.assoc_opt "retained" fields with
+      | Some (Trace.Json.Arr es) -> es
+      | _ -> [])
+    | _ -> []
+  in
+  List.filter_map
+    (fun e ->
+      match e with
+      | Trace.Json.Obj ef ->
+        let num k =
+          match List.assoc_opt k ef with
+          | Some (Trace.Json.Num raw) -> int_of_string_opt raw
+          | _ -> None
+        in
+        let str k =
+          match List.assoc_opt k ef with
+          | Some (Trace.Json.Str s) -> s
+          | _ -> ""
+        in
+        Option.bind (num "seq") (fun seq ->
+            Option.map
+              (fun span ->
+                ( seq,
+                  (Option.value ~default:0 (num "loop"),
+                   Option.value ~default:0 (num "conn"),
+                   Option.value ~default:0 (num "rid"),
+                   str "reason",
+                   Option.value ~default:0 (num "total_us")),
+                  span ))
+              (match List.assoc_opt "span" ef with
+              | Some (Trace.Json.Obj _ as sv) -> (
+                match Trace.of_json_value sv with
+                | sp -> Some sp
+                | exception Trace.Parse_error _ -> None)
+              | _ -> None))
+      | _ -> None)
+    entries
+  |> List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b)
+
+let run_flight host port chrome out =
+  match fetch_flight ~host ~port with
+  | Error msg ->
+    Fmt.epr "strategem flight: %s@." msg;
+    exit 1
+  | Ok body ->
+    let doc =
+      if not chrome then body
+      else
+        match Trace.Json.parse body with
+        | exception Trace.Parse_error msg ->
+          Fmt.epr "strategem flight: bad dump: %s@." msg;
+          exit 1
+        | parsed ->
+          retained_entries parsed
+          |> List.map (fun (_, _, span) -> span)
+          |> Trace.to_chrome
+    in
+    (match out with
+    | None -> print_endline doc
+    | Some path ->
+      Out_channel.with_open_bin path (fun oc ->
+          output_string oc doc;
+          output_char oc '\n');
+      Fmt.pr "strategem flight: wrote %s@." path)
+
+let flight_cmd =
+  let chrome =
+    Arg.(
+      value & flag
+      & info [ "chrome" ]
+          ~doc:
+            "Convert the dump's retained span trees to Chrome \
+             trace-event / Perfetto JSON (load it at chrome://tracing or \
+             ui.perfetto.dev; each event loop gets its own track) \
+             instead of printing the raw envelope.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:"Write to FILE instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "flight"
+       ~doc:
+         "Dump a strategem daemon's flight recorder (per-loop lifecycle \
+          event rings plus tail-retained slow/error/shed traces) over \
+          GET /debug/flight, raw or as Chrome trace-event JSON.")
+    Term.(const run_flight $ host_arg $ metrics_port_arg $ chrome $ out)
+
+let run_tail host port interval count =
+  let last = ref (-1) in
+  let tick () =
+    match fetch_flight ~host ~port with
+    | Error msg ->
+      Fmt.epr "strategem tail: %s@." msg;
+      exit 1
+    | Ok body -> (
+      match Trace.Json.parse body with
+      | exception Trace.Parse_error msg ->
+        Fmt.epr "strategem tail: bad dump: %s@." msg;
+        exit 1
+      | parsed ->
+        List.iter
+          (fun (seq, (loop, conn, rid, reason, total_us), span) ->
+            if seq > !last then begin
+              last := seq;
+              Fmt.pr "#%d loop=%d conn=%d rid=%d %s %dus %s@." seq loop
+                conn rid reason total_us (Trace.to_json span)
+            end)
+          (retained_entries parsed))
+  in
+  let rec loop n =
+    tick ();
+    Fmt.pr "%!";
+    if count = 0 || n < count then begin
+      Thread.delay interval;
+      loop (n + 1)
+    end
+  in
+  loop 1
+
+let tail_cmd =
+  let interval =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval"; "n" ] ~docv:"SECONDS"
+          ~doc:"Seconds between polls (default 1).")
+  in
+  let count =
+    Arg.(
+      value & opt int 0
+      & info [ "count"; "c" ] ~docv:"N"
+          ~doc:"Stop after N polls (0 = run until interrupted).")
+  in
+  Cmd.v
+    (Cmd.info "tail"
+       ~doc:
+         "Live-stream the traces a strategem daemon's tail-based \
+          retention keeps (slow, error, and shed requests): poll \
+          /debug/flight and print each newly retained span tree once, \
+          as '#seq loop= conn= rid= reason total_us <span JSON>'.")
+    Term.(const run_tail $ host_arg $ metrics_port_arg $ interval $ count)
+
 (* ---------- demo ---------- *)
 
 let run_demo () =
@@ -1122,7 +1343,8 @@ let main_cmd =
           1992).")
     [
       query_cmd; graph_cmd; optimal_cmd; smith_cmd; learn_cmd; eval_cmd;
-      explain_cmd; serve_cmd; client_cmd; scrape_cmd; watch_cmd; demo_cmd;
+      explain_cmd; serve_cmd; client_cmd; scrape_cmd; watch_cmd; flight_cmd;
+      tail_cmd; demo_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -74,6 +74,7 @@ let frame_of_request ~id req =
   | Protocol.Snapshot -> f Frame.Snapshot ""
   | Protocol.Ping -> f Frame.Ping ""
   | Protocol.Help -> f Frame.Help ""
+  | Protocol.Flight -> f Frame.Flight ""
   | Protocol.Quit -> f Frame.Quit ""
   | Protocol.Shutdown -> f Frame.Shutdown ""
   | Protocol.Empty | Protocol.Malformed _ | Protocol.Unknown _ -> None

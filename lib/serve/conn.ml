@@ -59,9 +59,16 @@ type t = {
   mutable hwm : int;
   mutable rseq : int;
   mutable last_active : float;  (* loop thread only; for idle timeouts *)
+  accept_ns : int64;  (* accept wall clock, for lifecycle accept spans *)
+  (* monotonic byte marks, under wlock: a sender records the enqueued
+     total right after its append ({!send_mark}) and the owning loop
+     compares it against the flushed total to learn when that response
+     has fully drained to the socket *)
+  mutable enq_bytes : int;
+  mutable flushed_bytes : int;
 }
 
-let create ~id ~loop ~peer ~ip ~limits fd =
+let create ?(accept_ns = 0L) ~id ~loop ~peer ~ip ~limits fd =
   {
     fd;
     id;
@@ -88,11 +95,15 @@ let create ~id ~loop ~peer ~ip ~limits fd =
     hwm = 0;
     rseq = 0;
     last_active = 0.0;
+    accept_ns;
+    enq_bytes = 0;
+    flushed_bytes = 0;
   }
 
 let fd t = t.fd
 let id t = t.id
 let loop t = t.loop
+let accept_ns t = t.accept_ns
 let peer t = t.peer
 let ip t = t.ip
 let touch t ~now = t.last_active <- now
@@ -289,7 +300,7 @@ let shed t ~extra =
   t.overflowed <- true;
   t.closing <- true
 
-let send t s =
+let send_mark t s =
   Mutex.lock t.wlock;
   (if not t.dead && not t.overflowed then
      let len = String.length s in
@@ -307,9 +318,20 @@ let send t s =
        Bytes.blit_string s 0 t.obuf t.oend len;
        t.oend <- t.oend + len;
        t.accounted <- t.accounted + len;
+       t.enq_bytes <- t.enq_bytes + len;
        ignore (Atomic.fetch_and_add global_bytes len)
      end);
-  Mutex.unlock t.wlock
+  let mark = t.enq_bytes in
+  Mutex.unlock t.wlock;
+  mark
+
+let send t s = ignore (send_mark t s)
+
+let flushed_bytes t =
+  Mutex.lock t.wlock;
+  let r = t.flushed_bytes in
+  Mutex.unlock t.wlock;
+  r
 
 let flush t =
   Mutex.lock t.wlock;
@@ -320,6 +342,7 @@ let flush t =
       match Unix.write t.fd t.obuf t.opos (t.oend - t.opos) with
       | n ->
         t.opos <- t.opos + n;
+        t.flushed_bytes <- t.flushed_bytes + n;
         release_global t n;
         if t.opos >= t.oend then begin
           t.opos <- 0;

@@ -53,11 +53,17 @@ type incoming =
 type read_status = Continue | Eof | Rerror of string
 
 val create :
+  ?accept_ns:int64 ->
   id:int -> loop:int -> peer:string -> ip:string -> limits:limits ->
   Unix.file_descr -> t
+(** [accept_ns] (default [0L]) stamps the socket's accept time for the
+    lifecycle tracker's [accept] spans. *)
 
 val fd : t -> Unix.file_descr
 val id : t -> int
+
+val accept_ns : t -> int64
+(** The [accept_ns] given at create ([0L] when not recorded). *)
 
 val loop : t -> int
 (** Index of the event loop that owns this connection. *)
@@ -102,6 +108,16 @@ val pending_count : t -> int
 val send : t -> string -> unit
 (** Append bytes to the output buffer (dropped once the connection is
     dead). The caller is responsible for waking the loop. *)
+
+val send_mark : t -> string -> int
+(** Like {!send}, returning the connection's cumulative enqueued-bytes
+    total after the append — compare against {!flushed_bytes} to learn
+    when this response has fully drained to the socket. (If the send was
+    dropped — dead or overflowed connection — the mark is the unchanged
+    total, which may never be reached; check {!dead}/{!overflowed}.) *)
+
+val flushed_bytes : t -> int
+(** Cumulative bytes written to the socket since accept. *)
 
 val flush : t -> [ `Flushed | `Partial | `Error ]
 (** Write as much buffered output as the socket accepts. Loop thread

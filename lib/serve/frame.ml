@@ -14,6 +14,7 @@ type kind =
   | Snapshot
   | Ping
   | Help
+  | Flight
   | Quit
   | Shutdown
   | Ok
@@ -36,6 +37,7 @@ let kind_code = function
   | Quit -> 0x09
   | Shutdown -> 0x0A
   | Help -> 0x0B
+  | Flight -> 0x0C
   | Ok -> 0x81
   | Err -> 0x82
   | Busy -> 0x83
@@ -54,6 +56,7 @@ let kind_of_code = function
   | 0x09 -> Quit
   | 0x0A -> Shutdown
   | 0x0B -> Help
+  | 0x0C -> Flight
   | 0x81 -> Ok
   | 0x82 -> Err
   | 0x83 -> Busy
@@ -72,6 +75,7 @@ let kind_name = function
   | Snapshot -> "SNAPSHOT"
   | Ping -> "PING"
   | Help -> "HELP"
+  | Flight -> "FLIGHT"
   | Quit -> "QUIT"
   | Shutdown -> "SHUTDOWN"
   | Ok -> "OK"

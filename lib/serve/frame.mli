@@ -5,7 +5,7 @@
     {v
       offset  size  field
       0       1     magic      0x84
-      1       1     type       request 0x01..0x0A, response 0x81..0x84
+      1       1     type       request 0x01..0x0C, response 0x81..0x84
       2       4     request id unsigned 32-bit, big-endian
       6       4     length     payload byte count, big-endian
       10      len   payload    UTF-8 text (atoms, reply lines)
@@ -51,6 +51,9 @@ type kind =
   | Snapshot    (** 0x07 *)
   | Ping        (** 0x08 — response [Ok] with payload [PONG] *)
   | Help        (** 0x0B — response [Ok] with the command list *)
+  | Flight
+      (** 0x0C — payload empty; response [Ok] with the flight-recorder
+          dump (one JSON line) *)
   | Quit        (** 0x09 — response [Bye], then the server closes *)
   | Shutdown    (** 0x0A — response [Bye], then the server drains *)
   | Ok          (** 0x81 — success; payload is the reply text *)

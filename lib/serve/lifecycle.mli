@@ -1,0 +1,98 @@
+(** One request's lifecycle record: the timestamps and waits a request
+    accumulates on its way through the reactor fleet —
+    accept → frame (parse) → queue (admission) → worker (exec) →
+    respond → flush — plus the store waits (WAL fsync, buffer-pool page
+    faults) attributed to it while a worker ran it.
+
+    A record is allocated by the owning event loop when the request is
+    parsed, carried inside the job through the admission queue, stamped
+    by the worker, and {e finalized back on the owning loop} once the
+    response bytes have drained to the socket — so every flight-recorder
+    write and histogram observation for it happens on the loop thread.
+    When lifecycle telemetry is off ([--no-lifecycle]) no record exists
+    and every touch point is one [Option] test.
+
+    Mutability is single-owner at each phase (loop → worker → loop);
+    nothing here is locked. The ambient {!current} pointer (for store
+    wait attribution from layers that cannot see the request) is
+    domain-local: surplus workers running as systhreads inside a worker
+    domain can misattribute a concurrent wait to their domain-mate's
+    request — an accepted imprecision, documented in docs/TRACING.md. *)
+
+type backend = B_none | B_cache | B_sld
+
+type t = {
+  lc_conn : int;            (** connection id *)
+  lc_rid : int;             (** request id (v4 client id / line seqno) *)
+  lc_loop : int;            (** owning event loop *)
+  lc_framed : bool;         (** v4 frame (vs line dialect) *)
+  lc_label : string;        (** verb word, plus the atom for queries *)
+  lc_accept_ns : int64;     (** the connection's accept time *)
+  lc_frame_ns : int64;      (** request parsed out of the read buffer *)
+  mutable lc_queue_ns : int64;    (** admitted to the queue (0 = never) *)
+  mutable lc_worker_ns : int64;   (** picked up by a worker (0 = never) *)
+  mutable lc_respond_ns : int64;  (** response enqueued (0 = never) *)
+  mutable lc_flush_ns : int64;    (** response drained (0 = never) *)
+  mutable lc_backend : backend;
+  mutable lc_shed : bool;         (** answered BUSY by admission *)
+  mutable lc_error : bool;        (** error reply, or the conn died *)
+  mutable lc_wal_wait_ns : int;   (** WAL-fsync wait while executing *)
+  mutable lc_wal_syncs : int;
+  mutable lc_page_wait_ns : int;  (** page-fault read wait *)
+  mutable lc_page_reads : int;
+  mutable lc_exec : Trace.span option;
+      (** the armed tracer's span tree, when this request was traced *)
+}
+
+val now_ns : unit -> int64
+
+val create :
+  conn:int ->
+  rid:int ->
+  loop:int ->
+  framed:bool ->
+  label:string ->
+  accept_ns:int64 ->
+  frame_ns:int64 ->
+  t
+
+(** {1 Ambient record (store-wait attribution)} *)
+
+(** Set by the worker for the duration of one request's execution; read
+    by the {!Store.Hooks} observer on the same domain. *)
+val set_current : t option -> unit
+
+val current : unit -> t option
+
+val add_wal_wait : t -> int -> unit
+val add_page_wait : t -> int -> unit
+
+(** {1 Reads} *)
+
+(** Whole-request nanoseconds: parse to flush (or to the last stamped
+    timestamp for requests that never flushed). *)
+val total_ns : t -> int64
+
+val backend_name : backend -> string
+
+(** {1 Span-tree export}
+
+    The lifecycle skeleton as a {!Trace} span tree, every span carrying
+    the owning loop id as its [loop] attribute:
+
+    {v
+      <label> [request]
+      ├── accept  (instant: the connection's accept time)
+      ├── frame   (parse → enqueue)
+      ├── queue   (enqueue → worker pickup)
+      ├── worker  (pickup → response enqueued)
+      │   ├── cache | sld        (the backend that answered)
+      │   │   ├── wal_fsync      (when the store waited)
+      │   │   └── page_read
+      │   └── <armed exec tree>  (when the request was traced)
+      └── flush   (response enqueued → bytes drained)
+    v}
+
+    Stages never reached (a shed request has no queue/worker) are
+    omitted. *)
+val to_span : t -> Trace.span

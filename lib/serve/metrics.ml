@@ -52,6 +52,11 @@ type loop_handles = {
   lg_conns : R.Gauge.t;
   lc_wakeups : R.Counter.t;
   lg_pipeline : R.Gauge.t;
+  (* stage -> child of the {stage, loop} latency histogram family;
+     filled lazily, loop thread only *)
+  lh_stage_fam : R.Histogram.fam;
+  lh_stages : (string, R.Histogram.t) Hashtbl.t;
+  lg_exemplar : R.Gauge.t;
 }
 
 type form_handles = {
@@ -102,6 +107,14 @@ type t = {
   f_loop_conns : R.Gauge.fam;
   f_loop_wakeups : R.Counter.fam;
   f_loop_pipeline : R.Gauge.fam;
+  f_stage_latency : R.Histogram.fam;
+  f_retained : R.Counter.fam;
+  (* the reason set is closed (slow / error / shed): pre-labeled handles
+     so the per-retention hot path skips the family mutex + hash *)
+  retained_by : (string * R.Counter.t) list;
+  f_retained_exemplar : R.Gauge.fam;
+  c_lifecycle : R.Counter.t;
+  retained_count : int Atomic.t;  (* sum over reasons, for STATS *)
   mutable loop_list : loop_handles list;  (* guarded by [lock] *)
   c_write_overflow : R.Counter.t;
   c_write_shed_bytes : R.Counter.t;
@@ -188,6 +201,13 @@ let create ?(trace_capacity = 0) () =
   let reg = R.create () in
   let counter help name = R.Counter.solo (R.Counter.v reg ~help name) in
   let gauge help name = R.Gauge.solo (R.Gauge.v reg ~help name) in
+  let f_retained =
+    R.Counter.v reg
+      ~help:
+        "Request traces retained by tail-based sampling, by reason \
+         (slow / error / shed)"
+      ~labels:[ "reason" ] "strategem_traces_retained_total"
+  in
   let t =
     {
       reg;
@@ -257,6 +277,27 @@ let create ?(trace_capacity = 0) () =
         R.Gauge.v reg
           ~help:"Requests in flight on this loop's connections"
           ~labels:[ "loop" ] "strategem_loop_pipeline_depth";
+      f_stage_latency =
+        R.Histogram.v reg
+          ~help:
+            "Request-lifecycle latency decomposition (microseconds), per \
+             stage per owning event loop"
+          ~labels:[ "stage"; "loop" ] "strategem_stage_latency_us";
+      f_retained;
+      retained_by =
+        List.map
+          (fun reason -> (reason, R.Counter.labels f_retained [ reason ]))
+          [ "slow"; "error"; "shed" ];
+      f_retained_exemplar =
+        R.Gauge.v reg
+          ~help:
+            "Sequence number of the loop's most recently retained trace \
+             (exemplar: quote it to FLIGHT / /debug/flight)"
+          ~labels:[ "loop" ] "strategem_trace_retained_exemplar";
+      c_lifecycle =
+        counter "Requests finalized by the lifecycle tracker"
+          "strategem_lifecycle_requests_total";
+      retained_count = Atomic.make 0;
       loop_list = [];
       c_write_overflow =
         counter
@@ -451,10 +492,41 @@ let loop_handles t ~loop =
       lg_conns = R.Gauge.labels t.f_loop_conns l;
       lc_wakeups = R.Counter.labels t.f_loop_wakeups l;
       lg_pipeline = R.Gauge.labels t.f_loop_pipeline l;
+      lh_stage_fam = t.f_stage_latency;
+      lh_stages = Hashtbl.create 8;
+      lg_exemplar = R.Gauge.labels t.f_retained_exemplar l;
     }
   in
   with_lock t (fun () -> t.loop_list <- lh :: t.loop_list);
   lh
+
+(* Loop thread only (like every [lh] update): the per-stage child cache
+   needs no lock. *)
+let observe_stage lh ~stage us =
+  let h =
+    match Hashtbl.find_opt lh.lh_stages stage with
+    | Some h -> h
+    | None ->
+      let h =
+        R.Histogram.labels lh.lh_stage_fam
+          [ stage; string_of_int lh.loop_id ]
+      in
+      Hashtbl.add lh.lh_stages stage h;
+      h
+  in
+  R.Histogram.observe h us
+
+let lifecycle_finalized t = R.Counter.inc t.c_lifecycle
+let lifecycle_requests t = R.Counter.value t.c_lifecycle
+
+let trace_retained t lh ~reason ~seq =
+  (match List.assoc_opt reason t.retained_by with
+  | Some c -> R.Counter.inc c
+  | None -> R.Counter.inc (R.Counter.labels t.f_retained [ reason ]));
+  R.Gauge.set lh.lg_exemplar (float_of_int seq);
+  ignore (Atomic.fetch_and_add t.retained_count 1)
+
+let traces_retained t = Atomic.get t.retained_count
 
 let loop_conn_opened lh = R.Gauge.add lh.lg_conns 1.0
 let loop_conn_closed lh = R.Gauge.add lh.lg_conns (-1.0)
@@ -674,6 +746,12 @@ let render_text t =
         (R.Counter.value t.c_write_shed_bytes);
       Printf.sprintf "idle_closed_total %d" (R.Counter.value t.c_idle_closed);
       Printf.sprintf "ip_limited_total %d" (R.Counter.value t.c_ip_limited);
+      (* Additive (request-lifecycle tracing): requests finalized by the
+         lifecycle tracker and traces kept by tail-based retention. *)
+      Printf.sprintf "lifecycle_requests_total %d"
+        (R.Counter.value t.c_lifecycle);
+      Printf.sprintf "traces_retained_total %d"
+        (Atomic.get t.retained_count);
     ]
   in
   let counters =
@@ -822,6 +900,12 @@ let render_json t =
            (int_of_float (R.Gauge.value lh.lg_pipeline))))
     (sorted_loops t);
   Buffer.add_string buf "]},";
+  (* Additive block (schema stays 1): request-lifecycle tracing. *)
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\"lifecycle\":{\"requests_total\":%d,\"traces_retained_total\":%d},"
+       (R.Counter.value t.c_lifecycle)
+       (Atomic.get t.retained_count));
   (match cache with
   | None -> ()
   | Some cs -> Buffer.add_string buf (cache_json cs));

@@ -133,6 +133,28 @@ val set_loop_wakeups : loop_handles -> int -> unit
 (** Requests in flight on this loop's connections right now. *)
 val set_loop_pipeline_depth : loop_handles -> int -> unit
 
+(** One stage of a finalized request's lifecycle, in microseconds:
+    [strategem_stage_latency_us{stage, loop}]. Stage vocabulary:
+    [frame], [queue], [worker], [flush], [total], plus [wal_fsync] and
+    [page_read] when the store waited. Loop thread only (the per-stage
+    child cache is unlocked). *)
+val observe_stage : loop_handles -> stage:string -> float -> unit
+
+(** A request's lifecycle record was finalized
+    ([strategem_lifecycle_requests_total]). *)
+val lifecycle_finalized : t -> unit
+
+val lifecycle_requests : t -> int
+
+(** A finalized request's trace was kept by tail-based retention
+    ([strategem_traces_retained_total{reason}]); [seq] becomes the
+    loop's exemplar gauge ([strategem_trace_retained_exemplar{loop}]).
+    [reason] is one of [slow], [error], [shed]. *)
+val trace_retained : t -> loop_handles -> reason:string -> seq:int -> unit
+
+(** Traces retained across all reasons since start. *)
+val traces_retained : t -> int
+
 (** A connection breached a write-buffer cap: its buffered output
     ([shed_bytes]) was dropped, one [BUSY] took its place, and the loop
     disconnected it ([strategem_write_overflow_total],

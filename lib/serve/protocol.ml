@@ -9,6 +9,7 @@ type request =
   | Strategy of string
   | Ping
   | Help
+  | Flight
   | Quit
   | Shutdown
   | Empty
@@ -75,6 +76,7 @@ let parse_sub b ~pos ~len =
     else if verb "SNAPSHOT" then no_arg Snapshot "SNAPSHOT"
     else if verb "PING" then no_arg Ping "PING"
     else if verb "HELP" then no_arg Help "HELP"
+    else if verb "FLIGHT" then no_arg Flight "FLIGHT"
     else if verb "QUIT" then no_arg Quit "QUIT"
     else if verb "SHUTDOWN" then no_arg Shutdown "SHUTDOWN"
     else Unknown (Bytes.sub_string b v0 vlen)
@@ -98,6 +100,7 @@ let help_lines =
     "SNAPSHOT         persist all learned strategies to the state dir";
     "PING             liveness probe";
     "HELP             this text";
+    "FLIGHT           flight-recorder dump + retained traces (one JSON line)";
     "QUIT             close this connection";
     "SHUTDOWN         drain in-flight queries and stop the server";
   ]

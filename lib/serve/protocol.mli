@@ -28,6 +28,9 @@ type request =
   | Strategy of string  (** [STRATEGY <atom>] — a form's current strategy *)
   | Ping                (** [PING] — liveness probe *)
   | Help                (** [HELP] — list commands, [END]-terminated *)
+  | Flight
+      (** [FLIGHT] — the per-loop flight-recorder rings and retained
+          lifecycle traces as one JSON line (see docs/TRACING.md) *)
   | Quit                (** [QUIT] — close this connection *)
   | Shutdown            (** [SHUTDOWN] — drain and stop the server *)
   | Empty               (** blank line — ignored *)

@@ -22,6 +22,9 @@ type config = {
   max_write_total : int;  (* global write-buffer cap, bytes; 0 = off *)
   idle_timeout_s : float;  (* close idle connections after; 0. = off *)
   max_conns_per_ip : int;  (* accept-time per-IP cap; 0 = off *)
+  lifecycle : bool;  (* per-request lifecycle tracking (spans + stages) *)
+  flight_capacity : int;  (* per-loop flight-recorder ring; 0 = off *)
+  retain : int;  (* tail-retained trace buffer, per loop; 0 = off *)
 }
 
 let default_config =
@@ -46,6 +49,9 @@ let default_config =
     max_write_total = 0;
     idle_timeout_s = 0.0;
     max_conns_per_ip = 0;
+    lifecycle = true;
+    flight_capacity = 4096;
+    retain = 64;
   }
 
 (* A worker's verdict on one request. [R_lines (lines, multi)] renders as
@@ -64,6 +70,7 @@ type job = {
   framed : bool;  (* captured at dispatch — upgrades don't retitle jobs *)
   req : Protocol.request;
   enqueued : float;
+  lc : Lifecycle.t option;  (* lifecycle record; None when --no-lifecycle *)
 }
 
 (* One event loop of the reactor fleet. Each loop is its own domain
@@ -78,10 +85,10 @@ type loop_state = {
   (* loop-thread state: every connection this loop owns, by id *)
   conns : (int, Conn.t) Hashtbl.t;
   (* acceptor → loop handoff: freshly accepted sockets
-     [(fd, peer, ip, id)]. The loop materializes the [Conn.t] and
-     registers the fd itself — {!Eventloop.add} is loop-thread-only. *)
+     [(fd, peer, ip, id, accept_ns)]. The loop materializes the [Conn.t]
+     and registers the fd itself — {!Eventloop.add} is loop-thread-only. *)
   inc_lock : Mutex.t;
-  incoming : (Unix.file_descr * string * string * int) Queue.t;
+  incoming : (Unix.file_descr * string * string * int * int64) Queue.t;
   (* worker → loop handoff: connections with a freshly enqueued response
      (or other state change) the loop should service *)
   attn_lock : Mutex.t;
@@ -97,6 +104,34 @@ type loop_state = {
      timeout is on — per-event [Conn.touch] never calls gettimeofday *)
   mutable now : float;
   mutable last_sweep : float;
+  (* the loop's flight recorder — written only by this loop's thread
+     (conn events directly; request events at finalize, replayed from
+     the lifecycle record's timestamps), snapshotted by anyone *)
+  flight : Obs.Flight.t;
+  (* worker → loop: finalize handoff. A worker enqueueing a response
+     registers [(byte mark, lifecycle record, conn)] here; the loop
+     finalizes the record — flight events, stage histograms, retention —
+     once the conn's flushed-bytes total reaches the mark (or the conn
+     died). *)
+  fin_lock : Mutex.t;
+  mutable pending_fin : (int * Lifecycle.t * Conn.t) list;
+  (* tail-retained traces, newest first; written by the loop at
+     finalize, read by FLIGHT / /debug/flight. Inserts keep the
+     finalized record and render the span tree lazily at dump time:
+     under sustained overload every shed request retains, and an eager
+     render per insert was measured at ~30 us — a 2-3x throughput
+     collapse on the shed path, paid for entries that are mostly
+     evicted unread. *)
+  ret_lock : Mutex.t;
+  mutable retained : retained_entry list;
+  mutable retained_n : int;
+}
+
+and retained_entry = {
+  re_seq : int;
+  re_reason : string;
+  re_total_us : float;
+  re_lc : Lifecycle.t;  (* immutable once finalized *)
 }
 
 type state = {
@@ -115,6 +150,11 @@ type state = {
      per record *)
   trace_next : bool Atomic.t;
   c_slow : Obs.Registry.Counter.t;
+  (* global sequence over retained traces, so `strategem tail` can
+     dedupe across loops *)
+  retained_seq : int Atomic.t;
+  (* at most one auto flight dump per second; the rest are counted *)
+  flight_limiter : Obs.Log.Limiter.t;
   conn_seq : int Atomic.t;  (* connection ids, for log correlation *)
   queue : job Admission.t;
   cache : Cache.Answers.t option;
@@ -153,6 +193,25 @@ let result_string = function
   | None -> "no"
   | Some s when D.Subst.is_empty s -> "yes"
   | Some s -> Format.asprintf "%a" D.Subst.pp s
+
+(* The lifecycle record's label: the verb word, plus the atom for the
+   query-shaped verbs. *)
+let request_label = function
+  | Protocol.Query a -> "QUERY " ^ a
+  | Protocol.Trace a -> "TRACE " ^ a
+  | Protocol.Strategy a -> "STRATEGY " ^ a
+  | Protocol.Hello | Protocol.Hello_v4 -> "HELLO"
+  | Protocol.Stats -> "STATS"
+  | Protocol.Stats_json -> "STATS JSON"
+  | Protocol.Snapshot -> "SNAPSHOT"
+  | Protocol.Ping -> "PING"
+  | Protocol.Help -> "HELP"
+  | Protocol.Flight -> "FLIGHT"
+  | Protocol.Quit -> "QUIT"
+  | Protocol.Shutdown -> "SHUTDOWN"
+  | Protocol.Empty -> ""
+  | Protocol.Malformed _ -> "(malformed)"
+  | Protocol.Unknown v -> v
 
 (* --- response encoding --- *)
 
@@ -202,9 +261,21 @@ let request_attention st c =
    connection back to its owning loop. Called from worker domains and
    (for inline BUSY) from the loop itself. *)
 let respond st job reply =
-  (match reply with
-  | R_none -> ()
-  | _ -> Conn.send job.conn (encode_reply ~framed:job.framed ~rid:job.rid reply));
+  (match job.lc with
+  | Some l ->
+    l.Lifecycle.lc_respond_ns <- Lifecycle.now_ns ();
+    (match reply with
+    | R_err _ -> l.Lifecycle.lc_error <- true
+    | R_busy -> l.Lifecycle.lc_shed <- true
+    | _ -> ())
+  | None -> ());
+  let mark =
+    match reply with
+    | R_none -> Conn.send_mark job.conn ""
+    | _ ->
+      Conn.send_mark job.conn
+        (encode_reply ~framed:job.framed ~rid:job.rid reply)
+  in
   (match reply with
   | R_bye -> Conn.set_closing job.conn
   | R_busy when not job.framed ->
@@ -214,6 +285,14 @@ let respond st job reply =
   | _ -> ());
   Conn.decr_inflight job.conn;
   let ls = request_attention st job.conn in
+  (* register the finalize mark before the wake, like the attention push:
+     the tick this wake triggers must see it *)
+  (match job.lc with
+  | Some l ->
+    Mutex.lock ls.fin_lock;
+    ls.pending_fin <- (mark, l, job.conn) :: ls.pending_fin;
+    Mutex.unlock ls.fin_lock
+  | None -> ());
   ignore (Atomic.fetch_and_add ls.inflight (-1));
   let now = Atomic.fetch_and_add st.inflight_total (-1) - 1 in
   Metrics.set_pipeline_depth st.metrics now;
@@ -244,6 +323,16 @@ let answer_traced st ~wait_us ~t0 tracer q =
       st.registry ~db:st.db q
   in
   Trace.finish tracer root;
+  (* lifecycle attribution: which backend answered, and — when this
+     query ran traced — the exec span tree, grafted under the record's
+     worker span at export *)
+  (match Lifecycle.current () with
+  | Some lc ->
+    lc.Lifecycle.lc_backend <-
+      (if ans.Core.Live.cached then Lifecycle.B_cache else Lifecycle.B_sld);
+    if Trace.enabled tracer then
+      lc.Lifecycle.lc_exec <- Trace.root_span tracer
+  | None -> ());
   let latency_us = (Unix.gettimeofday () -. t0) *. 1e6 in
   Metrics.query st.metrics
     ~form:(Registry.key_of_form (Registry.form_of_query q))
@@ -424,6 +513,52 @@ let handle_snapshot st =
     Metrics.error st.metrics;
     R_err (`Internal, msg)
 
+(* The flight-recorder dump: every loop's ring (merged, time-ordered)
+   plus every loop's tail-retained traces, as one JSON object. Safe from
+   any thread — ring snapshots validate sequence stamps, the retained
+   buffers take their per-loop locks. Served by the FLIGHT verb, by
+   GET /debug/flight, and dumped to stderr on SIGQUIT. *)
+let flight_json st =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"version\":1,\"loops\":%d,\"flight_capacity\":%d,\"events\":["
+       (Array.length st.loops)
+       (Obs.Flight.capacity st.loops.(0).flight));
+  let events =
+    Array.to_list st.loops
+    |> List.concat_map (fun ls -> Obs.Flight.snapshot ls.flight)
+    |> List.sort (fun a b ->
+           Int64.compare a.Obs.Flight.ev_ts_ns b.Obs.Flight.ev_ts_ns)
+  in
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Obs.Flight.event_to_json e))
+    events;
+  Buffer.add_string buf "],\"retained\":[";
+  let retained =
+    Array.to_list st.loops
+    |> List.concat_map (fun ls ->
+           Mutex.lock ls.ret_lock;
+           let r = ls.retained in
+           Mutex.unlock ls.ret_lock;
+           List.rev_map (fun e -> (ls.lid, e)) r |> List.rev)
+  in
+  List.iteri
+    (fun i (lid, e) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"seq\":%d,\"loop\":%d,\"conn\":%d,\"rid\":%d,\
+            \"reason\":\"%s\",\"total_us\":%.0f,\"span\":%s}"
+           e.re_seq lid e.re_lc.Lifecycle.lc_conn e.re_lc.Lifecycle.lc_rid
+           e.re_reason e.re_total_us
+           (Trace.to_json (Lifecycle.to_span e.re_lc))))
+    retained;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
 let process st ~wait_us ~t0 job =
   match job.req with
   (* Empty is never dispatched; Hello_v4 is answered inline by the loop *)
@@ -442,6 +577,7 @@ let process st ~wait_us ~t0 job =
   | Protocol.Trace atom ->
     handle_trace st ~conn:(Conn.id job.conn) ~qid:job.rid ~wait_us ~t0 atom
   | Protocol.Strategy atom -> handle_strategy st atom
+  | Protocol.Flight -> R_lines ([ flight_json st ], false)
   | Protocol.Snapshot -> handle_snapshot st
   | Protocol.Quit -> R_bye
   | Protocol.Shutdown -> R_bye
@@ -466,6 +602,13 @@ let worker_loop st ~domain =
       (* popping shrinks the queue: refresh the depth gauge so it tracks
          both directions, not just enqueues *)
       Metrics.observe_queue_depth st.metrics (Admission.length st.queue);
+      (* stamp pickup and expose the record ambiently, so store waits
+         (WAL fsync, page faults) land on the request that paid them *)
+      (match job.lc with
+      | Some l ->
+        l.Lifecycle.lc_worker_ns <- Lifecycle.now_ns ();
+        Lifecycle.set_current job.lc
+      | None -> ());
       let reply =
         try process st ~wait_us ~t0 job
         with exn ->
@@ -478,6 +621,7 @@ let worker_loop st ~domain =
               ];
           R_err (`Internal, Printexc.to_string exn)
       in
+      if job.lc <> None then Lifecycle.set_current None;
       respond st job reply;
       if job.req = Protocol.Shutdown then initiate_shutdown st;
       Metrics.domain_served dh
@@ -547,6 +691,7 @@ let request_of_frame (f : Frame.t) =
   | Frame.Snapshot -> no_arg Protocol.Snapshot
   | Frame.Ping -> no_arg Protocol.Ping
   | Frame.Help -> no_arg Protocol.Help
+  | Frame.Flight -> no_arg Protocol.Flight
   | Frame.Quit -> no_arg Protocol.Quit
   | Frame.Shutdown -> no_arg Protocol.Shutdown
   | Frame.Ok | Frame.Err | Frame.Busy | Frame.Bye ->
@@ -564,10 +709,34 @@ let dispatch st c ~framed ~rid req =
   ignore (Atomic.fetch_and_add ls.inflight 1);
   let d = Atomic.fetch_and_add st.inflight_total 1 + 1 in
   Metrics.set_pipeline_depth st.metrics d;
-  let job = { conn = c; rid; framed; req; enqueued = Unix.gettimeofday () } in
+  (* the lifecycle record is born here on the loop thread, right after
+     the parse — [frame_ns] is its birth stamp — and [queue_ns] is
+     stamped before the push so no worker can observe it half-written *)
+  let lc =
+    if st.cfg.lifecycle then
+      Some
+        (Lifecycle.create ~conn:(Conn.id c) ~rid ~loop:ls.lid ~framed
+           ~label:(request_label req) ~accept_ns:(Conn.accept_ns c)
+           ~frame_ns:(Lifecycle.now_ns ()))
+    else None
+  in
+  (match lc with
+  | Some l -> l.Lifecycle.lc_queue_ns <- Lifecycle.now_ns ()
+  | None -> ());
+  let job =
+    { conn = c; rid; framed; req; enqueued = Unix.gettimeofday (); lc }
+  in
   if Admission.try_push ~producer:ls.lid st.queue job then
     Metrics.observe_queue_depth st.metrics (Admission.length st.queue)
   else begin
+    (* never admitted: no queue stage; the shed flag is set by the
+       inline BUSY respond below *)
+    (match lc with
+    | Some l -> l.Lifecycle.lc_queue_ns <- 0L
+    | None ->
+      Obs.Flight.record ls.flight ~ts_ns:(Lifecycle.now_ns ())
+        ~code:Obs.Flight.code_shed ~loop:ls.lid ~conn:(Conn.id c) ~rid
+        ~a:0L ~b:0L);
     Metrics.busy st.metrics;
     if Obs.Log.enabled st.log Obs.Log.Debug then
       Obs.Log.debug st.log "request shed: queue full"
@@ -617,6 +786,10 @@ let reap st ls c =
   if Hashtbl.mem ls.conns (Conn.id c) then begin
     Hashtbl.remove ls.conns (Conn.id c);
     Eventloop.remove ls.ev (Conn.fd c);
+    Obs.Flight.record ls.flight ~ts_ns:(Lifecycle.now_ns ())
+      ~code:Obs.Flight.code_close ~loop:ls.lid ~conn:(Conn.id c) ~rid:0
+      ~a:(if Conn.dead c then 1L else 0L)
+      ~b:0L;
     Conn.kill c;
     (try Unix.close (Conn.fd c) with Unix.Unix_error _ -> ());
     ignore (Atomic.fetch_and_add ls.n_conns (-1));
@@ -722,10 +895,16 @@ let adopt_incoming st ls =
     b
   in
   List.iter
-    (fun (fd, peer, ip, id) ->
-      let c = Conn.create ~id ~loop:ls.lid ~peer ~ip ~limits:st.limits fd in
+    (fun (fd, peer, ip, id, accept_ns) ->
+      let c =
+        Conn.create ~accept_ns ~id ~loop:ls.lid ~peer ~ip ~limits:st.limits
+          fd
+      in
       if st.cfg.idle_timeout_s > 0.0 then Conn.touch c ~now:ls.now;
       Hashtbl.replace ls.conns id c;
+      Obs.Flight.record ls.flight ~ts_ns:accept_ns
+        ~code:Obs.Flight.code_accept ~loop:ls.lid ~conn:id ~rid:0
+        ~a:(Int64.of_int ls.lid) ~b:0L;
       Metrics.loop_conn_opened ls.lh;
       Eventloop.add ls.ev fd ~read:true ~write:false
         (fun ~readable ~writable -> on_conn_event st ls c ~readable ~writable);
@@ -771,6 +950,145 @@ let idle_sweep st ls =
            reap st ls c)
   end
 
+(* --- lifecycle finalize (loop thread) --- *)
+
+(* Keep the newest [n] of a newest-first list. *)
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: tl -> x :: take (n - 1) tl
+
+(* Finalize one request's lifecycle record: replay its stamps into the
+   loop's flight ring (single-writer: only this loop's thread runs
+   this), feed the per-stage latency histograms, and apply tail-based
+   retention — the full span tree is kept only for slow / error / shed
+   requests. *)
+let finalize_lc st ls (lc : Lifecycle.t) =
+  let open Lifecycle in
+  let ev code ts a b =
+    if not (Int64.equal ts 0L) then
+      Obs.Flight.record ls.flight ~ts_ns:ts ~code ~loop:ls.lid
+        ~conn:lc.lc_conn ~rid:lc.lc_rid ~a ~b
+  in
+  let total = total_ns lc in
+  ev Obs.Flight.code_request lc.lc_frame_ns 0L 0L;
+  ev Obs.Flight.code_enqueue lc.lc_queue_ns 0L 0L;
+  ev Obs.Flight.code_worker lc.lc_worker_ns
+    (Int64.of_int lc.lc_wal_wait_ns)
+    (Int64.of_int lc.lc_page_wait_ns);
+  if lc.lc_shed then ev Obs.Flight.code_shed lc.lc_respond_ns 0L 0L
+  else
+    ev Obs.Flight.code_respond lc.lc_respond_ns
+      (if lc.lc_error then 1L else 0L)
+      0L;
+  ev Obs.Flight.code_flush lc.lc_flush_ns total 0L;
+  let stage_us from till =
+    if Int64.equal from 0L || Int64.equal till 0L then None
+    else Some (Int64.to_float (Int64.max 0L (Int64.sub till from)) /. 1e3)
+  in
+  let obs stage v =
+    Option.iter (fun v -> Metrics.observe_stage ls.lh ~stage v) v
+  in
+  obs "frame" (stage_us lc.lc_frame_ns lc.lc_queue_ns);
+  obs "queue" (stage_us lc.lc_queue_ns lc.lc_worker_ns);
+  obs "worker" (stage_us lc.lc_worker_ns lc.lc_respond_ns);
+  obs "flush" (stage_us lc.lc_respond_ns lc.lc_flush_ns);
+  Metrics.observe_stage ls.lh ~stage:"total" (Int64.to_float total /. 1e3);
+  if lc.lc_wal_syncs > 0 then
+    Metrics.observe_stage ls.lh ~stage:"wal_fsync"
+      (float_of_int lc.lc_wal_wait_ns /. 1e3);
+  if lc.lc_page_reads > 0 then
+    Metrics.observe_stage ls.lh ~stage:"page_read"
+      (float_of_int lc.lc_page_wait_ns /. 1e3);
+  Metrics.lifecycle_finalized st.metrics;
+  (* tail-based retention *)
+  let total_us = Int64.to_float total /. 1e3 in
+  let reason =
+    if lc.lc_shed then Some "shed"
+    else if lc.lc_error then Some "error"
+    else if st.cfg.slow_query_us > 0.0 && total_us >= st.cfg.slow_query_us
+    then Some "slow"
+    else None
+  in
+  match reason with
+  | None -> ()
+  | Some _ when st.cfg.retain <= 0 -> ()
+  | Some reason ->
+    let seq = Atomic.fetch_and_add st.retained_seq 1 in
+    let entry =
+      { re_seq = seq; re_reason = reason; re_total_us = total_us; re_lc = lc }
+    in
+    Mutex.lock ls.ret_lock;
+    ls.retained <- entry :: ls.retained;
+    ls.retained_n <- ls.retained_n + 1;
+    if ls.retained_n > st.cfg.retain then begin
+      ls.retained <- take st.cfg.retain ls.retained;
+      ls.retained_n <- st.cfg.retain
+    end;
+    Mutex.unlock ls.ret_lock;
+    Metrics.trace_retained st.metrics ls.lh ~reason ~seq;
+    (* the automatic flight dump a retained request triggers: the
+       loop's recent ring events, inlined in one rate-limited record *)
+    if Obs.Log.enabled st.log Obs.Log.Warn then
+      match
+        Obs.Log.Limiter.admit st.flight_limiter ~now:(Unix.gettimeofday ())
+      with
+      | None -> ()
+      | Some suppressed ->
+        let events = Obs.Flight.snapshot ls.flight in
+        let tail =
+          take 16 (List.rev events) |> List.rev
+          |> List.map Obs.Flight.event_to_json
+        in
+        Obs.Log.warn st.log "flight: request trace retained"
+          ~fields:
+            [
+              ("loop", Obs.Log.I ls.lid);
+              ("conn", Obs.Log.I lc.lc_conn);
+              ("rid", Obs.Log.I lc.lc_rid);
+              ("reason", Obs.Log.S reason);
+              ("total_us", Obs.Log.F total_us);
+              ("retained_seq", Obs.Log.I seq);
+              ("suppressed", Obs.Log.I suppressed);
+              ("events", Obs.Log.J ("[" ^ String.concat "," tail ^ "]"));
+            ]
+
+(* Finalize every registered record whose response bytes have drained
+   (or whose connection died trying). Oldest first, so ring order
+   matches completion order. *)
+let finalize_pass st ls =
+  Mutex.lock ls.fin_lock;
+  let pend = ls.pending_fin in
+  ls.pending_fin <- [];
+  Mutex.unlock ls.fin_lock;
+  match pend with
+  | [] -> ()
+  | pend -> (
+    let keep =
+      List.rev pend
+      |> List.filter (fun (mark, lc, c) ->
+             (* drained-first: a response fully flushed before the
+                connection closed (QUIT, BYE) is a success, not an
+                error *)
+             if Conn.flushed_bytes c >= mark then begin
+               lc.Lifecycle.lc_flush_ns <- Lifecycle.now_ns ();
+               finalize_lc st ls lc;
+               false
+             end
+             else if Conn.dead c || Conn.overflowed c then begin
+               lc.Lifecycle.lc_error <- true;
+               finalize_lc st ls lc;
+               false
+             end
+             else true)
+    in
+    match keep with
+    | [] -> ()
+    | keep ->
+      Mutex.lock ls.fin_lock;
+      ls.pending_fin <- ls.pending_fin @ List.rev keep;
+      Mutex.unlock ls.fin_lock)
+
 (* The loop's post-poll hook, run once per iteration: adopt handoffs,
    service completions, start the drain once stopping flips, sweep for
    idle connections, refresh this loop's metric series. *)
@@ -790,6 +1108,9 @@ let loop_tick st ls =
     Hashtbl.fold (fun _ c acc -> c :: acc) ls.conns []
     |> List.iter (service st ls)
   end;
+  (* after the service pass, so a response flushed this very iteration
+     finalizes in the same tick *)
+  finalize_pass st ls;
   idle_sweep st ls;
   Metrics.set_loop_wakeups ls.lh (Eventloop.wakeups ls.ev);
   Metrics.set_loop_pipeline_depth ls.lh (Atomic.get ls.inflight)
@@ -899,7 +1220,9 @@ let accept_burst st sock =
         let ls = pick_loop st in
         ignore (Atomic.fetch_and_add ls.n_conns 1);
         Mutex.lock ls.inc_lock;
-        Queue.push (fd, string_of_sockaddr addr, ip, id) ls.incoming;
+        Queue.push
+          (fd, string_of_sockaddr addr, ip, id, Lifecycle.now_ns ())
+          ls.incoming;
         Mutex.unlock ls.inc_lock;
         Metrics.connection st.metrics;
         Metrics.conn_opened st.metrics;
@@ -961,6 +1284,7 @@ let run ?(handle_signals = false) ?(on_listen = fun _ -> ())
     invalid_arg "Server.run: idle_timeout_s must be >= 0";
   if cfg.max_conns_per_ip < 0 then
     invalid_arg "Server.run: max_conns_per_ip must be >= 0";
+  if cfg.retain < 0 then invalid_arg "Server.run: retain must be >= 0";
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ | Sys_error _ -> ());
   let log =
@@ -1010,6 +1334,12 @@ let run ?(handle_signals = false) ?(on_listen = fun _ -> ())
           draining = false;
           now = 0.0;
           last_sweep = 0.0;
+          flight = Obs.Flight.create ~capacity:cfg.flight_capacity;
+          fin_lock = Mutex.create ();
+          pending_fin = [];
+          ret_lock = Mutex.create ();
+          retained = [];
+          retained_n = 0;
         })
   in
   Metrics.set_loops metrics n_loops;
@@ -1036,6 +1366,8 @@ let run ?(handle_signals = false) ?(on_listen = fun _ -> ())
       slow_limiter = Obs.Log.Limiter.create ~min_interval_s:1.0;
       trace_next = Atomic.make false;
       c_slow;
+      retained_seq = Atomic.make 0;
+      flight_limiter = Obs.Log.Limiter.create ~min_interval_s:1.0;
       conn_seq = Atomic.make 1;
       queue = Admission.create ~producers:n_loops ~depth:cfg.queue_depth ();
       cache;
@@ -1051,6 +1383,18 @@ let run ?(handle_signals = false) ?(on_listen = fun _ -> ())
       inflight_total = Atomic.make 0;
     }
   in
+  (* Store-wait attribution: while a worker executes a request, the WAL
+     fsyncs and buffer-pool page faults it causes are charged to the
+     ambient lifecycle record (see the DLS caveat in Lifecycle). The
+     observer is process-global, cleared on the way out. *)
+  if cfg.lifecycle then
+    Store.Hooks.install (fun ev ns ->
+        match Lifecycle.current () with
+        | None -> ()
+        | Some lc -> (
+          match ev with
+          | Store.Hooks.Wal_fsync -> Lifecycle.add_wal_wait lc ns
+          | Store.Hooks.Page_read -> Lifecycle.add_page_wait lc ns));
   (* A paged (or copy-of-paged) database exposes its store counters;
      an in-memory one reports no store block at all. *)
   (match D.Database.store_stats st.db with
@@ -1102,6 +1446,7 @@ let run ?(handle_signals = false) ?(on_listen = fun _ -> ())
   in
   Fun.protect
     ~finally:(fun () ->
+      if cfg.lifecycle then Store.Hooks.clear ();
       Option.iter (fun h -> try Obs.Http.stop h with _ -> ()) !http;
       (* loops have joined (or never started) by now: their eventloops
          are closed here, centrally, so a worker's late wake can never
@@ -1123,7 +1468,7 @@ let run ?(handle_signals = false) ?(on_listen = fun _ -> ())
         | Unix.ADDR_INET (_, p) -> p
         | _ -> assert false
       in
-      if handle_signals then
+      if handle_signals then begin
         List.iter
           (fun s ->
             try
@@ -1131,6 +1476,13 @@ let run ?(handle_signals = false) ?(on_listen = fun _ -> ())
                 (Sys.Signal_handle (fun _ -> initiate_shutdown st))
             with Invalid_argument _ | Sys_error _ -> ())
           [ Sys.sigint; Sys.sigterm ];
+        (* SIGQUIT: dump the flight recorder to stderr and keep serving
+           — the operator's "what is this fleet doing right now" *)
+        try
+          Sys.set_signal Sys.sigquit
+            (Sys.Signal_handle (fun _ -> prerr_endline (flight_json st)))
+        with Invalid_argument _ | Sys_error _ -> ()
+      end;
       (match cfg.metrics_port with
       | None -> ()
       | Some mp ->
@@ -1147,6 +1499,13 @@ let run ?(handle_signals = false) ?(on_listen = fun _ -> ())
             Some
               (if Atomic.get st.stopping then Obs.Http.text 503 "draining\n"
                else Obs.Http.text 200 "ready\n")
+          | "/debug/flight" ->
+            Some
+              {
+                Obs.Http.status = 200;
+                content_type = "application/json";
+                body = flight_json st;
+              }
           | _ -> None
         in
         let h = Obs.Http.start ~host:cfg.host ~port:mp ~handler () in

@@ -117,6 +117,24 @@ type config = {
           ([--max-conns-per-ip]); connections past it are shed with
           [BUSY] and counted in [strategem_ip_limited_total]. [0] (the
           default) = off. *)
+  lifecycle : bool;
+      (** per-request lifecycle tracking (default [true];
+          [--no-lifecycle] turns it off): every dispatched request gets
+          a {!Lifecycle} record stamped through
+          parse → queue → worker → respond → flush, with WAL-fsync and
+          page-fault waits attributed while a worker runs it. Finalized
+          records feed [strategem_stage_latency_us{stage, loop}], the
+          flight recorder, and tail-based retention (the full span tree
+          is kept only for slow / error / shed requests, in a bounded
+          per-loop buffer served by [FLIGHT] / [/debug/flight]). *)
+  flight_capacity : int;
+      (** per-loop flight-recorder ring capacity in events
+          ([--flight-capacity], rounded up to a power of two; default
+          4096 ≈ 192 KiB per loop; [0] disables the ring). Always-on
+          and lock-free: the owning loop writes, anyone snapshots. *)
+  retain : int;
+      (** tail-retained trace buffer size per loop ([--retain]; default
+          64; [0] disables retention). *)
 }
 
 (** 127.0.0.1:4280, 4 workers, loops matching the worker domains, queue
@@ -124,7 +142,8 @@ type config = {
     write cap (global cap and idle timeout off), no state dir, periodic
     snapshots off, PIB with {!Core.Learner.default_config}, trace
     sampling off, 64 MiB answer cache, no metrics responder, structured
-    logging and the slow-query log off. *)
+    logging and the slow-query log off. Lifecycle tracking on, a
+    4096-event flight ring and a 64-trace retention buffer per loop. *)
 val default_config : config
 
 (** [run ?handle_signals ?on_listen ?on_metrics_listen config ~rulebase

@@ -142,13 +142,14 @@ let load t page_no ~fresh =
   let fr = t.frames.(idx) in
   if fresh then Bytes.fill fr.data 0 t.page_size '\000'
   else begin
-    (if Hashtbl.mem t.spilled page_no then
-       pread t.spill_fd fr.data ~file_off:(page_no * t.page_size)
-     else
-       match t.base_fd with
-       | Some fd when page_no < t.base_pages ->
-         pread fd fr.data ~file_off:(page_no * t.page_size)
-       | _ -> Bytes.fill fr.data 0 t.page_size '\000');
+    Hooks.timed Hooks.Page_read (fun () ->
+        if Hashtbl.mem t.spilled page_no then
+          pread t.spill_fd fr.data ~file_off:(page_no * t.page_size)
+        else
+          match t.base_fd with
+          | Some fd when page_no < t.base_pages ->
+            pread fd fr.data ~file_off:(page_no * t.page_size)
+          | _ -> Bytes.fill fr.data 0 t.page_size '\000');
     t.page_reads <- t.page_reads + 1
   end;
   fr.page_no <- page_no;

@@ -3,6 +3,7 @@
    serve snapshotter reuses [Fsync]). *)
 
 module Fsync = Fsync
+module Hooks = Hooks
 module Page = Page
 module Pool = Pool
 module Wal = Wal

@@ -39,6 +39,21 @@ let fresh ?(kind = "span") name =
     sp_attrs = [];
   }
 
+(* Pure constructor for spans assembled after the fact from recorded
+   timestamps (the serve layer's request-lifecycle skeletons): no tracer,
+   no clock reads — every field is the caller's. *)
+let span ?(kind = "span") ?(start_ns = 0L) ?(wall_ns = 0L) ?(cost = 0.0)
+    ?(attrs = []) ?(children = []) name =
+  {
+    sp_name = name;
+    sp_kind = kind;
+    sp_cost = cost;
+    sp_start_ns = start_ns;
+    sp_wall_ns = wall_ns;
+    sp_children = List.rev children;
+    sp_attrs = List.rev attrs;
+  }
+
 let root t ?kind name =
   match t with
   | Null -> dummy
@@ -359,7 +374,7 @@ module Ring = struct
         t.items.((t.next - t.len + i + (2 * cap)) mod cap))
 end
 
-let of_json text =
+let of_json_value v =
   let fail msg = raise (Parse_error msg) in
   let rec span_of = function
     | Json.Obj fields ->
@@ -413,4 +428,47 @@ let of_json text =
       }
     | _ -> fail "span must be a JSON object"
   in
-  span_of (Json.parse text)
+  span_of v
+
+let of_json text = of_json_value (Json.parse text)
+
+(* ---------- Chrome trace-event export ----------
+
+   The [chrome://tracing] / Perfetto JSON-object format: one complete
+   ("X"-phase) event per span, microsecond timestamps, the owning event
+   loop as the thread id so Perfetto lanes the fleet per loop. *)
+
+let to_chrome ?(tid_attr = "loop") roots =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let us_of_ns ns = Int64.to_float ns /. 1e3 in
+  let rec go sp =
+    if !first then first := false else Buffer.add_char buf ',';
+    let tid =
+      match Option.bind (attr sp tid_attr) int_of_string_opt with
+      | Some i -> i
+      | None -> 0
+    in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%s,\
+          \"dur\":%s,\"pid\":1,\"tid\":%d"
+         (json_escape sp.sp_name) (json_escape sp.sp_kind)
+         (float_repr (us_of_ns sp.sp_start_ns))
+         (float_repr (us_of_ns sp.sp_wall_ns))
+         tid);
+    let args = ("cost", float_repr sp.sp_cost) :: attrs sp in
+    Buffer.add_string buf ",\"args\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf
+          (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+      args;
+    Buffer.add_string buf "}}";
+    List.iter go (children sp)
+  in
+  List.iter go roots;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

@@ -42,6 +42,21 @@ val dummy : span
 
 (** {1 Recording} *)
 
+(** [span name] builds a span outside any tracer from values the caller
+    already holds — the request-lifecycle layer reconstructs its span
+    skeletons from recorded timestamps this way. No clock is read;
+    [start_ns]/[wall_ns] default to 0, [attrs]/[children] are taken
+    oldest-first (the order {!attrs}/{!children} report). *)
+val span :
+  ?kind:string ->
+  ?start_ns:int64 ->
+  ?wall_ns:int64 ->
+  ?cost:float ->
+  ?attrs:(string * string) list ->
+  ?children:span list ->
+  string ->
+  span
+
 (** [root t name] starts the tracer's root span (replacing any previous
     root). *)
 val root : t -> ?kind:string -> string -> span
@@ -120,6 +135,35 @@ val of_json : string -> span
 (** Escape a string for embedding in a JSON string literal (double
     quotes not included). *)
 val json_escape : string -> string
+
+(** The minimal JSON reader behind {!of_json} — just the dialect this
+    repo's renderers emit (objects, arrays, strings, numbers, booleans,
+    null). Exposed so consumers of composite documents that {e embed}
+    span objects (the [FLIGHT] verb's reply, [/debug/flight]) can parse
+    the envelope and hand the span values to {!of_json_value}. *)
+module Json : sig
+  type value =
+    | Obj of (string * value) list
+    | Arr of value list
+    | Str of string
+    | Num of string  (** raw text, so int64 timestamps keep precision *)
+    | Bool of bool
+    | Jnull
+
+  (** Raises {!Parse_error} on malformed input or trailing bytes. *)
+  val parse : string -> value
+end
+
+(** Like {!of_json}, from an already-parsed {!Json.value}. *)
+val of_json_value : Json.value -> span
+
+(** Chrome trace-event / Perfetto JSON ([{"traceEvents":[...]}]): every
+    span of every tree becomes one complete ("X"-phase) event with
+    microsecond [ts]/[dur] from [start_ns]/[wall_ns], [pid] 1, and [tid]
+    taken from the span's [tid_attr] attribute (default ["loop"], 0 when
+    absent) — so a fleet trace lanes per event loop. Paper cost and all
+    attributes ride in [args]. *)
+val to_chrome : ?tid_attr:string -> span list -> string
 
 (** A bounded ring of recent rendered traces.
 

@@ -93,6 +93,46 @@ learner-convergence table (one header plus one row per form):
   $ ../bin/strategem.exe watch --port $MPORT --count 1 | grep -c '^FORM\|^instructor_1_'
   3
 
+...along with one row per event loop of the reactor fleet:
+
+  $ ../bin/strategem.exe watch --port $MPORT --count 1 | grep -c '^loop 0 '
+  1
+
+Every request's lifecycle is tracked by default and counted in the
+additive STATS field:
+
+  $ ../bin/strategem.exe client --port $PORT STATS | grep -c '^lifecycle_requests_total [1-9][0-9]*$'
+  1
+
+The always-on flight recorder keeps a per-loop ring of lifecycle
+events. FLIGHT dumps every ring (merged, time-ordered) plus the
+tail-retained traces as one JSON envelope; the accept/request/flush
+events of the conversations above are in it:
+
+  $ ../bin/strategem.exe client --port $PORT FLIGHT | grep -c '"version":1,"loops":[0-9]*,"flight_capacity":4096'
+  1
+  $ ../bin/strategem.exe client --port $PORT FLIGHT | grep -o '"code":"accept"\|"code":"request"\|"code":"flush"' | sort -u
+  "code":"accept"
+  "code":"flush"
+  "code":"request"
+
+The same dump is served over HTTP at /debug/flight and by the flight
+subcommand; --chrome converts the retained span trees to Chrome
+trace-event JSON (empty here — no request was slow, shed, or errored,
+and tail-based retention keeps only those):
+
+  $ curl -sf http://127.0.0.1:$MPORT/debug/flight | grep -c '"version":1'
+  1
+  $ ../bin/strategem.exe flight --port $MPORT | grep -c '"version":1'
+  1
+  $ ../bin/strategem.exe flight --port $MPORT --chrome
+  {"traceEvents":[]}
+
+The tail subcommand streams retained traces as they appear — nothing
+yet, for the same reason:
+
+  $ ../bin/strategem.exe tail --port $MPORT --count 1
+
 Unknown verbs, malformed arguments, and unparsable queries are answered
 with structured ERR lines (a machine-readable code first):
 

@@ -242,6 +242,110 @@ let lint_catches_violations () =
     Alcotest.failf "well-formed histogram must pass: %s"
       (String.concat "; " problems)
 
+(* ---------- Label-value escaping ---------- *)
+
+let contains_s hay needle =
+  let rec go i =
+    i + String.length needle <= String.length hay
+    && (String.sub hay i (String.length needle) = needle || go (i + 1))
+  in
+  go 0
+
+let label_value_escaping () =
+  let reg = R.create () in
+  let fam = R.Counter.v reg ~help:"h" ~labels:[ "k" ] "esc_total" in
+  List.iter
+    (fun v -> R.Counter.inc (R.Counter.labels fam [ v ]))
+    [ "back\\slash"; "new\nline"; "quo\"te"; "all\\three\"\n" ];
+  let doc = Obs.Expo.render reg in
+  (* The exposition format escapes exactly backslash, newline, and double
+     quote inside label values. *)
+  check_bool "backslash escaped" true
+    (contains_s doc {|esc_total{k="back\\slash"} 1|});
+  check_bool "newline escaped" true
+    (contains_s doc {|esc_total{k="new\nline"} 1|});
+  check_bool "quote escaped" true
+    (contains_s doc {|esc_total{k="quo\"te"} 1|});
+  check_bool "combined escapes" true
+    (contains_s doc {|esc_total{k="all\\three\"\n"} 1|});
+  (match Obs.Expo.lint doc with
+  | Ok () -> ()
+  | Error problems ->
+    Alcotest.failf "escaped document must lint: %s"
+      (String.concat "; " problems));
+  let samples = Obs.Expo.parse_samples doc in
+  List.iter
+    (fun v ->
+      check_bool "escaped value parses back" true
+        (List.exists
+           (fun s ->
+             s.Obs.Expo.metric = "esc_total"
+             && s.Obs.Expo.labels = [ ("k", v) ])
+           samples))
+    [ "back\\slash"; "new\nline"; "quo\"te"; "all\\three\"\n" ]
+
+(* ---------- Flight recorder ---------- *)
+
+module F = Obs.Flight
+
+let flight_records_and_snapshots () =
+  let r = F.create ~capacity:8 in
+  check_bool "enabled" true (F.enabled r);
+  check_int "capacity kept" 8 (F.capacity r);
+  for i = 0 to 4 do
+    F.record r
+      ~ts_ns:(Int64.of_int (1000 + i))
+      ~code:F.code_request ~loop:2 ~conn:7 ~rid:i ~a:(Int64.of_int i) ~b:9L
+  done;
+  check_int "seq counts events" 5 (F.seq r);
+  let evs = F.snapshot r in
+  check_int "all five present" 5 (List.length evs);
+  let e0 = List.hd evs in
+  check_int "oldest first" 0 e0.F.ev_seq;
+  check_bool "ts survives" true (e0.F.ev_ts_ns = 1000L);
+  check_int "code" F.code_request e0.F.ev_code;
+  check_int "loop" 2 e0.F.ev_loop;
+  check_int "conn" 7 e0.F.ev_conn;
+  check_int "rid" 0 e0.F.ev_rid;
+  check_bool "detail a" true (e0.F.ev_a = 0L);
+  check_bool "detail b" true (e0.F.ev_b = 9L);
+  check_string "event JSON shape"
+    "{\"seq\":0,\"ts_ns\":1000,\"code\":\"request\",\"loop\":2,\"conn\":7,\
+     \"rid\":0,\"a\":0,\"b\":9}"
+    (F.event_to_json e0)
+
+let flight_wraps () =
+  let r = F.create ~capacity:4 in
+  for i = 0 to 9 do
+    F.record r ~ts_ns:(Int64.of_int i) ~code:F.code_accept ~loop:0 ~conn:i
+      ~rid:0 ~a:0L ~b:0L
+  done;
+  let evs = F.snapshot r in
+  check_int "only the last capacity survive" 4 (List.length evs);
+  check_int "oldest surviving seq" 6 (List.hd evs).F.ev_seq;
+  check_int "newest last" 9 (List.nth evs 3).F.ev_seq;
+  check_int "conn tracks the survivors" 6 (List.hd evs).F.ev_conn
+
+let flight_capacity_edge_cases () =
+  check_int "capacity rounds up to a power of two" 8
+    (F.capacity (F.create ~capacity:5));
+  let d = F.create ~capacity:0 in
+  check_bool "capacity 0 disables" false (F.enabled d);
+  F.record d ~ts_ns:1L ~code:F.code_accept ~loop:0 ~conn:0 ~rid:0 ~a:0L
+    ~b:0L;
+  check_int "disabled ring records nothing" 0 (List.length (F.snapshot d));
+  check_int "disabled ring has no seq" 0 (F.seq d)
+
+let flight_code_names () =
+  List.iter
+    (fun (code, name) -> check_string name name (F.code_name code))
+    [
+      (F.code_accept, "accept"); (F.code_close, "close");
+      (F.code_shed, "shed"); (F.code_request, "request");
+      (F.code_enqueue, "enqueue"); (F.code_worker, "worker");
+      (F.code_respond, "respond"); (F.code_flush, "flush");
+    ]
+
 (* ---------- Structured logging ---------- *)
 
 let log_lines f =
@@ -393,6 +497,11 @@ let suite =
         case "render/parse round-trip" render_parse_roundtrip;
         case "float formatting" float_str_forms;
         case "lint catches violations" lint_catches_violations;
+        case "label-value escaping" label_value_escaping;
+        case "flight ring records and snapshots" flight_records_and_snapshots;
+        case "flight ring wraps" flight_wraps;
+        case "flight ring capacity edge cases" flight_capacity_edge_cases;
+        case "flight event-code names" flight_code_names;
         case "log record shape" log_record_shape;
         case "log level filtering" log_level_filter;
         case "log level round-trip" log_levels_roundtrip;

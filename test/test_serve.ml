@@ -50,6 +50,10 @@ let protocol_parse () =
     (Serve.Protocol.Malformed "PING takes no argument") "PING now";
   check "unknown verb carries the verb" (Serve.Protocol.Unknown "FROBNICATE")
     "FROBNICATE 3";
+  check "flight" Serve.Protocol.Flight "FLIGHT";
+  check "flight lowercase" Serve.Protocol.Flight "flight";
+  check "flight with junk is malformed"
+    (Serve.Protocol.Malformed "FLIGHT takes no argument") "FLIGHT now";
   check_string "answer line" "ANSWER yes reductions=2 retrievals=2 switched"
     (Serve.Protocol.answer_line ~result:"yes" ~reductions:2 ~retrievals:2
        ~cached:false ~switched:true);
@@ -96,8 +100,8 @@ let frame_kinds =
     Serve.Frame.Hello; Serve.Frame.Query; Serve.Frame.Trace;
     Serve.Frame.Strategy; Serve.Frame.Stats; Serve.Frame.Stats_json;
     Serve.Frame.Snapshot; Serve.Frame.Ping; Serve.Frame.Help;
-    Serve.Frame.Quit; Serve.Frame.Shutdown; Serve.Frame.Ok;
-    Serve.Frame.Err; Serve.Frame.Busy; Serve.Frame.Bye;
+    Serve.Frame.Flight; Serve.Frame.Quit; Serve.Frame.Shutdown;
+    Serve.Frame.Ok; Serve.Frame.Err; Serve.Frame.Busy; Serve.Frame.Bye;
   ]
 
 let frame_roundtrip =
@@ -862,6 +866,343 @@ let server_per_ip_cap () =
   check_bool "shutdown admitted" true (shutdown ());
   Thread.join thread
 
+let eventloop_wakeups_coalesce () =
+  (* The wake channel is kernel-coalesced (eventfd) behind an atomic
+     flag: a burst of cross-thread posts between two polls must drain as
+     ONE counted wakeup, not one per post — the {loop} wakeup counters
+     report batches. *)
+  let l = Serve.Eventloop.create () in
+  Fun.protect
+    ~finally:(fun () -> Serve.Eventloop.close l)
+    (fun () ->
+      check_int "no wakeups before any poll" 0 (Serve.Eventloop.wakeups l);
+      let posters =
+        List.init 4 (fun _ ->
+            Thread.create
+              (fun () ->
+                for _ = 1 to 25 do
+                  Serve.Eventloop.wake l
+                done)
+              ())
+      in
+      List.iter Thread.join posters;
+      Serve.Eventloop.iterate l ~timeout_ms:0;
+      check_int "100 posts drain as one coalesced wakeup" 1
+        (Serve.Eventloop.wakeups l);
+      Serve.Eventloop.iterate l ~timeout_ms:0;
+      check_int "a quiet iteration adds none" 1 (Serve.Eventloop.wakeups l);
+      Serve.Eventloop.wake l;
+      Serve.Eventloop.iterate l ~timeout_ms:0;
+      check_int "a separate burst counts separately" 2
+        (Serve.Eventloop.wakeups l))
+
+(* ---------- Request lifecycle + flight recorder ---------- *)
+
+(* One blocking HTTP GET against the daemon's metrics responder. *)
+let http_get ~port path =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req =
+        Printf.sprintf
+          "GET %s HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n" path
+      in
+      ignore (Unix.write_substring fd req 0 (String.length req));
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 4096 in
+      let rec go () =
+        match Unix.read fd chunk 0 4096 with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          go ()
+      in
+      go ();
+      let raw = Buffer.contents buf in
+      let rec body_start i =
+        if i + 4 > String.length raw then 0
+        else if String.sub raw i 4 = "\r\n\r\n" then i + 4
+        else body_start (i + 1)
+      in
+      let i = body_start 0 in
+      String.sub raw i (String.length raw - i))
+
+let server_lifecycle_flight_e2e () =
+  (* End to end over a 1-loop fleet with a threshold that marks every
+     request slow: a pipelined v4 QUERY must surface in the FLIGHT dump
+     as a retained span tree whose accept→frame→queue→worker→backend→
+     flush stages nest, order, and carry the owning loop id — including
+     after conversion to Chrome trace-event JSON — and the {stage,loop}
+     histogram series must lint on a live /metrics scrape. *)
+  let rulebase, db = kb () in
+  let port = Atomic.make 0 and mport = Atomic.make 0 in
+  let cfg =
+    {
+      (server_config ~workers:2 ~loops:1 ()) with
+      Serve.Server.slow_query_us = 0.001;
+      metrics_port = Some 0;
+    }
+  in
+  let thread =
+    Thread.create
+      (fun () ->
+        Serve.Server.run
+          ~on_listen:(fun p -> Atomic.set port p)
+          ~on_metrics_listen:(fun p -> Atomic.set mport p)
+          cfg ~rulebase ~db)
+      ()
+  in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while
+    (Atomic.get port = 0 || Atomic.get mport = 0)
+    && Unix.gettimeofday () < deadline
+  do
+    Thread.delay 0.01
+  done;
+  if Atomic.get port = 0 || Atomic.get mport = 0 then
+    Alcotest.fail "server did not start";
+  let c = Serve.Client.connect ~proto:`V4 ~port:(Atomic.get port) () in
+  let qid = Serve.Client.post c "QUERY instructor(manolis)" in
+  let rid, lines = Serve.Client.recv c in
+  check_int "query answered under its id" qid rid;
+  check_bool "with an ANSWER" true
+    (match lines with
+    | [ l ] -> String.length l >= 6 && String.sub l 0 6 = "ANSWER"
+    | _ -> false);
+  (* Finalization happens on the owning loop after the response bytes
+     drain, so the retained trace may lag the reply by a poll: retry. *)
+  let find_retained () =
+    let reply = Serve.Client.request c "FLIGHT" in
+    match Trace.Json.parse reply with
+    | Trace.Json.Obj fields -> (
+      match List.assoc_opt "retained" fields with
+      | Some (Trace.Json.Arr entries) ->
+        List.find_map
+          (fun e ->
+            match e with
+            | Trace.Json.Obj ef -> (
+              match
+                (List.assoc_opt "rid" ef, List.assoc_opt "span" ef)
+              with
+              | Some (Trace.Json.Num rid), Some span
+                when int_of_string rid = qid ->
+                Some (ef, span)
+              | _ -> None)
+            | _ -> None)
+          entries
+      | _ -> None)
+    | _ -> None
+  in
+  let rec poll () =
+    match find_retained () with
+    | Some found -> found
+    | None ->
+      if Unix.gettimeofday () > deadline then
+        Alcotest.fail "query trace never retained"
+      else begin
+        Thread.delay 0.05;
+        poll ()
+      end
+  in
+  let entry, span_v = poll () in
+  (match List.assoc_opt "reason" entry with
+  | Some (Trace.Json.Str "slow") -> ()
+  | _ -> Alcotest.fail "retention reason must be slow");
+  (match List.assoc_opt "loop" entry with
+  | Some (Trace.Json.Num "0") -> ()
+  | _ -> Alcotest.fail "1-loop fleet: retained on loop 0");
+  let span = Trace.of_json_value span_v in
+  check_string "root is the request span" "request" (Trace.kind span);
+  check_bool "root carries the loop id" true
+    (Trace.attr span "loop" = Some "0");
+  check_bool "root carries the rid" true
+    (Trace.attr span "rid" = Some (string_of_int qid));
+  let stages = List.map Trace.kind (Trace.children span) in
+  (* accept→frame→queue→worker→flush, in order (all present here) *)
+  check_bool "stage order" true
+    (stages = [ "accept"; "frame"; "queue"; "worker"; "flush" ]);
+  List.iter
+    (fun sp ->
+      check_bool "every stage carries the loop id" true
+        (Trace.attr sp "loop" = Some "0"))
+    (Trace.children span);
+  let worker =
+    List.find (fun sp -> Trace.kind sp = "worker") (Trace.children span)
+  in
+  check_bool "worker span shows the backend (cache or sld)" true
+    (List.exists
+       (fun sp -> Trace.kind sp = "cache" || Trace.kind sp = "sld")
+       (Trace.children worker));
+  (* Stage timestamps are monotone through the pipeline. *)
+  let start k =
+    Trace.start_ns
+      (List.find (fun sp -> Trace.kind sp = k) (Trace.children span))
+  in
+  check_bool "frame≤queue≤worker≤flush" true
+    (start "frame" <= start "queue"
+    && start "queue" <= start "worker"
+    && start "worker" <= start "flush");
+  (* ---- the same tree through the Chrome trace-event exporter ---- *)
+  (match Trace.Json.parse (Trace.to_chrome [ span ]) with
+  | Trace.Json.Obj [ ("traceEvents", Trace.Json.Arr events) ] ->
+    let field ev k =
+      match ev with
+      | Trace.Json.Obj fs -> List.assoc_opt k fs
+      | _ -> None
+    in
+    let num ev k =
+      match field ev k with
+      | Some (Trace.Json.Num raw) -> float_of_string raw
+      | _ -> Alcotest.failf "chrome event missing %s" k
+    in
+    check_bool "one event per span" true
+      (List.length events >= 6 (* request + 5 stages *));
+    List.iter
+      (fun ev ->
+        check_bool "every event is a complete span on the loop's lane"
+          true
+          (field ev "ph" = Some (Trace.Json.Str "X")
+          && field ev "tid" = Some (Trace.Json.Num "0")))
+      events;
+    (* preorder: the request event leads, stages follow in order *)
+    let names =
+      List.filter_map
+        (fun ev ->
+          match field ev "cat" with
+          | Some (Trace.Json.Str k) -> Some k
+          | _ -> None)
+        events
+    in
+    check_bool "request leads the export" true
+      (match names with "request" :: _ -> true | _ -> false);
+    let idx k =
+      let rec go i = function
+        | [] -> Alcotest.failf "chrome export missing %s" k
+        | x :: _ when x = k -> i
+        | _ :: tl -> go (i + 1) tl
+      in
+      go 0 names
+    in
+    check_bool "stage events keep pipeline order" true
+      (idx "accept" < idx "frame"
+      && idx "frame" < idx "queue"
+      && idx "queue" < idx "worker"
+      && idx "worker" < idx "flush");
+    (* nesting: every stage but accept fits inside the request event
+       (accept predates the request's first frame byte by design) *)
+    let root_ev = List.hd events in
+    List.iter
+      (fun k ->
+        let ev = List.nth events (idx k) in
+        check_bool (k ^ " nests inside the request event") true
+          (num ev "ts" >= num root_ev "ts"
+          && num ev "ts" +. num ev "dur"
+             <= num root_ev "ts" +. num root_ev "dur" +. 0.5))
+      [ "frame"; "queue"; "worker"; "flush" ]
+  | _ -> Alcotest.fail "chrome export must parse as {traceEvents:[...]}");
+  (* ---- ring events for the request are in the dump too ---- *)
+  let dump = Serve.Client.request c "FLIGHT" in
+  List.iter
+    (fun code ->
+      check_bool (code ^ " event recorded") true
+        (contains (Printf.sprintf "\"code\":\"%s\"" code) dump))
+    [ "accept"; "request"; "enqueue"; "worker"; "respond"; "flush" ];
+  (* ---- STATS carries the additive lifecycle fields ---- *)
+  let stats = Serve.Client.command c "STATS" in
+  let field_at_least name floor =
+    List.exists
+      (fun l ->
+        match String.split_on_char ' ' l with
+        | [ n; v ] -> n = name && int_of_string_opt v >= Some floor
+        | _ -> false)
+      stats
+  in
+  check_bool "lifecycle_requests_total counted" true
+    (field_at_least "lifecycle_requests_total" 1);
+  check_bool "traces_retained_total counted" true
+    (field_at_least "traces_retained_total" 1);
+  (* ---- live /metrics scrape: {stage,loop} series, and it lints ---- *)
+  let body = http_get ~port:(Atomic.get mport) "/metrics" in
+  (match Obs.Expo.lint body with
+  | Ok () -> ()
+  | Error problems ->
+    Alcotest.failf "live fleet scrape must lint: %s"
+      (String.concat "; " problems));
+  List.iter
+    (fun needle ->
+      check_bool (needle ^ " series exported") true (contains needle body))
+    [
+      "strategem_stage_latency_us_bucket{stage=\"total\",loop=\"0\"";
+      "strategem_stage_latency_us_bucket{stage=\"worker\",loop=\"0\"";
+      "strategem_traces_retained_total{reason=\"slow\"}";
+      "strategem_trace_retained_exemplar{loop=\"0\"}";
+      "strategem_lifecycle_requests_total";
+      "strategem_loop_wakeups_total{loop=\"0\"}";
+    ];
+  (* ---- /debug/flight serves the same envelope over HTTP ---- *)
+  let flight_body = http_get ~port:(Atomic.get mport) "/debug/flight" in
+  (match Trace.Json.parse flight_body with
+  | Trace.Json.Obj fields ->
+    check_bool "/debug/flight envelope version" true
+      (List.assoc_opt "version" fields = Some (Trace.Json.Num "1"))
+  | _ -> Alcotest.fail "/debug/flight must serve the flight JSON");
+  check_string "shutdown" "BYE" (Serve.Client.request c "SHUTDOWN");
+  Serve.Client.close c;
+  Thread.join thread
+
+let server_lifecycle_off_still_serves () =
+  (* --no-lifecycle / --flight-capacity 0 / --retain 0: the whole layer
+     gone, FLIGHT still answers an empty envelope, serving unaffected. *)
+  let rulebase, db = kb () in
+  let port = Atomic.make 0 in
+  let cfg =
+    {
+      (server_config ~workers:2 ~loops:1 ()) with
+      Serve.Server.lifecycle = false;
+      flight_capacity = 0;
+      retain = 0;
+      slow_query_us = 0.001;
+    }
+  in
+  let thread =
+    Thread.create
+      (fun () ->
+        Serve.Server.run
+          ~on_listen:(fun p -> Atomic.set port p)
+          cfg ~rulebase ~db)
+      ()
+  in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while Atomic.get port = 0 && Unix.gettimeofday () < deadline do
+    Thread.delay 0.01
+  done;
+  if Atomic.get port = 0 then Alcotest.fail "server did not start";
+  let replies =
+    talk (Atomic.get port) [ "QUERY instructor(manolis)"; "FLIGHT"; "SHUTDOWN" ]
+  in
+  check_bool "query still answered" true
+    (List.exists
+       (fun l -> String.length l >= 6 && String.sub l 0 6 = "ANSWER")
+       replies);
+  (match
+     List.find_opt
+       (fun l -> String.length l > 0 && l.[0] = '{')
+       replies
+   with
+  | Some dump -> (
+    match Trace.Json.parse dump with
+    | Trace.Json.Obj fields ->
+      check_bool "no events recorded" true
+        (List.assoc_opt "events" fields = Some (Trace.Json.Arr []));
+      check_bool "nothing retained" true
+        (List.assoc_opt "retained" fields = Some (Trace.Json.Arr []))
+    | _ -> Alcotest.fail "FLIGHT reply must be a JSON object")
+  | None -> Alcotest.fail "FLIGHT reply missing");
+  check_bool "shutdown acknowledged" true (List.mem "BYE" replies);
+  Thread.join thread
+
 let server_idle_timeout_closes () =
   let thread, port = start_server ~idle_timeout_s:0.2 () in
   let _fd, ic, oc = connect port in
@@ -918,5 +1259,10 @@ let suite =
         slow_case "per-ip cap sheds at accept and releases on close"
           server_per_ip_cap;
         slow_case "idle timeout closes quiet conns" server_idle_timeout_closes;
+        case "eventfd wake channel coalesces bursts" eventloop_wakeups_coalesce;
+        slow_case "lifecycle traces retained, exported, and linted"
+          server_lifecycle_flight_e2e;
+        slow_case "lifecycle layer off: serving unaffected"
+          server_lifecycle_off_still_serves;
       ] );
   ]

@@ -149,6 +149,126 @@ let of_json_rejects_malformed () =
     (rejects
        "{\"name\":\"q\",\"kind\":\"\",\"cost\":0,\"start_ns\":0,\"wall_ns\":0}x")
 
+(* ---------- Pure spans, embedded JSON, Chrome export ---------- *)
+
+let pure_span_constructor () =
+  let child =
+    T.span ~kind:"queue" ~start_ns:1_000L ~wall_ns:500L ~cost:0.0 "queue"
+  in
+  let root =
+    T.span ~kind:"request" ~start_ns:0L ~wall_ns:2_000L
+      ~attrs:[ ("loop", "3"); ("conn", "8") ]
+      ~children:[ child ] "QUERY instructor(manolis)"
+  in
+  check_string "name" "QUERY instructor(manolis)" (T.name root);
+  check_string "kind" "request" (T.kind root);
+  check_bool "attrs kept in order" true
+    (T.attrs root = [ ("loop", "3"); ("conn", "8") ]);
+  check_int "children attached" 1 (List.length (T.children root));
+  check_bool "child timestamps survive" true
+    (T.start_ns child = 1_000L && T.wall_ns child = 500L);
+  check_bool "defaults are zero" true
+    (let bare = T.span "x" in
+     T.start_ns bare = 0L && T.wall_ns bare = 0L && T.cost bare = 0.0
+     && T.kind bare = "span" && T.children bare = []);
+  check_bool "pure spans round-trip through JSON" true
+    (T.equal (T.of_json (T.to_json root)) root)
+
+let json_value_of_embedded_envelope () =
+  (* The FLIGHT reply embeds span objects inside a larger document; the
+     exposed Json reader parses the envelope and of_json_value lifts the
+     embedded spans. *)
+  let _, root = build_fixed () in
+  let envelope =
+    Printf.sprintf
+      "{\"version\":1,\"retained\":[{\"seq\":4,\"reason\":\"slow\",\
+       \"span\":%s}],\"empty\":[],\"flag\":true,\"nothing\":null}"
+      (T.to_json root)
+  in
+  match T.Json.parse envelope with
+  | T.Json.Obj fields ->
+    (match List.assoc_opt "version" fields with
+    | Some (T.Json.Num "1") -> ()
+    | _ -> Alcotest.fail "version field");
+    (match List.assoc_opt "flag" fields with
+    | Some (T.Json.Bool true) -> ()
+    | _ -> Alcotest.fail "bool field");
+    (match List.assoc_opt "nothing" fields with
+    | Some T.Json.Jnull -> ()
+    | _ -> Alcotest.fail "null field");
+    (match List.assoc_opt "retained" fields with
+    | Some (T.Json.Arr [ T.Json.Obj entry ]) -> (
+      match List.assoc_opt "span" entry with
+      | Some sv ->
+        check_bool "embedded span lifts back" true
+          (T.equal (T.of_json_value sv) root)
+      | None -> Alcotest.fail "span field missing")
+    | _ -> Alcotest.fail "retained array shape");
+    check_bool "trailing garbage rejected" true
+      (match T.Json.parse (envelope ^ "x") with
+      | exception T.Parse_error _ -> true
+      | _ -> false)
+  | _ -> Alcotest.fail "envelope must parse as an object"
+
+let chrome_export_shape () =
+  let worker =
+    T.span ~kind:"worker" ~start_ns:3_000L ~wall_ns:4_000L
+      ~attrs:[ ("loop", "1") ] "worker"
+  in
+  let root =
+    T.span ~kind:"request" ~start_ns:2_000L ~wall_ns:6_000L
+      ~attrs:[ ("loop", "1") ] ~children:[ worker ] "QUERY q \"x\""
+  in
+  let doc = T.to_chrome [ root ] in
+  match T.Json.parse doc with
+  | T.Json.Obj [ ("traceEvents", T.Json.Arr events) ] ->
+    check_int "one event per span" 2 (List.length events);
+    let field ev k =
+      match ev with
+      | T.Json.Obj fields -> List.assoc_opt k fields
+      | _ -> None
+    in
+    List.iter
+      (fun ev ->
+        check_bool "complete-event phase" true
+          (field ev "ph" = Some (T.Json.Str "X"));
+        check_bool "pid 1" true (field ev "pid" = Some (T.Json.Num "1"));
+        check_bool "tid from the loop attr" true
+          (field ev "tid" = Some (T.Json.Num "1")))
+      events;
+    let ev_root = List.hd events and ev_child = List.nth events 1 in
+    check_bool "names escape" true
+      (field ev_root "name" = Some (T.Json.Str "QUERY q \"x\""));
+    check_bool "ts in microseconds" true
+      (field ev_root "ts" = Some (T.Json.Num "2")
+      && field ev_child "ts" = Some (T.Json.Num "3"));
+    check_bool "dur in microseconds" true
+      (field ev_root "dur" = Some (T.Json.Num "6")
+      && field ev_child "dur" = Some (T.Json.Num "4"));
+    (* The child's lane is nested inside the parent's on the timeline. *)
+    let num ev k =
+      match field ev k with
+      | Some (T.Json.Num raw) -> float_of_string raw
+      | _ -> Alcotest.failf "missing numeric %s" k
+    in
+    check_bool "child nests within parent" true
+      (num ev_child "ts" >= num ev_root "ts"
+      && num ev_child "ts" +. num ev_child "dur"
+         <= num ev_root "ts" +. num ev_root "dur");
+    (match field ev_root "args" with
+    | Some (T.Json.Obj args) ->
+      check_bool "cost rides in args" true
+        (List.assoc_opt "cost" args = Some (T.Json.Str "0"));
+      check_bool "attrs ride in args" true
+        (List.assoc_opt "loop" args = Some (T.Json.Str "1"))
+    | _ -> Alcotest.fail "args object missing");
+    check_bool "span without the tid attr lands on tid 0" true
+      (match T.Json.parse (T.to_chrome [ T.span "bare" ]) with
+      | T.Json.Obj [ ("traceEvents", T.Json.Arr [ ev ]) ] ->
+        field ev "tid" = Some (T.Json.Num "0")
+      | _ -> false)
+  | _ -> Alcotest.fail "chrome export must be {traceEvents:[...]}"
+
 (* ---------- Ring ---------- *)
 
 let ring_evicts_oldest () =
@@ -283,6 +403,9 @@ let suite =
         case "JSON round-trip (nasty strings)" json_round_trip_nasty_strings;
         json_round_trip_random;
         case "of_json rejects malformed" of_json_rejects_malformed;
+        case "pure span constructor" pure_span_constructor;
+        case "Json reader on embedded envelopes" json_value_of_embedded_envelope;
+        case "Chrome trace-event export" chrome_export_shape;
         case "ring evicts oldest" ring_evicts_oldest;
         case "exec arc events ≡ c(Θ,I) on G_A" exec_trace_matches_cost_ga;
         monitor_trace_matches_cost;
