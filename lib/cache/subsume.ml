@@ -1,0 +1,158 @@
+module D = Datalog
+
+(* Adornment of an atom as a bitmask of bound (constant) positions: bit i
+   set iff argument i is `B. A general key can subsume a query only if its
+   bound set is a subset of the query's, so subset-mask buckets are an
+   exact pre-filter for the lattice walk. Arities wider than an int's bits
+   are not indexed (no such predicate exists in practice). *)
+let bound_mask (a : D.Atom.t) =
+  let mask, _ =
+    List.fold_left
+      (fun (m, i) ad ->
+        ((match ad with `B -> m lor (1 lsl i) | `F -> m), i + 1))
+      (0, 0) (D.Atom.adornment a)
+  in
+  mask
+
+let popcount m =
+  let rec go n m = if m = 0 then n else go (n + (m land 1)) (m lsr 1) in
+  go 0 m
+
+type t = {
+  lock : Mutex.t;
+  (* (pred id, arity) -> registered keys with their bound masks. Buckets
+     are small (one entry per cached adornment-variant of the predicate);
+     a list beats a second level of hashing. *)
+  tbl : (int * int, (int * D.Atom.t) list ref) Hashtbl.t;
+}
+
+let create () = { lock = Mutex.create (); tbl = Hashtbl.create 16 }
+
+let slot (a : D.Atom.t) = (D.Symbol.id a.D.Atom.pred, D.Atom.arity a)
+
+let max_indexed_arity = Sys.int_size - 2
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let add t key =
+  if D.Atom.arity key <= max_indexed_arity then
+    with_lock t (fun () ->
+        let bucket =
+          match Hashtbl.find_opt t.tbl (slot key) with
+          | Some b -> b
+          | None ->
+            let b = ref [] in
+            Hashtbl.add t.tbl (slot key) b;
+            b
+        in
+        if not (List.exists (fun (_, k) -> D.Atom.equal k key) !bucket) then
+          bucket := (bound_mask key, key) :: !bucket)
+
+let remove t key =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.tbl (slot key) with
+      | None -> ()
+      | Some b -> b := List.filter (fun (_, k) -> not (D.Atom.equal k key)) !b)
+
+let length t =
+  with_lock t (fun () ->
+      Hashtbl.fold (fun _ b acc -> acc + List.length !b) t.tbl 0)
+
+let candidates t ?exclude q =
+  let qmask = bound_mask q in
+  let cands =
+    with_lock t (fun () ->
+        match Hashtbl.find_opt t.tbl (slot q) with
+        | None -> []
+        | Some b ->
+          List.filter
+            (fun (m, k) ->
+              m land qmask = m
+              && not
+                   (match exclude with
+                   | Some e -> D.Atom.equal k e
+                   | None -> false))
+            !b)
+  in
+  (* Most-specific-first: scanning the most-bound generalization first
+     keeps the filtered row scan as selective as possible. *)
+  List.stable_sort
+    (fun (m1, _) (m2, _) -> Int.compare (popcount m2) (popcount m1))
+    cands
+  |> List.map snd
+
+let theta_subsumes ~general (s : D.Atom.t) =
+  let g = general in
+  if
+    D.Symbol.id g.D.Atom.pred <> D.Symbol.id s.D.Atom.pred
+    || D.Atom.arity g <> D.Atom.arity s
+  then None
+  else
+    let rec go env gs ss =
+      match (gs, ss) with
+      | [], [] -> Some env
+      | gt :: gs, st :: ss -> (
+        match gt with
+        | D.Term.Const _ -> if D.Term.equal gt st then go env gs ss else None
+        | D.Term.Var v -> (
+          let bound =
+            List.find_opt (fun (v', _) -> D.Term.equal_var v v') env
+          in
+          match bound with
+          | Some (_, t) -> if D.Term.equal t st then go env gs ss else None
+          | None -> go ((v, st) :: env) gs ss))
+      | _ -> None
+    in
+    go [] g.D.Atom.args s.D.Atom.args
+    |> Option.map
+         (List.fold_left
+            (fun acc (v, t) -> D.Subst.bind v t acc)
+            D.Subst.empty)
+
+let instantiate (general : D.Atom.t) row =
+  let args =
+    List.map
+      (fun t ->
+        match t with
+        | D.Term.Const _ -> t
+        | D.Term.Var v -> (
+          match Key.index_of_canonical v with
+          | Some i -> (
+            match List.assoc_opt i row with Some tm -> tm | None -> t)
+          | None -> t))
+      general.D.Atom.args
+  in
+  { general with D.Atom.args }
+
+let filter_row ~general ~row (q : D.Atom.t) =
+  match D.Subst.unify_atoms (instantiate general row) q D.Subst.empty with
+  | None -> None
+  | Some s ->
+    (* Rebase onto [q]'s own variables. A query variable resolving to a
+       constant is bound to it; one resolving to another query variable
+       keeps that var-to-var link; ones resolving to the same leftover
+       canonical variable are equal-but-unbound — link them to the first
+       as representative, like SLD's answer restriction would. *)
+    let reps = ref [] in
+    let out =
+      List.fold_left
+        (fun acc v ->
+          match D.Subst.apply s (D.Term.Var v) with
+          | D.Term.Const _ as c -> D.Subst.bind v c acc
+          | D.Term.Var w when D.Term.equal_var w v -> acc
+          | D.Term.Var w -> (
+            match Key.index_of_canonical w with
+            | None -> D.Subst.bind v (D.Term.Var w) acc
+            | Some _ -> (
+              match
+                List.find_opt (fun (w', _) -> D.Term.equal_var w w') !reps
+              with
+              | Some (_, r) -> D.Subst.bind v (D.Term.Var r) acc
+              | None ->
+                reps := (w, v) :: !reps;
+                acc)))
+        D.Subst.empty (D.Atom.vars q)
+    in
+    Some out

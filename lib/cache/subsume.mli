@@ -1,0 +1,62 @@
+(** Per-predicate subsumption index over cached query keys.
+
+    The answer cache ({!Answers}) hits only on alpha-variant keys. This
+    index recovers the rest of the specialization lattice: a probe for
+    [p(a, Y)] that misses its exact key can find the cached, strictly more
+    general [p(X, Y)] and answer by filtering its answer set. Keys are
+    bucketed per (predicate, arity) by their adornment
+    ({!Datalog.Adorn.adornment} — the bound/free pattern), encoded as a
+    bitmask of bound positions: a key can only subsume queries whose bound
+    set is a superset of its own, so a probe scans just the buckets whose
+    mask is a subset of the query's, most-specific (most bound) first.
+
+    Terms are function-free (Datalog), so θ-subsumption degenerates to a
+    one-pass positional check: constants must match exactly and each
+    general-side variable must map to one consistent term. All operations
+    are thread-safe; membership maintenance is the caller's job (the cache
+    removes keys lazily when it drops the backing entry). *)
+
+type t
+
+val create : unit -> t
+
+(** [add t key] registers a cached key (idempotent). Callers register keys
+    with at least one variable — a ground key can subsume only itself,
+    which the exact lookup already covers. *)
+val add : t -> Datalog.Atom.t -> unit
+
+val remove : t -> Datalog.Atom.t -> unit
+
+(** Registered keys (for introspection / tests). *)
+val length : t -> int
+
+(** [candidates t ?exclude q] — registered keys whose adornment could
+    subsume [q] (bound positions ⊆ [q]'s), most-specific-first, minus
+    [exclude] (the probe's own exact key). Candidates still need the
+    {!theta_subsumes} check; the mask test is only a pre-filter. *)
+val candidates : t -> ?exclude:Datalog.Atom.t -> Datalog.Atom.t -> Datalog.Atom.t list
+
+(** [theta_subsumes ~general s] — the substitution [σ] with [general σ = s],
+    if one exists. Function-free θ-subsumption: constants must coincide
+    positionally and repeated general-side variables must map to equal
+    terms ([p(X, X)] subsumes [p(a, a)] but not [p(a, b)]). *)
+val theta_subsumes :
+  general:Datalog.Atom.t -> Datalog.Atom.t -> Datalog.Subst.t option
+
+(** [filter_row ~general ~row q] — the answer [q] inherits from one stored
+    answer row of [general], if that row matches. [row] is the row in
+    [general]'s canonical-variable space ({!Key}); the result substitution
+    is expressed on [q]'s own variables (query variables that the row
+    leaves equal-but-unbound come back as var-to-var bindings onto one
+    representative, mirroring what direct SLD would report). *)
+val filter_row :
+  general:Datalog.Atom.t ->
+  row:(int * Datalog.Term.t) list ->
+  Datalog.Atom.t ->
+  Datalog.Subst.t option
+
+(** [instantiate general row] — [general] with its canonical variables
+    replaced by the row's terms (unbound positions stay variables). Used
+    to materialize ground answer instances for memo seeding. *)
+val instantiate :
+  Datalog.Atom.t -> (int * Datalog.Term.t) list -> Datalog.Atom.t

@@ -87,6 +87,8 @@ type answer = {
   cost : float;
   switched : bool;
   cached : bool;
+  derived : bool;
+  enumerated : D.Sld.enum option;
 }
 
 let rule_order t goal rules =
@@ -147,7 +149,7 @@ let learn ~tracer ~parent t ~db query =
   Trace.finish tracer learn_span;
   (outcome.Exec.cost, switched)
 
-let answer ?(tracer = Trace.null) ?parent ?memo t ~db query =
+let answer ?(tracer = Trace.null) ?parent ?memo ?(enumerate = 0) t ~db query =
   let owns_root, parent = root_span tracer parent query in
   let sld_span = Trace.push tracer parent ~kind:"sld" "sld" in
   let cfg =
@@ -155,18 +157,41 @@ let answer ?(tracer = Trace.null) ?parent ?memo t ~db query =
       ~rule_order:(fun goal rules -> rule_order t goal rules)
       ~tracer ~parent:sld_span ?memo ~rulebase:t.rulebase ~db ()
   in
-  let result, stats = D.Sld.solve_first cfg [ D.Clause.Pos query ] in
+  (* With [enumerate], the derivation is pulled past the first success node
+     (up to the cap) so a caller can cache the answer set. The reported
+     [stats] are snapshotted at the first answer either way — the
+     satisficing-search cost stays what the wire and [work] report; the
+     enumeration tail's work lives in [enumerated.extra_*]. *)
+  let result, stats, enumerated =
+    if enumerate > 0 then
+      let r, st, en =
+        D.Sld.solve_first_enum ~limit:enumerate cfg [ D.Clause.Pos query ]
+      in
+      (r, st, Some en)
+    else
+      let r, st = D.Sld.solve_first cfg [ D.Clause.Pos query ] in
+      (r, st, None)
+  in
   Trace.finish tracer sld_span;
   t.queries <- t.queries + 1;
   t.reductions <- t.reductions + stats.D.Sld.reductions;
   t.retrievals <- t.retrievals + stats.D.Sld.retrievals;
   let cost, switched = learn ~tracer ~parent t ~db query in
   if owns_root then Trace.finish tracer parent;
-  { result; stats; cost; switched; cached = false }
+  { result; stats; cost; switched; cached = false; derived = false; enumerated }
 
-let answer_cached ?(tracer = Trace.null) ?parent t ~db ~result query =
+let answer_cached ?(tracer = Trace.null) ?parent ?(derived = false) t ~db
+    ~result query =
   let owns_root, parent = root_span tracer parent query in
   t.queries <- t.queries + 1;
   let cost, switched = learn ~tracer ~parent t ~db query in
   if owns_root then Trace.finish tracer parent;
-  { result; stats = D.Sld.fresh_stats (); cost; switched; cached = true }
+  {
+    result;
+    stats = D.Sld.fresh_stats ();
+    cost;
+    switched;
+    cached = true;
+    derived;
+    enumerated = None;
+  }

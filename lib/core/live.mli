@@ -63,6 +63,12 @@ type answer = {
   cached : bool;
       (** answer served from a cache ({!answer_cached}); [stats] is then
           all-zero — no SLD ran *)
+  derived : bool;
+      (** cached answer obtained by filtering a more general entry's
+          answer set (subsumption), not an exact key *)
+  enumerated : Datalog.Sld.enum option;
+      (** when {!answer} ran with [enumerate], the answer set pulled past
+          the first success node (for cache fills) *)
 }
 
 (** Answer one query (an instance of the query form) against a database,
@@ -78,11 +84,17 @@ type answer = {
     With [memo], ground subgoals resolve through the shared
     {!Datalog.Sld.Memo} table (the rest of the pipeline is unchanged).
 
+    With [enumerate > 0], the derivation is additionally pulled past the
+    first success node for up to that many distinct answers (reported in
+    [enumerated]); the answer, [stats], and everything the learner sees
+    are unchanged — only the tail work in [enumerated.extra_*] is extra.
+
     Raises [Invalid_argument] if the query does not match the form. *)
 val answer :
   ?tracer:Trace.t ->
   ?parent:Trace.span ->
   ?memo:Datalog.Sld.Memo.t ->
+  ?enumerate:int ->
   t ->
   db:Datalog.Database.t ->
   Datalog.Atom.t ->
@@ -93,10 +105,14 @@ val answer :
     learning pipeline — context derivation, mirrored strategy execution
     (so [cost] is the true current c(Θ, I)) and learner observation —
     leaving the learner's trajectory identical to the uncached run. The
-    span tree has no [sld] phase and [stats] is all-zero. *)
+    span tree has no [sld] phase and [stats] is all-zero. [derived] marks
+    the answer as a subsumption-derived hit (pure bookkeeping — the
+    learning pipeline is identical either way, which is what keeps
+    trajectories byte-stable with subsumption on or off). *)
 val answer_cached :
   ?tracer:Trace.t ->
   ?parent:Trace.span ->
+  ?derived:bool ->
   t ->
   db:Datalog.Database.t ->
   result:Datalog.Subst.t option ->

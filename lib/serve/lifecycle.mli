@@ -19,7 +19,9 @@
     domain can misattribute a concurrent wait to their domain-mate's
     request — an accepted imprecision, documented in docs/TRACING.md. *)
 
-type backend = B_none | B_cache | B_sld
+(** [B_cache_derived]: answered from the cache by subsumption (filtering
+    a more general entry's answer set), not an exact key. *)
+type backend = B_none | B_cache | B_cache_derived | B_sld
 
 type t = {
   lc_conn : int;            (** connection id *)
@@ -86,7 +88,7 @@ val backend_name : backend -> string
       ├── frame   (parse → enqueue)
       ├── queue   (enqueue → worker pickup)
       ├── worker  (pickup → response enqueued)
-      │   ├── cache | sld        (the backend that answered)
+      │   ├── cache | cache_derived | sld   (the backend that answered)
       │   │   ├── wal_fsync      (when the store waited)
       │   │   └── page_read
       │   └── <armed exec tree>  (when the request was traced)

@@ -21,6 +21,11 @@ type cache_stats = {
   memo_misses : int;
   memo_invalidations : int;
   memo_entries : int;
+  subsume : bool;
+  derived_hits : int;
+  derived_scan_entries : int;
+  subsume_misses : int;
+  index_keys : int;
 }
 
 let no_cache_stats =
@@ -37,6 +42,11 @@ let no_cache_stats =
     memo_misses = 0;
     memo_invalidations = 0;
     memo_entries = 0;
+    subsume = false;
+    derived_hits = 0;
+    derived_scan_entries = 0;
+    subsume_misses = 0;
+    index_keys = 0;
   }
 
 (* The paged store's counters, pulled straight from [Store.stats] (the
@@ -134,6 +144,12 @@ type t = {
   c_memo_misses : R.Counter.t;
   c_memo_invalidations : R.Counter.t;
   g_memo_entries : R.Gauge.t;
+  g_cache_subsume : R.Gauge.t;
+  c_cache_derived_hits : R.Counter.t;
+  c_cache_derived_scan : R.Counter.t;
+  c_cache_subsume_misses : R.Counter.t;
+  g_cache_index_keys : R.Gauge.t;
+  h_cache_filter : R.Histogram.t;
   g_store_enabled : R.Gauge.t;
   g_store_page_size : R.Gauge.t;
   g_store_pages : R.Gauge.t;
@@ -175,7 +191,12 @@ let mirror_cache t cs =
   R.Counter.set t.c_memo_hits cs.memo_hits;
   R.Counter.set t.c_memo_misses cs.memo_misses;
   R.Counter.set t.c_memo_invalidations cs.memo_invalidations;
-  R.Gauge.set t.g_memo_entries (float_of_int cs.memo_entries)
+  R.Gauge.set t.g_memo_entries (float_of_int cs.memo_entries);
+  R.Gauge.set t.g_cache_subsume (if cs.subsume then 1.0 else 0.0);
+  R.Counter.set t.c_cache_derived_hits cs.derived_hits;
+  R.Counter.set t.c_cache_derived_scan cs.derived_scan_entries;
+  R.Counter.set t.c_cache_subsume_misses cs.subsume_misses;
+  R.Gauge.set t.g_cache_index_keys (float_of_int cs.index_keys)
 
 let mirror_store t (ss : store_stats) =
   R.Gauge.set t.g_store_enabled 1.0;
@@ -340,6 +361,32 @@ let create ?(trace_capacity = 0) () =
         counter "Subgoal-memo invalidations" "strategem_memo_invalidations_total";
       g_memo_entries =
         gauge "Subgoal-memo resident entries" "strategem_memo_entries";
+      g_cache_subsume =
+        gauge "1 when subsumption-based answer reuse is on"
+          "strategem_cache_subsume_enabled";
+      c_cache_derived_hits =
+        counter
+          "Answer-cache derived hits (answered by filtering a more \
+           general cached entry's answer set)"
+          "strategem_cache_derived_hits_total";
+      c_cache_derived_scan =
+        counter
+          "Candidate generalizations examined across subsumption probes"
+          "strategem_cache_derived_scan_entries_total";
+      c_cache_subsume_misses =
+        counter
+          "Subsumption probes that found no usable generalization"
+          "strategem_cache_subsume_misses_total";
+      g_cache_index_keys =
+        gauge "Keys registered in the subsumption index"
+          "strategem_cache_index_keys";
+      h_cache_filter =
+        R.Histogram.solo
+          (R.Histogram.v reg
+             ~help:
+               "Latency of subsumption probes (candidate walk + answer-set \
+                filtering) on exact-key misses (microseconds)"
+             "strategem_cache_filter_latency_us");
       g_store_enabled =
         gauge "1 when the database is backed by the paged store"
           "strategem_store_enabled";
@@ -580,6 +627,7 @@ let observe_queue_depth t d =
   bump ()
 
 let queue_waited t ~wait_us = R.Histogram.observe t.h_queue_wait wait_us
+let cache_filter t us = R.Histogram.observe t.h_cache_filter us
 
 let trace_sampling t = t.traces <> None
 
@@ -667,6 +715,12 @@ let cache_lines cs =
     Printf.sprintf "memo_misses %d" cs.memo_misses;
     Printf.sprintf "memo_invalidations %d" cs.memo_invalidations;
     Printf.sprintf "memo_entries %d" cs.memo_entries;
+    (* Additive (subsumption-based answer reuse). *)
+    Printf.sprintf "cache_subsume_enabled %d" (if cs.subsume then 1 else 0);
+    Printf.sprintf "cache_derived_hits %d" cs.derived_hits;
+    Printf.sprintf "cache_derived_scan_entries %d" cs.derived_scan_entries;
+    Printf.sprintf "cache_subsume_misses %d" cs.subsume_misses;
+    Printf.sprintf "cache_index_keys %d" cs.index_keys;
   ]
 
 (* Additive, like [cache_lines]: present only when serving from a paged
@@ -802,14 +856,19 @@ let schema_version = 1
 let cache_block_version = 1
 
 let cache_json cs =
+  (* The [subsume] sub-block is additive under cache-block version 1, like
+     the fields before it. *)
   Printf.sprintf
     "\"cache\":{\"version\":%d,\"enabled\":%b,\"hits\":%d,\"misses\":%d,\
      \"evictions\":%d,\"invalidations\":%d,\"entries\":%d,\"bytes\":%d,\
      \"capacity_bytes\":%d,\"memo\":{\"hits\":%d,\"misses\":%d,\
-     \"invalidations\":%d,\"entries\":%d}},"
+     \"invalidations\":%d,\"entries\":%d},\"subsume\":{\"enabled\":%b,\
+     \"derived_hits\":%d,\"derived_scan_entries\":%d,\"subsume_misses\":%d,\
+     \"index_keys\":%d}},"
     cache_block_version cs.enabled cs.hits cs.misses cs.evictions
     cs.invalidations cs.entries cs.bytes cs.capacity_bytes cs.memo_hits
-    cs.memo_misses cs.memo_invalidations cs.memo_entries
+    cs.memo_misses cs.memo_invalidations cs.memo_entries cs.subsume
+    cs.derived_hits cs.derived_scan_entries cs.subsume_misses cs.index_keys
 
 (* Like the [cache] block: additive under schema 1, independently
    versioned. *)

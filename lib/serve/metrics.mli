@@ -84,6 +84,12 @@ val observe_queue_depth : t -> int -> unit
     picked it up. *)
 val queue_waited : t -> wait_us:float -> unit
 
+(** A subsumption probe (candidate walk + answer-set filtering) took
+    [us] microseconds. Observed on derived hits and on probes that fell
+    through to SLD — exact hits never pay the filter, so they are not
+    observed. Feeds [strategem_cache_filter_latency_us]. *)
+val cache_filter : t -> float -> unit
+
 (** {1 Reactor (protocol v4)} *)
 
 (** The [strategem_conns_open] gauge: sockets the reactor currently
@@ -223,6 +229,13 @@ type cache_stats = {
   memo_misses : int;
   memo_invalidations : int;
   memo_entries : int;
+  subsume : bool;  (** subsumption index / derived hits enabled *)
+  derived_hits : int;
+      (** lookups answered by filtering a more general entry's answer set *)
+  derived_scan_entries : int;
+      (** candidate generalizations examined across subsumption probes *)
+  subsume_misses : int;  (** probes that found no usable generalization *)
+  index_keys : int;  (** keys registered in the subsumption index *)
 }
 
 (** All-zero, [enabled = false] — what a cacheless server reports. *)

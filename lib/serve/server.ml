@@ -13,6 +13,7 @@ type config = {
   learner_config : Core.Learner.config;
   trace_sample : int;
   cache_mb : int;  (* answer-cache budget; 0 disables caching + memo *)
+  subsume : bool;  (* subsumption index + derived hits (needs cache_mb > 0) *)
   metrics_port : int option;  (* /metrics + /healthz HTTP port; 0 = ephemeral *)
   log_level : Obs.Log.level option;  (* None = structured logging off *)
   log_file : string option;  (* None = stderr *)
@@ -40,6 +41,7 @@ let default_config =
     learner_config = Core.Learner.default_config;
     trace_sample = 0;
     cache_mb = 64;
+    subsume = true;
     metrics_port = None;
     log_level = None;
     log_file = None;
@@ -94,7 +96,7 @@ type loop_state = {
   attn_lock : Mutex.t;
   attention : Conn.t list ref;
   (* connections owned (including queued handoffs), read by the acceptor
-     for least-connections placement and the max-conns cap *)
+     for two-choice placement and the max-conns cap *)
   n_conns : int Atomic.t;
   (* requests dispatched from this loop's connections whose response is
      not yet enqueued — the loop's drain condition *)
@@ -104,6 +106,11 @@ type loop_state = {
      timeout is on — per-event [Conn.touch] never calls gettimeofday *)
   mutable now : float;
   mutable last_sweep : float;
+  (* hashed timer wheel for the idle timeout: each slot holds the
+     connections whose deadline falls in a second congruent to it.
+     Loop-thread-only. Empty (and never touched) when the timeout is
+     off. *)
+  wheel : Conn.t list array;
   (* the loop's flight recorder — written only by this loop's thread
      (conn events directly; request events at finalize, replayed from
      the lifecycle record's timestamps), snapshotted by anyone *)
@@ -156,6 +163,8 @@ type state = {
   (* at most one auto flight dump per second; the rest are counted *)
   flight_limiter : Obs.Log.Limiter.t;
   conn_seq : int Atomic.t;  (* connection ids, for log correlation *)
+  (* acceptor-only rotation for power-of-two-choices placement *)
+  accept_rr : int Atomic.t;
   queue : job Admission.t;
   cache : Cache.Answers.t option;
   memo : D.Sld.Memo.t option;
@@ -329,7 +338,10 @@ let answer_traced st ~wait_us ~t0 tracer q =
   (match Lifecycle.current () with
   | Some lc ->
     lc.Lifecycle.lc_backend <-
-      (if ans.Core.Live.cached then Lifecycle.B_cache else Lifecycle.B_sld);
+      (if ans.Core.Live.cached then
+         if ans.Core.Live.derived then Lifecycle.B_cache_derived
+         else Lifecycle.B_cache
+       else Lifecycle.B_sld);
     if Trace.enabled tracer then
       lc.Lifecycle.lc_exec <- Trace.root_span tracer
   | None -> ());
@@ -360,6 +372,7 @@ let log_query st ~conn ~qid ~latency_us ~tracer atom_text
           ("latency_us", Obs.Log.F latency_us);
           ("answered", Obs.Log.B (ans.Core.Live.result <> None));
           ("cached", Obs.Log.B ans.Core.Live.cached);
+          ("derived", Obs.Log.B ans.Core.Live.derived);
           ("switched", Obs.Log.B ans.Core.Live.switched);
         ];
   if st.cfg.slow_query_us > 0.0 && latency_us >= st.cfg.slow_query_us then begin
@@ -442,11 +455,12 @@ let handle_query st ~conn ~qid ~wait_us ~t0 atom_text =
       log_query st ~conn ~qid ~latency_us ~tracer atom_text ans;
       R_lines
         ( [
-            Protocol.answer_line
+            Protocol.answer_line ~derived:ans.Core.Live.derived
               ~result:(result_string ans.Core.Live.result)
               ~reductions:ans.Core.Live.stats.D.Sld.reductions
               ~retrievals:ans.Core.Live.stats.D.Sld.retrievals
-              ~cached:ans.Core.Live.cached ~switched:ans.Core.Live.switched;
+              ~cached:ans.Core.Live.cached ~switched:ans.Core.Live.switched
+              ();
           ],
           false ))
 
@@ -465,12 +479,12 @@ let handle_trace st ~conn ~qid ~wait_us ~t0 atom_text =
       let reply =
         Printf.sprintf
           "{\"result\":\"%s\",\"reductions\":%d,\"retrievals\":%d,\
-           \"cached\":%b,\"switched\":%b,\"paper_cost\":%.17g,\
+           \"cached\":%b,\"derived\":%b,\"switched\":%b,\"paper_cost\":%.17g,\
            \"monitor_cost\":%.17g,\"consistent\":%b,\"span\":%s}"
           (Trace.json_escape (result_string ans.Core.Live.result))
           ans.Core.Live.stats.D.Sld.reductions
           ans.Core.Live.stats.D.Sld.retrievals ans.Core.Live.cached
-          ans.Core.Live.switched paper_cost monitor_cost
+          ans.Core.Live.derived ans.Core.Live.switched paper_cost monitor_cost
           (Float.abs (paper_cost -. monitor_cost) <= 1e-9)
           span_json
       in
@@ -880,6 +894,20 @@ let on_conn_event st ls c ~readable ~writable:_ =
 
 (* --- the loop fleet (one domain per loop) --- *)
 
+(* The idle-timeout wheel's circumference, in one-second buckets. A
+   timeout longer than the circumference only means a connection's slot
+   comes due before its deadline — the lazy re-bucket below reinserts
+   it; correctness never depends on the size. *)
+let wheel_slots = 256
+
+(* Bucket [c] by the second of [at], clamped into the future so a
+   connection is never filed under a second the sweep has already
+   passed (it would then wait a full lap to be seen again). *)
+let wheel_insert ls ~at c =
+  let s = max (int_of_float at) (int_of_float ls.now + 1) in
+  let slot = s mod wheel_slots in
+  ls.wheel.(slot) <- c :: ls.wheel.(slot)
+
 (* Adopt sockets the acceptor handed over: materialize the [Conn.t] and
    register the fd, both loop-thread-only operations. *)
 let adopt_incoming st ls =
@@ -900,7 +928,10 @@ let adopt_incoming st ls =
         Conn.create ~accept_ns ~id ~loop:ls.lid ~peer ~ip ~limits:st.limits
           fd
       in
-      if st.cfg.idle_timeout_s > 0.0 then Conn.touch c ~now:ls.now;
+      if st.cfg.idle_timeout_s > 0.0 then begin
+        Conn.touch c ~now:ls.now;
+        wheel_insert ls ~at:(ls.now +. st.cfg.idle_timeout_s) c
+      end;
       Hashtbl.replace ls.conns id c;
       Obs.Flight.record ls.flight ~ts_ns:accept_ns
         ~code:Obs.Flight.code_accept ~loop:ls.lid ~conn:id ~rid:0
@@ -922,32 +953,56 @@ let adopt_incoming st ls =
       if Atomic.get st.stopping then service st ls c)
     batch
 
-(* Close connections with no traffic for [idle_timeout_s]. At most one
-   table scan per second per loop, tied to the poll deadline (the loop
-   wakes at least every 250 ms); in-flight requests hold a connection
-   open regardless. Zero cost when the timeout is off. *)
+(* Close connections with no traffic for [idle_timeout_s], via the
+   hashed timer wheel: a connection is bucketed by its deadline second
+   at adopt and re-bucketed lazily when its slot comes due —
+   [Conn.touch] never moves it, so servicing traffic costs nothing
+   here, and each sweep walks only the buckets whose second has passed
+   since the last one: O(due + expired) work, not a full O(open
+   connections) table scan per second per loop. A connection that was
+   touched since filing is simply re-filed at its new deadline when its
+   old bucket drains; one already reaped (the entry no longer in the
+   conn table) is dropped. In-flight requests hold a connection open
+   regardless — re-checked a second later. Zero cost when the timeout
+   is off. *)
 let idle_sweep st ls =
   let timeout = st.cfg.idle_timeout_s in
   if timeout > 0.0 && ls.now -. ls.last_sweep >= 1.0 then begin
+    let now_s = int_of_float ls.now in
+    let first =
+      (* after a stall longer than the circumference, one lap covers
+         every bucket — never reprocess a slot within one sweep *)
+      max (int_of_float ls.last_sweep + 1) (now_s - wheel_slots + 1)
+    in
     ls.last_sweep <- ls.now;
-    Hashtbl.fold
-      (fun _ c acc ->
-        if Conn.inflight c = 0 && ls.now -. Conn.last_active c > timeout then
-          c :: acc
-        else acc)
-      ls.conns []
-    |> List.iter (fun c ->
-           Metrics.idle_closed st.metrics;
-           if Obs.Log.enabled st.log Obs.Log.Debug then
-             Obs.Log.debug st.log "connection closed: idle timeout"
-               ~fields:
-                 [
-                   ("conn", Obs.Log.I (Conn.id c));
-                   ("loop", Obs.Log.I ls.lid);
-                   ("idle_timeout_s", Obs.Log.F timeout);
-                 ];
-           Conn.kill c;
-           reap st ls c)
+    for s = first to now_s do
+      let slot = s mod wheel_slots in
+      let due = ls.wheel.(slot) in
+      ls.wheel.(slot) <- [];
+      List.iter
+        (fun c ->
+          if Hashtbl.mem ls.conns (Conn.id c) then begin
+            let deadline = Conn.last_active c +. timeout in
+            if deadline > ls.now then wheel_insert ls ~at:deadline c
+            else if Conn.inflight c > 0 then
+              (* a response is still owed; look again next second *)
+              wheel_insert ls ~at:(ls.now +. 1.0) c
+            else begin
+              Metrics.idle_closed st.metrics;
+              if Obs.Log.enabled st.log Obs.Log.Debug then
+                Obs.Log.debug st.log "connection closed: idle timeout"
+                  ~fields:
+                    [
+                      ("conn", Obs.Log.I (Conn.id c));
+                      ("loop", Obs.Log.I ls.lid);
+                      ("idle_timeout_s", Obs.Log.F timeout);
+                    ];
+              Conn.kill c;
+              reap st ls c
+            end
+          end)
+        due
+    done
   end
 
 (* --- lifecycle finalize (loop thread) --- *)
@@ -1158,15 +1213,26 @@ let ip_of_sockaddr = function
   | Unix.ADDR_INET (a, _) -> Unix.string_of_inet_addr a
   | Unix.ADDR_UNIX p -> p
 
-(* Least connections, lowest loop id on ties — deterministic, so four
-   connections against an idle two-loop fleet land 2/2. *)
+(* Power-of-two-choices placement: probe two loops picked by a rotating
+   counter and take the less loaded under the lexicographic load key
+   (open connections, then pipeline depth) — strict least-connections
+   scanned the whole fleet per accept and, being blind to pipeline
+   depth, herded bursty pipelined clients onto one loop. Two probes get
+   within a constant factor of the full scan's balance at O(1) cost
+   (Mitzenmacher's classic result), and adding in-flight depth as the
+   tie-break steers new connections away from loops that are busy
+   rather than merely popular. Ties break to the lower loop id and the
+   rotation is deterministic, so four connections against an idle
+   two-loop fleet still land 2/2. *)
 let pick_loop st =
-  let best = ref st.loops.(0) in
-  Array.iter
-    (fun ls ->
-      if Atomic.get ls.n_conns < Atomic.get !best.n_conns then best := ls)
-    st.loops;
-  !best
+  let n = Array.length st.loops in
+  if n = 1 then st.loops.(0)
+  else begin
+    let r = Atomic.fetch_and_add st.accept_rr 1 in
+    let a = st.loops.(r mod n) and b = st.loops.((r + 1) mod n) in
+    let load ls = (Atomic.get ls.n_conns, Atomic.get ls.inflight, ls.lid) in
+    if load a <= load b then a else b
+  end
 
 let total_conns st =
   Array.fold_left (fun acc ls -> acc + Atomic.get ls.n_conns) 0 st.loops
@@ -1334,6 +1400,7 @@ let run ?(handle_signals = false) ?(on_listen = fun _ -> ())
           draining = false;
           now = 0.0;
           last_sweep = 0.0;
+          wheel = Array.make wheel_slots [];
           flight = Obs.Flight.create ~capacity:cfg.flight_capacity;
           fin_lock = Mutex.create ();
           pending_fin = [];
@@ -1346,7 +1413,9 @@ let run ?(handle_signals = false) ?(on_listen = fun _ -> ())
   Metrics.set_backend metrics (Eventloop.backend fleet.(0).ev);
   let cache =
     if cfg.cache_mb > 0 then
-      Some (Cache.Answers.create ~capacity_bytes:(cfg.cache_mb * 1024 * 1024) ())
+      Some
+        (Cache.Answers.create ~subsume:cfg.subsume
+           ~capacity_bytes:(cfg.cache_mb * 1024 * 1024) ())
     else None
   in
   let memo = if cfg.cache_mb > 0 then Some (D.Sld.Memo.create ()) else None in
@@ -1369,6 +1438,7 @@ let run ?(handle_signals = false) ?(on_listen = fun _ -> ())
       retained_seq = Atomic.make 0;
       flight_limiter = Obs.Log.Limiter.create ~min_interval_s:1.0;
       conn_seq = Atomic.make 1;
+      accept_rr = Atomic.make 0;
       queue = Admission.create ~producers:n_loops ~depth:cfg.queue_depth ();
       cache;
       memo;
@@ -1428,6 +1498,11 @@ let run ?(handle_signals = false) ?(on_listen = fun _ -> ())
           memo_misses = m.D.Sld.Memo.misses;
           memo_invalidations = m.D.Sld.Memo.invalidations;
           memo_entries = m.D.Sld.Memo.entries;
+          subsume = Cache.Answers.subsume_enabled c;
+          derived_hits = a.Cache.Answers.derived_hits;
+          derived_scan_entries = a.Cache.Answers.derived_scanned;
+          subsume_misses = a.Cache.Answers.subsume_misses;
+          index_keys = a.Cache.Answers.index_keys;
         });
   (* The metrics responder is created inside the protected body (after
      the main socket binds, so a busy serve port can't leak it) but must

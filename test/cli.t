@@ -68,6 +68,16 @@ phase, while the exec and learn phases still run at the true paper cost:
     learn [learn] cost=0 learner=pib
   paper cost: 4 (monitor: 4, consistent)
 
+With --warm the cache is filled by a different, more general query
+instead: the traced query then misses its exact key but is answered by
+filtering the general entry's enumerated answer set — a
+subsumption-derived hit, marked (cached=derived) and derived=true on
+the cache_hit event:
+
+  $ ../bin/strategem.exe explain ../examples/data/university.dl 'instructor(manolis)' --warm 'instructor(X)' | grep -E 'answer:|cache_hit'
+  answer: yes  [0 reductions, 0 retrievals]  (cached=derived)
+    instructor(manolis) [cache_hit] cost=0 saved_reductions=1 saved_retrievals=1 fill_cost=2 derived=true
+
 The same queries, bottom-up:
 
   $ ../bin/strategem.exe query ../examples/data/university.dl --engine seminaive

@@ -1,8 +1,11 @@
 The serve daemon end to end: start on an ephemeral port, answer queries
 while learning online (and caching answers), snapshot, shut down
-gracefully, and resume the learned strategy after a restart.
+gracefully, and resume the learned strategy after a restart. This first
+server runs --no-subsume so every cache interaction below is an exact
+alpha-variant hit or a true miss (subsumption gets its own server at
+the end).
 
-  $ ../bin/strategem.exe serve ../examples/data/university.dl --port 0 --workers 2 --state-dir state --trace-sample 4 --metrics-port 0 > serve.log 2>&1 &
+  $ ../bin/strategem.exe serve ../examples/data/university.dl --port 0 --workers 2 --state-dir state --trace-sample 4 --metrics-port 0 --no-subsume > serve.log 2>&1 &
   $ SERVER=$!
   $ for _ in $(seq 1 100); do grep -q listening serve.log && break; sleep 0.1; done
   $ PORT=$(sed -n 's/.*listening on [^:]*:\([0-9]*\).*/\1/p' serve.log)
@@ -42,13 +45,16 @@ the stable counters are shown):
   forms_active 2
 
 ...and so do the cache counters: the three cold queries filled three
-entries, the 80 repeats all hit.
+entries, the 80 repeats all hit. The additive subsumption fields are
+present (and zero) even with --no-subsume:
 
-  $ ../bin/strategem.exe client --port $PORT STATS | grep -E '^(cache_enabled|cache_hits|cache_misses|cache_entries) '
+  $ ../bin/strategem.exe client --port $PORT STATS | grep -E '^(cache_enabled|cache_hits|cache_misses|cache_entries|cache_subsume_enabled|cache_derived_hits) '
   cache_enabled 1
   cache_hits 80
   cache_misses 3
   cache_entries 3
+  cache_subsume_enabled 0
+  cache_derived_hits 0
 
 The worker pool reports how many OCaml domains it spawned. The value
 is the requested worker count clamped to the host's core count, so
@@ -256,5 +262,63 @@ cache as disabled.
   ANSWER yes reductions=1 retrievals=1
   forms_loaded 2
   cache_enabled 0
+  BYE
+  $ wait $SERVER
+
+Subsumption-based answer reuse (--subsume, the default): a fully free
+query's cache fill also enumerates its answer set, and a later more
+specific query that misses its exact key is answered by filtering that
+set instead of running SLD — a derived hit, flagged on the wire as
+cached=derived. A derived "yes" needs a matching row; a derived "no"
+needs the complete set to rule every row out.
+
+  $ ../bin/strategem.exe serve ../examples/data/university.dl --port 0 --workers 2 --metrics-port 0 --log-level off > serve3.log 2>&1 &
+  $ SERVER=$!
+  $ for _ in $(seq 1 100); do grep -q listening serve3.log && break; sleep 0.1; done
+  $ PORT=$(sed -n 's/.*listening on [^:]*:\([0-9]*\).*/\1/p' serve3.log)
+  $ MPORT=$(sed -n 's/.*metrics on [^:]*:\([0-9]*\).*/\1/p' serve3.log)
+
+The general query pays SLD once; neither specialization ever runs it —
+instructor(russ) filters down to a cached row, and instructor(fred)
+is a derived "no" read off the complete answer set:
+
+  $ ../bin/strategem.exe client --port $PORT 'QUERY instructor(X)' 'QUERY instructor(russ)' 'QUERY instructor(fred)'
+  ANSWER {X=russ} reductions=1 retrievals=1
+  ANSWER yes reductions=0 retrievals=0 cached=derived
+  ANSWER no reductions=0 retrievals=0 cached=derived
+
+A derived verdict is promoted to an exact entry under its own key, so
+the repeat is a plain exact hit:
+
+  $ ../bin/strategem.exe client --port $PORT 'QUERY instructor(russ)'
+  ANSWER yes reductions=0 retrievals=0 cached
+
+TRACE marks derived answers both in the reply object and on the
+cache_hit event:
+
+  $ ../bin/strategem.exe client --port $PORT 'TRACE instructor(sam)' | grep -o '"cached":true,"derived":true\|"kind":"cache_hit"' | sort -u
+  "cached":true,"derived":true
+  "kind":"cache_hit"
+
+The cache counters split exact from derived service; the probe/index
+machinery reports its own counters (STATS text, the versioned JSON
+block, and Prometheus all carry them):
+
+  $ ../bin/strategem.exe client --port $PORT STATS | grep -E '^(cache_hits|cache_misses|cache_subsume_enabled|cache_derived_hits|cache_subsume_misses|cache_index_keys) '
+  cache_hits 1
+  cache_misses 1
+  cache_subsume_enabled 1
+  cache_derived_hits 3
+  cache_subsume_misses 1
+  cache_index_keys 1
+  $ ../bin/strategem.exe client --port $PORT 'STATS JSON' | grep -o '"subsume":{"enabled":true,"derived_hits":3[^}]*}'
+  "subsume":{"enabled":true,"derived_hits":3,"derived_scan_entries":3,"subsume_misses":1,"index_keys":1}
+  $ curl -sf http://127.0.0.1:$MPORT/metrics > metrics3.prom
+  $ grep '^strategem_cache_derived_hits_total ' metrics3.prom
+  strategem_cache_derived_hits_total 3
+  $ grep -c '^# TYPE strategem_cache_filter_latency_us histogram$' metrics3.prom
+  1
+
+  $ ../bin/strategem.exe client --port $PORT SHUTDOWN
   BYE
   $ wait $SERVER

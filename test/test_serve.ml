@@ -56,11 +56,19 @@ let protocol_parse () =
     (Serve.Protocol.Malformed "FLIGHT takes no argument") "FLIGHT now";
   check_string "answer line" "ANSWER yes reductions=2 retrievals=2 switched"
     (Serve.Protocol.answer_line ~result:"yes" ~reductions:2 ~retrievals:2
-       ~cached:false ~switched:true);
+       ~cached:false ~switched:true ());
   check_string "cached answer line"
     "ANSWER yes reductions=0 retrievals=0 cached switched"
     (Serve.Protocol.answer_line ~result:"yes" ~reductions:0 ~retrievals:0
-       ~cached:true ~switched:true);
+       ~cached:true ~switched:true ());
+  check_string "derived cached answer line"
+    "ANSWER yes reductions=0 retrievals=0 cached=derived"
+    (Serve.Protocol.answer_line ~derived:true ~result:"yes" ~reductions:0
+       ~retrievals:0 ~cached:true ~switched:false ());
+  check_string "derived without cached renders nothing"
+    "ANSWER yes reductions=2 retrievals=2"
+    (Serve.Protocol.answer_line ~derived:true ~result:"yes" ~reductions:2
+       ~retrievals:2 ~cached:false ~switched:false ());
   check_string "hello line carries version and learner"
     (Printf.sprintf "HELLO strategem/%d learner=pib" Serve.Protocol.version)
     (Serve.Protocol.hello_line ~learner:"pib" ());
